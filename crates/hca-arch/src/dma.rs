@@ -1,0 +1,114 @@
+//! Programmable DMA model (paper §2.2).
+//!
+//! Each cluster can post an address request straight to the DMA without
+//! consuming inter-cluster communication patterns, but "only a limited
+//! number of requests can be served at the same time, e.g. 8 requests, thus
+//! the compiler must ensure that the amount of simultaneous requests does not
+//! exceed that limit". Memory latency is masked by input/output FIFOs of
+//! depth equal to the serving time.
+
+use hca_ddg::Ddg;
+use serde::{Deserialize, Serialize};
+
+/// DMA engine parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DmaModel {
+    /// Requests servable simultaneously (per cycle).
+    pub ports: u32,
+    /// Serving time of one request, in cycles (also the FIFO depth).
+    pub latency: u32,
+}
+
+impl Default for DmaModel {
+    fn default() -> Self {
+        // The paper's running example: 8 simultaneous requests; the load
+        // latency matches `LatencyModel::default().load`.
+        DmaModel {
+            ports: 8,
+            latency: 8,
+        }
+    }
+}
+
+impl DmaModel {
+    /// FIFO depth needed to mask the serving time (the paper sizes the FIFOs
+    /// "of depth equal to the serving time").
+    #[inline]
+    pub fn fifo_depth(&self) -> u32 {
+        self.latency
+    }
+
+    /// Memory-side resource MII of a DDG: with `mem` requests per iteration
+    /// and `ports` servable per cycle, the initiation interval cannot go
+    /// below `ceil(mem / ports)`.
+    pub fn mii_res_mem(&self, ddg: &Ddg) -> u32 {
+        let mem = ddg.count_ops(|o| o.is_memory()) as u32;
+        if mem == 0 {
+            1
+        } else if self.ports == 0 {
+            u32::MAX
+        } else {
+            mem.div_ceil(self.ports).max(1)
+        }
+    }
+
+    /// True when an II of `ii` keeps the per-cycle request rate within the
+    /// port budget for a kernel with `mem_ops` memory operations.
+    pub fn admits(&self, mem_ops: u32, ii: u32) -> bool {
+        assert!(ii > 0, "II must be positive");
+        // Steady state: mem_ops requests every ii cycles.
+        mem_ops.div_ceil(ii) <= self.ports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hca_ddg::{DdgBuilder, Opcode};
+
+    fn ddg_with_mem(loads: usize, stores: usize) -> Ddg {
+        let mut b = DdgBuilder::default();
+        let mut vals = Vec::new();
+        for _ in 0..loads {
+            vals.push(b.node(Opcode::Load));
+        }
+        for _ in 0..stores {
+            let s = b.node(Opcode::Store);
+            if let Some(&v) = vals.first() {
+                b.flow(v, s);
+            }
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn default_is_paper_example() {
+        let d = DmaModel::default();
+        assert_eq!(d.ports, 8);
+        assert_eq!(d.fifo_depth(), 8);
+    }
+
+    #[test]
+    fn mem_mii_divides_by_ports() {
+        let d = DmaModel::default();
+        assert_eq!(d.mii_res_mem(&ddg_with_mem(10, 0)), 2); // ceil(10/8)
+        assert_eq!(d.mii_res_mem(&ddg_with_mem(8, 0)), 1);
+        assert_eq!(d.mii_res_mem(&ddg_with_mem(9, 8)), 3); // 17 requests
+        assert_eq!(d.mii_res_mem(&ddg_with_mem(0, 0)), 1);
+    }
+
+    #[test]
+    fn admits_budget() {
+        let d = DmaModel::default();
+        assert!(d.admits(16, 2)); // 8 per cycle
+        assert!(!d.admits(17, 2)); // 9 per cycle
+        assert!(d.admits(0, 1));
+    }
+
+    #[test]
+    fn zero_port_dma_is_infeasible_for_mem() {
+        let d = DmaModel { ports: 0, latency: 1 };
+        assert_eq!(d.mii_res_mem(&ddg_with_mem(1, 0)), u32::MAX);
+        assert_eq!(d.mii_res_mem(&ddg_with_mem(0, 0)), 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! # hca-arch — machine models
+//!
+//! Parametric models of the two coarse-grain reconfigurable coprocessors the
+//! paper targets:
+//!
+//! * **DSPFabric** (§2.2) — a strongly *hierarchical* machine: 64 computation
+//!   nodes (CNs) arranged as 4 cluster-sets × 4 clusters × 4 CNs. Adjacent
+//!   siblings at every level communicate through MUXes of bounded capacity
+//!   (N at level 0, M at level 1, a crossbar taking K inherited wires at the
+//!   leaves); output wires broadcast, input wires are single-source, and each
+//!   CN has two incoming wires and one outgoing wire.
+//! * **RCP** (§2.1) — a flat ring of clusters where each cluster *could*
+//!   receive from `2·reach` neighbours but only `K` input ports are
+//!   configurable simultaneously; heterogeneous (only some PEs reach memory).
+//!
+//! The models expose exactly what the Instruction Cluster Assignment needs
+//! (paper §4): per-cluster resource tables, the interconnect topology with
+//! its reconfiguration constraints, and the DMA request-port budget. They
+//! also define [`topology::Topology`], the *configured* machine produced at
+//! the end of HCA and consumed by the coherency checker and the simulator.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dma;
+pub mod dspfabric;
+pub mod rcp;
+pub mod resource;
+pub mod topology;
+
+pub use dma::DmaModel;
+pub use dspfabric::{CnId, DspFabric, GroupPath, LevelSpec};
+pub use rcp::Rcp;
+pub use resource::ResourceTable;
+pub use topology::{ConfiguredWire, GlueWire, GroupTopology, Topology, TopologyError};

@@ -1,0 +1,165 @@
+//! The RCP machine model (paper §2.1, Figure 1).
+//!
+//! RCP is a *flat* (non-hierarchical) clustered VLIW with a reconfigurable
+//! ring interconnect: each cluster could receive values from its `2·reach`
+//! ring neighbours, but only `input_ports < 2·reach` connections can be
+//! configured simultaneously. RCP is heterogeneous — only some PEs issue
+//! memory instructions (it shares the cache hierarchy with the host CPU).
+//!
+//! In the HCA pipeline RCP serves as the degenerate one-level case: its
+//! Pattern Graph is exactly its potential-connection graph, and a single SEE
+//! run performs the whole assignment.
+
+use crate::resource::ResourceTable;
+use serde::{Deserialize, Serialize};
+
+/// RCP ring machine.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rcp {
+    /// Number of clusters on the ring.
+    pub clusters: usize,
+    /// A cluster can *potentially* receive from neighbours up to this ring
+    /// distance on each side (Figure 1a shows reach 2 ⇒ 4 potential sources).
+    pub reach: usize,
+    /// Input ports per cluster: max simultaneously configured sources
+    /// (Figure 1b shows a feasible topology with 2 ports).
+    pub input_ports: usize,
+    /// Which clusters own a memory port (RCP is heterogeneous).
+    pub mem_capable: Vec<bool>,
+}
+
+impl Rcp {
+    /// The paper's Figure-1 instance: 8 clusters, reach 2 (4 potential
+    /// sources each), 2 input ports, memory on every other cluster.
+    pub fn figure1() -> Self {
+        Rcp::new(8, 2, 2, |c| c % 2 == 0)
+    }
+
+    /// Build an RCP ring.
+    pub fn new(
+        clusters: usize,
+        reach: usize,
+        input_ports: usize,
+        mem: impl Fn(usize) -> bool,
+    ) -> Self {
+        assert!(clusters >= 2, "need at least two clusters");
+        assert!(reach >= 1 && reach < clusters, "reach out of range");
+        Rcp {
+            clusters,
+            reach,
+            input_ports,
+            mem_capable: (0..clusters).map(mem).collect(),
+        }
+    }
+
+    /// Potential source clusters of `c` (the dashed arcs of Figure 1a).
+    pub fn potential_sources(&self, c: usize) -> Vec<usize> {
+        assert!(c < self.clusters);
+        let n = self.clusters;
+        let mut out = Vec::with_capacity(2 * self.reach);
+        for d in 1..=self.reach {
+            out.push((c + n - d) % n);
+            out.push((c + d) % n);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&s| s != c);
+        out
+    }
+
+    /// True when `src → dst` is a potential connection.
+    pub fn can_connect(&self, src: usize, dst: usize) -> bool {
+        self.potential_sources(dst).contains(&src)
+    }
+
+    /// Resource table of cluster `c`: one issue slot and ALU; an address
+    /// generator only on memory-capable clusters.
+    pub fn cluster_rt(&self, c: usize) -> ResourceTable {
+        ResourceTable {
+            issue: 1,
+            alu: 1,
+            addr_gen: u32::from(self.mem_capable[c]),
+        }
+    }
+
+    /// Check a chosen topology (a list of configured `src → dst` wires) for
+    /// feasibility: every wire must be potential, and no cluster may exceed
+    /// its input ports. Returns the first violation as an error string.
+    pub fn check_topology(&self, wires: &[(usize, usize)]) -> Result<(), String> {
+        let mut in_count = vec![0usize; self.clusters];
+        for &(s, d) in wires {
+            if s >= self.clusters || d >= self.clusters {
+                return Err(format!("wire {s}->{d} out of range"));
+            }
+            if !self.can_connect(s, d) {
+                return Err(format!("{s}->{d} is not a potential connection"));
+            }
+            in_count[d] += 1;
+            if in_count[d] > self.input_ports {
+                return Err(format!(
+                    "cluster {d} exceeds {} input ports",
+                    self.input_ports
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_potential_connections() {
+        let r = Rcp::figure1();
+        // Fig 1a: each cluster could receive a copy from 4 neighbours.
+        for c in 0..8 {
+            assert_eq!(r.potential_sources(c).len(), 4, "cluster {c}");
+        }
+        assert_eq!(r.potential_sources(0), vec![1, 2, 6, 7]);
+    }
+
+    #[test]
+    fn figure1_feasible_topology() {
+        let r = Rcp::figure1();
+        // Fig 1b-style ring with 2 input ports: each cluster listens to its
+        // two immediate neighbours.
+        let wires: Vec<(usize, usize)> =
+            (0..8).flat_map(|c| [((c + 7) % 8, c), ((c + 1) % 8, c)]).collect();
+        assert!(r.check_topology(&wires).is_ok());
+    }
+
+    #[test]
+    fn port_limit_enforced() {
+        let r = Rcp::figure1();
+        // Cluster 0 listening to 3 sources exceeds its 2 ports.
+        let wires = [(1usize, 0usize), (2, 0), (7, 0)];
+        let err = r.check_topology(&wires).unwrap_err();
+        assert!(err.contains("exceeds 2 input ports"), "{err}");
+    }
+
+    #[test]
+    fn non_potential_wire_rejected() {
+        let r = Rcp::figure1();
+        let err = r.check_topology(&[(0, 4)]).unwrap_err();
+        assert!(err.contains("not a potential connection"), "{err}");
+    }
+
+    #[test]
+    fn heterogeneous_memory() {
+        let r = Rcp::figure1();
+        assert_eq!(r.cluster_rt(0).addr_gen, 1);
+        assert_eq!(r.cluster_rt(1).addr_gen, 0);
+    }
+
+    #[test]
+    fn small_ring_reach_wraps_without_duplicates() {
+        let r = Rcp::new(3, 1, 1, |_| true);
+        assert_eq!(r.potential_sources(0), vec![1, 2]);
+        let r2 = Rcp::new(4, 2, 2, |_| true);
+        // reach 2 on a 4-ring: neighbours {2,3,1} (distance-2 both ways is
+        // the same cluster) and never itself.
+        assert_eq!(r2.potential_sources(0), vec![1, 2, 3]);
+    }
+}

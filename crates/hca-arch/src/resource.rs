@@ -1,0 +1,175 @@
+//! Resource tables.
+//!
+//! Every Pattern-Graph node "is represented by its Resource Table" (paper
+//! §3); at the leaves a table describes one computation node (issue slot,
+//! ALU, address generator), higher up it is "the union of all the RTs of the
+//! CNs it includes" (§4.1) — here: the element-wise sum.
+
+use hca_ddg::{Opcode, ResourceClass};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Per-cluster functional resources, per initiation interval.
+///
+/// All quantities are *per-cycle issue capacity*: a cluster with `alu = 4`
+/// can start 4 ALU ops per cycle, i.e. `4 · II` ALU ops per loop iteration
+/// once modulo-scheduled at initiation interval `II`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceTable {
+    /// Instruction issue slots (a DSPFabric CN is single-issue).
+    pub issue: u32,
+    /// ALU count.
+    pub alu: u32,
+    /// Address generators towards the DMA.
+    pub addr_gen: u32,
+}
+
+impl ResourceTable {
+    /// The resource table of one DSPFabric computation node.
+    pub const CN: ResourceTable = ResourceTable {
+        issue: 1,
+        alu: 1,
+        addr_gen: 1,
+    };
+
+    /// Table of a cluster aggregating `k` CNs (union of their RTs, §4.1).
+    pub fn of_cns(k: u32) -> ResourceTable {
+        ResourceTable {
+            issue: k,
+            alu: k,
+            addr_gen: k,
+        }
+    }
+
+    /// Capacity of the given resource class.
+    #[inline]
+    pub fn capacity(&self, class: ResourceClass) -> u32 {
+        match class {
+            ResourceClass::Alu => self.alu,
+            ResourceClass::AddrGen => self.addr_gen,
+            // Receives only consume an issue slot.
+            ResourceClass::Receive => self.issue,
+        }
+    }
+
+    /// True when this table has at least one unit of every resource an
+    /// instruction with opcode `op` needs (an issue slot plus its class).
+    pub fn can_execute(&self, op: Opcode) -> bool {
+        self.issue > 0 && self.capacity(op.resource_class()) > 0
+    }
+
+    /// Resource-constrained MII contribution of a load `(issued_ops,
+    /// class_ops)` on this table: `max(ceil(ops/issue), ceil(class/capacity))`
+    /// per class, the standard MIIRes formula (Rau '94).
+    pub fn mii_res(&self, issued_ops: u32, per_class: &[(ResourceClass, u32)]) -> u32 {
+        let mut mii = if self.issue == 0 {
+            // No issue capacity: anything > 0 is infeasible; encode as MAX.
+            if issued_ops > 0 {
+                return u32::MAX;
+            }
+            0
+        } else {
+            issued_ops.div_ceil(self.issue)
+        };
+        for &(class, ops) in per_class {
+            if ops == 0 {
+                continue;
+            }
+            let cap = self.capacity(class);
+            if cap == 0 {
+                return u32::MAX;
+            }
+            mii = mii.max(ops.div_ceil(cap));
+        }
+        mii.max(1)
+    }
+}
+
+impl Add for ResourceTable {
+    type Output = ResourceTable;
+    fn add(self, rhs: ResourceTable) -> ResourceTable {
+        ResourceTable {
+            issue: self.issue + rhs.issue,
+            alu: self.alu + rhs.alu,
+            addr_gen: self.addr_gen + rhs.addr_gen,
+        }
+    }
+}
+
+impl AddAssign for ResourceTable {
+    fn add_assign(&mut self, rhs: ResourceTable) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for ResourceTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RT{{issue:{}, alu:{}, ag:{}}}",
+            self.issue, self.alu, self.addr_gen
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hca_ddg::Opcode;
+
+    #[test]
+    fn cn_table() {
+        assert_eq!(ResourceTable::CN.issue, 1);
+        assert!(ResourceTable::CN.can_execute(Opcode::Add));
+        assert!(ResourceTable::CN.can_execute(Opcode::Load));
+    }
+
+    #[test]
+    fn union_is_sum() {
+        let t = ResourceTable::of_cns(16);
+        assert_eq!(t, ResourceTable::CN + ResourceTable::of_cns(15));
+        assert_eq!(t.alu, 16);
+        assert_eq!(t.capacity(ResourceClass::AddrGen), 16);
+    }
+
+    #[test]
+    fn mii_res_issue_bound() {
+        let t = ResourceTable::of_cns(4);
+        // 9 ops on 4 issue slots -> ceil(9/4) = 3
+        assert_eq!(t.mii_res(9, &[]), 3);
+    }
+
+    #[test]
+    fn mii_res_class_bound_dominates() {
+        let t = ResourceTable::of_cns(16);
+        // 16 ops / 16 issue = 1, but 10 AG ops on 16 AGs = 1; with 2 AGs it
+        // would dominate:
+        let small = ResourceTable {
+            issue: 16,
+            alu: 16,
+            addr_gen: 2,
+        };
+        assert_eq!(small.mii_res(16, &[(ResourceClass::AddrGen, 10)]), 5);
+        assert_eq!(t.mii_res(16, &[(ResourceClass::AddrGen, 10)]), 1);
+    }
+
+    #[test]
+    fn mii_res_minimum_is_one() {
+        let t = ResourceTable::of_cns(64);
+        assert_eq!(t.mii_res(0, &[]), 1);
+        assert_eq!(t.mii_res(1, &[(ResourceClass::Alu, 1)]), 1);
+    }
+
+    #[test]
+    fn mii_res_infeasible_without_capacity() {
+        let no_ag = ResourceTable {
+            issue: 4,
+            alu: 4,
+            addr_gen: 0,
+        };
+        assert_eq!(no_ag.mii_res(4, &[(ResourceClass::AddrGen, 1)]), u32::MAX);
+        assert!(!no_ag.can_execute(Opcode::Load));
+        assert!(no_ag.can_execute(Opcode::Mul));
+    }
+}

@@ -1,0 +1,24 @@
+//! Criterion bench behind the A1 ablation: how the SEE beam width trades
+//! compile time for search effort on the largest kernel (h264deblocking).
+//! Result quality per beam width is reported by the `ablation` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hca_core::{run_hca, HcaConfig};
+
+fn bench_beam(c: &mut Criterion) {
+    let fabric = hca_bench::paper_fabric();
+    let kernel = hca_kernels::h264::build();
+    let mut group = c.benchmark_group("ablation_beam");
+    group.sample_size(10);
+    for beam in [1usize, 4, 8, 32] {
+        let mut cfg = HcaConfig::default();
+        cfg.see.beam_width = beam;
+        group.bench_with_input(BenchmarkId::from_parameter(beam), &cfg, |b, cfg| {
+            b.iter(|| run_hca(&kernel.ddg, &fabric, cfg).map(|r| r.mii.final_mii).ok())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_beam);
+criterion_main!(benches);

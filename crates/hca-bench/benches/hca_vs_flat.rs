@@ -1,0 +1,34 @@
+//! Criterion bench behind Scaling S2: HCA vs flat ICA runtime as the DDG
+//! grows. The flat baseline searches one complete 64-node Pattern Graph
+//! (the state the paper argues is intractable to track); HCA solves a tree
+//! of 4-node sub-problems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hca_core::{run_flat, run_hca, HcaConfig};
+use hca_ddg::DdgAnalysis;
+use hca_kernels::synthetic::scaling_family;
+use hca_see::SeeConfig;
+
+fn bench_scaling(c: &mut Criterion) {
+    let fabric = hca_bench::paper_fabric();
+    let family = scaling_family(&[32, 64, 128], 0xC0FFEE);
+    let mut group = c.benchmark_group("hca_vs_flat");
+    group.sample_size(10);
+    for (n, ddg) in &family {
+        group.bench_with_input(BenchmarkId::new("hca", n), ddg, |b, ddg| {
+            b.iter(|| run_hca(ddg, &fabric, &HcaConfig::default()).map(|r| r.mii.final_mii).ok())
+        });
+        let analysis = DdgAnalysis::compute(ddg).unwrap();
+        group.bench_with_input(BenchmarkId::new("flat", n), ddg, |b, ddg| {
+            b.iter(|| {
+                run_flat(ddg, &analysis, &fabric, SeeConfig::default())
+                    .map(|o| o.est_mii)
+                    .ok()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the substrates under HCA: MIIRec analysis, one
+//! single-level SEE run and the Mapper's copy distribution. These are the
+//! inner loops whose cost dominates the end-to-end pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hca_arch::ResourceTable;
+use hca_ddg::{analysis, DdgAnalysis};
+use hca_mapper::{map_level, MapOptions};
+use hca_pg::{ArchConstraints, Pg};
+use hca_see::{See, SeeConfig};
+
+fn bench_substrates(c: &mut Criterion) {
+    let kernel = hca_kernels::h264::build();
+    let ddg = &kernel.ddg;
+
+    c.bench_function("mii_rec_h264", |b| {
+        b.iter(|| analysis::mii_rec(std::hint::black_box(ddg)).unwrap())
+    });
+
+    let an = DdgAnalysis::compute(ddg).unwrap();
+    c.bench_function("full_analysis_h264", |b| {
+        b.iter(|| DdgAnalysis::compute(std::hint::black_box(ddg)).unwrap())
+    });
+
+    // One level-0 SEE run: 214 nodes over 4 clusters of 16 CNs.
+    let pg = Pg::complete(4, ResourceTable::of_cns(16));
+    let cons = ArchConstraints {
+        max_in_neighbors: 8,
+        max_out_neighbors: None,
+        out_node_max_in: 1,
+        copy_latency: 1,
+    };
+    c.bench_function("see_level0_h264", |b| {
+        b.iter(|| {
+            See::new(ddg, &an, &pg, cons, SeeConfig::default())
+                .run(None)
+                .map(|o| o.est_mii)
+                .ok()
+        })
+    });
+
+    // Mapper on that assignment.
+    let outcome = See::new(ddg, &an, &pg, cons, SeeConfig::default())
+        .run(None)
+        .unwrap();
+    let spec = hca_arch::LevelSpec {
+        arity: 4,
+        in_wires: 8,
+        out_wires: 8,
+        glue_in: 0,
+        glue_out: 0,
+    };
+    c.bench_function("mapper_level0_h264", |b| {
+        b.iter(|| {
+            map_level(
+                std::hint::black_box(&outcome.assigned),
+                spec,
+                MapOptions { balance_split: true },
+            )
+            .map(|m| m.stats.max_pressure)
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

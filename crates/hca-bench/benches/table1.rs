@@ -1,0 +1,31 @@
+//! Criterion bench behind Table 1: end-to-end HCA runtime per kernel on the
+//! paper's 64-CN / N=M=K=8 machine. The companion binary
+//! (`cargo run -p hca-bench --bin table1`) prints the table itself; this
+//! bench tracks the compile-time cost of the pass, the paper's practical
+//! concern for a production back-end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hca_core::{run_hca, HcaConfig};
+
+fn bench_table1(c: &mut Criterion) {
+    let fabric = hca_bench::paper_fabric();
+    let mut group = c.benchmark_group("table1_hca");
+    group.sample_size(10);
+    for kernel in hca_kernels::table1_kernels() {
+        group.bench_function(kernel.name, |b| {
+            b.iter(|| {
+                run_hca(
+                    std::hint::black_box(&kernel.ddg),
+                    &fabric,
+                    &HcaConfig::default(),
+                )
+                .map(|r| r.mii.final_mii)
+                .ok()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! **Ablations A1–A4** — the design choices `DESIGN.md` calls out:
+//!
+//! * A1: SEE beam width (1, 4, 8, 32);
+//! * A2: priority-list policy (all of them);
+//! * A3: Route Allocator on/off (the no-candidates action);
+//! * A4: objective-function weights (full / copies-only / pressure-only).
+//!
+//! Each variant clusterises the four Table-1 kernels with a single
+//! [`HcaConfig`] (no portfolio — the ablation isolates one knob) and
+//! reports legality and final MII.
+
+use hca_arch::DspFabric;
+use hca_core::{run_hca, HcaConfig};
+use hca_ddg::PriorityPolicy;
+use hca_see::CostWeights;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Outcome {
+    variant: String,
+    kernel: &'static str,
+    final_mii: Option<u32>,
+    legal: bool,
+    millis: u128,
+}
+
+fn run_variant(name: &str, config: &HcaConfig, out: &mut Vec<Outcome>) {
+    let fabric = DspFabric::standard(8, 8, 8);
+    print!("{name:<24}");
+    for kernel in hca_kernels::table1_kernels() {
+        let t0 = std::time::Instant::now();
+        let res = run_hca(&kernel.ddg, &fabric, config).ok();
+        let millis = t0.elapsed().as_millis();
+        let cell = match &res {
+            Some(r) if r.is_legal() => format!("{}", r.mii.final_mii),
+            Some(r) => format!("{}!", r.mii.final_mii),
+            None => "—".into(),
+        };
+        print!("{cell:>16}");
+        out.push(Outcome {
+            variant: name.to_string(),
+            kernel: kernel.name,
+            final_mii: res.as_ref().map(|r| r.mii.final_mii),
+            legal: res.as_ref().is_some_and(|r| r.is_legal()),
+            millis,
+        });
+    }
+    println!();
+}
+
+fn main() {
+    let mut out = Vec::new();
+    print!("{:<24}", "variant");
+    for k in hca_kernels::table1_kernels() {
+        print!("{:>16}", k.name);
+    }
+    println!("\n");
+
+    // A1: beam width.
+    for beam in [1usize, 4, 8, 32] {
+        let mut cfg = HcaConfig::default();
+        cfg.see.beam_width = beam;
+        run_variant(&format!("A1 beam={beam}"), &cfg, &mut out);
+    }
+    // A2: priority policy.
+    for &p in PriorityPolicy::all() {
+        let mut cfg = HcaConfig::default();
+        cfg.see.priority = p;
+        run_variant(&format!("A2 priority={}", p.name()), &cfg, &mut out);
+    }
+    // A3: route allocator.
+    for router in [true, false] {
+        let mut cfg = HcaConfig::default();
+        cfg.see.enable_router = router;
+        run_variant(&format!("A3 router={router}"), &cfg, &mut out);
+    }
+    // A4: objective weights.
+    for (name, w) in [
+        ("full", CostWeights::default()),
+        ("copies-only", CostWeights::copies_only()),
+        ("pressure-only", CostWeights::pressure_only()),
+    ] {
+        let mut cfg = HcaConfig::default();
+        cfg.see.weights = w;
+        run_variant(&format!("A4 weights={name}"), &cfg, &mut out);
+    }
+    // A5: unrolling (more exposed ILP vs larger working set), fir2dim only.
+    {
+        let fabric = DspFabric::standard(8, 8, 8);
+        let base = hca_kernels::fir2dim::build().ddg;
+        for factor in [1u32, 2, 4] {
+            let ddg = hca_ddg::unroll(&base, factor);
+            let t0 = std::time::Instant::now();
+            let res = run_hca(&ddg, &fabric, &HcaConfig::default()).ok();
+            let cell = match &res {
+                Some(r) if r.is_legal() => {
+                    // Report per-ORIGINAL-iteration MII for comparability.
+                    format!("{:.1}", f64::from(r.mii.final_mii) / f64::from(factor))
+                }
+                Some(_) => "!".into(),
+                None => "—".into(),
+            };
+            println!("{:<24}{cell:>16}", format!("A5 unroll={factor}"));
+            out.push(Outcome {
+                variant: format!("A5 unroll={factor}"),
+                kernel: "fir2dim",
+                final_mii: res.as_ref().map(|r| r.mii.final_mii),
+                legal: res.as_ref().is_some_and(|r| r.is_legal()),
+                millis: t0.elapsed().as_millis(),
+            });
+        }
+    }
+    println!("\n('—' = failed, '!' = illegal clusterisation)");
+    hca_bench::dump_json("ablation", &out);
+}

@@ -1,0 +1,80 @@
+//! **Sweep S1** — the §5 in-text claim: "lower bandwidths cause a rapid
+//! degradation of the clusterization quality, since the interconnection
+//! network is not able to distribute the high number of intercluster
+//! copies, which are the main limiting factor to the final MII."
+//!
+//! Sweeps the MUX capacities N = M = K over {2, 3, 4, 6, 8} (plus two
+//! asymmetric points) and reports the final MII — or the failure — per
+//! kernel. Expected shape: monotone degradation as bandwidth shrinks, with
+//! the paper's N = M = K = 8 point the best.
+
+use hca_arch::DspFabric;
+use hca_core::run_hca_portfolio;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    n: usize,
+    m: usize,
+    k: usize,
+    kernel: &'static str,
+    final_mii: Option<u32>,
+    legal: bool,
+    recvs: usize,
+}
+
+fn main() {
+    let sweep: Vec<(usize, usize, usize)> = vec![
+        (8, 8, 8),
+        (6, 6, 6),
+        (4, 4, 4),
+        (3, 3, 3),
+        (2, 2, 2),
+        (8, 4, 2), // wide top, starved crossbar
+        (2, 4, 8), // starved top
+    ];
+    let kernels = hca_kernels::table1_kernels();
+    println!("Bandwidth sweep (final MII; '—' = clusterisation failed)\n");
+    print!("{:<12}", "N,M,K");
+    for k in &kernels {
+        print!("{:>16}", k.name);
+    }
+    println!();
+    let mut points = Vec::new();
+    for &(n, m, k) in &sweep {
+        print!("{:<12}", format!("{n},{m},{k}"));
+        for kernel in &kernels {
+            let fabric = DspFabric::standard(n, m, k);
+            match run_hca_portfolio(&kernel.ddg, &fabric) {
+                Ok(res) => {
+                    let tag = if res.is_legal() { "" } else { "!" };
+                    print!("{:>16}", format!("{}{}", res.mii.final_mii, tag));
+                    points.push(Point {
+                        n,
+                        m,
+                        k,
+                        kernel: kernel.name,
+                        final_mii: Some(res.mii.final_mii),
+                        legal: res.is_legal(),
+                        recvs: res.final_program.num_recvs(),
+                    });
+                }
+                Err(_) => {
+                    print!("{:>16}", "—");
+                    points.push(Point {
+                        n,
+                        m,
+                        k,
+                        kernel: kernel.name,
+                        final_mii: None,
+                        legal: false,
+                        recvs: 0,
+                    });
+                }
+            }
+        }
+        println!();
+    }
+    println!("\n('!' marks an illegal clusterisation the checker rejected)");
+    hca_bench::dump_json("bandwidth_sweep", &points);
+}

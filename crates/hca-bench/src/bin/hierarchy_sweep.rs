@@ -1,0 +1,68 @@
+//! **Extension E2** — hierarchy-shape exploration (the paper's §7 "easily
+//! scales with the architecture" claim, exercised): the same kernels on
+//! machines of different hierarchy depths and shapes, at comparable CN
+//! counts and MUX budgets. HCA's decomposition adapts automatically — the
+//! driver never special-cases the depth.
+
+use hca_arch::DspFabric;
+use hca_core::{run_hca, HcaConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    machine: &'static str,
+    cns: usize,
+    depth: usize,
+    kernel: &'static str,
+    final_mii: Option<u32>,
+    legal: bool,
+    subproblems: usize,
+    millis: u128,
+}
+
+fn main() {
+    let machines: Vec<(&'static str, DspFabric)> = vec![
+        ("8x8@8,8", DspFabric::parse("8x8@8,8").unwrap()), // flat-ish, 64 CN
+        ("4x4x4@8,8,8", DspFabric::parse("4x4x4@8,8,8").unwrap()), // the paper
+        ("2x2x4x4@8,8,8,8", DspFabric::parse("2x2x4x4@8,8,8,8").unwrap()), // deep, 64 CN
+        ("4x4x4x4@8,8,8,8", DspFabric::parse("4x4x4x4@8,8,8,8").unwrap()), // 256 CN
+    ];
+    let kernels = hca_kernels::table1_kernels();
+    print!("{:<20} {:>5} {:>6}", "machine", "CNs", "depth");
+    for k in &kernels {
+        print!("{:>16}", k.name);
+    }
+    println!();
+    let mut points = Vec::new();
+    for (name, fabric) in &machines {
+        print!(
+            "{:<20} {:>5} {:>6}",
+            name,
+            fabric.num_cns(),
+            fabric.depth()
+        );
+        for kernel in &kernels {
+            let t0 = std::time::Instant::now();
+            let res = run_hca(&kernel.ddg, fabric, &HcaConfig::default()).ok();
+            let cell = match &res {
+                Some(r) if r.is_legal() => format!("{}", r.mii.final_mii),
+                Some(r) => format!("{}!", r.mii.final_mii),
+                None => "—".into(),
+            };
+            print!("{cell:>16}");
+            points.push(Point {
+                machine: name,
+                cns: fabric.num_cns(),
+                depth: fabric.depth(),
+                kernel: kernel.name,
+                final_mii: res.as_ref().map(|r| r.mii.final_mii),
+                legal: res.as_ref().is_some_and(|r| r.is_legal()),
+                subproblems: res.as_ref().map_or(0, |r| r.stats.subproblems),
+                millis: t0.elapsed().as_millis(),
+            });
+        }
+        println!();
+    }
+    println!("\n('—' = failed, '!' = illegal clusterisation)");
+    hca_bench::dump_json("hierarchy_sweep", &points);
+}

@@ -1,0 +1,77 @@
+//! **Scaling S2** — the paper's motivating claim (§1/§4): hierarchical
+//! decomposition "easily scales with the architecture", while flat ICA on
+//! the K₆₄ graph must track a state space that "grows with the capacities
+//! of the MUXes as multiplication factors".
+//!
+//! Runs HCA and the flat baseline over seeded synthetic DDGs of increasing
+//! size and reports runtime, explored search states and result quality.
+//! Expected shape: HCA runtime grows gently (many small sub-problems); flat
+//! runtime and state counts blow up with DDG size × machine size, and its
+//! assignments — which ignore the MUX hierarchy — are not even mappable
+//! onto the real machine.
+
+use hca_arch::DspFabric;
+use hca_core::{run_flat, run_hca, HcaConfig};
+use hca_ddg::DdgAnalysis;
+use hca_kernels::synthetic::scaling_family;
+use hca_see::SeeConfig;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Point {
+    nodes: usize,
+    hca_ms: f64,
+    hca_final_mii: Option<u32>,
+    hca_states: usize,
+    flat_ms: f64,
+    flat_est_mii: Option<u32>,
+    flat_states: usize,
+}
+
+fn main() {
+    let fabric = DspFabric::standard(8, 8, 8);
+    let sizes = [32, 64, 128, 256, 384, 512];
+    println!("Scaling: HCA vs flat ICA on the 64-CN machine (synthetic DDGs)\n");
+    println!(
+        "{:>6} {:>10} {:>8} {:>9} {:>10} {:>8} {:>9}",
+        "nodes", "HCA ms", "MII", "states", "flat ms", "estMII", "states"
+    );
+    let mut points = Vec::new();
+    for (n, ddg) in scaling_family(&sizes, 0xC0FFEE) {
+        let t0 = Instant::now();
+        let hca = run_hca(&ddg, &fabric, &HcaConfig::default()).ok();
+        let hca_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let analysis = DdgAnalysis::compute(&ddg).unwrap();
+        let t1 = Instant::now();
+        let flat = run_flat(&ddg, &analysis, &fabric, SeeConfig::default()).ok();
+        let flat_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        let p = Point {
+            nodes: n,
+            hca_ms,
+            hca_final_mii: hca.as_ref().map(|r| r.mii.final_mii),
+            hca_states: hca.as_ref().map_or(0, |r| r.stats.see_states),
+            flat_ms,
+            flat_est_mii: flat.as_ref().map(|o| o.est_mii),
+            flat_states: flat.as_ref().map_or(0, |o| o.stats.states_explored),
+        };
+        println!(
+            "{:>6} {:>10.1} {:>8} {:>9} {:>10.1} {:>8} {:>9}",
+            p.nodes,
+            p.hca_ms,
+            p.hca_final_mii.map_or("—".into(), |m| m.to_string()),
+            p.hca_states,
+            p.flat_ms,
+            p.flat_est_mii.map_or("—".into(), |m| m.to_string()),
+            p.flat_states,
+        );
+        points.push(p);
+    }
+    println!(
+        "\n(flat est-MII ignores the MUX hierarchy entirely — its assignment\n\
+         is generally not mappable onto the real machine, which is the point)"
+    );
+    hca_bench::dump_json("scaling", &points);
+}

@@ -1,0 +1,63 @@
+//! **Table 1** — "HCA test on four multimedia application loops" (paper §5).
+//!
+//! Clusterises fir2dim / idcthor / mpeg2inter / h264deblocking onto the
+//! 64-CN DSPFabric at N = M = K = 8 and prints the paper's columns next to
+//! the published values. Absolute Final-MII numbers differ (our SEE
+//! heuristics are a reconstruction, not the authors' production tuning);
+//! the *shape* to check: every clusterisation is legal, N_Instr / MIIRec /
+//! MIIRes match exactly, and Final MII sits near the unified-machine
+//! theoretical optimum.
+
+use hca_bench::{clusterize, dump_json, paper_fabric};
+use hca_core::Table1Row;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    #[serde(flatten)]
+    ours: Table1Row,
+    paper_final_mii: u32,
+    theoretical_mii: u32,
+    recvs: usize,
+    wires: usize,
+    millis: u128,
+}
+
+fn main() {
+    let fabric = paper_fabric();
+    println!("Table 1 — HCA test on four multimedia application loops");
+    println!("(64-CN DSPFabric, N = M = K = 8; paper values in parentheses)\n");
+    println!(
+        "{:<16} {:>7} {:>7} {:>7} {:>7} {:>16} {:>10}",
+        "Loop", "N_Instr", "MIIRec", "MIIRes", "Legal", "Final MII (paper)", "runtime"
+    );
+    let mut rows = Vec::new();
+    for kernel in hca_kernels::table1_kernels() {
+        let t0 = std::time::Instant::now();
+        let Some((res, row)) = clusterize(&kernel, &fabric) else {
+            println!("{:<16} FAILED TO CLUSTERISE", kernel.name);
+            continue;
+        };
+        let millis = t0.elapsed().as_millis();
+        println!(
+            "{:<16} {:>7} {:>7} {:>7} {:>7} {:>10} ({:>3}) {:>8}ms",
+            row.loop_name,
+            row.n_instr,
+            row.mii_rec,
+            row.mii_res,
+            if row.legal { "yes" } else { "no" },
+            row.final_mii,
+            kernel.expected.paper_final_mii,
+            millis,
+        );
+        rows.push(Row {
+            paper_final_mii: kernel.expected.paper_final_mii,
+            theoretical_mii: res.mii.theoretical,
+            recvs: res.final_program.num_recvs(),
+            wires: res.stats.wires,
+            millis,
+            ours: row,
+        });
+    }
+    dump_json("table1", &rows);
+}

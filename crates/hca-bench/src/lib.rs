@@ -1,0 +1,39 @@
+//! Shared plumbing for the experiment harnesses (`src/bin/*`) and the
+//! criterion benches (`benches/*`). Each binary regenerates one table or
+//! figure of the paper's evaluation — see `DESIGN.md` §4 for the index and
+//! `EXPERIMENTS.md` for recorded results.
+
+use hca_arch::DspFabric;
+use hca_core::{run_hca_portfolio, HcaResult, Table1Row};
+use hca_kernels::Kernel;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// The evaluation machine: 64-CN DSPFabric with the paper's best bandwidth
+/// (N = M = K = 8, §5).
+pub fn paper_fabric() -> DspFabric {
+    DspFabric::standard(8, 8, 8)
+}
+
+/// Run the full HCA portfolio on one kernel and build its Table-1 row.
+pub fn clusterize(kernel: &Kernel, fabric: &DspFabric) -> Option<(HcaResult, Table1Row)> {
+    let res = run_hca_portfolio(&kernel.ddg, fabric).ok()?;
+    let row = Table1Row::from_result(kernel.name, &kernel.ddg, &res);
+    Some((res, row))
+}
+
+/// Where experiment JSON dumps go (`target/experiments/`).
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments");
+    std::fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// Serialise a result set for EXPERIMENTS.md.
+pub fn dump_json<T: Serialize>(name: &str, value: &T) {
+    let path = experiments_dir().join(format!("{name}.json"));
+    let body = serde_json::to_string_pretty(value).expect("serialisable");
+    std::fs::write(&path, body).expect("write experiment dump");
+    eprintln!("(wrote {})", path.display());
+}

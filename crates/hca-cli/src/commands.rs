@@ -1,0 +1,274 @@
+//! Sub-command implementations.
+
+use crate::Options;
+use hca_core::Table1Row;
+use hca_ddg::{analysis, dot, DdgAnalysis};
+use hca_sched::{
+    allocate_rotating, derive_dma_program, modulo_schedule, swing_schedule, KernelSchedule,
+    StreamDir,
+};
+use hca_sim::verify_execution;
+
+pub(crate) fn cmd_kernels() -> Result<(), String> {
+    println!("built-in workloads:\n");
+    println!(
+        "{:<16} {:>8} {:>7} {:>7} {:>7}  source",
+        "name", "N_Instr", "MIIRec", "MIIRes", "paper"
+    );
+    for k in hca_kernels::table1_kernels() {
+        println!(
+            "{:<16} {:>8} {:>7} {:>7} {:>7}  Table 1",
+            k.name,
+            k.expected.n_instr,
+            k.expected.mii_rec,
+            k.expected.mii_res,
+            k.expected.paper_final_mii
+        );
+    }
+    for (name, g) in [
+        ("fir8", hca_kernels::dspstone::fir(8)),
+        ("biquad", hca_kernels::dspstone::biquad()),
+        ("matvec8", hca_kernels::dspstone::matvec_row(8)),
+        ("dot_product", hca_kernels::dspstone::dot_product()),
+        ("n_real_updates", hca_kernels::dspstone::n_real_updates(4)),
+        ("convolution", hca_kernels::dspstone::convolution(8)),
+        ("lms", hca_kernels::dspstone::lms(8)),
+        ("matrix1x3", hca_kernels::dspstone::matrix1x3()),
+    ] {
+        println!(
+            "{:<16} {:>8} {:>7} {:>7} {:>7}  DSPstone extra",
+            name,
+            g.num_nodes(),
+            analysis::mii_rec(&g).unwrap(),
+            "-",
+            "-"
+        );
+    }
+    Ok(())
+}
+
+pub(crate) fn cmd_analyze(opts: &Options) -> Result<(), String> {
+    let (name, ddg) = opts.load_ddg()?;
+    let an = DdgAnalysis::compute(&ddg).map_err(|e| e.to_string())?;
+    let fabric = opts.fabric();
+    println!("{name}: {}", ddg.summary());
+    println!("  MIIRec               {}", an.mii_rec);
+    println!(
+        "  MIIRes (unified)     {}",
+        hca_core::mii::mii_res_unified(&ddg, &fabric)
+    );
+    println!(
+        "  theoretical optimum  {}",
+        hca_core::mii::theoretical_mii(an.mii_rec, &ddg, &fabric)
+    );
+    println!("  critical path        {} cycles", an.levels.critical_path);
+    println!("  SCCs                 {}", an.num_sccs);
+    let rec = an.recurrence_nodes(&ddg);
+    println!("  recurrence nodes     {}", rec.len());
+    Ok(())
+}
+
+pub(crate) fn cmd_clusterize(opts: &Options) -> Result<(), String> {
+    let (name, ddg) = opts.load_ddg()?;
+    let res = opts.run(&ddg)?;
+    let row = Table1Row::from_result(&name, &ddg, &res);
+    let fabric = opts.fabric();
+    match &opts.machine_spec {
+        Some(spec) => println!("machine: {spec} ({} CNs)", fabric.num_cns()),
+        None => {
+            let (n, m, k) = opts.machine;
+            println!("machine: 64-CN DSPFabric, N={n} M={m} K={k}");
+        }
+    }
+    println!("{row}");
+    println!(
+        "  ini {}  maxCls {}  wire {}  recRec {}  | {} wires, {} recvs, {} routes, {} subproblems",
+        res.mii.ini_mii,
+        res.mii.max_cls_mii,
+        res.mii.wire_mii,
+        res.mii.final_mii_rec,
+        res.stats.wires,
+        res.final_program.num_recvs(),
+        res.final_program.route_nodes.len(),
+        res.stats.subproblems,
+    );
+    if !res.is_legal() {
+        for e in &res.coherency.topology_errors {
+            println!("  topology: {e}");
+        }
+        for v in res.coherency.violations.iter().take(8) {
+            println!("  violation: {v}");
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn cmd_schedule(opts: &Options) -> Result<(), String> {
+    let (name, ddg) = opts.load_ddg()?;
+    let fabric = opts.fabric();
+    let res = opts.run(&ddg)?;
+    let sched = if opts.sms {
+        swing_schedule(&res.final_program, &fabric, res.mii.final_mii)
+    } else {
+        modulo_schedule(&res.final_program, &fabric, res.mii.final_mii)
+    }
+    .map_err(|e| e.to_string())?;
+    let folded = KernelSchedule::fold(&res.final_program, &fabric, &sched);
+    let regs = allocate_rotating(&res.final_program, &fabric, &sched);
+    let dma = derive_dma_program(&res.final_program, &fabric, &sched);
+    println!(
+        "{name}: II {} (lower bound {}), {} stages, {:.0}% utilisation [{}]",
+        sched.ii,
+        res.mii.final_mii,
+        sched.stages,
+        folded.utilization() * 100.0,
+        if opts.sms { "SMS" } else { "iterative" },
+    );
+    println!(
+        "rotating registers: worst CN uses {} (fits 64-entry file: {})",
+        regs.max_registers(),
+        regs.fits(64),
+    );
+    println!(
+        "DMA program: {} streams, peak {} requests/cycle (ports {}), {} in flight (FIFO budget {})",
+        dma.streams.len(),
+        dma.requests_per_cycle.iter().max().unwrap_or(&0),
+        fabric.dma.ports,
+        dma.max_inflight,
+        fabric.dma.fifo_depth() * fabric.dma.ports,
+    );
+    for d in dma.streams.iter().take(12) {
+        println!(
+            "  {} {:?} slot {} stage {} induction {:?} (+{} hops)",
+            d.node,
+            if d.dir == StreamDir::In { "in " } else { "out" },
+            d.slot,
+            d.stage,
+            d.induction,
+            d.offset_hops,
+        );
+    }
+    if dma.streams.len() > 12 {
+        println!("  … {} more", dma.streams.len() - 12);
+    }
+    Ok(())
+}
+
+pub(crate) fn cmd_simulate(opts: &Options) -> Result<(), String> {
+    let (name, ddg) = opts.load_ddg()?;
+    let fabric = opts.fabric();
+    let res = opts.run(&ddg)?;
+    let sched = if opts.sms {
+        swing_schedule(&res.final_program, &fabric, res.mii.final_mii)
+    } else {
+        modulo_schedule(&res.final_program, &fabric, res.mii.final_mii)
+    }
+    .map_err(|e| e.to_string())?;
+    let folded = KernelSchedule::fold(&res.final_program, &fabric, &sched);
+    if opts.trace {
+        print!(
+            "{}",
+            hca_sim::render_trace(&res.final_program, &fabric, &folded, 3, opts.trip)
+        );
+    }
+    let rep = verify_execution(&ddg, &res.final_program, &fabric, &folded, opts.trip)
+        .map_err(|e| format!("execution diverged: {e}"))?;
+    println!(
+        "{name}: {} iterations in {} cycles ({:.2} cycles/iter at II {}), \
+         {} stored values match the sequential reference ✓",
+        rep.trip,
+        rep.cycles,
+        rep.cycles as f64 / rep.trip.max(1) as f64,
+        rep.ii,
+        rep.stores_checked,
+    );
+    println!(
+        "peak input-buffer occupancy: {} values on the busiest CN",
+        rep.max_buffered
+    );
+    Ok(())
+}
+
+pub(crate) fn cmd_sweep(opts: &Options) -> Result<(), String> {
+    let kernels = hca_kernels::table1_kernels();
+    print!("{:<8}", "N=M=K");
+    for k in &kernels {
+        print!("{:>16}", k.name);
+    }
+    println!();
+    for cap in [8usize, 6, 4, 3, 2] {
+        print!("{cap:<8}");
+        for kernel in &kernels {
+            let fabric = hca_arch::DspFabric::standard(cap, cap, cap);
+            let cell = if opts.portfolio {
+                hca_core::run_hca_portfolio(&kernel.ddg, &fabric)
+                    .ok()
+                    .map(|r| (r.mii.final_mii, r.is_legal()))
+            } else {
+                hca_core::run_hca(&kernel.ddg, &fabric, &hca_core::HcaConfig::default())
+                    .ok()
+                    .map(|r| (r.mii.final_mii, r.is_legal()))
+            };
+            match cell {
+                Some((mii, true)) => print!("{mii:>16}"),
+                Some((mii, false)) => print!("{:>16}", format!("{mii}!")),
+                None => print!("{:>16}", "—"),
+            }
+        }
+        println!();
+    }
+    Ok(())
+}
+
+pub(crate) fn cmd_rcp(opts: &Options) -> Result<(), String> {
+    let (name, ddg) = opts.load_ddg()?;
+    let rcp = hca_arch::Rcp::figure1();
+    let res = hca_core::run_rcp(&ddg, &rcp, hca_see::SeeConfig::default())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{name} on the 8-cluster RCP ring (reach {}, {} input ports):",
+        rcp.reach, rcp.input_ports
+    );
+    println!(
+        "  estimated MII {}, {} copies, legal: {}",
+        res.est_mii,
+        res.assigned.total_copies(),
+        res.legal,
+    );
+    for d in &res.diagnostics {
+        println!("  diagnostic: {d}");
+    }
+    println!("  configured ring wires:");
+    for &(s, d) in &res.wires {
+        println!("    {s} -> {d}");
+    }
+    for c in res.assigned.pg.cluster_ids() {
+        let instrs = res.assigned.instructions_of(c);
+        if !instrs.is_empty() {
+            println!("  cluster {c}: {} instructions", instrs.len());
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn cmd_export(opts: &Options) -> Result<(), String> {
+    let (name, ddg) = opts.load_ddg()?;
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&ddg).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    if opts.dot {
+        // Colour by cluster-set after clusterising.
+        let fabric = opts.fabric();
+        let placement = opts.run(&ddg)?.placement;
+        println!(
+            "{}",
+            dot::to_dot(&ddg, |n| placement.get(&n).map(|cn| fabric.cn_path(*cn)[0]))
+        );
+        return Ok(());
+    }
+    Err(format!("export {name}: pass --dot or --json"))
+}

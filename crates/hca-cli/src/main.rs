@@ -1,0 +1,227 @@
+//! `hca` — command-line front-end to the Hierarchical Cluster Assignment
+//! toolchain.
+//!
+//! ```text
+//! hca kernels                       list the built-in workloads
+//! hca analyze  <kernel|ddg.json>    DDG statistics and MII bounds
+//! hca clusterize <kernel> [opts]    run HCA, print the report
+//! hca schedule <kernel> [opts]      + modulo scheduling, registers, DMA
+//! hca simulate <kernel> [opts]      + cycle-level execution, verified
+//! hca sweep    [opts]               bandwidth sweep over N=M=K
+//! hca rcp      <kernel>             single-level ICA on the RCP ring (§2.1)
+//! hca export   <kernel> (--dot|--json)   graphviz / DDG JSON to stdout
+//!
+//! options: --machine N,M,K   MUX capacities        (default 8,8,8)
+//!          --portfolio       best-of-portfolio search
+//!          --sms             Swing instead of iterative scheduling
+//!          --trip T          simulated iterations   (default 16)
+//!          --unroll F        unroll the loop body F times first
+//! ```
+
+use hca_arch::DspFabric;
+use hca_core::{run_hca, run_hca_portfolio, HcaConfig, HcaResult};
+use hca_ddg::{analysis, Ddg};
+use std::process::ExitCode;
+
+mod commands;
+
+use commands::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Options::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "kernels" => cmd_kernels(),
+        "analyze" => cmd_analyze(&opts),
+        "clusterize" => cmd_clusterize(&opts),
+        "schedule" => cmd_schedule(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "rcp" => cmd_rcp(&opts),
+        "export" => cmd_export(&opts),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+pub(crate) const USAGE: &str = "\
+hca — Hierarchical Cluster Assignment toolchain
+
+usage: hca <command> [target] [options]
+
+commands:
+  kernels                      list built-in workloads
+  analyze    <kernel|file>     DDG statistics and MII bounds
+  clusterize <kernel|file>     run HCA, print the report
+  schedule   <kernel|file>     + modulo scheduling, registers, DMA program
+  simulate   <kernel|file>     + cycle-level execution, verified vs reference
+  sweep                        bandwidth sweep over the built-in kernels
+  rcp        <kernel|file>     single-level ICA on the 8-cluster RCP ring
+  export     <kernel|file>     emit --dot (graphviz) or --json (DDG)
+
+options:
+  --machine N,M,K    MUX capacities of the 64-CN machine (default 8,8,8),
+                     or a full hierarchy spec like 2x4x4x4@8,8,8,8
+  --portfolio        run the config portfolio, keep the best result
+  --sms              use Swing Modulo Scheduling instead of iterative
+  --trip T           iterations to simulate (default 16)
+  --unroll F         unroll the loop body F times before everything else
+  --trace            (simulate) print the first kernel passes' issue table
+  --dot | --json     export format
+";
+
+/// Parsed command-line options.
+pub(crate) struct Options {
+    pub target: Option<String>,
+    pub machine: (usize, usize, usize),
+    pub machine_spec: Option<String>,
+    pub portfolio: bool,
+    pub sms: bool,
+    pub trip: u64,
+    pub unroll: u32,
+    pub trace: bool,
+    pub dot: bool,
+    pub json: bool,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut o = Options {
+            target: None,
+            machine: (8, 8, 8),
+            machine_spec: None,
+            portfolio: false,
+            sms: false,
+            trip: 16,
+            unroll: 1,
+            trace: false,
+            dot: false,
+            json: false,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--machine" => {
+                    let v = it.next().ok_or("--machine needs N,M,K or ARITIES@CAPS")?;
+                    if v.contains('@') {
+                        DspFabric::parse(v)?; // validate early
+                        o.machine_spec = Some(v.clone());
+                        continue;
+                    }
+                    let parts: Vec<usize> = v
+                        .split(',')
+                        .map(|p| p.trim().parse::<usize>())
+                        .collect::<Result<_, _>>()
+                        .map_err(|_| format!("bad --machine value `{v}`"))?;
+                    match parts.as_slice() {
+                        [n] => o.machine = (*n, *n, *n),
+                        [n, m, k] => o.machine = (*n, *m, *k),
+                        _ => return Err(format!("bad --machine value `{v}`")),
+                    }
+                }
+                "--trip" => {
+                    let v = it.next().ok_or("--trip needs a number")?;
+                    o.trip = v.parse().map_err(|_| format!("bad --trip value `{v}`"))?;
+                }
+                "--unroll" => {
+                    let v = it.next().ok_or("--unroll needs a factor")?;
+                    o.unroll = v.parse().map_err(|_| format!("bad --unroll value `{v}`"))?;
+                    if o.unroll == 0 {
+                        return Err("--unroll factor must be at least 1".into());
+                    }
+                }
+                "--portfolio" => o.portfolio = true,
+                "--sms" => o.sms = true,
+                "--trace" => o.trace = true,
+                "--dot" => o.dot = true,
+                "--json" => o.json = true,
+                other if !other.starts_with('-') && o.target.is_none() => {
+                    o.target = Some(other.to_string());
+                }
+                other => return Err(format!("unknown option `{other}`")),
+            }
+        }
+        Ok(o)
+    }
+
+    pub fn fabric(&self) -> DspFabric {
+        if let Some(spec) = &self.machine_spec {
+            return DspFabric::parse(spec).expect("validated at parse time");
+        }
+        let (n, m, k) = self.machine;
+        DspFabric::standard(n, m, k)
+    }
+
+    /// Resolve the target to a (name, DDG): a built-in kernel name or a
+    /// path to a DDG JSON file.
+    pub fn load_ddg(&self) -> Result<(String, Ddg), String> {
+        let target = self
+            .target
+            .as_deref()
+            .ok_or("missing kernel name or DDG file")?;
+        let finish = |name: String, ddg: Ddg| -> (String, Ddg) {
+            if self.unroll > 1 {
+                (format!("{name}×{}", self.unroll), hca_ddg::unroll(&ddg, self.unroll))
+            } else {
+                (name, ddg)
+            }
+        };
+        if let Some(k) = hca_kernels::table1_kernels()
+            .into_iter()
+            .find(|k| k.name == target)
+        {
+            return Ok(finish(k.name.to_string(), k.ddg));
+        }
+        let extra = match target {
+            "fir8" => Some(hca_kernels::dspstone::fir(8)),
+            "biquad" => Some(hca_kernels::dspstone::biquad()),
+            "matvec8" => Some(hca_kernels::dspstone::matvec_row(8)),
+            "dot_product" => Some(hca_kernels::dspstone::dot_product()),
+            "n_real_updates" => Some(hca_kernels::dspstone::n_real_updates(4)),
+            "convolution" => Some(hca_kernels::dspstone::convolution(8)),
+            "lms" => Some(hca_kernels::dspstone::lms(8)),
+            "matrix1x3" => Some(hca_kernels::dspstone::matrix1x3()),
+            _ => None,
+        };
+        if let Some(g) = extra {
+            return Ok(finish(target.to_string(), g));
+        }
+        let body = std::fs::read_to_string(target)
+            .map_err(|e| format!("`{target}` is not a built-in kernel and not a readable file ({e})"))?;
+        let ddg: Ddg =
+            serde_json::from_str(&body).map_err(|e| format!("bad DDG JSON in {target}: {e}"))?;
+        analysis::intra_topo_order(&ddg)
+            .ok_or_else(|| format!("{target}: intra-iteration dependence cycle"))?;
+        Ok(finish(target.to_string(), ddg))
+    }
+
+    pub fn run(&self, ddg: &Ddg) -> Result<HcaResult, String> {
+        let fabric = self.fabric();
+        if self.portfolio {
+            run_hca_portfolio(ddg, &fabric).map_err(|e| e.to_string())
+        } else {
+            run_hca(ddg, &fabric, &HcaConfig::default()).map_err(|e| e.to_string())
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! End-to-end tests of the `hca` binary itself.
+
+use std::process::Command;
+
+fn hca(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hca"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn kernels_lists_table1_loops() {
+    let (ok, stdout, _) = hca(&["kernels"]);
+    assert!(ok);
+    for name in ["fir2dim", "idcthor", "mpeg2inter", "h264deblocking", "biquad"] {
+        assert!(stdout.contains(name), "{name} missing:\n{stdout}");
+    }
+}
+
+#[test]
+fn analyze_reports_mii_bounds() {
+    let (ok, stdout, _) = hca(&["analyze", "fir2dim"]);
+    assert!(ok);
+    assert!(stdout.contains("MIIRec               3"), "{stdout}");
+    assert!(stdout.contains("MIIRes (unified)     2"), "{stdout}");
+}
+
+#[test]
+fn clusterize_reports_legality() {
+    let (ok, stdout, _) = hca(&["clusterize", "dot_product"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("yes"), "{stdout}");
+}
+
+#[test]
+fn simulate_verifies_execution() {
+    let (ok, stdout, stderr) = hca(&["simulate", "fir8", "--trip", "5"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("match the sequential reference"), "{stdout}");
+}
+
+#[test]
+fn machine_spec_accepted() {
+    let (ok, stdout, stderr) = hca(&["clusterize", "dot_product", "--machine", "4x4@4,4"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("16 CNs"), "{stdout}");
+}
+
+#[test]
+fn json_roundtrip_through_files() {
+    let dir = std::env::temp_dir().join(format!("hca-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("biquad.json");
+    let (ok, json, _) = hca(&["export", "biquad", "--json"]);
+    assert!(ok);
+    std::fs::write(&path, &json).unwrap();
+    let (ok2, stdout, stderr) = hca(&["analyze", path.to_str().unwrap()]);
+    assert!(ok2, "{stderr}");
+    assert!(stdout.contains("MIIRec               4"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_inputs_fail_gracefully() {
+    let (ok, _, stderr) = hca(&["clusterize", "no_such_kernel"]);
+    assert!(!ok);
+    assert!(stderr.contains("not a built-in kernel"), "{stderr}");
+    let (ok2, _, stderr2) = hca(&["frobnicate"]);
+    assert!(!ok2);
+    assert!(stderr2.contains("unknown command"), "{stderr2}");
+    let (ok3, _, stderr3) = hca(&["clusterize", "fir8", "--machine", "nope"]);
+    assert!(!ok3);
+    assert!(!stderr3.is_empty());
+}
+
+#[test]
+fn rcp_subcommand_reports_ring_assignment() {
+    let (ok, stdout, stderr) = hca(&["rcp", "dot_product"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("RCP ring"), "{stdout}");
+    assert!(stdout.contains("legal: true"), "{stdout}");
+}
+
+#[test]
+fn unroll_flag_scales_the_body() {
+    let (ok, stdout, _) = hca(&["analyze", "dot_product", "--unroll", "3"]);
+    assert!(ok);
+    assert!(stdout.contains("dot_product×3"), "{stdout}");
+    assert!(stdout.contains("21 nodes"), "{stdout}"); // 7 × 3
+}

@@ -1,0 +1,355 @@
+//! The coherency checker (paper §4.1, end): "a coherency checker verifies if
+//! the DDG is compatible with the topology itself. More precisely it checks
+//! for the presence of a communication path on the final architecture
+//! between each pair of clusters that contains dependent nodes of the DDG."
+//!
+//! Reachability over the configured hierarchy is defined by mutual
+//! recursion:
+//!
+//! * `can_emit(m)` — value `v` can be driven onto member `m`'s output wires:
+//!   `m` is the producing CN, a non-producing CN that received `v`, or a
+//!   group whose child topology carries `v` up on a `to_parent` wire;
+//! * `delivered(m)` — `v` enters `m` from its parent group: some configured
+//!   wire there carries `v`, lists `m` as receiver, and is itself properly
+//!   sourced (a sibling that can emit, or a glue wire from above).
+//!
+//! Cycles (mutual pass-through claims with no real source) resolve to
+//! *unreachable* via an in-progress marker.
+
+use hca_arch::topology::WireSource;
+use hca_arch::{CnId, DspFabric, Topology};
+use hca_ddg::{Ddg, EdgeId, NodeId};
+use rustc_hash::FxHashMap;
+use std::fmt;
+
+/// One unsatisfied dependence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The dependence edge whose value never arrives.
+    pub edge: EdgeId,
+    /// Producer CN.
+    pub src: CnId,
+    /// Consumer CN.
+    pub dst: CnId,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "edge {:?}: value does not reach {} from {}",
+            self.edge, self.dst, self.src
+        )
+    }
+}
+
+/// Checker outcome.
+#[derive(Clone, Debug, Default)]
+pub struct CoherencyReport {
+    /// Budget violations reported by [`Topology::validate`], as text.
+    pub topology_errors: Vec<String>,
+    /// Dependences whose value is not routed.
+    pub violations: Vec<Violation>,
+}
+
+impl CoherencyReport {
+    /// Is the clusterisation legal?
+    pub fn is_legal(&self) -> bool {
+        self.topology_errors.is_empty() && self.violations.is_empty()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Query {
+    CanEmit,
+    Delivered,
+}
+
+struct Reach<'a> {
+    fabric: &'a DspFabric,
+    topo: &'a Topology,
+    value: NodeId,
+    producer: Vec<usize>,
+    memo: FxHashMap<(Vec<usize>, Query), Option<bool>>,
+}
+
+impl Reach<'_> {
+    fn can_emit(&mut self, m_path: &[usize]) -> bool {
+        if m_path == self.producer.as_slice() {
+            return true;
+        }
+        let key = (m_path.to_vec(), Query::CanEmit);
+        match self.memo.get(&key) {
+            Some(Some(b)) => return *b,
+            Some(None) => return false, // in progress: cyclic claim
+            None => {}
+        }
+        self.memo.insert(key.clone(), None);
+        let result = if m_path.len() == self.fabric.depth() {
+            // A CN that is not the producer can only re-emit what it received.
+            self.delivered(m_path)
+        } else {
+            let mut ok = false;
+            if let Some(g) = self.topo.group(m_path) {
+                let candidates: Vec<WireSource> = g
+                    .wires
+                    .iter()
+                    .filter(|w| w.to_parent && w.carries(self.value))
+                    .map(|w| w.src)
+                    .collect();
+                for src in candidates {
+                    match src {
+                        WireSource::Member(s) => {
+                            let mut child = m_path.to_vec();
+                            child.push(s);
+                            if self.can_emit(&child) {
+                                ok = true;
+                                break;
+                            }
+                        }
+                        WireSource::Parent => {
+                            // MUX pass-through: down into the group and back up.
+                            if self.delivered(m_path) {
+                                ok = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            ok
+        };
+        self.memo.insert(key, Some(result));
+        result
+    }
+
+    fn delivered(&mut self, m_path: &[usize]) -> bool {
+        if m_path.is_empty() {
+            return false; // the root has no parent to receive from
+        }
+        let key = (m_path.to_vec(), Query::Delivered);
+        match self.memo.get(&key) {
+            Some(Some(b)) => return *b,
+            Some(None) => return false,
+            None => {}
+        }
+        self.memo.insert(key.clone(), None);
+        let (g_path, m) = (&m_path[..m_path.len() - 1], m_path[m_path.len() - 1]);
+        let mut result = false;
+        if let Some(g) = self.topo.group(g_path) {
+            let candidates: Vec<WireSource> = g
+                .wires
+                .iter()
+                .filter(|w| w.carries(self.value) && w.receivers.contains(&m))
+                .map(|w| w.src)
+                .collect();
+            for src in candidates {
+                match src {
+                    WireSource::Member(s) => {
+                        let mut sib = g_path.to_vec();
+                        sib.push(s);
+                        if self.can_emit(&sib) {
+                            result = true;
+                            break;
+                        }
+                    }
+                    WireSource::Parent => {
+                        if self.delivered(g_path) {
+                            result = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.memo.insert(key, Some(result));
+        result
+    }
+}
+
+/// Does value `v`, produced on CN `src`, arrive at CN `dst` over the
+/// configured topology (multi-hop forwarding included)?
+pub fn value_delivered(
+    fabric: &DspFabric,
+    topo: &Topology,
+    v: NodeId,
+    src: CnId,
+    dst: CnId,
+) -> bool {
+    if src == dst {
+        return true;
+    }
+    let mut r = Reach {
+        fabric,
+        topo,
+        value: v,
+        producer: fabric.cn_path(src),
+        memo: FxHashMap::default(),
+    };
+    let dst_path = fabric.cn_path(dst);
+    r.delivered(&dst_path)
+}
+
+/// Run the full coherency check over every dependence of `ddg`.
+///
+/// `placement` maps each DDG node to its CN (the post-pass output covers
+/// machine-inserted nodes too, but checking the *original* DDG suffices: the
+/// recv nodes sit on the consumer's CN by construction).
+pub fn check_coherency(
+    fabric: &DspFabric,
+    topo: &Topology,
+    ddg: &Ddg,
+    placement: &dyn Fn(NodeId) -> CnId,
+) -> CoherencyReport {
+    let mut report = CoherencyReport::default();
+    if let Err(e) = topo.validate(fabric) {
+        report.topology_errors.push(e.to_string());
+    }
+    for eid in ddg.edge_ids() {
+        let e = ddg.edge(eid);
+        if ddg.node(e.src).op == hca_ddg::Opcode::Const {
+            continue; // constants are replicated at configuration time
+        }
+        let (cu, cw) = (placement(e.src), placement(e.dst));
+        if cu == cw {
+            continue;
+        }
+        if !value_delivered(fabric, topo, e.src, cu, cw) {
+            report.violations.push(Violation {
+                edge: eid,
+                src: cu,
+                dst: cw,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hca_arch::topology::ConfiguredWire;
+    use hca_ddg::{DdgBuilder, Opcode};
+
+    fn wire(src: WireSource, rec: &[usize], up: bool, vals: &[u32]) -> ConfiguredWire {
+        ConfiguredWire {
+            src,
+            receivers: rec.to_vec(),
+            to_parent: up,
+            values: vals.iter().map(|&v| NodeId(v)).collect(),
+        }
+    }
+
+    #[test]
+    fn sibling_delivery() {
+        let f = DspFabric::standard(8, 8, 8);
+        let mut t = Topology::new();
+        t.group_mut(&[0, 0])
+            .wires
+            .push(wire(WireSource::Member(0), &[2], false, &[7]));
+        let src = f.cn_of_path(&[0, 0, 0]);
+        assert!(value_delivered(&f, &t, NodeId(7), src, f.cn_of_path(&[0, 0, 2])));
+        assert!(!value_delivered(&f, &t, NodeId(7), src, f.cn_of_path(&[0, 0, 1])));
+        assert!(!value_delivered(&f, &t, NodeId(8), src, f.cn_of_path(&[0, 0, 2])));
+    }
+
+    #[test]
+    fn full_cross_set_chain() {
+        let f = DspFabric::standard(8, 8, 8);
+        let v = NodeId(3);
+        let mut t = Topology::new();
+        t.group_mut(&[0, 0])
+            .wires
+            .push(wire(WireSource::Member(0), &[], true, &[3]));
+        t.group_mut(&[0])
+            .wires
+            .push(wire(WireSource::Member(0), &[], true, &[3]));
+        t.group_mut(&[])
+            .wires
+            .push(wire(WireSource::Member(0), &[1], false, &[3]));
+        t.group_mut(&[1])
+            .wires
+            .push(wire(WireSource::Parent, &[2], false, &[3]));
+        t.group_mut(&[1, 2])
+            .wires
+            .push(wire(WireSource::Parent, &[3], false, &[3]));
+        let src = f.cn_of_path(&[0, 0, 0]);
+        assert!(value_delivered(&f, &t, v, src, f.cn_of_path(&[1, 2, 3])));
+        // Break one link and delivery fails.
+        let mut t2 = t.clone();
+        t2.group_mut(&[1]).wires.clear();
+        assert!(!value_delivered(&f, &t2, v, src, f.cn_of_path(&[1, 2, 3])));
+    }
+
+    #[test]
+    fn forwarded_value_via_sibling_cn() {
+        // Producer CN 0 → sibling CN 1 (which forwards) → CN 2. Delivery to
+        // CN 2 must route through CN 1's re-emission.
+        let f = DspFabric::standard(8, 8, 8);
+        let v = NodeId(5);
+        let mut t = Topology::new();
+        let g = t.group_mut(&[0, 0]);
+        g.wires.push(wire(WireSource::Member(0), &[1], false, &[5]));
+        g.wires.push(wire(WireSource::Member(1), &[2], false, &[5]));
+        let src = f.cn_of_path(&[0, 0, 0]);
+        assert!(value_delivered(&f, &t, v, src, f.cn_of_path(&[0, 0, 2])));
+    }
+
+    #[test]
+    fn cyclic_claims_resolve_to_unreachable() {
+        // CN 1 claims to emit v because CN 2 sends it, and vice versa — but
+        // nobody actually produces v in this group.
+        let f = DspFabric::standard(8, 8, 8);
+        let v = NodeId(9);
+        let mut t = Topology::new();
+        let g = t.group_mut(&[0, 0]);
+        g.wires.push(wire(WireSource::Member(1), &[2, 3], false, &[9]));
+        g.wires.push(wire(WireSource::Member(2), &[1], false, &[9]));
+        // Producer sits in a different cluster with no wires at all.
+        let src = f.cn_of_path(&[3, 3, 3]);
+        assert!(!value_delivered(&f, &t, v, src, f.cn_of_path(&[0, 0, 3])));
+    }
+
+    #[test]
+    fn check_coherency_reports_violations() {
+        let f = DspFabric::standard(8, 8, 8);
+        let mut b = DdgBuilder::default();
+        let u = b.node(Opcode::Add);
+        let w = b.node(Opcode::Add);
+        b.flow(u, w);
+        let ddg = b.finish();
+        let (ca, cb) = (f.cn_of_path(&[0, 0, 0]), f.cn_of_path(&[0, 0, 1]));
+        let placement = move |n: NodeId| if n == u { ca } else { cb };
+
+        // No wires at all: one violation.
+        let t = Topology::new();
+        let rep = check_coherency(&f, &t, &ddg, &placement);
+        assert!(!rep.is_legal());
+        assert_eq!(rep.violations.len(), 1);
+        assert_eq!(rep.violations[0].dst, cb);
+
+        // Configure the wire: legal.
+        let mut t2 = Topology::new();
+        t2.group_mut(&[0, 0])
+            .wires
+            .push(wire(WireSource::Member(0), &[1], false, &[0]));
+        let rep2 = check_coherency(&f, &t2, &ddg, &placement);
+        assert!(rep2.is_legal(), "{:?}", rep2);
+    }
+
+    #[test]
+    fn check_coherency_surfaces_budget_errors() {
+        let f = DspFabric::standard(8, 8, 8);
+        let ddg = DdgBuilder::default().finish();
+        let mut t = Topology::new();
+        // CN leaf groups allow 2 input ports; use 3.
+        for s in 1..=3usize {
+            t.group_mut(&[0, 0])
+                .wires
+                .push(wire(WireSource::Member(s), &[0], false, &[s as u32]));
+        }
+        let rep = check_coherency(&f, &t, &ddg, &|_| CnId(0));
+        assert!(!rep.is_legal());
+        assert_eq!(rep.topology_errors.len(), 1);
+    }
+}

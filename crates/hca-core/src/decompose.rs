@@ -1,0 +1,176 @@
+//! Problem decomposition (paper §4.1).
+
+use hca_arch::{DspFabric, LevelSpec};
+use hca_ddg::NodeId;
+use hca_pg::{ArchConstraints, AssignedPg, Ili, Pg};
+
+/// Pattern Graph of a DSPFabric group at hierarchy depth `d`, completed with
+/// the special nodes of `ili` (Figure 10b): members form a complete graph
+/// (the MUXes make every sibling potentially reachable, Figure 7), each with
+/// the resource table of the CNs it embraces (Figure 8).
+pub fn level_pg(fabric: &DspFabric, d: usize, ili: &Ili) -> Pg {
+    let spec = fabric.level(d);
+    let mut pg = Pg::complete(spec.arity, fabric.member_rt(d));
+    pg.attach_ili(ili);
+    pg
+}
+
+/// Constraints of the SEE run at depth `d`, with the input budget clamped to
+/// what the level *below* can actually accept (the crossbar takes only K of
+/// the wires incoming from level 1, §2.2) — otherwise the Mapper would hand
+/// a child more glue-in wires than its budget.
+pub fn level_constraints(fabric: &DspFabric, d: usize) -> ArchConstraints {
+    let mut cons = ArchConstraints::for_dspfabric_level(fabric, d);
+    cons.max_in_neighbors = effective_spec(fabric, d).in_wires as u32;
+    cons
+}
+
+/// The wire budgets the Mapper must respect at depth `d`: the level's own
+/// spec with `in_wires` clamped to (i) the child level's `glue_in` (the
+/// crossbar intake, §2.2) and (ii) the child's recursive *chain-absorption
+/// capacity* — a member can only usefully listen to as many wires as the
+/// CNs inside it can still bind, directly or through a relay chain. Without
+/// this clamp the upper levels drown the leaf groups in glue wires and the
+/// leaf SEE dead-ends on its two-port CNs.
+pub fn effective_spec(fabric: &DspFabric, d: usize) -> LevelSpec {
+    let mut spec = fabric.level(d);
+    if d + 1 < fabric.depth() {
+        spec.in_wires = spec
+            .in_wires
+            .min(fabric.level(d + 1).glue_in)
+            .min(port_headroom(fabric, d + 1));
+    }
+    spec
+}
+
+/// Chain-absorption capacity of one group at depth `d`: the number of
+/// incoming glue wires a relay chain through its members can still consume
+/// (the head may fill all its ports, everyone else keeps one for the
+/// chain). This is exactly what the completion fallbacks can absorb, so
+/// clamping the parent's per-member input budget to it keeps every
+/// sub-problem solvable.
+fn port_headroom(fabric: &DspFabric, d: usize) -> usize {
+    let spec = fabric.level(d);
+    let member_in = if d + 1 < fabric.depth() {
+        spec.in_wires
+            .min(fabric.level(d + 1).glue_in)
+            .min(port_headroom(fabric, d + 1))
+    } else {
+        spec.in_wires
+    };
+    (member_in + (spec.arity - 1) * member_in.saturating_sub(1)).max(1)
+}
+
+/// The working sets of the child sub-problems:
+/// `WS(DDG…i,j) = { x ∈ DDG…i | DDG̅…i(x) = j }` — the instructions the
+/// parent assigned to member `j`. Returned indexed by member.
+pub fn child_working_sets(
+    assigned: &AssignedPg,
+    parent_ws: &[NodeId],
+    arity: usize,
+) -> Vec<Vec<NodeId>> {
+    let mut out = vec![Vec::new(); arity];
+    for &n in parent_ws {
+        if let Some(c) = assigned.cluster_of(n) {
+            if assigned.pg.node(c).kind.is_cluster() {
+                out[assigned.pg.member_of(c)].push(n);
+            }
+        }
+    }
+    for ws in &mut out {
+        ws.sort_unstable();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hca_arch::ResourceTable;
+    use hca_ddg::{DdgBuilder, Opcode};
+    use hca_pg::{IliWire, PgNodeId};
+
+    #[test]
+    fn level_pg_matches_figure8() {
+        let f = DspFabric::standard(8, 8, 8);
+        let pg0 = level_pg(&f, 0, &Ili::root());
+        assert_eq!(pg0.num_nodes(), 4);
+        assert_eq!(pg0.node(PgNodeId(0)).rt, ResourceTable::of_cns(16));
+        let pg2 = level_pg(&f, 2, &Ili::root());
+        assert_eq!(pg2.node(PgNodeId(0)).rt, ResourceTable::CN);
+    }
+
+    #[test]
+    fn level_pg_attaches_ili() {
+        let f = DspFabric::standard(8, 8, 8);
+        let mut b = DdgBuilder::default();
+        let x = b.node(Opcode::Add);
+        let _ = b.finish();
+        let ili = Ili {
+            inputs: vec![IliWire::new(vec![x])],
+            outputs: vec![],
+        };
+        let pg = level_pg(&f, 1, &ili);
+        assert_eq!(pg.num_nodes(), 5);
+        assert!(pg.input_carrying(x).is_some());
+    }
+
+    #[test]
+    fn effective_spec_clamps_to_child_glue() {
+        // M = 8 but the crossbar only takes K = 2 wires: mapping at depth 1
+        // must not hand a leaf more than 2 glue-in wires per member.
+        let f = DspFabric::standard(8, 8, 2);
+        // Leaf chain capacity: 2 + 3·1 = 5, but the crossbar only takes
+        // K = 2 wires → eff_in(1) = 2.
+        assert_eq!(effective_spec(&f, 1).in_wires, 2);
+        // Level-1 groups absorb 2 + 3·1 = 5 wires → level-0 eff_in = 5.
+        assert_eq!(effective_spec(&f, 0).in_wires, 5);
+        assert_eq!(effective_spec(&f, 2).in_wires, 2); // leaf unchanged (CN ports)
+        assert_eq!(level_constraints(&f, 1).max_in_neighbors, 2);
+        // With generous MUXes: leaf chain capacity 5 → eff_in(1) = 5;
+        // level-1 chain capacity 5 + 3·4 = 17 → level-0 eff_in = 8 (own N).
+        let g = DspFabric::standard(8, 8, 8);
+        assert_eq!(effective_spec(&g, 1).in_wires, 5);
+        assert_eq!(effective_spec(&g, 0).in_wires, 8);
+    }
+
+    #[test]
+    fn child_working_sets_follow_assignment() {
+        let mut b = DdgBuilder::default();
+        let n0 = b.node(Opcode::Add);
+        let n1 = b.node(Opcode::Add);
+        let n2 = b.node(Opcode::Add);
+        let _ = b.finish();
+        let pg = Pg::complete(2, ResourceTable::of_cns(4));
+        let mut apg = AssignedPg::new(pg);
+        apg.assign(n0, PgNodeId(1));
+        apg.assign(n1, PgNodeId(0));
+        apg.assign(n2, PgNodeId(1));
+        let ws = child_working_sets(&apg, &[n0, n1, n2], 2);
+        assert_eq!(ws[0], vec![n1]);
+        assert_eq!(ws[1], vec![n0, n2]);
+    }
+
+    #[test]
+    fn external_values_excluded_from_children() {
+        let mut b = DdgBuilder::default();
+        let ext = b.node(Opcode::Add);
+        let n = b.node(Opcode::Add);
+        b.flow(ext, n);
+        let _ = b.finish();
+        let mut pg = Pg::complete(2, ResourceTable::of_cns(4));
+        pg.attach_ili(&Ili {
+            inputs: vec![IliWire::new(vec![ext])],
+            outputs: vec![],
+        });
+        let inp = pg.input_carrying(ext).unwrap();
+        let mut apg = AssignedPg::new(pg);
+        apg.assign(ext, inp);
+        apg.assign(n, PgNodeId(0));
+        // ext is bound to the input node, not to a member: children never
+        // list it in a working set.
+        let ws = child_working_sets(&apg, &[n], 2);
+        assert_eq!(ws[0], vec![n]);
+        assert!(ws[1].is_empty());
+    }
+}

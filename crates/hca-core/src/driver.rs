@@ -1,0 +1,537 @@
+//! The recursive HCA driver (paper §4.1).
+//!
+//! "The HCA algorithm starts at level 0, mapping DDG₀ onto PG₀. Then the
+//! module Mapper maps PG̅₀ onto the first level of the Machine Model
+//! Hierarchy … The Mapper produces an ILI for each subproblem of the current
+//! one. Now the communication paths at level 0 of the hierarchy have been
+//! allocated and the process can be iterated through all the nested levels,
+//! until a leaf problem is reached."
+
+use crate::coherency::{check_coherency, CoherencyReport};
+use crate::decompose::{child_working_sets, effective_spec, level_constraints, level_pg};
+use crate::mii::{mii_report, MiiReport};
+use crate::post::{build_final_program, FinalProgram};
+use crate::problem::Subproblem;
+use hca_arch::{CnId, DspFabric, Topology};
+use hca_ddg::{analysis::DdgError, Ddg, DdgAnalysis, NodeId};
+use hca_mapper::{map_level, MapError, MapOptions, MapperOutput};
+use hca_see::{See, SeeConfig, SeeError};
+use rustc_hash::FxHashMap;
+use std::fmt;
+
+/// HCA tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct HcaConfig {
+    /// Configuration of every per-level SEE run.
+    pub see: SeeConfig,
+    /// Per-issue-slot load ceiling, as slack over the unified-machine
+    /// theoretical MII: every cluster may hold at most
+    /// `theoretical + slack` ops per issue slot. Forces the wide spread the
+    /// machine is built for; relaxed automatically on retry escalations.
+    /// `None` disables the ceiling.
+    pub issue_cap_slack: Option<u32>,
+}
+
+impl Default for HcaConfig {
+    fn default() -> Self {
+        HcaConfig {
+            see: SeeConfig::default(),
+            issue_cap_slack: Some(1),
+        }
+    }
+}
+
+/// Why HCA failed.
+#[derive(Clone, Debug)]
+pub enum HcaError {
+    /// The input DDG is ill-formed (zero-distance dependence cycle).
+    Analysis(DdgError),
+    /// A sub-problem's SEE found no legal assignment.
+    See {
+        /// Sub-problem id, e.g. `"0,2"`.
+        problem: String,
+        /// Underlying engine error.
+        source: SeeError,
+    },
+    /// A sub-problem's Mapper could not lower the copies onto wires.
+    Map {
+        /// Sub-problem id.
+        problem: String,
+        /// Underlying mapper error.
+        source: MapError,
+    },
+}
+
+impl fmt::Display for HcaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HcaError::Analysis(e) => write!(f, "DDG analysis failed: {e}"),
+            HcaError::See { problem, source } => {
+                write!(f, "sub-problem {problem}: SEE failed: {source}")
+            }
+            HcaError::Map { problem, source } => {
+                write!(f, "sub-problem {problem}: Mapper failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HcaError {}
+
+/// Aggregate run statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HcaStats {
+    /// Sub-problems solved (tree nodes visited).
+    pub subproblems: usize,
+    /// Partial solutions materialised across every SEE run.
+    pub see_states: usize,
+    /// Nodes placed by the Route Allocator.
+    pub routed_nodes: usize,
+    /// Leaf-level pass-through forwards (route ops in the final DDG).
+    pub forwards: usize,
+    /// Configured wires in the final topology.
+    pub wires: usize,
+}
+
+/// Result of a full HCA run.
+#[derive(Clone, Debug)]
+pub struct HcaResult {
+    /// Placement of every original DDG node.
+    pub placement: FxHashMap<NodeId, CnId>,
+    /// The configured topology of the whole machine.
+    pub topology: Topology,
+    /// The final DDG (recv/route primitives materialised) with placements.
+    pub final_program: FinalProgram,
+    /// The §4.2 cost model outputs.
+    pub mii: MiiReport,
+    /// Coherency-checker verdict.
+    pub coherency: CoherencyReport,
+    /// Run statistics.
+    pub stats: HcaStats,
+}
+
+impl HcaResult {
+    /// Is the clusterisation legal (paper Table 1's "Legal clusterization")?
+    pub fn is_legal(&self) -> bool {
+        self.coherency.is_legal()
+    }
+}
+
+/// Run Hierarchical Cluster Assignment of `ddg` onto `fabric`.
+///
+/// ```
+/// use hca_core::{run_hca, HcaConfig};
+/// use hca_arch::DspFabric;
+/// use hca_ddg::{DdgBuilder, Opcode};
+///
+/// // ptr++ ; x = load ptr ; y = x * x ; store y @ ptr
+/// let mut b = DdgBuilder::default();
+/// let ptr = b.named(Opcode::AddrAdd, "ptr++");
+/// b.carried(ptr, ptr, 1);
+/// let x = b.op_with(Opcode::Load, &[ptr]);
+/// let y = b.op_with(Opcode::Mul, &[x, x]);
+/// b.op_with(Opcode::Store, &[y, ptr]);
+/// let ddg = b.finish();
+///
+/// let fabric = DspFabric::standard(8, 8, 8); // the paper's 64-CN machine
+/// let result = run_hca(&ddg, &fabric, &HcaConfig::default()).unwrap();
+/// assert!(result.is_legal());
+/// assert!(result.mii.final_mii >= result.mii.theoretical);
+/// assert_eq!(result.placement.len(), ddg.num_nodes());
+/// ```
+pub fn run_hca(ddg: &Ddg, fabric: &DspFabric, config: &HcaConfig) -> Result<HcaResult, HcaError> {
+    let analysis = DdgAnalysis::compute(ddg).map_err(HcaError::Analysis)?;
+    let theo_mii = crate::mii::theoretical_mii(analysis.mii_rec, ddg, fabric);
+    let mut topology = Topology::new();
+    let mut placement: FxHashMap<NodeId, CnId> = FxHashMap::default();
+    let mut route_ops: Vec<(NodeId, CnId)> = Vec::new();
+    let mut stats = HcaStats::default();
+    let mut ini_mii = 1u32;
+
+    let mut stack = vec![Subproblem::root(ddg.node_ids().collect())];
+    while let Some(sp) = stack.pop() {
+        stats.subproblems += 1;
+        let d = sp.depth();
+        let pg = level_pg(fabric, d, &sp.ili);
+        let constraints = level_constraints(fabric, d);
+        let spec = effective_spec(fabric, d);
+        // Pressure-balancing splits only at the very top: deeper levels must
+        // hoard crossbar intake and CN input ports.
+        let opts = MapOptions {
+            balance_split: d + 2 < fabric.depth(),
+        };
+
+        // Escalating retries: when the beam dead-ends (or its assignment is
+        // unmappable), widen the search before giving up — a common trick in
+        // production clusterers, and cheap because failures are rare.
+        let mut attempt_err: Option<HcaError> = None;
+        let mut solved: Option<(hca_see::SeeOutcome, MapperOutput)> = None;
+        // Escalation ladder. Tier 0 is the user's config plus the
+        // spread-forcing issue cap; later tiers deliberately *diversify*
+        // (different priority orders, wider beams, and finally a pure
+        // copy-minimising objective) — empirically, distinct sub-problems
+        // fall to distinct strategies, so breadth beats depth here.
+        let base = config.see;
+        let cap = config.issue_cap_slack;
+        let tiers: [SeeConfig; 5] = [
+            SeeConfig {
+                issue_cap: cap.map(|s| theo_mii + s),
+                ..base
+            },
+            SeeConfig {
+                issue_cap: cap.map(|s| theo_mii + s + 2),
+                beam_width: base.beam_width * 8,
+                branch_factor: base.branch_factor * 2,
+                candidate_margin: base.candidate_margin * 4.0,
+                ..base
+            },
+            SeeConfig {
+                issue_cap: None,
+                beam_width: base.beam_width * 4,
+                branch_factor: base.branch_factor + 1,
+                candidate_margin: base.candidate_margin * 2.0,
+                priority: hca_ddg::PriorityPolicy::ExternalOperandsFirst,
+                ..base
+            },
+            SeeConfig {
+                issue_cap: None,
+                beam_width: base.beam_width * 4,
+                branch_factor: base.branch_factor + 1,
+                candidate_margin: f64::INFINITY,
+                // Survival mode: a pressure-minimising objective steers every
+                // beam state towards balanced placements that die on input
+                // ports; pure copy minimisation co-locates dataflow
+                // neighbours — the port-light shape that still fits.
+                weights: hca_see::CostWeights::copies_only(),
+                ..base
+            },
+            SeeConfig {
+                issue_cap: None,
+                beam_width: base.beam_width * 8,
+                branch_factor: base.branch_factor * 2,
+                candidate_margin: base.candidate_margin * 4.0,
+                priority: hca_ddg::PriorityPolicy::ConnectivityFirst,
+                ..base
+            },
+        ];
+        // Run every tier and keep the best mapped result — tiers are cheap
+        // (sub-problems are tiny) and which strategy wins varies per
+        // sub-problem.
+        for see_cfg in tiers {
+            let see = See::new(ddg, &analysis, &pg, constraints, see_cfg);
+            let outcome = match see.run(Some(&sp.working_set)) {
+                Ok(o) => o,
+                Err(source) => {
+                    attempt_err = Some(HcaError::See {
+                        problem: format!(
+                            "{} (ws {} nodes, ili {} in / {} out, max_in {})",
+                            sp.id(),
+                            sp.working_set.len(),
+                            sp.ili.inputs.len(),
+                            sp.ili.outputs.len(),
+                            constraints.max_in_neighbors,
+                        ),
+                        source,
+                    });
+                    continue;
+                }
+            };
+            stats.see_states += outcome.stats.states_explored;
+            match map_level(&outcome.assigned, spec, opts) {
+                Ok(mapped) => {
+                    // Copies dominate downstream cost (each becomes receives,
+                    // ports and wires one level down), so weigh them against
+                    // the local MII estimate rather than tie-breaking on it.
+                    let score = |o: &hca_see::SeeOutcome| {
+                        16 * o.est_mii as usize + o.assigned.total_copies()
+                    };
+                    let better = match &solved {
+                        None => true,
+                        Some((best, _)) => score(&outcome) < score(best),
+                    };
+                    if better {
+                        solved = Some((outcome, mapped));
+                    }
+                }
+                Err(source) => {
+                    attempt_err = Some(HcaError::Map {
+                        problem: sp.id(),
+                        source,
+                    });
+                }
+            }
+        }
+        // Completion backstop: the deterministic chain layout (see
+        // `See::chain_fallback`) — legal whenever the consumed wires fit,
+        // at terrible MII, so only the search's rare dead-ends pay it.
+        if solved.is_none() {
+            if std::env::var_os("HCA_TRACE").is_some() {
+                eprintln!(
+                    "chain fallback at {} (ws {}, ili {}in/{}out): {}",
+                    sp.id(),
+                    sp.working_set.len(),
+                    sp.ili.inputs.len(),
+                    sp.ili.outputs.len(),
+                    attempt_err
+                        .as_ref()
+                        .map_or_else(|| "?".into(), ToString::to_string),
+                );
+                if std::env::var("HCA_TRACE").as_deref() == Ok("2") {
+                    for (i, w) in sp.ili.inputs.iter().enumerate() {
+                        eprintln!("  in[{i}]: {:?}", w.values);
+                    }
+                    for (i, w) in sp.ili.outputs.iter().enumerate() {
+                        eprintln!("  out[{i}]: {:?}", w.values);
+                    }
+                }
+            }
+            let see = See::new(ddg, &analysis, &pg, constraints, config.see);
+            // Layered (work-spreading) fallback first; the single-host chain
+            // only for the cases it cannot express.
+            for outcome in [
+                see.layered_fallback(Some(&sp.working_set)),
+                see.chain_fallback(Some(&sp.working_set)),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                if let Ok(mapped) = map_level(&outcome.assigned, spec, opts) {
+                    solved = Some((outcome, mapped));
+                    break;
+                }
+            }
+        }
+
+        if let Some((outcome, _)) = &solved {
+            if std::env::var_os("HCA_TRACE").is_some() {
+                for err in outcome.assigned.check_flow(ddg, &sp.working_set) {
+                    eprintln!("flow violation at {}: {err}", sp.id());
+                }
+            }
+        }
+
+        let Some((outcome, mapped)) = solved else {
+            if std::env::var_os("HCA_TRACE").is_some() {
+                eprintln!("--- failing subproblem {} ---", sp.id());
+                for (i, w) in sp.ili.inputs.iter().enumerate() {
+                    eprintln!("  in[{i}]: {:?}", w.values);
+                }
+                for (i, w) in sp.ili.outputs.iter().enumerate() {
+                    eprintln!("  out[{i}]: {:?}", w.values);
+                }
+                for &n in &sp.working_set {
+                    let preds: Vec<String> = ddg
+                        .pred_edges(n)
+                        .map(|(_, e)| format!("{}{}", e.src, if e.distance > 0 { "*" } else { "" }))
+                        .collect();
+                    eprintln!("  {n}: {} <- {:?}", ddg.node(n).op, preds);
+                }
+            }
+            return Err(attempt_err.expect("at least one attempt ran"));
+        };
+        stats.routed_nodes += outcome.stats.routed_nodes;
+        if d == 0 {
+            ini_mii = outcome.est_mii;
+        }
+        stats.wires += mapped.group.wires.len();
+        *topology.group_mut(&sp.path) = mapped.group;
+
+        if d + 1 == fabric.depth() {
+            // Leaf: members are single CNs.
+            for &n in &sp.working_set {
+                let c = outcome
+                    .assigned
+                    .cluster_of(n)
+                    .expect("SEE assigns every working-set node");
+                let mut path = sp.path.clone();
+                path.push(outcome.assigned.pg.member_of(c));
+                placement.insert(n, fabric.cn_of_path(&path));
+            }
+            for &(v, c) in &outcome.assigned.forwards {
+                let mut path = sp.path.clone();
+                path.push(outcome.assigned.pg.member_of(c));
+                route_ops.push((v, fabric.cn_of_path(&path)));
+            }
+            // Relay hops: a CN that re-emits a value it neither produced nor
+            // forwarded upward still spends an issue slot moving it from its
+            // input buffer to its output register — materialise those too.
+            let mut relays: rustc_hash::FxHashSet<(NodeId, CnId)> = route_ops
+                .iter()
+                .copied()
+                .collect();
+            for (&(a, b), values) in outcome.assigned.copies.iter() {
+                if !outcome.assigned.pg.node(a).kind.is_cluster() || values.is_empty() {
+                    continue;
+                }
+                let _ = b;
+                for &v in values {
+                    if outcome.assigned.cluster_of(v) != Some(a) {
+                        let mut path = sp.path.clone();
+                        path.push(outcome.assigned.pg.member_of(a));
+                        let cn = fabric.cn_of_path(&path);
+                        if relays.insert((v, cn)) {
+                            route_ops.push((v, cn));
+                        }
+                    }
+                }
+            }
+        } else {
+            let wss = child_working_sets(&outcome.assigned, &sp.working_set, spec.arity);
+            for (member, ws) in wss.into_iter().enumerate() {
+                let ili = mapped.child_ilis[member].clone();
+                if ws.is_empty() && ili.is_empty() {
+                    continue; // nothing to do in this subtree
+                }
+                let mut path = sp.path.clone();
+                path.push(member);
+                stack.push(Subproblem {
+                    path,
+                    working_set: ws,
+                    ili,
+                });
+            }
+        }
+    }
+
+    stats.forwards = route_ops.len();
+    let final_program = build_final_program(ddg, fabric, &placement, &route_ops);
+    let mii = mii_report(ddg, analysis.mii_rec, fabric, &final_program, &topology, ini_mii);
+    let place = placement.clone();
+    let coherency = check_coherency(fabric, &topology, ddg, &move |n| place[&n]);
+
+    Ok(HcaResult {
+        placement,
+        topology,
+        final_program,
+        mii,
+        coherency,
+        stats,
+    })
+}
+
+/// Run HCA under a small portfolio of base configurations and keep the
+/// legal result with the lowest final MII (ties: fewer receives). The
+/// per-sub-problem escalation ladder already diversifies *within* a run;
+/// this outer sweep additionally varies the global search character, which
+/// matters because upper-level choices lock in the decomposition.
+pub fn run_hca_portfolio(ddg: &Ddg, fabric: &DspFabric) -> Result<HcaResult, HcaError> {
+    let mut base = HcaConfig::default();
+    let mut variants: Vec<HcaConfig> = vec![base];
+    base.see.beam_width = 16;
+    base.see.branch_factor = 4;
+    variants.push(base);
+    let mut wide = HcaConfig::default();
+    wide.see.beam_width = 64;
+    wide.see.branch_factor = 6;
+    wide.see.candidate_margin = 64.0;
+    variants.push(wide);
+    let mut copyish = HcaConfig::default();
+    copyish.see.weights.copy = 2.0;
+    copyish.see.weights.pressure = 2.0;
+    variants.push(copyish);
+    let mut ext = HcaConfig::default();
+    ext.see.priority = hca_ddg::PriorityPolicy::ExternalOperandsFirst;
+    variants.push(ext);
+
+    let mut best: Option<HcaResult> = None;
+    let mut last_err: Option<HcaError> = None;
+    for cfg in variants {
+        match run_hca(ddg, fabric, &cfg) {
+            Ok(res) => {
+                let key = |r: &HcaResult| {
+                    (
+                        !r.is_legal(),
+                        r.mii.final_mii,
+                        r.final_program.num_recvs(),
+                    )
+                };
+                if best.as_ref().is_none_or(|b| key(&res) < key(b)) {
+                    best = Some(res);
+                }
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    best.ok_or_else(|| last_err.expect("at least one variant ran"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hca_ddg::{DdgBuilder, Opcode};
+
+    /// A small synthetic kernel: 4 independent MAC chains over loaded data,
+    /// with a carried accumulator each, plus stores.
+    fn small_kernel() -> Ddg {
+        let mut b = DdgBuilder::default();
+        for _ in 0..4 {
+            let addr = b.node(Opcode::AddrAdd);
+            b.carried(addr, addr, 1);
+            let ld = b.op_with(Opcode::Load, &[addr]);
+            let k = b.node(Opcode::Const);
+            let prod = b.op_with(Opcode::Mul, &[ld, k]);
+            let acc = b.op_with(Opcode::Mac, &[prod]);
+            b.carried(acc, acc, 1);
+            let st = b.op_with(Opcode::Store, &[acc, addr]);
+            let _ = st;
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn hca_places_every_node_on_standard_machine() {
+        let ddg = small_kernel();
+        let fabric = DspFabric::standard(8, 8, 8);
+        let res = run_hca(&ddg, &fabric, &HcaConfig::default()).unwrap();
+        assert_eq!(res.placement.len(), ddg.num_nodes());
+        assert!(res.is_legal(), "{:?}", res.coherency);
+        assert!(res.mii.final_mii >= res.mii.theoretical);
+        assert!(res.stats.subproblems >= 1);
+    }
+
+    #[test]
+    fn hca_two_level_machine() {
+        let ddg = small_kernel();
+        let fabric = DspFabric::two_level(4, 4, 4);
+        let res = run_hca(&ddg, &fabric, &HcaConfig::default()).unwrap();
+        assert!(res.is_legal(), "{:?}", res.coherency);
+        // 16 single-issue CNs for 24 instructions: MII at least 2.
+        assert!(res.mii.final_mii >= 2);
+    }
+
+    #[test]
+    fn empty_ddg_is_trivially_legal() {
+        let ddg = Ddg::new();
+        let fabric = DspFabric::standard(4, 4, 4);
+        let res = run_hca(&ddg, &fabric, &HcaConfig::default()).unwrap();
+        assert!(res.is_legal());
+        assert_eq!(res.final_program.ddg.num_nodes(), 0);
+        assert_eq!(res.mii.final_mii, 1);
+    }
+
+    #[test]
+    fn single_node() {
+        let mut b = DdgBuilder::default();
+        b.node(Opcode::Add);
+        let ddg = b.finish();
+        let fabric = DspFabric::standard(8, 8, 8);
+        let res = run_hca(&ddg, &fabric, &HcaConfig::default()).unwrap();
+        assert!(res.is_legal());
+        assert_eq!(res.mii.final_mii, 1);
+        assert_eq!(res.stats.wires, 0);
+    }
+
+    #[test]
+    fn ill_formed_ddg_rejected() {
+        let mut g = Ddg::new();
+        let a = g.add_node(Opcode::Add, None);
+        let c = g.add_node(Opcode::Add, None);
+        g.add_edge(a, c, 1, 0);
+        g.add_edge(c, a, 1, 0);
+        let fabric = DspFabric::standard(8, 8, 8);
+        match run_hca(&g, &fabric, &HcaConfig::default()) {
+            Err(HcaError::Analysis(DdgError::ZeroDistanceCycle)) => {}
+            other => panic!("expected analysis error, got {other:?}"),
+        }
+    }
+}

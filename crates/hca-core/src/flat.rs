@@ -1,0 +1,70 @@
+//! The flat (non-hierarchical) ICA baseline.
+//!
+//! The paper motivates HCA by the intractability of treating DSPFabric as
+//! one flat K₆₄ graph: "it is necessary that the ICA keep trace of the
+//! internal logic of the hierarchy of MUXes … the number of parallel paths
+//! grows with the capacities of the MUXes as multiplication factors" (§4).
+//! This baseline does exactly that naive thing — a single SEE run over the
+//! complete Pattern Graph of all CNs — and exists so the scaling experiment
+//! (DESIGN.md S2) can measure the blow-up HCA avoids.
+
+use hca_arch::{DspFabric, ResourceTable};
+use hca_ddg::{Ddg, DdgAnalysis};
+use hca_pg::{ArchConstraints, Pg};
+use hca_see::{See, SeeConfig, SeeError, SeeOutcome};
+
+/// Run flat ICA over the whole machine: one complete PG with one node per
+/// CN, constrained by the *leaf* input-port budget (each CN still has only
+/// two incoming wires). Path multiplicity through the MUX hierarchy is not
+/// modelled — which is exactly why the result may be unmappable onto the
+/// real machine; the paper's argument for HCA.
+pub fn run_flat(
+    ddg: &Ddg,
+    analysis: &DdgAnalysis,
+    fabric: &DspFabric,
+    config: SeeConfig,
+) -> Result<SeeOutcome, SeeError> {
+    let leaf = fabric.level(fabric.depth() - 1);
+    let pg = Pg::complete(fabric.num_cns(), ResourceTable::CN);
+    let constraints = ArchConstraints {
+        max_in_neighbors: leaf.in_wires as u32,
+        max_out_neighbors: None,
+        out_node_max_in: 1,
+        copy_latency: fabric.copy_latency,
+    };
+    See::new(ddg, analysis, &pg, constraints, config).run(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hca_ddg::{DdgBuilder, Opcode};
+
+    #[test]
+    fn flat_assigns_small_kernel() {
+        let mut b = DdgBuilder::default();
+        for _ in 0..4 {
+            let x = b.node(Opcode::Load);
+            let y = b.op_with(Opcode::Mul, &[x]);
+            let z = b.op_with(Opcode::Add, &[y]);
+            let _ = b.op_with(Opcode::Store, &[z]);
+        }
+        let ddg = b.finish();
+        let an = DdgAnalysis::compute(&ddg).unwrap();
+        let fabric = DspFabric::two_level(2, 4, 4); // 8 CNs
+        let out = run_flat(&ddg, &an, &fabric, SeeConfig::default()).unwrap();
+        for n in ddg.node_ids() {
+            assert!(out.assigned.cluster_of(n).is_some());
+        }
+        assert!(out.est_mii >= 2); // 16 ops on 8 single-issue CNs
+    }
+
+    #[test]
+    fn flat_pg_size_tracks_machine() {
+        let fabric = DspFabric::standard(8, 8, 8);
+        let pg = Pg::complete(fabric.num_cns(), ResourceTable::CN);
+        assert_eq!(pg.num_nodes(), 64);
+        // Complete graph: the state the flat search must track is quadratic.
+        assert_eq!(pg.potential_succs(hca_pg::PgNodeId(0)).len(), 63);
+    }
+}

@@ -1,0 +1,149 @@
+//! The MII cost model (paper §4.2 and Table 1).
+//!
+//! `MII = max(iniMII, maxClsMII)` where `iniMII` is the estimate at level 0
+//! of HCA and `maxClsMII` the worst per-cluster MII after the full
+//! decomposition, "computed by considering the maximum between the MII given
+//! by data constraints, MIIRec, and the MII given \[by\] resource constraints
+//! MIIRes, also taking into account a term of copy pressure".
+
+use crate::post::FinalProgram;
+use hca_arch::{DspFabric, Topology};
+use hca_ddg::{analysis, Ddg, ResourceClass};
+use serde::Serialize;
+
+/// All the MII ingredients of one clusterisation, for reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct MiiReport {
+    /// Recurrence-constrained MII of the *source* DDG.
+    pub mii_rec: u32,
+    /// Resource-constrained MII on the equivalent unified machine
+    /// (issue width = all CNs, DMA ports shared) — Table 1's `MIIRes`.
+    pub mii_res: u32,
+    /// `max(mii_rec, mii_res)`: the unified-machine theoretical optimum the
+    /// paper compares against in §5.
+    pub theoretical: u32,
+    /// SEE estimate at level 0 of the hierarchy (`iniMII`).
+    pub ini_mii: u32,
+    /// Worst per-CN MII after HCA (instructions + receives + routes on a
+    /// single-issue CN).
+    pub max_cls_mii: u32,
+    /// Worst per-wire copy pressure (each value on a wire consumes one
+    /// transport slot per iteration).
+    pub wire_mii: u32,
+    /// Recurrence MII of the *final* DDG (transport latencies included).
+    pub final_mii_rec: u32,
+    /// The final MII lower bound for modulo scheduling.
+    pub final_mii: u32,
+}
+
+/// Resource-constrained MII on the equivalent unified machine:
+/// `max(ceil(ops / CNs), ceil(memory ops / DMA ports))`.
+pub fn mii_res_unified(ddg: &Ddg, fabric: &DspFabric) -> u32 {
+    let cns = fabric.num_cns() as u32;
+    let ops = ddg.num_nodes() as u32;
+    let issue = if cns == 0 { u32::MAX } else { ops.div_ceil(cns) };
+    issue.max(fabric.dma.mii_res_mem(ddg)).max(1)
+}
+
+/// The §5 "theoretical optimum computed on an equivalent issue width unified
+/// bank machine": `max(MIIRec, MIIRes)`.
+pub fn theoretical_mii(mii_rec: u32, ddg: &Ddg, fabric: &DspFabric) -> u32 {
+    mii_rec.max(mii_res_unified(ddg, fabric))
+}
+
+/// Assemble the full report from the finished clusterisation.
+pub fn mii_report(
+    ddg: &Ddg,
+    mii_rec: u32,
+    fabric: &DspFabric,
+    final_program: &FinalProgram,
+    topology: &Topology,
+    ini_mii: u32,
+) -> MiiReport {
+    let mii_res = mii_res_unified(ddg, fabric);
+
+    // Per-CN pressure: single-issue CNs with one ALU and one AG each.
+    let mut issue = vec![0u32; fabric.num_cns()];
+    let mut alu = vec![0u32; fabric.num_cns()];
+    let mut ag = vec![0u32; fabric.num_cns()];
+    for n in final_program.ddg.node_ids() {
+        let cn = final_program.placement[n.index()].index();
+        issue[cn] += 1;
+        match final_program.ddg.node(n).op.resource_class() {
+            ResourceClass::Alu => alu[cn] += 1,
+            ResourceClass::AddrGen => ag[cn] += 1,
+            ResourceClass::Receive => {}
+        }
+    }
+    let max_cls_mii = (0..fabric.num_cns())
+        .map(|c| issue[c].max(alu[c]).max(ag[c]))
+        .max()
+        .unwrap_or(0)
+        .max(1);
+
+    let wire_mii = topology.max_wire_pressure().max(1);
+    let dma_mii = fabric.dma.mii_res_mem(ddg);
+    let final_mii_rec =
+        analysis::mii_rec(&final_program.ddg).unwrap_or(u32::MAX);
+
+    let final_mii = ini_mii
+        .max(max_cls_mii)
+        .max(wire_mii)
+        .max(dma_mii)
+        .max(final_mii_rec);
+
+    MiiReport {
+        mii_rec,
+        mii_res,
+        theoretical: mii_rec.max(mii_res),
+        ini_mii,
+        max_cls_mii,
+        wire_mii,
+        final_mii_rec,
+        final_mii,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hca_ddg::{DdgBuilder, Opcode};
+
+    #[test]
+    fn unified_mii_res_uses_issue_and_dma() {
+        let f = DspFabric::standard(8, 8, 8); // 64 CNs, 8 DMA ports
+        let mut b = DdgBuilder::default();
+        for _ in 0..10 {
+            b.node(Opcode::Load);
+        }
+        for _ in 0..47 {
+            b.node(Opcode::Add);
+        }
+        let ddg = b.finish();
+        // 57 ops / 64 CNs = 1, but 10 loads / 8 ports = 2.
+        assert_eq!(mii_res_unified(&ddg, &f), 2);
+    }
+
+    #[test]
+    fn unified_mii_res_issue_bound() {
+        let f = DspFabric::standard(8, 8, 8);
+        let mut b = DdgBuilder::default();
+        for _ in 0..214 {
+            b.node(Opcode::Add);
+        }
+        let ddg = b.finish();
+        assert_eq!(mii_res_unified(&ddg, &f), 4); // ceil(214/64)
+    }
+
+    #[test]
+    fn theoretical_takes_max() {
+        let f = DspFabric::standard(8, 8, 8);
+        let mut b = DdgBuilder::default();
+        let acc = b.node(Opcode::Mul);
+        b.carried(acc, acc, 1);
+        let ddg = b.finish();
+        let rec = analysis::mii_rec(&ddg).unwrap();
+        assert_eq!(rec, 2);
+        assert_eq!(theoretical_mii(rec, &ddg, &f), 2);
+    }
+}

@@ -1,0 +1,247 @@
+//! Post-processing (paper §4.1, end): "a post processing pass exploits the
+//! informations held at the leaves of the problem hierarchy, in order to
+//! build the final DDG. Each DDG node is assigned to a CN and receive
+//! primitives are added as new DDG nodes, which perform the migration of the
+//! operands between different CNs."
+
+use hca_arch::{CnId, DspFabric};
+use hca_ddg::{Ddg, NodeId, Opcode};
+use rustc_hash::FxHashMap;
+
+/// The fully lowered program: the original instructions plus the
+/// machine-inserted `recv`/`route` primitives, each placed on a CN.
+#[derive(Clone, Debug)]
+pub struct FinalProgram {
+    /// The final DDG. The first `num_original` nodes are the input DDG's
+    /// nodes with unchanged ids; `recv` and `route` nodes follow.
+    pub ddg: Ddg,
+    /// Placement of every final-DDG node.
+    pub placement: Vec<CnId>,
+    /// `(value, destination CN, iteration distance) → recv node`.
+    pub recv_nodes: FxHashMap<(NodeId, CnId, u32), NodeId>,
+    /// Route (pass-through forward) nodes, with the value each re-emits.
+    pub route_nodes: Vec<(NodeId, NodeId)>,
+    /// Node count of the original DDG.
+    pub num_original: usize,
+}
+
+impl FinalProgram {
+    /// Number of `recv` primitives inserted.
+    pub fn num_recvs(&self) -> usize {
+        self.recv_nodes.len()
+    }
+
+    /// Issue load (instruction count) per CN.
+    pub fn issue_load(&self, fabric: &DspFabric) -> Vec<u32> {
+        let mut load = vec![0u32; fabric.num_cns()];
+        for n in self.ddg.node_ids() {
+            load[self.placement[n.index()].index()] += 1;
+        }
+        load
+    }
+}
+
+/// Transport latency (in copy-latency units) between two CNs: one hop per
+/// hierarchy boundary crossed upward plus one per boundary downward, plus
+/// the crossing at the meeting level — `2·(depth − common) − 1` hops.
+pub fn transport_hops(fabric: &DspFabric, a: CnId, b: CnId) -> u32 {
+    if a == b {
+        return 0;
+    }
+    let common = fabric.common_depth(a, b);
+    (2 * (fabric.depth() - common) - 1) as u32
+}
+
+/// Build the final DDG from the leaf placements.
+///
+/// For every dependence `u → w` whose endpoints sit on different CNs, a
+/// `recv` node is inserted on `w`'s CN (shared by all consumers of the same
+/// value/distance there): `u → recv` keeps the original latency and
+/// distance; `recv → w` carries the transport latency
+/// `copy_latency · hops`. Pass-through forwards become `route` nodes on
+/// their forwarding CN.
+pub fn build_final_program(
+    ddg: &Ddg,
+    fabric: &DspFabric,
+    placement: &FxHashMap<NodeId, CnId>,
+    route_ops: &[(NodeId, CnId)],
+) -> FinalProgram {
+    let mut out = Ddg::new();
+    let mut place: Vec<CnId> = Vec::with_capacity(ddg.num_nodes());
+    for n in ddg.node_ids() {
+        let node = ddg.node(n);
+        let id = out.add_node(node.op, node.name.clone());
+        debug_assert_eq!(id, n, "original ids preserved");
+        place.push(*placement.get(&n).unwrap_or_else(|| {
+            panic!("{n} was never placed on a CN")
+        }));
+    }
+
+    let mut recv_nodes: FxHashMap<(NodeId, CnId, u32), NodeId> = FxHashMap::default();
+    for e in ddg.edges() {
+        let (cu, cw) = (place[e.src.index()], place[e.dst.index()]);
+        if cu == cw || ddg.node(e.src).op == Opcode::Const {
+            // Same CN, or a configuration-time-replicated constant: the
+            // value is already in the consumer's register file.
+            out.add_edge(e.src, e.dst, e.latency, e.distance);
+            continue;
+        }
+        let hops = transport_hops(fabric, cu, cw);
+        let recv = *recv_nodes.entry((e.src, cw, e.distance)).or_insert_with(|| {
+            let r = out.add_node(
+                Opcode::Recv,
+                Some(format!("rcv {} @{cw}", e.src)),
+            );
+            place.push(cw);
+            out.add_edge(e.src, r, e.latency, e.distance);
+            r
+        });
+        out.add_edge(recv, e.dst, fabric.copy_latency * hops, 0);
+    }
+
+    let mut route_nodes = Vec::with_capacity(route_ops.len());
+    for &(v, cn) in route_ops {
+        let producer_latency = ddg
+            .succ_edges(v)
+            .map(|(_, e)| e.latency)
+            .max()
+            .unwrap_or(1);
+        let r = out.add_node(Opcode::Route, Some(format!("rt {v} @{cn}")));
+        place.push(cn);
+        out.add_edge(v, r, producer_latency, 0);
+        route_nodes.push((r, v));
+    }
+
+    FinalProgram {
+        ddg: out,
+        placement: place,
+        recv_nodes,
+        route_nodes,
+        num_original: ddg.num_nodes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hca_ddg::DdgBuilder;
+
+    fn place_map(pairs: &[(NodeId, CnId)]) -> FxHashMap<NodeId, CnId> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn transport_hops_by_level() {
+        let f = DspFabric::standard(8, 8, 8);
+        let a = f.cn_of_path(&[0, 0, 0]);
+        assert_eq!(transport_hops(&f, a, a), 0);
+        assert_eq!(transport_hops(&f, a, f.cn_of_path(&[0, 0, 1])), 1);
+        assert_eq!(transport_hops(&f, a, f.cn_of_path(&[0, 1, 0])), 3);
+        assert_eq!(transport_hops(&f, a, f.cn_of_path(&[1, 0, 0])), 5);
+    }
+
+    #[test]
+    fn same_cn_edges_untouched() {
+        let mut b = DdgBuilder::default();
+        let u = b.node(Opcode::Add);
+        let w = b.node(Opcode::Add);
+        b.flow(u, w);
+        let ddg = b.finish();
+        let f = DspFabric::standard(8, 8, 8);
+        let cn = f.cn_of_path(&[1, 2, 3]);
+        let fp = build_final_program(&ddg, &f, &place_map(&[(u, cn), (w, cn)]), &[]);
+        assert_eq!(fp.ddg.num_nodes(), 2);
+        assert_eq!(fp.num_recvs(), 0);
+        assert_eq!(fp.placement, vec![cn, cn]);
+    }
+
+    #[test]
+    fn cross_cn_edge_gets_recv() {
+        let mut b = DdgBuilder::default();
+        let u = b.node(Opcode::Mul); // latency 2
+        let w = b.node(Opcode::Add);
+        b.flow(u, w);
+        let ddg = b.finish();
+        let f = DspFabric::standard(8, 8, 8);
+        let (ca, cb) = (f.cn_of_path(&[0, 0, 0]), f.cn_of_path(&[0, 0, 1]));
+        let fp = build_final_program(&ddg, &f, &place_map(&[(u, ca), (w, cb)]), &[]);
+        assert_eq!(fp.ddg.num_nodes(), 3);
+        assert_eq!(fp.num_recvs(), 1);
+        let r = fp.recv_nodes[&(u, cb, 0)];
+        assert_eq!(fp.placement[r.index()], cb);
+        assert_eq!(fp.ddg.node(r).op, Opcode::Recv);
+        // u -> r keeps the producer latency, r -> w carries the transport.
+        let (_, e_ur) = fp.ddg.pred_edges(r).next().unwrap();
+        assert_eq!(e_ur.latency, 2);
+        let (_, e_rw) = fp.ddg.pred_edges(w).next().unwrap();
+        assert_eq!(e_rw.src, r);
+        assert_eq!(e_rw.latency, f.copy_latency); // 1 hop inside leaf group
+    }
+
+    #[test]
+    fn consumers_share_recv_per_distance() {
+        let mut b = DdgBuilder::default();
+        let u = b.node(Opcode::Add);
+        let w1 = b.node(Opcode::Add);
+        let w2 = b.node(Opcode::Add);
+        let w3 = b.node(Opcode::Add);
+        b.flow(u, w1);
+        b.flow(u, w2);
+        b.edge(u, w3, 1, 1); // loop-carried: separate value instance
+        let ddg = b.finish();
+        let f = DspFabric::standard(8, 8, 8);
+        let (ca, cb) = (f.cn_of_path(&[0, 0, 0]), f.cn_of_path(&[2, 1, 0]));
+        let fp = build_final_program(
+            &ddg,
+            &f,
+            &place_map(&[(u, ca), (w1, cb), (w2, cb), (w3, cb)]),
+            &[],
+        );
+        // One recv for the distance-0 consumers, one for the carried one.
+        assert_eq!(fp.num_recvs(), 2);
+        assert!(fp.recv_nodes.contains_key(&(u, cb, 0)));
+        assert!(fp.recv_nodes.contains_key(&(u, cb, 1)));
+        // Cross-set hop count: 2·(3−0)−1 = 5 transport hops.
+        let r = fp.recv_nodes[&(u, cb, 0)];
+        let (_, e_rw) = fp.ddg.pred_edges(w1).next().unwrap();
+        assert_eq!(e_rw.src, r);
+        assert_eq!(e_rw.latency, 5 * f.copy_latency);
+    }
+
+    #[test]
+    fn route_ops_materialise() {
+        let mut b = DdgBuilder::default();
+        let u = b.node(Opcode::Add);
+        let w = b.node(Opcode::Add);
+        b.flow(u, w);
+        let ddg = b.finish();
+        let f = DspFabric::standard(8, 8, 8);
+        let (ca, cb, cfwd) = (
+            f.cn_of_path(&[0, 0, 0]),
+            f.cn_of_path(&[1, 0, 0]),
+            f.cn_of_path(&[0, 1, 0]),
+        );
+        let fp = build_final_program(
+            &ddg,
+            &f,
+            &place_map(&[(u, ca), (w, cb)]),
+            &[(u, cfwd)],
+        );
+        assert_eq!(fp.route_nodes.len(), 1);
+        let (r, v) = fp.route_nodes[0];
+        assert_eq!(v, u);
+        assert_eq!(fp.ddg.node(r).op, Opcode::Route);
+        assert_eq!(fp.placement[r.index()], cfwd);
+    }
+
+    #[test]
+    #[should_panic(expected = "never placed")]
+    fn unplaced_node_panics() {
+        let mut b = DdgBuilder::default();
+        let u = b.node(Opcode::Add);
+        let _ = u;
+        let ddg = b.finish();
+        let f = DspFabric::standard(8, 8, 8);
+        build_final_program(&ddg, &f, &FxHashMap::default(), &[]);
+    }
+}

@@ -1,0 +1,74 @@
+//! The hierarchical sub-problem (paper §4.1, Figure 8a).
+//!
+//! "Each sub-problem is fully described by a DDG, a Working Set (WS), a
+//! constrained PG and an Inter Level Interface (ILI), and it is identified
+//! by a unique sequence of indexes, representative of its level of nesting."
+
+use hca_arch::GroupPath;
+use hca_ddg::NodeId;
+use hca_pg::Ili;
+
+/// One node of the problem-decomposition tree.
+#[derive(Clone, Debug)]
+pub struct Subproblem {
+    /// The nesting indexes — `[]` for the root problem, `[0, 2]` for the
+    /// paper's "subproblem 0,2".
+    pub path: GroupPath,
+    /// The DDG nodes this sub-problem must assign.
+    pub working_set: Vec<NodeId>,
+    /// The interface to the father problem (empty at the root).
+    pub ili: Ili,
+}
+
+impl Subproblem {
+    /// The root problem: whole DDG, no parent interface.
+    pub fn root(working_set: Vec<NodeId>) -> Self {
+        Subproblem {
+            path: Vec::new(),
+            working_set,
+            ili: Ili::root(),
+        }
+    }
+
+    /// Hierarchy depth of this sub-problem (0 = root).
+    pub fn depth(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Human-readable problem id, e.g. `"0,2"` (root: `"⊤"`).
+    pub fn id(&self) -> String {
+        if self.path.is_empty() {
+            "⊤".to_string()
+        } else {
+            self.path
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_problem() {
+        let p = Subproblem::root(vec![NodeId(0), NodeId(1)]);
+        assert_eq!(p.depth(), 0);
+        assert_eq!(p.id(), "⊤");
+        assert!(p.ili.is_empty());
+    }
+
+    #[test]
+    fn nested_id() {
+        let p = Subproblem {
+            path: vec![0, 2],
+            working_set: vec![],
+            ili: Ili::root(),
+        };
+        assert_eq!(p.depth(), 2);
+        assert_eq!(p.id(), "0,2");
+    }
+}

@@ -1,0 +1,135 @@
+//! The RCP flow — ICA on the paper's *non-hierarchical* machine (§2.1).
+//!
+//! RCP needs no decomposition: its Pattern Graph is the ring's
+//! potential-connection graph and one SEE run is the whole cluster
+//! assignment. What remains is the §2.1-specific lowering: turn the real
+//! communication patterns into configured ring wires, check them against
+//! the machine's input-port budget (Figure 1b's feasibility), and verify
+//! flow conservation.
+
+use hca_arch::Rcp;
+use hca_ddg::{Ddg, DdgAnalysis, NodeId};
+use hca_pg::{ArchConstraints, AssignedPg, Pg, PgNodeKind};
+use hca_see::{See, SeeConfig, SeeError};
+use rustc_hash::FxHashMap;
+
+/// Result of the RCP flow.
+#[derive(Clone, Debug)]
+pub struct RcpResult {
+    /// The assigned Pattern Graph.
+    pub assigned: AssignedPg,
+    /// Configured ring wires `(src cluster, dst cluster)`, deduplicated.
+    pub wires: Vec<(usize, usize)>,
+    /// Estimated MII of the assignment.
+    pub est_mii: u32,
+    /// Did the configured wires pass [`Rcp::check_topology`] and flow
+    /// conservation?
+    pub legal: bool,
+    /// Any legality diagnostics.
+    pub diagnostics: Vec<String>,
+}
+
+/// Map `ddg` onto an RCP ring.
+pub fn run_rcp(ddg: &Ddg, rcp: &Rcp, config: SeeConfig) -> Result<RcpResult, SeeError> {
+    let analysis = DdgAnalysis::compute(ddg).map_err(|_| SeeError::NoCandidates {
+        node: NodeId(0),
+    })?;
+    let pg = Pg::from_rcp(rcp);
+    let constraints = ArchConstraints::for_rcp(rcp);
+    let see = See::new(ddg, &analysis, &pg, constraints, config);
+    let outcome = see.run(None)?;
+
+    // Lower real patterns to ring wires.
+    let member: FxHashMap<_, _> = outcome
+        .assigned
+        .pg
+        .cluster_ids()
+        .map(|c| (c, outcome.assigned.pg.member_of(c)))
+        .collect();
+    let mut wires: Vec<(usize, usize)> = outcome
+        .assigned
+        .copies
+        .iter()
+        .filter(|(_, vs)| !vs.is_empty())
+        .filter_map(|(&(s, d), _)| {
+            match (
+                outcome.assigned.pg.node(s).kind.clone(),
+                outcome.assigned.pg.node(d).kind.clone(),
+            ) {
+                (PgNodeKind::Cluster { .. }, PgNodeKind::Cluster { .. }) => {
+                    Some((member[&s], member[&d]))
+                }
+                _ => None,
+            }
+        })
+        .collect();
+    wires.sort_unstable();
+    wires.dedup();
+
+    let mut diagnostics = Vec::new();
+    if let Err(e) = rcp.check_topology(&wires) {
+        diagnostics.push(e);
+    }
+    let ws: Vec<NodeId> = ddg.node_ids().collect();
+    diagnostics.extend(outcome.assigned.check_flow(ddg, &ws));
+    Ok(RcpResult {
+        est_mii: outcome.est_mii,
+        legal: diagnostics.is_empty(),
+        assigned: outcome.assigned,
+        wires,
+        diagnostics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hca_ddg::{DdgBuilder, Opcode};
+
+    fn stream_kernel(chains: usize) -> Ddg {
+        let mut b = DdgBuilder::default();
+        for _ in 0..chains {
+            let p = b.node(Opcode::AddrAdd);
+            b.carried(p, p, 1);
+            let x = b.op_with(Opcode::Load, &[p]);
+            let y = b.op_with(Opcode::Mul, &[x]);
+            let z = b.op_with(Opcode::Add, &[y]);
+            b.op_with(Opcode::Store, &[z, p]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn rcp_flow_is_legal_on_figure1_machine() {
+        let rcp = Rcp::figure1();
+        let res = run_rcp(&stream_kernel(3), &rcp, SeeConfig::default()).unwrap();
+        assert!(res.legal, "{:?}", res.diagnostics);
+        // Every configured wire is a potential ring connection.
+        for &(s, d) in &res.wires {
+            assert!(rcp.can_connect(s, d), "{s}->{d}");
+        }
+    }
+
+    #[test]
+    fn heterogeneity_respected() {
+        // Memory ops land only on memory-capable (even) clusters.
+        let rcp = Rcp::figure1();
+        let ddg = stream_kernel(4);
+        let res = run_rcp(&ddg, &rcp, SeeConfig::default()).unwrap();
+        for n in ddg.node_ids() {
+            if ddg.node(n).op.is_memory() {
+                let c = res.assigned.cluster_of(n).unwrap();
+                let m = res.assigned.pg.member_of(c);
+                assert!(rcp.mem_capable[m], "{n} on non-memory cluster {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn homogeneous_ring_takes_wide_kernels() {
+        let rcp = Rcp::new(8, 2, 2, |_| true);
+        let res = run_rcp(&stream_kernel(8), &rcp, SeeConfig::default()).unwrap();
+        assert!(res.legal, "{:?}", res.diagnostics);
+        assert!(res.est_mii >= 4, "8 chains × 4+ ops on 8 clusters");
+    }
+}

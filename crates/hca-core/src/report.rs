@@ -1,0 +1,93 @@
+//! Table-1 style reporting.
+
+use crate::driver::HcaResult;
+use hca_ddg::Ddg;
+use serde::Serialize;
+use std::fmt;
+
+/// One row of the paper's Table 1: "HCA test on four multimedia application
+/// loops".
+#[derive(Clone, Debug, Serialize)]
+pub struct Table1Row {
+    /// Loop name.
+    pub loop_name: String,
+    /// `N_Instr`: instruction count of the source DDG.
+    pub n_instr: usize,
+    /// `MIIRec`.
+    pub mii_rec: u32,
+    /// `MIIRes` (unified machine).
+    pub mii_res: u32,
+    /// "Legal clusterization".
+    pub legal: bool,
+    /// `Final MII`.
+    pub final_mii: u32,
+}
+
+impl Table1Row {
+    /// Build the row from a finished HCA run.
+    pub fn from_result(name: impl Into<String>, ddg: &Ddg, result: &HcaResult) -> Self {
+        Table1Row {
+            loop_name: name.into(),
+            n_instr: ddg.num_nodes(),
+            mii_rec: result.mii.mii_rec,
+            mii_res: result.mii.mii_res,
+            legal: result.is_legal(),
+            final_mii: result.mii.final_mii,
+        }
+    }
+
+    /// Render a set of rows as the paper's table.
+    pub fn render_table(rows: &[Table1Row]) -> String {
+        let mut s = String::new();
+        s.push_str(
+            "| Loop | N_Instr | MIIRec | MIIRes | Legal clusterization | Final MII |\n",
+        );
+        s.push_str("|---|---|---|---|---|---|\n");
+        for r in rows {
+            s.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} |\n",
+                r.loop_name,
+                r.n_instr,
+                r.mii_rec,
+                r.mii_res,
+                if r.legal { "yes" } else { "no" },
+                r.final_mii
+            ));
+        }
+        s
+    }
+}
+
+impl fmt::Display for Table1Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} {:>7} {:>6} {:>6} {:>5} {:>9}",
+            self.loop_name,
+            self.n_instr,
+            self.mii_rec,
+            self.mii_res,
+            if self.legal { "yes" } else { "no" },
+            self.final_mii
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown_table() {
+        let rows = vec![Table1Row {
+            loop_name: "fir2dim".into(),
+            n_instr: 57,
+            mii_rec: 3,
+            mii_res: 2,
+            legal: true,
+            final_mii: 3,
+        }];
+        let t = Table1Row::render_table(&rows);
+        assert!(t.contains("| fir2dim | 57 | 3 | 2 | yes | 3 |"), "{t}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Ergonomic DDG construction.
+//!
+//! `DdgBuilder` wires latencies automatically from a [`LatencyModel`]: an edge
+//! from producer `p` gets `model.of(op(p))` unless overridden. This keeps the
+//! kernel builders in `hca-kernels` declarative — they state *dataflow*, the
+//! builder states *timing*.
+
+use crate::graph::{Ddg, EdgeId, NodeId};
+use crate::op::{LatencyModel, Opcode};
+
+/// Builder for [`Ddg`] with automatic latency assignment.
+#[derive(Clone, Debug)]
+pub struct DdgBuilder {
+    ddg: Ddg,
+    model: LatencyModel,
+}
+
+impl Default for DdgBuilder {
+    fn default() -> Self {
+        Self::new(LatencyModel::default())
+    }
+}
+
+impl DdgBuilder {
+    /// Builder using the given latency model.
+    pub fn new(model: LatencyModel) -> Self {
+        DdgBuilder {
+            ddg: Ddg::new(),
+            model,
+        }
+    }
+
+    /// The latency model in use.
+    pub fn model(&self) -> &LatencyModel {
+        &self.model
+    }
+
+    /// Add an unnamed node.
+    pub fn node(&mut self, op: Opcode) -> NodeId {
+        self.ddg.add_node(op, None)
+    }
+
+    /// Add a named node.
+    pub fn named(&mut self, op: Opcode, name: impl Into<String>) -> NodeId {
+        self.ddg.add_node(op, Some(name.into()))
+    }
+
+    /// Add an intra-iteration flow edge; latency taken from the model.
+    pub fn flow(&mut self, src: NodeId, dst: NodeId) -> EdgeId {
+        let lat = self.model.of(self.ddg.node(src).op);
+        self.ddg.add_edge(src, dst, lat, 0)
+    }
+
+    /// Add a loop-carried edge with the given iteration distance.
+    pub fn carried(&mut self, src: NodeId, dst: NodeId, distance: u32) -> EdgeId {
+        assert!(distance > 0, "carried edge needs distance ≥ 1");
+        let lat = self.model.of(self.ddg.node(src).op);
+        self.ddg.add_edge(src, dst, lat, distance)
+    }
+
+    /// Add an edge with explicit latency and distance.
+    pub fn edge(&mut self, src: NodeId, dst: NodeId, latency: u32, distance: u32) -> EdgeId {
+        self.ddg.add_edge(src, dst, latency, distance)
+    }
+
+    /// Convenience: node with flow edges from every listed operand.
+    pub fn op_with(&mut self, op: Opcode, operands: &[NodeId]) -> NodeId {
+        let n = self.node(op);
+        for &src in operands {
+            self.flow(src, n);
+        }
+        n
+    }
+
+    /// Convenience: a left-to-right reduction tree (binary) of `op` over the
+    /// inputs; returns the root. Panics on empty input; a single input is
+    /// returned unchanged.
+    ///
+    /// A balanced tree keeps the critical path logarithmic — what a real
+    /// front-end would emit for an associative reduction.
+    pub fn reduce_tree(&mut self, op: Opcode, inputs: &[NodeId]) -> NodeId {
+        assert!(!inputs.is_empty(), "reduce_tree over no inputs");
+        let mut layer: Vec<NodeId> = inputs.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                if let [a, b] = *pair {
+                    next.push(self.op_with(op, &[a, b]));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// Convenience: a serial accumulation chain `acc = op(acc, x)` over the
+    /// inputs, starting from `init`; returns the final accumulator.
+    pub fn reduce_chain(&mut self, op: Opcode, init: NodeId, inputs: &[NodeId]) -> NodeId {
+        let mut acc = init;
+        for &x in inputs {
+            acc = self.op_with(op, &[acc, x]);
+        }
+        acc
+    }
+
+    /// Finish and return the graph.
+    pub fn finish(self) -> Ddg {
+        self.ddg
+    }
+
+    /// Read-only access to the graph under construction.
+    pub fn graph(&self) -> &Ddg {
+        &self.ddg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{LatencyModel, Opcode};
+
+    #[test]
+    fn flow_edges_take_producer_latency() {
+        let mut b = DdgBuilder::default();
+        let ld = b.node(Opcode::Load);
+        let add = b.node(Opcode::Add);
+        let e = b.flow(ld, add);
+        let g = b.finish();
+        assert_eq!(g.edge(e).latency, LatencyModel::default().load);
+        assert_eq!(g.edge(e).distance, 0);
+    }
+
+    #[test]
+    fn carried_edges_keep_distance() {
+        let mut b = DdgBuilder::default();
+        let x = b.node(Opcode::Mac);
+        let e = b.carried(x, x, 2);
+        let g = b.finish();
+        assert_eq!(g.edge(e).distance, 2);
+        assert_eq!(g.edge(e).latency, 2); // mac = mul path
+    }
+
+    #[test]
+    #[should_panic(expected = "distance")]
+    fn carried_rejects_zero_distance() {
+        let mut b = DdgBuilder::default();
+        let x = b.node(Opcode::Add);
+        b.carried(x, x, 0);
+    }
+
+    #[test]
+    fn op_with_wires_all_operands() {
+        let mut b = DdgBuilder::default();
+        let x = b.node(Opcode::Const);
+        let y = b.node(Opcode::Const);
+        let s = b.op_with(Opcode::Add, &[x, y]);
+        let g = b.finish();
+        assert_eq!(g.in_degree(s), 2);
+        assert_eq!(g.preds(s).collect::<Vec<_>>(), vec![x, y]);
+    }
+
+    #[test]
+    fn reduce_tree_is_logarithmic() {
+        let mut b = DdgBuilder::new(LatencyModel::unit());
+        let leaves: Vec<_> = (0..8).map(|_| b.node(Opcode::Const)).collect();
+        let root = b.reduce_tree(Opcode::Add, &leaves);
+        let g = b.finish();
+        // 8 leaves -> 7 internal adds; depth from any leaf to root is 3.
+        assert_eq!(g.num_nodes(), 15);
+        assert_eq!(g.in_degree(root), 2);
+        let adds = g.count_ops(|o| o == Opcode::Add);
+        assert_eq!(adds, 7);
+    }
+
+    #[test]
+    fn reduce_tree_odd_input_count() {
+        let mut b = DdgBuilder::default();
+        let leaves: Vec<_> = (0..5).map(|_| b.node(Opcode::Const)).collect();
+        b.reduce_tree(Opcode::Add, &leaves);
+        let g = b.finish();
+        assert_eq!(g.count_ops(|o| o == Opcode::Add), 4);
+    }
+
+    #[test]
+    fn reduce_tree_single_input_passthrough() {
+        let mut b = DdgBuilder::default();
+        let x = b.node(Opcode::Const);
+        let r = b.reduce_tree(Opcode::Add, &[x]);
+        assert_eq!(r, x);
+        assert_eq!(b.finish().num_nodes(), 1);
+    }
+
+    #[test]
+    fn reduce_chain_is_serial() {
+        let mut b = DdgBuilder::default();
+        let init = b.node(Opcode::Const);
+        let xs: Vec<_> = (0..4).map(|_| b.node(Opcode::Const)).collect();
+        let last = b.reduce_chain(Opcode::Add, init, &xs);
+        let g = b.finish();
+        assert_eq!(g.count_ops(|o| o == Opcode::Add), 4);
+        assert_eq!(g.in_degree(last), 2);
+        // The chain gives a linear path of 4 adds.
+        let mut depth = 0;
+        let mut cur = last;
+        while let Some(p) = g.preds(cur).find(|&p| g.node(p).op == Opcode::Add) {
+            depth += 1;
+            cur = p;
+        }
+        assert_eq!(depth, 3);
+    }
+}

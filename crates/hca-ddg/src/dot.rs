@@ -1,0 +1,87 @@
+//! Graphviz export of DDGs — used by the examples and handy when debugging
+//! clusterisations (nodes can be coloured per cluster).
+
+use crate::graph::{Ddg, NodeId};
+use std::fmt::Write as _;
+
+/// Render `ddg` in graphviz `dot` syntax.
+///
+/// `cluster_of` may return a cluster tag per node; nodes of the same tag get
+/// the same fill colour (cycled from a small palette) and the label shows the
+/// tag. Loop-carried edges are drawn dashed and annotated `[d=distance]`.
+pub fn to_dot(ddg: &Ddg, cluster_of: impl Fn(NodeId) -> Option<usize>) -> String {
+    const PALETTE: [&str; 8] = [
+        "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
+    ];
+    let mut s = String::new();
+    s.push_str("digraph ddg {\n  node [shape=box, style=filled, fillcolor=white];\n");
+    for n in ddg.node_ids() {
+        let node = ddg.node(n);
+        let label = match &node.name {
+            Some(name) => format!("{}\\n{}", node.op, name),
+            None => format!("{}\\n{}", node.op, n),
+        };
+        match cluster_of(n) {
+            Some(c) => {
+                let _ = writeln!(
+                    s,
+                    "  {} [label=\"{label}\\n@{c}\", fillcolor=\"{}\"];",
+                    n.0,
+                    PALETTE[c % PALETTE.len()]
+                );
+            }
+            None => {
+                let _ = writeln!(s, "  {} [label=\"{label}\"];", n.0);
+            }
+        }
+    }
+    for e in ddg.edges() {
+        if e.distance > 0 {
+            let _ = writeln!(
+                s,
+                "  {} -> {} [style=dashed, label=\"d={}\"];",
+                e.src.0, e.dst.0, e.distance
+            );
+        } else {
+            let _ = writeln!(s, "  {} -> {};", e.src.0, e.dst.0);
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DdgBuilder;
+    use crate::op::Opcode;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut b = DdgBuilder::default();
+        let x = b.named(Opcode::Load, "px");
+        let y = b.node(Opcode::Add);
+        b.flow(x, y);
+        b.carried(y, y, 1);
+        let g = b.finish();
+        let dot = to_dot(&g, |_| None);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("px"));
+        assert!(dot.contains("0 -> 1;"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("d=1"));
+    }
+
+    #[test]
+    fn dot_colors_clusters() {
+        let mut b = DdgBuilder::default();
+        let x = b.node(Opcode::Add);
+        let y = b.node(Opcode::Add);
+        b.flow(x, y);
+        let g = b.finish();
+        let dot = to_dot(&g, |n| Some(n.index()));
+        assert!(dot.contains("@0"));
+        assert!(dot.contains("@1"));
+        assert!(dot.contains("fillcolor=\"#a6cee3\""));
+    }
+}

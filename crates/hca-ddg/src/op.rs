@@ -1,0 +1,284 @@
+//! Instruction opcodes, resource classes and the latency model.
+//!
+//! The DSPFabric computation node (CN) of the paper is a single-issue
+//! pipelined machine exposing an ALU and an Address Generator (AG) towards
+//! the programmable DMA (§2.2, §4). Every DDG instruction therefore consumes
+//! one issue slot on its CN and, depending on its opcode, one ALU or one AG
+//! resource. Memory traffic itself does not travel on the inter-cluster
+//! network: an AG op posts a request to the DMA, whose port count bounds the
+//! number of *simultaneous* requests (8 in the paper's running example).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Coarse functional-unit class an instruction occupies on its cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ResourceClass {
+    /// Arithmetic/logic unit: every scalar computation.
+    Alu,
+    /// Address generator towards the programmable DMA (loads & stores).
+    AddrGen,
+    /// Inter-cluster receive primitive (occupies an issue slot only).
+    Receive,
+}
+
+impl fmt::Display for ResourceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceClass::Alu => write!(f, "ALU"),
+            ResourceClass::AddrGen => write!(f, "AG"),
+            ResourceClass::Receive => write!(f, "RCV"),
+        }
+    }
+}
+
+/// The operation performed by a DDG node.
+///
+/// The set mirrors what the multimedia kernels of the paper's evaluation
+/// (2-D FIR, IDCT, MPEG-2 interpolation, H.264 deblocking) actually need,
+/// plus the machine-inserted primitives (`Recv`, `Route`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Opcode {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Fused multiply-accumulate (`a*b + c`).
+    Mac,
+    /// Arithmetic/logic shift.
+    Shift,
+    /// Bitwise and/or/xor.
+    Logic,
+    /// Min/max selection (used by clipping and deblocking).
+    MinMax,
+    /// Saturating clip to a range (e.g. \[0,255\] pixel clamp).
+    Clip,
+    /// Absolute difference (`|a-b|`, deblocking threshold tests).
+    AbsDiff,
+    /// Compare producing a predicate.
+    Cmp,
+    /// Predicated select (`p ? a : b`).
+    Select,
+    /// Load from memory through the DMA (consumes an AG resource).
+    Load,
+    /// Store to memory through the DMA (consumes an AG resource).
+    Store,
+    /// Address computation feeding a Load/Store chain.
+    AddrAdd,
+    /// Constant / immediate materialisation.
+    Const,
+    /// Loop induction update (loop-carried by construction).
+    Induction,
+    /// Inter-cluster receive primitive inserted by the HCA post-pass (§4.1).
+    Recv,
+    /// Route-through copy inserted by the Route Allocator (§3, Fig. 6b):
+    /// an identity op whose only purpose is forwarding a value.
+    Route,
+}
+
+impl Opcode {
+    /// Functional-unit class this opcode occupies.
+    #[inline]
+    pub fn resource_class(self) -> ResourceClass {
+        match self {
+            Opcode::Load | Opcode::Store | Opcode::AddrAdd => ResourceClass::AddrGen,
+            Opcode::Recv => ResourceClass::Receive,
+            _ => ResourceClass::Alu,
+        }
+    }
+
+    /// True when the op posts a request to the programmable DMA.
+    #[inline]
+    pub fn is_memory(self) -> bool {
+        matches!(self, Opcode::Load | Opcode::Store)
+    }
+
+    /// True for primitives the toolchain inserts (never present in a source DDG).
+    #[inline]
+    pub fn is_machine_inserted(self) -> bool {
+        matches!(self, Opcode::Recv | Opcode::Route)
+    }
+
+    /// Short mnemonic for reports and graphviz dumps.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::Mul => "mul",
+            Opcode::Mac => "mac",
+            Opcode::Shift => "shf",
+            Opcode::Logic => "log",
+            Opcode::MinMax => "mnx",
+            Opcode::Clip => "clp",
+            Opcode::AbsDiff => "abd",
+            Opcode::Cmp => "cmp",
+            Opcode::Select => "sel",
+            Opcode::Load => "ld",
+            Opcode::Store => "st",
+            Opcode::AddrAdd => "agu",
+            Opcode::Const => "cst",
+            Opcode::Induction => "ind",
+            Opcode::Recv => "rcv",
+            Opcode::Route => "rt",
+        }
+    }
+
+    /// All opcodes a *source* DDG may contain (excludes machine-inserted ones).
+    pub fn source_opcodes() -> &'static [Opcode] {
+        &[
+            Opcode::Add,
+            Opcode::Sub,
+            Opcode::Mul,
+            Opcode::Mac,
+            Opcode::Shift,
+            Opcode::Logic,
+            Opcode::MinMax,
+            Opcode::Clip,
+            Opcode::AbsDiff,
+            Opcode::Cmp,
+            Opcode::Select,
+            Opcode::Load,
+            Opcode::Store,
+            Opcode::AddrAdd,
+            Opcode::Const,
+            Opcode::Induction,
+        ]
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Per-opcode producer latency: cycles after issue at which the result is
+/// available to a same-cluster consumer.
+///
+/// The defaults encode the assumptions documented in `DESIGN.md` §2: single
+/// cycle ALU, 2-cycle multiplier path, 8-cycle DMA load (FIFO-buffered).
+/// Inter-cluster transport adds its own delay on top (the copy latency,
+/// owned by the architecture model, not by this table).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Simple ALU operations (add/sub/shift/logic/minmax/clip/cmp/select/absdiff).
+    pub alu: u32,
+    /// Multiplier path (mul, mac).
+    pub mul: u32,
+    /// DMA load round-trip as seen by the consumer of the loaded value.
+    pub load: u32,
+    /// Store: latency towards dependent ops (memory ordering edges).
+    pub store: u32,
+    /// Address generation.
+    pub addr: u32,
+    /// Constant materialisation.
+    pub konst: u32,
+    /// Receive primitive: cycles between issue of `rcv` and availability of
+    /// the value in the input buffer region of the register file.
+    pub recv: u32,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            alu: 1,
+            mul: 2,
+            load: 8,
+            store: 1,
+            addr: 1,
+            konst: 1,
+            recv: 1,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Latency of `op`'s produced value.
+    #[inline]
+    pub fn of(&self, op: Opcode) -> u32 {
+        match op {
+            Opcode::Mul | Opcode::Mac => self.mul,
+            Opcode::Load => self.load,
+            Opcode::Store => self.store,
+            Opcode::AddrAdd => self.addr,
+            Opcode::Const => self.konst,
+            Opcode::Recv => self.recv,
+            Opcode::Route => self.alu,
+            _ => self.alu,
+        }
+    }
+
+    /// A unit-latency model: useful in tests where latency arithmetic must be
+    /// easy to check by hand.
+    pub fn unit() -> Self {
+        LatencyModel {
+            alu: 1,
+            mul: 1,
+            load: 1,
+            store: 1,
+            addr: 1,
+            konst: 1,
+            recv: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_classes_are_consistent() {
+        assert_eq!(Opcode::Add.resource_class(), ResourceClass::Alu);
+        assert_eq!(Opcode::Mac.resource_class(), ResourceClass::Alu);
+        assert_eq!(Opcode::Load.resource_class(), ResourceClass::AddrGen);
+        assert_eq!(Opcode::Store.resource_class(), ResourceClass::AddrGen);
+        assert_eq!(Opcode::AddrAdd.resource_class(), ResourceClass::AddrGen);
+        assert_eq!(Opcode::Recv.resource_class(), ResourceClass::Receive);
+    }
+
+    #[test]
+    fn memory_ops_flagged() {
+        assert!(Opcode::Load.is_memory());
+        assert!(Opcode::Store.is_memory());
+        assert!(!Opcode::AddrAdd.is_memory());
+        assert!(!Opcode::Mac.is_memory());
+    }
+
+    #[test]
+    fn machine_inserted_ops_not_in_source_set() {
+        for &op in Opcode::source_opcodes() {
+            assert!(!op.is_machine_inserted(), "{op} is machine-inserted");
+        }
+        assert!(Opcode::Recv.is_machine_inserted());
+        assert!(Opcode::Route.is_machine_inserted());
+    }
+
+    #[test]
+    fn default_latencies() {
+        let m = LatencyModel::default();
+        assert_eq!(m.of(Opcode::Add), 1);
+        assert_eq!(m.of(Opcode::Mul), 2);
+        assert_eq!(m.of(Opcode::Mac), 2);
+        assert_eq!(m.of(Opcode::Load), 8);
+        assert_eq!(m.of(Opcode::Recv), 1);
+    }
+
+    #[test]
+    fn unit_model_is_all_ones() {
+        let m = LatencyModel::unit();
+        for &op in Opcode::source_opcodes() {
+            assert_eq!(m.of(op), 1, "{op}");
+        }
+    }
+
+    #[test]
+    fn mnemonics_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &op in Opcode::source_opcodes() {
+            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op.mnemonic());
+        }
+    }
+}

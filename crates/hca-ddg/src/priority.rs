@@ -1,0 +1,235 @@
+//! Priority lists for the Space Exploration Engine.
+//!
+//! The SEE (paper §3) "picks a new DDG node at each step from a priority list
+//! of unassigned ones". The order matters a great deal for beam-search
+//! quality; this module provides the classical choices so that the ablation
+//! benches (`DESIGN.md` A2) can compare them.
+
+use crate::analysis::DdgAnalysis;
+use crate::graph::{Ddg, NodeId};
+
+/// Which static order the SEE consumes unassigned nodes in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PriorityPolicy {
+    /// Decreasing ASAP depth ties broken by height: roughly source-to-sink
+    /// dataflow order. The default — keeps the exploration frontier local,
+    /// which is what makes a limited beam effective.
+    DataflowOrder,
+    /// Decreasing height (distance to sink): critical-path first.
+    HeightFirst,
+    /// Increasing slack: critical nodes first, independent ones later.
+    SlackFirst,
+    /// Decreasing connectivity (total degree): hub nodes placed early.
+    ConnectivityFirst,
+    /// Decreasing count of operands produced *outside* the working set:
+    /// nodes that must bind scarce input ports to external wires are placed
+    /// while those ports are still free. Ties broken by dataflow order.
+    /// Particularly effective on leaf sub-problems of a hierarchical
+    /// machine, where every external operand claims one of a CN's two
+    /// input wires.
+    ExternalOperandsFirst,
+    /// Plain creation order (baseline for ablation).
+    CreationOrder,
+}
+
+impl PriorityPolicy {
+    /// All policies, for sweeps.
+    pub fn all() -> &'static [PriorityPolicy] {
+        &[
+            PriorityPolicy::DataflowOrder,
+            PriorityPolicy::HeightFirst,
+            PriorityPolicy::SlackFirst,
+            PriorityPolicy::ConnectivityFirst,
+            PriorityPolicy::ExternalOperandsFirst,
+            PriorityPolicy::CreationOrder,
+        ]
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PriorityPolicy::DataflowOrder => "dataflow",
+            PriorityPolicy::HeightFirst => "height",
+            PriorityPolicy::SlackFirst => "slack",
+            PriorityPolicy::ConnectivityFirst => "connectivity",
+            PriorityPolicy::ExternalOperandsFirst => "external-ops",
+            PriorityPolicy::CreationOrder => "creation",
+        }
+    }
+}
+
+/// A computed priority order over a set of nodes.
+#[derive(Clone, Debug)]
+pub struct PriorityOrder {
+    nodes: Vec<NodeId>,
+}
+
+impl PriorityOrder {
+    /// Order the nodes of `working_set` (or the whole DDG when `None`)
+    /// according to `policy`.
+    ///
+    /// All orders are made deterministic by a final `NodeId` tie-break.
+    pub fn compute(
+        ddg: &Ddg,
+        analysis: &DdgAnalysis,
+        working_set: Option<&[NodeId]>,
+        policy: PriorityPolicy,
+    ) -> Self {
+        let mut nodes: Vec<NodeId> = match working_set {
+            Some(ws) => ws.to_vec(),
+            None => ddg.node_ids().collect(),
+        };
+        let lv = &analysis.levels;
+        match policy {
+            PriorityPolicy::DataflowOrder => {
+                nodes.sort_by_key(|&n| {
+                    (
+                        lv.asap[n.index()],
+                        u32::MAX - lv.height[n.index()],
+                        n.0,
+                    )
+                });
+            }
+            PriorityPolicy::HeightFirst => {
+                nodes.sort_by_key(|&n| (u32::MAX - lv.height[n.index()], n.0));
+            }
+            PriorityPolicy::SlackFirst => {
+                nodes.sort_by_key(|&n| (lv.slack(n), lv.asap[n.index()], n.0));
+            }
+            PriorityPolicy::ConnectivityFirst => {
+                nodes.sort_by_key(|&n| {
+                    let deg = ddg.in_degree(n) + ddg.out_degree(n);
+                    (usize::MAX - deg, n.index())
+                });
+            }
+            PriorityPolicy::ExternalOperandsFirst => {
+                let in_ws: rustc_hash::FxHashSet<NodeId> = nodes.iter().copied().collect();
+                nodes.sort_by_key(|&n| {
+                    let ext = ddg
+                        .pred_edges(n)
+                        .filter(|(_, e)| !in_ws.contains(&e.src))
+                        .count();
+                    (usize::MAX - ext, lv.asap[n.index()] as usize, n.index())
+                });
+            }
+            PriorityPolicy::CreationOrder => nodes.sort_by_key(|&n| n.0),
+        }
+        PriorityOrder { nodes }
+    }
+
+    /// The ordered node list.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DdgBuilder;
+    use crate::op::{LatencyModel, Opcode};
+
+    fn chain_and_leaf() -> (Ddg, [NodeId; 4]) {
+        // a -> b -> c, plus isolated leaf d
+        let mut bl = DdgBuilder::new(LatencyModel::unit());
+        let a = bl.node(Opcode::Add);
+        let b = bl.node(Opcode::Add);
+        let c = bl.node(Opcode::Add);
+        let d = bl.node(Opcode::Add);
+        bl.flow(a, b);
+        bl.flow(b, c);
+        (bl.finish(), [a, b, c, d])
+    }
+
+    #[test]
+    fn dataflow_order_is_topological() {
+        let (g, [a, b, c, _]) = chain_and_leaf();
+        let an = DdgAnalysis::compute(&g).unwrap();
+        let ord = PriorityOrder::compute(&g, &an, None, PriorityPolicy::DataflowOrder);
+        let pos = |n: NodeId| ord.nodes().iter().position(|&x| x == n).unwrap();
+        assert!(pos(a) < pos(b));
+        assert!(pos(b) < pos(c));
+    }
+
+    #[test]
+    fn height_first_puts_chain_head_first() {
+        let (g, [a, _, c, d]) = chain_and_leaf();
+        let an = DdgAnalysis::compute(&g).unwrap();
+        let ord = PriorityOrder::compute(&g, &an, None, PriorityPolicy::HeightFirst);
+        assert_eq!(ord.nodes()[0], a); // height 2
+        let pos = |n: NodeId| ord.nodes().iter().position(|&x| x == n).unwrap();
+        assert!(pos(c) <= 3 && pos(d) <= 3);
+    }
+
+    #[test]
+    fn slack_first_puts_critical_path_first() {
+        let (g, [_, _, _, d]) = chain_and_leaf();
+        let an = DdgAnalysis::compute(&g).unwrap();
+        let ord = PriorityOrder::compute(&g, &an, None, PriorityPolicy::SlackFirst);
+        // d has maximal slack (it floats freely), so it must come last.
+        assert_eq!(*ord.nodes().last().unwrap(), d);
+    }
+
+    #[test]
+    fn connectivity_first_puts_hub_first() {
+        let (g, [_, b, _, _]) = chain_and_leaf();
+        let an = DdgAnalysis::compute(&g).unwrap();
+        let ord = PriorityOrder::compute(&g, &an, None, PriorityPolicy::ConnectivityFirst);
+        assert_eq!(ord.nodes()[0], b); // degree 2
+    }
+
+    #[test]
+    fn working_set_restricts_order() {
+        let (g, [a, _, c, _]) = chain_and_leaf();
+        let an = DdgAnalysis::compute(&g).unwrap();
+        let ord =
+            PriorityOrder::compute(&g, &an, Some(&[c, a]), PriorityPolicy::CreationOrder);
+        assert_eq!(ord.nodes(), &[a, c]);
+    }
+
+    #[test]
+    fn external_operands_first() {
+        // b and c consume the external value a; d is internal-only.
+        let mut bl = DdgBuilder::new(LatencyModel::unit());
+        let a = bl.node(Opcode::Add); // external (not in WS)
+        let b = bl.node(Opcode::Add);
+        let c = bl.node(Opcode::Add);
+        let d = bl.node(Opcode::Add);
+        bl.flow(a, b);
+        bl.flow(a, c);
+        bl.flow(b, d);
+        let g = bl.finish();
+        let an = DdgAnalysis::compute(&g).unwrap();
+        let ord = PriorityOrder::compute(
+            &g,
+            &an,
+            Some(&[b, c, d]),
+            PriorityPolicy::ExternalOperandsFirst,
+        );
+        let pos = |n: NodeId| ord.nodes().iter().position(|&x| x == n).unwrap();
+        assert!(pos(b) < pos(d));
+        assert!(pos(c) < pos(d));
+    }
+
+    #[test]
+    fn all_policies_are_permutations() {
+        let (g, _) = chain_and_leaf();
+        let an = DdgAnalysis::compute(&g).unwrap();
+        for &p in PriorityPolicy::all() {
+            let ord = PriorityOrder::compute(&g, &an, None, p);
+            let mut ids: Vec<u32> = ord.nodes().iter().map(|n| n.0).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, vec![0, 1, 2, 3], "policy {}", p.name());
+        }
+    }
+}

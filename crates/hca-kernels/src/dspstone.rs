@@ -1,0 +1,340 @@
+//! Extra DSPstone-style kernels beyond the four Table-1 loops — used by the
+//! extended benches and examples (the paper's intro motivates exactly this
+//! class of loop bodies).
+
+use hca_ddg::{Ddg, DdgBuilder, Opcode};
+
+/// 1-D FIR filter, `taps` taps: serial MAC accumulation over a delay line
+/// kept in rotating registers (distance-1 reuse), one load and one store per
+/// iteration.
+pub fn fir(taps: usize) -> Ddg {
+    assert!(taps >= 1);
+    let mut b = DdgBuilder::default();
+    let in_ptr = b.named(Opcode::AddrAdd, "in_ptr++");
+    b.carried(in_ptr, in_ptr, 1);
+    let x0 = b.op_with(Opcode::Load, &[in_ptr]);
+    // Delay line: x[k] of this iteration is x[k−1] of the next.
+    let mut prods = Vec::with_capacity(taps);
+    for k in 0..taps {
+        let coef = b.named(Opcode::Const, format!("h{k}"));
+        let p = b.node(Opcode::Mul);
+        b.flow(coef, p);
+        if k == 0 {
+            b.flow(x0, p);
+        } else {
+            // Sample from k iterations ago.
+            b.edge(x0, p, 8, k as u32);
+        }
+        prods.push(p);
+    }
+    let sum = b.reduce_tree(Opcode::Add, &prods);
+    let out_ptr = b.named(Opcode::AddrAdd, "out_ptr++");
+    b.carried(out_ptr, out_ptr, 1);
+    b.op_with(Opcode::Store, &[sum, out_ptr]);
+    b.finish()
+}
+
+/// `n×n` matrix–vector product row: `y[i] = Σ_j a[i][j]·x[j]` fully
+/// unrolled over `j` — a wide, reduction-heavy body.
+pub fn matvec_row(n: usize) -> Ddg {
+    assert!(n >= 1);
+    let mut b = DdgBuilder::default();
+    let row_ptr = b.named(Opcode::AddrAdd, "row_ptr++");
+    b.carried(row_ptr, row_ptr, 1);
+    let mut prods = Vec::with_capacity(n);
+    let mut addr = row_ptr;
+    for j in 0..n {
+        if j > 0 {
+            addr = b.op_with(Opcode::AddrAdd, &[addr]);
+        }
+        let a = b.op_with(Opcode::Load, &[addr]);
+        let x = b.named(Opcode::Const, format!("x{j}")); // x[] pinned in registers
+        prods.push(b.op_with(Opcode::Mul, &[a, x]));
+    }
+    let sum = b.reduce_tree(Opcode::Add, &prods);
+    let out = b.named(Opcode::AddrAdd, "y_ptr++");
+    b.carried(out, out, 1);
+    b.op_with(Opcode::Store, &[sum, out]);
+    b.finish()
+}
+
+/// Biquad IIR section: the classical two-pole/two-zero filter whose output
+/// recurrence (`y` feeds back over one and two iterations through a
+/// multiply) makes MIIRec latency-bound rather than resource-bound.
+pub fn biquad() -> Ddg {
+    let mut b = DdgBuilder::default();
+    let in_ptr = b.named(Opcode::AddrAdd, "in_ptr++");
+    b.carried(in_ptr, in_ptr, 1);
+    let x = b.op_with(Opcode::Load, &[in_ptr]);
+    let (b0, b1, b2, a1, a2) = (
+        b.named(Opcode::Const, "b0"),
+        b.named(Opcode::Const, "b1"),
+        b.named(Opcode::Const, "b2"),
+        b.named(Opcode::Const, "a1"),
+        b.named(Opcode::Const, "a2"),
+    );
+    let fx0 = b.op_with(Opcode::Mul, &[x, b0]);
+    let fx1 = b.node(Opcode::Mul); // x[n−1]·b1
+    b.flow(b1, fx1);
+    b.edge(x, fx1, 8, 1);
+    let fx2 = b.node(Opcode::Mul); // x[n−2]·b2
+    b.flow(b2, fx2);
+    b.edge(x, fx2, 8, 2);
+    let fwd0 = b.op_with(Opcode::Add, &[fx0, fx1]);
+    let fwd = b.op_with(Opcode::Add, &[fwd0, fx2]);
+    // Feedback half: y[n] = fwd − a1·y[n−1] − a2·y[n−2].
+    let fy1 = b.node(Opcode::Mul);
+    b.flow(a1, fy1);
+    let fy2 = b.node(Opcode::Mul);
+    b.flow(a2, fy2);
+    let part = b.op_with(Opcode::Sub, &[fwd, fy1]);
+    let y = b.op_with(Opcode::Sub, &[part, fy2]);
+    b.carried(y, fy1, 1);
+    b.carried(y, fy2, 2);
+    let out_ptr = b.named(Opcode::AddrAdd, "out_ptr++");
+    b.carried(out_ptr, out_ptr, 1);
+    b.op_with(Opcode::Store, &[y, out_ptr]);
+    b.finish()
+}
+
+/// Dot product over two streamed vectors with a carried accumulator —
+/// DSPstone's `dot_product`, the smallest reduction loop.
+pub fn dot_product() -> Ddg {
+    let mut b = DdgBuilder::default();
+    let pa = b.named(Opcode::AddrAdd, "a_ptr++");
+    b.carried(pa, pa, 1);
+    let pb = b.named(Opcode::AddrAdd, "b_ptr++");
+    b.carried(pb, pb, 1);
+    let a = b.op_with(Opcode::Load, &[pa]);
+    let x = b.op_with(Opcode::Load, &[pb]);
+    let acc = b.op_with(Opcode::Mac, &[a, x]);
+    b.carried(acc, acc, 1);
+    let out = b.named(Opcode::AddrAdd, "out_ptr++");
+    b.carried(out, out, 1);
+    b.op_with(Opcode::Store, &[acc, out]);
+    b.finish()
+}
+
+/// DSPstone `n_real_updates`: `d[i] = c[i] + a[i]·b[i]`, `n` updates per
+/// iteration — pure width, no recurrences beyond the pointers.
+pub fn n_real_updates(n: usize) -> Ddg {
+    assert!(n >= 1);
+    let mut b = DdgBuilder::default();
+    for i in 0..n {
+        let pa = b.named(Opcode::AddrAdd, format!("a{i}++"));
+        b.carried(pa, pa, 1);
+        let pb = b.named(Opcode::AddrAdd, format!("b{i}++"));
+        b.carried(pb, pb, 1);
+        let pc = b.named(Opcode::AddrAdd, format!("c{i}++"));
+        b.carried(pc, pc, 1);
+        let a = b.op_with(Opcode::Load, &[pa]);
+        let x = b.op_with(Opcode::Load, &[pb]);
+        let c = b.op_with(Opcode::Load, &[pc]);
+        let prod = b.op_with(Opcode::Mul, &[a, x]);
+        let d = b.op_with(Opcode::Add, &[c, prod]);
+        let pd = b.named(Opcode::AddrAdd, format!("d{i}++"));
+        b.carried(pd, pd, 1);
+        b.op_with(Opcode::Store, &[d, pd]);
+    }
+    b.finish()
+}
+
+/// DSPstone `convolution`: like [`fir`] but both operands streamed from
+/// memory (signal and kernel), doubling the load pressure.
+pub fn convolution(taps: usize) -> Ddg {
+    assert!(taps >= 1);
+    let mut b = DdgBuilder::default();
+    let px = b.named(Opcode::AddrAdd, "x_ptr++");
+    b.carried(px, px, 1);
+    let ph = b.named(Opcode::AddrAdd, "h_ptr");
+    b.carried(ph, ph, 1);
+    let x0 = b.op_with(Opcode::Load, &[px]);
+    let mut prods = Vec::with_capacity(taps);
+    let mut haddr = ph;
+    for k in 0..taps {
+        if k > 0 {
+            haddr = b.op_with(Opcode::AddrAdd, &[haddr]);
+        }
+        let h = b.op_with(Opcode::Load, &[haddr]);
+        let p = b.node(Opcode::Mul);
+        b.flow(h, p);
+        if k == 0 {
+            b.flow(x0, p);
+        } else {
+            b.edge(x0, p, 8, k as u32); // delay line via rotating registers
+        }
+        prods.push(p);
+    }
+    let sum = b.reduce_tree(Opcode::Add, &prods);
+    let out = b.named(Opcode::AddrAdd, "y_ptr++");
+    b.carried(out, out, 1);
+    b.op_with(Opcode::Store, &[sum, out]);
+    b.finish()
+}
+
+/// LMS adaptive filter step: FIR output plus per-tap coefficient update
+/// `h[k] += µ·e·x[k]` — the coefficient recurrences (load→mac→store would
+/// be memory-carried; we keep coefficients in rotating registers, so each
+/// tap carries its own mac recurrence).
+pub fn lms(taps: usize) -> Ddg {
+    assert!(taps >= 1);
+    let mut b = DdgBuilder::default();
+    let px = b.named(Opcode::AddrAdd, "x_ptr++");
+    b.carried(px, px, 1);
+    let x0 = b.op_with(Opcode::Load, &[px]);
+    // FIR half with register-resident coefficients.
+    let mut taps_out = Vec::with_capacity(taps);
+    let mut coeffs = Vec::with_capacity(taps);
+    for k in 0..taps {
+        // Coefficient register: updated every iteration (see below).
+        let h = b.named(Opcode::Add, format!("h{k}'"));
+        coeffs.push(h);
+        let p = b.node(Opcode::Mul);
+        b.carried(h, p, 1); // reads last iteration's coefficient
+        if k == 0 {
+            b.flow(x0, p);
+        } else {
+            b.edge(x0, p, 8, k as u32);
+        }
+        taps_out.push(p);
+    }
+    let y = b.reduce_tree(Opcode::Add, &taps_out);
+    // Error against the streamed desired signal.
+    let pd = b.named(Opcode::AddrAdd, "d_ptr++");
+    b.carried(pd, pd, 1);
+    let d = b.op_with(Opcode::Load, &[pd]);
+    let e = b.op_with(Opcode::Sub, &[d, y]);
+    let mu = b.named(Opcode::Const, "mu");
+    let mu_e = b.op_with(Opcode::Mul, &[mu, e]);
+    // Coefficient updates close the per-tap recurrences.
+    for (k, &h) in coeffs.iter().enumerate() {
+        let grad = b.node(Opcode::Mul);
+        b.flow(mu_e, grad);
+        if k == 0 {
+            b.flow(x0, grad);
+        } else {
+            b.edge(x0, grad, 8, k as u32);
+        }
+        // h' = h@1 + grad
+        b.carried(h, h, 1);
+        b.flow(grad, h);
+    }
+    let out = b.named(Opcode::AddrAdd, "y_ptr++");
+    b.carried(out, out, 1);
+    b.op_with(Opcode::Store, &[y, out]);
+    b.finish()
+}
+
+/// 1×3 matrix times 3×3 matrix (DSPstone `matrix1x3`): nine MACs with all
+/// matrix elements streamed.
+pub fn matrix1x3() -> Ddg {
+    let mut b = DdgBuilder::default();
+    let pv = b.named(Opcode::AddrAdd, "v_ptr");
+    b.carried(pv, pv, 1);
+    let mut vaddr = pv;
+    let mut v = Vec::new();
+    for k in 0..3 {
+        if k > 0 {
+            vaddr = b.op_with(Opcode::AddrAdd, &[vaddr]);
+        }
+        v.push(b.op_with(Opcode::Load, &[vaddr]));
+    }
+    let pm = b.named(Opcode::AddrAdd, "m_ptr");
+    b.carried(pm, pm, 1);
+    let mut maddr = pm;
+    let out_base = b.named(Opcode::AddrAdd, "out_ptr");
+    b.carried(out_base, out_base, 1);
+    let mut oaddr = out_base;
+    for col in 0..3 {
+        let mut prods = Vec::new();
+        for (row, &vr) in v.iter().enumerate() {
+            if !(col == 0 && row == 0) {
+                maddr = b.op_with(Opcode::AddrAdd, &[maddr]);
+            }
+            let m = b.op_with(Opcode::Load, &[maddr]);
+            prods.push(b.op_with(Opcode::Mul, &[vr, m]));
+        }
+        let sum = b.reduce_tree(Opcode::Add, &prods);
+        if col > 0 {
+            oaddr = b.op_with(Opcode::AddrAdd, &[oaddr]);
+        }
+        b.op_with(Opcode::Store, &[sum, oaddr]);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hca_ddg::analysis;
+
+    #[test]
+    fn fir_shape() {
+        let g = fir(8);
+        assert_eq!(g.count_ops(|o| o == Opcode::Mul), 8);
+        assert_eq!(g.count_ops(|o| o == Opcode::Add), 7);
+        assert_eq!(g.count_ops(|o| o.is_memory()), 2);
+        assert_eq!(analysis::mii_rec(&g).unwrap(), 1);
+    }
+
+    #[test]
+    fn matvec_scales() {
+        let g = matvec_row(16);
+        assert_eq!(g.count_ops(|o| o == Opcode::Mul), 16);
+        assert_eq!(g.count_ops(|o| o == Opcode::Load), 16);
+        assert!(analysis::intra_topo_order(&g).is_some());
+    }
+
+    #[test]
+    fn dot_product_shape() {
+        let g = dot_product();
+        assert_eq!(g.count_ops(|o| o == Opcode::Mac), 1);
+        assert_eq!(g.count_ops(|o| o.is_memory()), 3);
+        // mac self-recurrence: latency 2 over distance 1.
+        assert_eq!(analysis::mii_rec(&g).unwrap(), 2);
+    }
+
+    #[test]
+    fn n_real_updates_scales_width() {
+        let g = n_real_updates(4);
+        assert_eq!(g.count_ops(|o| o == Opcode::Mul), 4);
+        assert_eq!(g.count_ops(|o| o.is_memory()), 16);
+        assert_eq!(analysis::mii_rec(&g).unwrap(), 1);
+    }
+
+    #[test]
+    fn convolution_streams_both_operands() {
+        let g = convolution(6);
+        assert_eq!(g.count_ops(|o| o == Opcode::Mul), 6);
+        // 1 signal + 6 kernel loads + 1 store.
+        assert_eq!(g.count_ops(|o| o.is_memory()), 8);
+        assert!(analysis::intra_topo_order(&g).is_some());
+    }
+
+    #[test]
+    fn lms_has_a_long_coefficient_recurrence() {
+        let g = lms(4);
+        // x → mul → Σ → e → µe → grad → h' → (next iter) mul: the adaptive
+        // loop is the binding recurrence and far exceeds the pointer MII.
+        let rec = analysis::mii_rec(&g).unwrap();
+        assert!(rec >= 6, "LMS recurrence too short: {rec}");
+        assert!(analysis::intra_topo_order(&g).is_some());
+    }
+
+    #[test]
+    fn matrix1x3_shape() {
+        let g = matrix1x3();
+        assert_eq!(g.count_ops(|o| o == Opcode::Mul), 9);
+        assert_eq!(g.count_ops(|o| o == Opcode::Store), 3);
+        assert_eq!(g.count_ops(|o| o == Opcode::Load), 12);
+        assert_eq!(analysis::mii_rec(&g).unwrap(), 1);
+    }
+
+    #[test]
+    fn biquad_recurrence() {
+        let g = biquad();
+        // y → a1·y (mul, lat 2) → sub (1) → sub (1)… cycle over distance 1:
+        // fy1(2)… the y→fy1→part→y cycle has latency mul(2)+alu(1)+alu(1)=4.
+        assert_eq!(analysis::mii_rec(&g).unwrap(), 4);
+    }
+}

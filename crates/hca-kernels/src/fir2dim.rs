@@ -1,0 +1,103 @@
+//! `fir2dim` — the 2-dimensional FIR filter from the DSPstone bench-suite.
+//!
+//! One iteration produces one output pixel of a 3×3 convolution:
+//!
+//! * a shared row pointer walks the image with a wrap-around check at the
+//!   line boundary — an `addr → cmp → select → addr` recurrence of latency
+//!   3 at distance 1, which is what pins `MIIRec = 3`;
+//! * 9 pixel loads (the centre one straight off the row pointer, the other
+//!   8 at constant offsets), 9 constant coefficients, 9 multiplies and a
+//!   balanced 8-add reduction tree;
+//! * one store through a self-incrementing output pointer.
+//!
+//! 10 memory operations on 8 DMA ports give `MIIRes = 2`; 57 instructions
+//! total (Table 1).
+
+use crate::{Expected, Kernel};
+use hca_ddg::{DdgBuilder, Opcode};
+
+/// Build the `fir2dim` DDG.
+pub fn build() -> Kernel {
+    let mut b = DdgBuilder::default();
+
+    // Row pointer with line-boundary wrap: the MIIRec-3 recurrence.
+    let base = b.named(Opcode::AddrAdd, "row_ptr++");
+    let limit = b.named(Opcode::Const, "line_end");
+    let wrapped = b.named(Opcode::Cmp, "at_line_end?");
+    b.flow(base, wrapped);
+    b.flow(limit, wrapped);
+    let row = b.named(Opcode::Select, "row_ptr'");
+    b.flow(wrapped, row);
+    b.carried(row, base, 1); // row_ptr' of iteration i feeds the ++ of i+1
+
+    // 3×3 window: centre pixel straight off the pointer, 8 neighbours at
+    // constant offsets.
+    let mut pixels = Vec::with_capacity(9);
+    pixels.push(b.op_with(Opcode::Load, &[row]));
+    for k in 0..8 {
+        let off = b.named(Opcode::Const, format!("off{k}"));
+        let addr = b.op_with(Opcode::AddrAdd, &[row, off]);
+        pixels.push(b.op_with(Opcode::Load, &[addr]));
+    }
+
+    // Coefficients and multiplies.
+    let mut prods = Vec::with_capacity(9);
+    for (k, &px) in pixels.iter().enumerate() {
+        let coef = b.named(Opcode::Const, format!("c{k}"));
+        prods.push(b.op_with(Opcode::Mul, &[px, coef]));
+    }
+
+    // Balanced reduction: 8 adds.
+    let sum = b.reduce_tree(Opcode::Add, &prods);
+
+    // Output pointer and store.
+    let out = b.named(Opcode::AddrAdd, "out_ptr++");
+    b.carried(out, out, 1);
+    b.op_with(Opcode::Store, &[sum, out]);
+
+    Kernel {
+        name: "fir2dim",
+        ddg: b.finish(),
+        expected: Expected {
+            n_instr: 57,
+            mii_rec: 3,
+            mii_res: 2,
+            paper_final_mii: 3,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hca_ddg::{analysis, ResourceClass};
+
+    #[test]
+    fn shape() {
+        let k = build();
+        assert_eq!(k.ddg.num_nodes(), 57);
+        // 9 loads + 1 store.
+        assert_eq!(k.ddg.count_ops(|o| o.is_memory()), 10);
+        assert_eq!(k.ddg.count_ops(|o| o == Opcode::Mul), 9);
+        assert_eq!(k.ddg.count_ops(|o| o == Opcode::Add), 8);
+        // 8 window addrs + row/out pointers + 9 loads + 1 store.
+        assert_eq!(
+            k.ddg.count_ops(|o| o.resource_class() == ResourceClass::AddrGen),
+            20
+        );
+    }
+
+    #[test]
+    fn recurrence_is_exactly_three() {
+        let k = build();
+        assert_eq!(analysis::mii_rec(&k.ddg).unwrap(), 3);
+    }
+
+    #[test]
+    fn critical_path_dominated_by_load_then_mul() {
+        let k = build();
+        let an = analysis::DdgAnalysis::compute(&k.ddg).unwrap();
+        // select(1)+addr(1)+load(8)+mul(2)+3-level add tree(3)+… ≥ 15
+        assert!(an.levels.critical_path >= 15, "{}", an.levels.critical_path);
+    }
+}

@@ -1,0 +1,235 @@
+//! `h264deblocking` — the row (luma vertical-edge) deblocking filter of the
+//! H.264 in-loop filter.
+//!
+//! One iteration filters **two** 8-pixel edges of a macroblock row with the
+//! full standard dataflow:
+//!
+//! * a shared row pointer with macroblock-boundary wrap
+//!   (`addr → cmp → select`, the `MIIRec = 3` recurrence);
+//! * a boundary-strength (bS) derivation block — motion-vector differences,
+//!   coded-block flags and mixed-mode checks;
+//! * per edge: 8 loads (`p3..p0`, `q0..q3`), the α/β activation thresholds,
+//!   the weak filter (tc-clipped delta, `p0/q0/p1/q1` updates), the strong
+//!   (bS = 4) filter for all six pixels, strong/weak selection and 6
+//!   in-place stores.
+//!
+//! 2 edges × (8 loads + 6 stores) = 28 memory ops ⇒ `MIIRes` memory term
+//! `ceil(28/8) = 4`, matching the issue term `ceil(214/64) = 4` (Table 1).
+
+use crate::{Expected, Kernel};
+use hca_ddg::{DdgBuilder, NodeId, Opcode};
+
+struct SharedCtx {
+    row: NodeId,
+    alpha: NodeId,
+    beta: NodeId,
+    round: NodeId,
+    tc0: NodeId,
+    bs: NodeId,
+}
+
+/// One full edge filter; returns the number of nodes it added.
+fn edge(b: &mut DdgBuilder, ctx: &SharedCtx, which: usize) -> usize {
+    let before = b.graph().num_nodes();
+
+    // Edge base: row pointer plus this edge's offset.
+    let off = b.named(Opcode::Const, format!("edge{which}_off"));
+    let base = b.op_with(Opcode::AddrAdd, &[ctx.row, off]);
+
+    // p3..p0, q0..q3 through a chained walk (8 addrs incl. base, 8 loads).
+    let mut addr = base;
+    let mut px = Vec::with_capacity(8);
+    px.push(b.op_with(Opcode::Load, &[addr]));
+    for _ in 0..7 {
+        addr = b.op_with(Opcode::AddrAdd, &[addr]);
+        px.push(b.op_with(Opcode::Load, &[addr]));
+    }
+    let (p3, p2, p1, p0, q0, q1, q2, q3) =
+        (px[0], px[1], px[2], px[3], px[4], px[5], px[6], px[7]);
+    let _ = (p3, q3);
+
+    // Activation: |p0−q0|<α, |p1−p0|<β, |q1−q0|<β, all three anded.
+    let d0 = b.op_with(Opcode::AbsDiff, &[p0, q0]);
+    let d1 = b.op_with(Opcode::AbsDiff, &[p1, p0]);
+    let d2 = b.op_with(Opcode::AbsDiff, &[q1, q0]);
+    let c0 = b.op_with(Opcode::Cmp, &[d0, ctx.alpha]);
+    let c1 = b.op_with(Opcode::Cmp, &[d1, ctx.beta]);
+    let c2 = b.op_with(Opcode::Cmp, &[d2, ctx.beta]);
+    let a01 = b.op_with(Opcode::Logic, &[c0, c1]);
+    let act = b.op_with(Opcode::Logic, &[a01, c2]);
+
+    // ap = |p2−p0|<β, aq = |q2−q0|<β (luma extra taps).
+    let dp = b.op_with(Opcode::AbsDiff, &[p2, p0]);
+    let ap = b.op_with(Opcode::Cmp, &[dp, ctx.beta]);
+    let dq = b.op_with(Opcode::AbsDiff, &[q2, q0]);
+    let aq = b.op_with(Opcode::Cmp, &[dq, ctx.beta]);
+
+    // Weak filter: Δ = clip(−tc, tc, ((q0−p0)·4 + (p1−q1) + 4) >> 3).
+    let diff = b.op_with(Opcode::Sub, &[q0, p0]);
+    let diff4 = b.op_with(Opcode::Shift, &[diff]);
+    let taps = b.op_with(Opcode::Sub, &[p1, q1]);
+    let sum = b.op_with(Opcode::Add, &[diff4, taps]);
+    let rsum = b.op_with(Opcode::Add, &[sum, ctx.round]);
+    let delta_raw = b.op_with(Opcode::Shift, &[rsum]);
+    // tc = tc0 (+1 if ap) (+1 if aq).
+    let tc_p = b.op_with(Opcode::Add, &[ctx.tc0, ap]);
+    let tc = b.op_with(Opcode::Add, &[tc_p, aq]);
+    let delta_hi = b.op_with(Opcode::MinMax, &[delta_raw, tc]);
+    let delta = b.op_with(Opcode::MinMax, &[delta_hi, tc]); // max(−tc, ·)
+    let p0w_r = b.op_with(Opcode::Add, &[p0, delta]);
+    let p0w = b.op_with(Opcode::Clip, &[p0w_r]);
+    let q0w_r = b.op_with(Opcode::Sub, &[q0, delta]);
+    let q0w = b.op_with(Opcode::Clip, &[q0w_r]);
+    let dhalf = b.op_with(Opcode::Shift, &[delta]);
+    let p1w_r = b.op_with(Opcode::Add, &[p1, dhalf]);
+    let p1w = b.op_with(Opcode::Clip, &[p1w_r]);
+    let q1w_r = b.op_with(Opcode::Sub, &[q1, dhalf]);
+    let q1w = b.op_with(Opcode::Clip, &[q1w_r]);
+
+    // Strong filter (bS = 4), all six outputs.
+    // p0' = (p2 + 2p1 + 2p0 + 2q0 + q1 + 4) >> 3
+    let s_a = b.op_with(Opcode::Add, &[p1, p0]);
+    let s_b = b.op_with(Opcode::Add, &[s_a, q0]);
+    let s_b2 = b.op_with(Opcode::Shift, &[s_b]);
+    let s_c = b.op_with(Opcode::Add, &[p2, q1]);
+    let s_d = b.op_with(Opcode::Add, &[s_b2, s_c]);
+    let s_e = b.op_with(Opcode::Add, &[s_d, ctx.round]);
+    let p0s = b.op_with(Opcode::Shift, &[s_e]);
+    // q0' symmetric.
+    let t_a = b.op_with(Opcode::Add, &[q1, q0]);
+    let t_b = b.op_with(Opcode::Add, &[t_a, p0]);
+    let t_b2 = b.op_with(Opcode::Shift, &[t_b]);
+    let t_c = b.op_with(Opcode::Add, &[q2, p1]);
+    let t_d = b.op_with(Opcode::Add, &[t_b2, t_c]);
+    let t_e = b.op_with(Opcode::Add, &[t_d, ctx.round]);
+    let q0s = b.op_with(Opcode::Shift, &[t_e]);
+    // p1' = (p2 + p1 + p0 + q0 + 2) >> 2, q1' symmetric.
+    let u_a = b.op_with(Opcode::Add, &[p2, p1]);
+    let u_b = b.op_with(Opcode::Add, &[p0, q0]);
+    let u_c = b.op_with(Opcode::Add, &[u_a, u_b]);
+    let u_d = b.op_with(Opcode::Add, &[u_c, ctx.round]);
+    let p1s = b.op_with(Opcode::Shift, &[u_d]);
+    let v_a = b.op_with(Opcode::Add, &[q2, q1]);
+    let v_b = b.op_with(Opcode::Add, &[v_a, u_b]);
+    let v_c = b.op_with(Opcode::Add, &[v_b, ctx.round]);
+    let q1s = b.op_with(Opcode::Shift, &[v_c]);
+    // p2' = (2p3 + 3p2 + p1 + p0 + q0 + 4) >> 3, q2' symmetric.
+    let w_a = b.op_with(Opcode::Add, &[p3, p2]);
+    let w_a2 = b.op_with(Opcode::Shift, &[w_a]);
+    let w_b = b.op_with(Opcode::Add, &[w_a2, p2]);
+    let w_c = b.op_with(Opcode::Add, &[w_b, s_b]);
+    let w_d = b.op_with(Opcode::Add, &[w_c, ctx.round]);
+    let p2s = b.op_with(Opcode::Shift, &[w_d]);
+    let x_a = b.op_with(Opcode::Add, &[q3, q2]);
+    let x_a2 = b.op_with(Opcode::Shift, &[x_a]);
+    let x_b = b.op_with(Opcode::Add, &[x_a2, q2]);
+    let x_c = b.op_with(Opcode::Add, &[x_b, t_b]);
+    let x_d = b.op_with(Opcode::Add, &[x_c, ctx.round]);
+    let q2s = b.op_with(Opcode::Shift, &[x_d]);
+
+    // Strong/weak selection, gated by activation and bS.
+    let gate = b.op_with(Opcode::Logic, &[act, ctx.bs]);
+    let p0o = b.op_with(Opcode::Select, &[gate, p0s, p0w]);
+    let q0o = b.op_with(Opcode::Select, &[gate, q0s, q0w]);
+    let p1o = b.op_with(Opcode::Select, &[gate, p1s, p1w]);
+    let q1o = b.op_with(Opcode::Select, &[gate, q1s, q1w]);
+    let p2o = b.op_with(Opcode::Select, &[gate, p2s, p2]);
+    let q2o = b.op_with(Opcode::Select, &[gate, q2s, q2]);
+
+    // In-place write-back of the six filtered pixels.
+    for out in [p2o, p1o, p0o, q0o, q1o, q2o] {
+        b.op_with(Opcode::Store, &[out, addr]);
+    }
+
+    b.graph().num_nodes() - before
+}
+
+/// Build the `h264deblocking` DDG.
+pub fn build() -> Kernel {
+    let mut b = DdgBuilder::default();
+
+    // Row pointer with macroblock-boundary wrap: the MIIRec-3 recurrence.
+    let base = b.named(Opcode::AddrAdd, "row_ptr++");
+    let limit = b.named(Opcode::Const, "mb_end");
+    let wrapped = b.named(Opcode::Cmp, "at_mb_end?");
+    b.flow(base, wrapped);
+    b.flow(limit, wrapped);
+    let row = b.named(Opcode::Select, "row_ptr'");
+    b.flow(wrapped, row);
+    b.carried(row, base, 1);
+
+    // Filter thresholds.
+    let alpha = b.named(Opcode::Const, "alpha");
+    let beta = b.named(Opcode::Const, "beta");
+    let round = b.named(Opcode::Const, "round");
+    let tc0 = b.named(Opcode::Const, "tc0");
+
+    // Boundary-strength derivation: motion-vector difference, coded-block
+    // flags and mixed-mode checks feeding one bS predicate.
+    let mvx = b.named(Opcode::Const, "mv_dx");
+    let mvy = b.named(Opcode::Const, "mv_dy");
+    let dx = b.op_with(Opcode::AbsDiff, &[mvx, mvy]);
+    let dxc = b.op_with(Opcode::Cmp, &[dx, beta]);
+    let cbf_p = b.named(Opcode::Const, "cbf_p");
+    let cbf_q = b.named(Opcode::Const, "cbf_q");
+    let cbf = b.op_with(Opcode::Logic, &[cbf_p, cbf_q]);
+    let intra = b.named(Opcode::Const, "is_intra");
+    let strong_cond = b.op_with(Opcode::Logic, &[cbf, intra]);
+    let bs_hi = b.op_with(Opcode::Select, &[strong_cond]);
+    let bs_lo = b.op_with(Opcode::Select, &[dxc]);
+    let bs_val = b.op_with(Opcode::MinMax, &[bs_hi, bs_lo]);
+    let zero = b.named(Opcode::Const, "0");
+    let bs = b.op_with(Opcode::Cmp, &[bs_val, zero]);
+
+    let ctx = SharedCtx {
+        row,
+        alpha,
+        beta,
+        round,
+        tc0,
+        bs,
+    };
+
+    let e0 = edge(&mut b, &ctx, 0);
+    let e1 = edge(&mut b, &ctx, 1);
+    debug_assert_eq!(e0, e1, "both edges have identical structure");
+
+    Kernel {
+        name: "h264deblocking",
+        ddg: b.finish(),
+        expected: Expected {
+            n_instr: 214,
+            mii_rec: 3,
+            mii_res: 4,
+            paper_final_mii: 6,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hca_ddg::analysis;
+
+    #[test]
+    fn shape() {
+        let k = build();
+        assert_eq!(k.ddg.num_nodes(), 214, "{}", k.ddg.summary());
+        // 2 edges × (8 loads + 6 stores) = 28 memory ops.
+        assert_eq!(k.ddg.count_ops(|o| o.is_memory()), 28);
+    }
+
+    #[test]
+    fn recurrence_is_three() {
+        let k = build();
+        assert_eq!(analysis::mii_rec(&k.ddg).unwrap(), 3);
+    }
+
+    #[test]
+    fn both_edges_present() {
+        let k = build();
+        // row-wrap + bS hi/lo + 6 strong/weak selections per edge.
+        assert_eq!(k.ddg.count_ops(|o| o == Opcode::Select), 3 + 2 * 6);
+        assert_eq!(k.ddg.count_ops(|o| o == Opcode::Store), 12);
+    }
+}

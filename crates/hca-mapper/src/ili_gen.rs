@@ -1,0 +1,86 @@
+//! Child ILI generation (paper §4.1, Figure 9c).
+//!
+//! "The Mapper generates also four ILI (ILI₀,₀ … ILI₀,₃), each of them
+//! reporting the input/output copies between level 0 and 0,i": for member
+//! `m`, every wire `m` listens to becomes one ILI input wire (with the full
+//! value list the wire carries), and every wire sourced at `m` becomes one
+//! ILI output wire.
+
+use hca_arch::topology::{GroupTopology, WireSource};
+use hca_pg::{Ili, IliWire};
+
+/// Derive the ILIs of all `arity` members from the group's configured wires.
+pub fn child_ilis(group: &GroupTopology, arity: usize) -> Vec<Ili> {
+    let mut out = vec![Ili::default(); arity];
+    for w in &group.wires {
+        for &r in &w.receivers {
+            out[r].inputs.push(IliWire::new(w.values.clone()));
+        }
+        if let WireSource::Member(m) = w.src {
+            out[m].outputs.push(IliWire::new(w.values.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hca_arch::topology::ConfiguredWire;
+    use hca_ddg::NodeId;
+
+    #[test]
+    fn figure9c_ilis() {
+        // Reconstruct Figure 9(b)→(c): member 3 receives a, b, c on three
+        // wires and k,h on one; it sends z up… here z goes to members 0 and 1
+        // to exercise both directions.
+        let v = NodeId;
+        let mut g = GroupTopology::default();
+        for val in [0u32, 1, 2] {
+            g.wires.push(ConfiguredWire {
+                src: WireSource::Member(0),
+                receivers: vec![3],
+                to_parent: false,
+                values: vec![v(val)],
+            });
+        }
+        g.wires.push(ConfiguredWire {
+            src: WireSource::Member(1),
+            receivers: vec![3],
+            to_parent: false,
+            values: vec![v(10), v(11)], // k, h share a wire
+        });
+        g.wires.push(ConfiguredWire {
+            src: WireSource::Member(3),
+            receivers: vec![0, 1],
+            to_parent: false,
+            values: vec![v(20)], // z broadcast
+        });
+        let ilis = child_ilis(&g, 4);
+        assert_eq!(ilis[3].inputs.len(), 4);
+        assert_eq!(ilis[3].outputs.len(), 1);
+        assert_eq!(ilis[3].outputs[0].values, vec![v(20)]);
+        assert_eq!(ilis[3].inputs[3].values, vec![v(10), v(11)]);
+        // Broadcast lands as one input wire on each receiver.
+        assert_eq!(ilis[0].inputs.len(), 1);
+        assert_eq!(ilis[1].inputs.len(), 1);
+        assert_eq!(ilis[0].inputs[0].values, vec![v(20)]);
+        // Member 0 sends three wires.
+        assert_eq!(ilis[0].outputs.len(), 3);
+        assert!(ilis[2].is_empty());
+    }
+
+    #[test]
+    fn parent_wires_become_inputs_not_outputs() {
+        let mut g = GroupTopology::default();
+        g.wires.push(ConfiguredWire {
+            src: WireSource::Parent,
+            receivers: vec![1],
+            to_parent: false,
+            values: vec![NodeId(5)],
+        });
+        let ilis = child_ilis(&g, 2);
+        assert_eq!(ilis[1].inputs.len(), 1);
+        assert!(ilis.iter().all(|i| i.outputs.is_empty()));
+    }
+}

@@ -1,0 +1,31 @@
+//! # hca-mapper — lowering Pattern-Graph copies onto MUX wires
+//!
+//! The Mapper is the second half of each hierarchical step (paper §3–§4.1):
+//! it "takes the assigned DDG, the PG and a complete description of the
+//! Machine Model as input … and maps the PG onto the Machine Model,
+//! compatibly with available real communication paths and being driven by a
+//! configurable cost function, e.g. copy balancing, prioritization of
+//! parallel copies".
+//!
+//! Concretely, for one hierarchy group it:
+//!
+//! 1. **pre-allocates** the glue wires mandated by the group's own
+//!    Inter-Level Interface — "these connections must be preallocated by the
+//!    Mapper, being the glue between the outer and the inner level"
+//!    (Figure 11);
+//! 2. **distributes** the sibling copies over each member's output wires —
+//!    broadcast values share a single line (Figure 9b shows one wire
+//!    carrying both `x` and `z`), point-to-point values spread over the
+//!    remaining wires to minimise per-wire pressure (`a`,`b`,`c` over three
+//!    wires), all without exceeding any receiver's input ports;
+//! 3. **emits one ILI per member** (Figure 9c) so the recursion can descend.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod distribute;
+pub mod ili_gen;
+pub mod mapper;
+pub mod prealloc;
+
+pub use mapper::{map_level, MapError, MapOptions, MapperOutput, MapperStats};

@@ -1,0 +1,381 @@
+//! The level Mapper: orchestrates glue pre-allocation, copy distribution and
+//! child-ILI generation for one hierarchy group.
+
+use crate::distribute::{distribute_member, DistributeError, ValueFlow};
+use crate::ili_gen::child_ilis;
+use crate::prealloc::preallocate_glue_in;
+use hca_arch::topology::{ConfiguredWire, GroupTopology, WireSource};
+use hca_arch::LevelSpec;
+use hca_ddg::NodeId;
+use hca_pg::{AssignedPg, Ili, PgNodeKind};
+use rustc_hash::FxHashMap;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why the Mapper could not lower the assignment onto wires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MapError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for MapError {}
+
+impl From<DistributeError> for MapError {
+    fn from(e: DistributeError) -> Self {
+        MapError { message: e.message }
+    }
+}
+
+/// Mapper metrics for the experiment harnesses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MapperStats {
+    /// Pre-allocated glue-in wires.
+    pub glue_in_wires: usize,
+    /// Wires sourced at members (sibling + glue-out traffic).
+    pub member_wires: usize,
+    /// Worst per-wire value count — the transport term of the final MII.
+    pub max_pressure: u32,
+}
+
+/// Result of mapping one group.
+#[derive(Clone, Debug)]
+pub struct MapperOutput {
+    /// The configured wires of the group.
+    pub group: GroupTopology,
+    /// One ILI per member, for the recursion (ignored at the leaves).
+    pub child_ilis: Vec<Ili>,
+    /// Metrics.
+    pub stats: MapperStats,
+}
+
+/// Mapper policy knobs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MapOptions {
+    /// Enable pressure-balancing wire splits (Figure 9b). The HCA driver
+    /// turns this on only at the top level: each extra parallel wire
+    /// consumes crossbar intake and CN input ports further down, which are
+    /// the scarce resources of the deeper levels.
+    pub balance_split: bool,
+}
+
+/// Map one assigned level onto the group's physical wires.
+///
+/// `spec` provides the budgets at this level. The driver may clamp
+/// `spec.in_wires` to the child level's `glue_in` when the crossbar below
+/// accepts fewer wires than the MUXes above can deliver (the paper's K < M
+/// case).
+pub fn map_level(
+    assigned: &AssignedPg,
+    spec: LevelSpec,
+    opts: MapOptions,
+) -> Result<MapperOutput, MapError> {
+    let arity = spec.arity;
+    let mut ports_used = vec![0usize; arity];
+
+    // 1. Pre-allocate the glue between the outer and the inner level
+    //    (Figure 11) — these ports are no longer available for distribution.
+    let glue_in = preallocate_glue_in(assigned, &mut ports_used);
+    if glue_in.len() > spec.glue_in {
+        return Err(MapError {
+            message: format!(
+                "{} consumed glue-in wires exceed budget {}",
+                glue_in.len(),
+                spec.glue_in
+            ),
+        });
+    }
+    for (m, &used) in ports_used.iter().enumerate() {
+        if used > spec.in_wires {
+            return Err(MapError {
+                message: format!(
+                    "member {m} consumes {used} ports for glue alone, budget {}",
+                    spec.in_wires
+                ),
+            });
+        }
+    }
+
+    // 2. Collect per-member value flows from the real patterns.
+    let out_count = assigned.pg.output_ids().count();
+    if out_count > spec.glue_out {
+        return Err(MapError {
+            message: format!(
+                "{out_count} glue-out wires exceed budget {}",
+                spec.glue_out
+            ),
+        });
+    }
+    let mut flows: Vec<FxHashMap<NodeId, ValueFlow>> =
+        (0..arity).map(|_| FxHashMap::default()).collect();
+    for (&(src, dst), values) in assigned.copies.iter() {
+        if values.is_empty() {
+            continue;
+        }
+        let src_node = assigned.pg.node(src);
+        if !src_node.kind.is_cluster() {
+            continue; // glue-in handled above
+        }
+        let m = assigned.pg.member_of(src);
+        match &assigned.pg.node(dst).kind {
+            PgNodeKind::Cluster { member } => {
+                for &v in values.iter() {
+                    let f = flows[m].entry(v).or_insert_with(|| ValueFlow {
+                        value: v,
+                        receivers: BTreeSet::new(),
+                        slot: None,
+                    });
+                    f.receivers.insert(*member);
+                }
+            }
+            PgNodeKind::Output { wire, .. } => {
+                for &v in values.iter() {
+                    let f = flows[m].entry(v).or_insert_with(|| ValueFlow {
+                        value: v,
+                        receivers: BTreeSet::new(),
+                        slot: None,
+                    });
+                    if let Some(prev) = f.slot {
+                        if prev != *wire {
+                            return Err(MapError {
+                                message: format!(
+                                    "value {v} targets two glue-out wires ({prev} and {wire})"
+                                ),
+                            });
+                        }
+                    }
+                    f.slot = Some(*wire);
+                }
+            }
+            PgNodeKind::Input { .. } => {
+                return Err(MapError {
+                    message: format!("real pattern into an input node from member {m}"),
+                });
+            }
+        }
+    }
+
+    // 3. Distribute each member's flows over its output wires. Receivers'
+    //    port budgets are shared across members, so reserve one port per
+    //    not-yet-distributed member that must still reach each receiver.
+    let mut group = GroupTopology { wires: glue_in };
+    let mut max_pressure = group
+        .wires
+        .iter()
+        .map(ConfiguredWire::pressure)
+        .max()
+        .unwrap_or(0);
+    let mut member_wires = 0usize;
+    for m in 0..arity {
+        let mut member_flows: Vec<ValueFlow> = flows[m].values().cloned().collect();
+        member_flows.sort_by_key(|f| f.value);
+        let limits: Vec<usize> = (0..arity)
+            .map(|r| {
+                let future = (m + 1..arity)
+                    .filter(|&m2| flows[m2].values().any(|f| f.receivers.contains(&r)))
+                    .count();
+                spec.in_wires.saturating_sub(future)
+            })
+            .collect();
+        let drafts = distribute_member(
+            m,
+            &member_flows,
+            spec.out_wires,
+            &mut ports_used,
+            &limits,
+            opts.balance_split,
+        )?;
+        for d in drafts {
+            let receivers: Vec<usize> = d.receivers().into_iter().collect();
+            let wire = ConfiguredWire {
+                src: WireSource::Member(m),
+                receivers,
+                to_parent: d.exits_to_parent(),
+                values: d.values(),
+            };
+            max_pressure = max_pressure.max(wire.pressure());
+            member_wires += 1;
+            group.wires.push(wire);
+        }
+    }
+
+    let stats = MapperStats {
+        glue_in_wires: group
+            .wires
+            .iter()
+            .filter(|w| w.src == WireSource::Parent)
+            .count(),
+        member_wires,
+        max_pressure,
+    };
+    let child_ilis = child_ilis(&group, arity);
+    Ok(MapperOutput {
+        group,
+        child_ilis,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hca_arch::ResourceTable;
+    use hca_ddg::{DdgBuilder, Opcode};
+    use hca_pg::{IliWire, Pg, PgNodeId};
+
+    fn spec(arity: usize, inw: usize, outw: usize, gin: usize, gout: usize) -> LevelSpec {
+        LevelSpec {
+            arity,
+            in_wires: inw,
+            out_wires: outw,
+            glue_in: gin,
+            glue_out: gout,
+        }
+    }
+
+    /// Figure 9 reconstruction: broadcast x (0→{1,2}) and z (3→{0,1}),
+    /// point-to-point a, b, c (0→3), k,h on a shared arc (1→3).
+    #[test]
+    fn figure9_full_mapping() {
+        let mut b = DdgBuilder::default();
+        let x = b.node(Opcode::Add);
+        let a = b.node(Opcode::Add);
+        let bb = b.node(Opcode::Add);
+        let c = b.node(Opcode::Add);
+        let k = b.node(Opcode::Add);
+        let h = b.node(Opcode::Add);
+        let z = b.node(Opcode::Add);
+        let _ddg = b.finish();
+
+        let pg = Pg::complete(4, ResourceTable::of_cns(16));
+        let mut apg = AssignedPg::new(pg);
+        // Copies installed directly, mirroring the PG̅ of Figure 9a.
+        apg.copies.insert((PgNodeId(0), PgNodeId(1)), vec![x]);
+        apg.copies.insert((PgNodeId(0), PgNodeId(2)), vec![x]);
+        apg.copies.insert((PgNodeId(0), PgNodeId(3)), vec![a, bb, c]);
+        apg.copies.insert((PgNodeId(1), PgNodeId(3)), vec![k, h]);
+        apg.copies.insert((PgNodeId(3), PgNodeId(0)), vec![z]);
+        apg.copies.insert((PgNodeId(3), PgNodeId(1)), vec![z]);
+
+        let out = map_level(&apg, spec(4, 4, 4, 0, 0), MapOptions { balance_split: true }).unwrap();
+        // Member 0: x broadcast on one wire, a/b/c spread over three.
+        let m0: Vec<&ConfiguredWire> = out
+            .group
+            .wires
+            .iter()
+            .filter(|w| w.src == WireSource::Member(0))
+            .collect();
+        assert_eq!(m0.len(), 4);
+        let bc = m0.iter().find(|w| w.values == vec![x]).unwrap();
+        assert_eq!(bc.receivers, vec![1, 2]);
+        let p2p: Vec<_> = m0.iter().filter(|w| w.receivers == vec![3]).collect();
+        assert_eq!(p2p.len(), 3, "a, b, c distributed over three wires");
+        assert!(p2p.iter().all(|w| w.pressure() == 1));
+        // ILI of subproblem 3: four input lines (a | b | c | k,h), z leaves.
+        let ili3 = &out.child_ilis[3];
+        assert_eq!(ili3.inputs.len(), 4);
+        assert_eq!(ili3.outputs.len(), 1);
+        assert_eq!(ili3.outputs[0].values, vec![z]);
+        assert_eq!(out.stats.max_pressure, 2); // the k,h wire
+    }
+
+    #[test]
+    fn glue_in_and_out_roundtrip() {
+        // One external value consumed by member 1; one internal value k
+        // leaving on output wire 0 from member 0.
+        let mut b = DdgBuilder::default();
+        let ext = b.node(Opcode::Add);
+        let k = b.node(Opcode::Add);
+        let u = b.node(Opcode::Add);
+        b.flow(ext, u);
+        let ddg = b.finish();
+        let mut pg = Pg::complete(2, ResourceTable::of_cns(4));
+        pg.attach_ili(&hca_pg::Ili {
+            inputs: vec![IliWire::new(vec![ext])],
+            outputs: vec![IliWire::new(vec![k])],
+        });
+        let inp = pg.input_carrying(ext).unwrap();
+        let mut apg = AssignedPg::new(pg);
+        apg.assign(ext, inp);
+        apg.assign(u, PgNodeId(1));
+        apg.assign(k, PgNodeId(0));
+        apg.derive_copies(&ddg, None);
+
+        let out = map_level(&apg, spec(2, 2, 1, 2, 2), MapOptions::default()).unwrap();
+        assert_eq!(out.stats.glue_in_wires, 1);
+        let glue_out: Vec<_> = out.group.wires.iter().filter(|w| w.to_parent).collect();
+        assert_eq!(glue_out.len(), 1);
+        assert_eq!(glue_out[0].src, WireSource::Member(0));
+        assert_eq!(glue_out[0].values, vec![k]);
+        // Child ILI of member 1 sees the parent wire as its input.
+        assert_eq!(out.child_ilis[1].inputs.len(), 1);
+        assert_eq!(out.child_ilis[1].inputs[0].values, vec![ext]);
+    }
+
+    #[test]
+    fn glue_budget_violations_detected() {
+        let mut b = DdgBuilder::default();
+        let e1 = b.node(Opcode::Add);
+        let e2 = b.node(Opcode::Add);
+        let u = b.node(Opcode::Add);
+        b.flow(e1, u);
+        b.flow(e2, u);
+        let ddg = b.finish();
+        let mut pg = Pg::complete(2, ResourceTable::of_cns(4));
+        pg.attach_ili(&hca_pg::Ili {
+            inputs: vec![IliWire::new(vec![e1]), IliWire::new(vec![e2])],
+            outputs: vec![],
+        });
+        let i1 = pg.input_carrying(e1).unwrap();
+        let i2 = pg.input_carrying(e2).unwrap();
+        let mut apg = AssignedPg::new(pg);
+        apg.assign(e1, i1);
+        apg.assign(e2, i2);
+        apg.assign(u, PgNodeId(0));
+        apg.derive_copies(&ddg, None);
+        // Budget of 1 glue-in wire but 2 consumed.
+        let err = map_level(&apg, spec(2, 4, 2, 1, 0), MapOptions::default()).unwrap_err();
+        assert!(err.message.contains("glue-in"), "{err}");
+        // Enough budget → fine.
+        assert!(map_level(&apg, spec(2, 4, 2, 2, 0), MapOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn pressure_reported() {
+        let mut b = DdgBuilder::default();
+        let vs: Vec<_> = (0..3).map(|_| b.node(Opcode::Add)).collect();
+        let _ddg = b.finish();
+        let pg = Pg::complete(2, ResourceTable::of_cns(4));
+        let mut apg = AssignedPg::new(pg);
+        apg.copies
+            .insert((PgNodeId(0), PgNodeId(1)), vs.clone());
+        // Single output wire: all three values share it.
+        let out = map_level(&apg, spec(2, 4, 1, 0, 0), MapOptions::default()).unwrap();
+        assert_eq!(out.stats.max_pressure, 3);
+        assert_eq!(out.stats.member_wires, 1);
+    }
+
+    #[test]
+    fn value_on_two_output_wires_rejected() {
+        let mut b = DdgBuilder::default();
+        let k = b.node(Opcode::Add);
+        let _ddg = b.finish();
+        let mut pg = Pg::complete(2, ResourceTable::of_cns(4));
+        pg.attach_ili(&hca_pg::Ili {
+            inputs: vec![],
+            outputs: vec![IliWire::new(vec![k]), IliWire::new(vec![k])],
+        });
+        let outs: Vec<PgNodeId> = pg.output_ids().collect();
+        let mut apg = AssignedPg::new(pg);
+        apg.copies.insert((PgNodeId(0), outs[0]), vec![k]);
+        apg.copies.insert((PgNodeId(0), outs[1]), vec![k]);
+        let err = map_level(&apg, spec(2, 4, 2, 0, 2), MapOptions::default()).unwrap_err();
+        assert!(err.message.contains("two glue-out"), "{err}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Pre-allocation of inter-level glue wires (paper §4.1, Figure 11).
+//!
+//! "When the Mapper has to deal with PGs including special nodes … it must
+//! consider that there are incoming/outgoing connections from/to the outer
+//! level that cannot be used for copy distribution, partially limiting the
+//! reconfiguration space. These connections must be preallocated by the
+//! Mapper, being the glue between the outer and the inner level."
+
+use hca_arch::topology::{ConfiguredWire, WireSource};
+use hca_pg::{AssignedPg, PgNodeKind};
+
+/// Build the pre-allocated glue-**in** wires: one [`ConfiguredWire`] with
+/// [`WireSource::Parent`] per ILI input wire that has at least one consuming
+/// member, charging the consumed input ports into `ports_used`.
+///
+/// Returns the wires ordered by ILI wire index, so the correspondence
+/// between the parent's ILI and the group's configured wires is positional.
+pub fn preallocate_glue_in(
+    assigned: &AssignedPg,
+    ports_used: &mut [usize],
+) -> Vec<ConfiguredWire> {
+    let mut inputs: Vec<(usize, Vec<hca_ddg::NodeId>, Vec<usize>)> = Vec::new();
+    for inp in assigned.pg.input_ids() {
+        let PgNodeKind::Input { wire, values } = &assigned.pg.node(inp).kind else {
+            unreachable!("input_ids yields input nodes");
+        };
+        let mut receivers: Vec<usize> = assigned
+            .copies
+            .iter()
+            .filter(|(&(src, _), vs)| src == inp && !vs.is_empty())
+            .map(|(&(_, dst), _)| assigned.pg.member_of(dst))
+            .collect();
+        receivers.sort_unstable();
+        receivers.dedup();
+        if receivers.is_empty() {
+            continue; // nobody consumes this wire inside the group
+        }
+        inputs.push((*wire, values.clone(), receivers));
+    }
+    inputs.sort_by_key(|(wire, _, _)| *wire);
+    inputs
+        .into_iter()
+        .map(|(_, values, receivers)| {
+            for &r in &receivers {
+                ports_used[r] += 1;
+            }
+            ConfiguredWire {
+                src: WireSource::Parent,
+                receivers,
+                to_parent: false,
+                values,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hca_arch::ResourceTable;
+    use hca_ddg::{DdgBuilder, NodeId, Opcode};
+    use hca_pg::{Ili, IliWire, Pg, PgNodeId};
+
+    #[test]
+    fn glue_in_wires_follow_consumption() {
+        let mut b = DdgBuilder::default();
+        let x = b.node(Opcode::Add); // external
+        let z = b.node(Opcode::Add); // external, unconsumed inside
+        let u = b.node(Opcode::Add);
+        b.flow(x, u);
+        let ddg = b.finish();
+        let mut pg = Pg::complete(4, ResourceTable::of_cns(4));
+        pg.attach_ili(&Ili {
+            inputs: vec![IliWire::new(vec![x]), IliWire::new(vec![z])],
+            outputs: vec![],
+        });
+        let inp_x = pg.input_carrying(x).unwrap();
+        let mut apg = AssignedPg::new(pg);
+        apg.assign(x, inp_x);
+        apg.assign(u, PgNodeId(2));
+        apg.derive_copies(&ddg, None);
+
+        let mut ports = vec![0usize; 4];
+        let wires = preallocate_glue_in(&apg, &mut ports);
+        // Only x's wire is consumed (by member 2); z's wire is dropped.
+        assert_eq!(wires.len(), 1);
+        assert_eq!(wires[0].src, WireSource::Parent);
+        assert_eq!(wires[0].receivers, vec![2]);
+        assert_eq!(wires[0].values, vec![x]);
+        assert_eq!(ports, vec![0, 0, 1, 0]);
+        let _ = NodeId(0);
+    }
+
+    #[test]
+    fn broadcast_glue_in_charges_every_consumer() {
+        let mut b = DdgBuilder::default();
+        let x = b.node(Opcode::Add);
+        let u = b.node(Opcode::Add);
+        let v = b.node(Opcode::Add);
+        b.flow(x, u);
+        b.flow(x, v);
+        let ddg = b.finish();
+        let mut pg = Pg::complete(4, ResourceTable::of_cns(4));
+        pg.attach_ili(&Ili {
+            inputs: vec![IliWire::new(vec![x])],
+            outputs: vec![],
+        });
+        let inp = pg.input_carrying(x).unwrap();
+        let mut apg = AssignedPg::new(pg);
+        apg.assign(x, inp);
+        apg.assign(u, PgNodeId(0));
+        apg.assign(v, PgNodeId(3));
+        apg.derive_copies(&ddg, None);
+
+        let mut ports = vec![0usize; 4];
+        let wires = preallocate_glue_in(&apg, &mut ports);
+        assert_eq!(wires.len(), 1);
+        assert_eq!(wires[0].receivers, vec![0, 3]);
+        assert_eq!(ports, vec![1, 0, 0, 1]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of the copy-distribution core: for any random flow
+//! set and budget, the packing must conserve values, respect every budget,
+//! and keep each glue slot on exactly one wire.
+
+use hca_ddg::NodeId;
+use hca_mapper::distribute::{distribute_member, ValueFlow};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+#[derive(Debug, Clone)]
+struct Case {
+    flows: Vec<ValueFlow>,
+    out_wires: usize,
+    in_wires: usize,
+    arity: usize,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (2usize..6, 1usize..8, 1usize..8).prop_flat_map(|(arity, out_wires, in_wires)| {
+        let flow = (
+            proptest::collection::btree_set(0..arity, 0..arity),
+            proptest::option::weighted(0.3, 0usize..3),
+        );
+        proptest::collection::vec(flow, 0..12).prop_map(move |raw| {
+            let flows = raw
+                .into_iter()
+                .enumerate()
+                .map(|(i, (receivers, slot))| ValueFlow {
+                    value: NodeId(i as u32),
+                    receivers: receivers.into_iter().collect::<BTreeSet<_>>(),
+                    slot,
+                })
+                // Drop degenerate flows that go nowhere.
+                .filter(|f| !f.receivers.is_empty() || f.slot.is_some())
+                .collect();
+            Case {
+                flows,
+                out_wires,
+                in_wires,
+                arity,
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn distribution_conserves_values_and_budgets(case in case_strategy()) {
+        let mut ports = vec![0usize; case.arity];
+        let limits = vec![case.in_wires; case.arity];
+        let Ok(wires) = distribute_member(
+            0,
+            &case.flows,
+            case.out_wires,
+            &mut ports,
+            &limits,
+            true,
+        ) else {
+            // Failure is legitimate when budgets are too tight; nothing to
+            // check beyond "ports not corrupted past limits".
+            return Ok(());
+        };
+
+        // Output-wire budget.
+        prop_assert!(wires.len() <= case.out_wires);
+
+        // Every flow's value appears on exactly one wire, with its
+        // receivers covered by that wire's receiver set.
+        for f in &case.flows {
+            let holders: Vec<_> = wires
+                .iter()
+                .filter(|w| w.values().contains(&f.value))
+                .collect();
+            prop_assert_eq!(holders.len(), 1, "value {:?}", f.value);
+            let rec = holders[0].receivers();
+            for r in &f.receivers {
+                prop_assert!(rec.contains(r));
+            }
+            if let Some(slot) = f.slot {
+                prop_assert!(holders[0].slots().contains(&slot));
+            }
+        }
+
+        // Each glue slot lives on exactly one wire (unary fan-in upward).
+        let mut slots: Vec<usize> = case.flows.iter().filter_map(|f| f.slot).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        for s in slots {
+            let n = wires.iter().filter(|w| w.slots().contains(&s)).count();
+            prop_assert_eq!(n, 1, "slot {}", s);
+        }
+
+        // Port accounting matches the layout and stays within limits.
+        for (r, &used) in ports.iter().enumerate() {
+            let expect = wires.iter().filter(|w| w.receivers().contains(&r)).count();
+            prop_assert_eq!(used, expect, "receiver {}", r);
+            prop_assert!(used <= case.in_wires);
+        }
+    }
+
+    #[test]
+    fn split_permission_never_changes_feasibility(case in case_strategy()) {
+        let run = |split: bool| {
+            let mut ports = vec![0usize; case.arity];
+            let limits = vec![case.in_wires; case.arity];
+            distribute_member(0, &case.flows, case.out_wires, &mut ports, &limits, split)
+                .is_ok()
+        };
+        // Splitting is a quality knob: it must never turn a feasible case
+        // infeasible or vice versa.
+        prop_assert_eq!(run(true), run(false));
+    }
+}

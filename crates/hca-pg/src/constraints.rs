@@ -1,0 +1,241 @@
+//! Reconfiguration constraints at one hierarchy level (paper §3/§4.1).
+//!
+//! "The number of real communication patterns is limited by a group of
+//! constraints, which specifies the maximum number of input/output
+//! neighbors allowed for each node. The constraints must ensure that the
+//! module Mapper will be able to map PG onto the Machine Model."
+
+use crate::copies::AssignedPg;
+use crate::pg::PgNodeKind;
+use hca_arch::{DspFabric, Rcp};
+use serde::{Deserialize, Serialize};
+
+/// Constraint set handed to the Space Exploration Engine for one
+/// single-level ICA sub-problem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArchConstraints {
+    /// Max distinct *real* in-neighbours per cluster node (MUX capacity:
+    /// every in-neighbour needs at least one input port on the Mapper side).
+    /// Special input nodes count as in-neighbours of the clusters they feed.
+    pub max_in_neighbors: u32,
+    /// Max distinct real out-neighbours per cluster node; `None` means
+    /// unlimited — DSPFabric output wires broadcast, so the paper does "not
+    /// limit the number of output neighbors".
+    pub max_out_neighbors: Option<u32>,
+    /// Unary fan-in of output special nodes (`outNode_MaxIn`, Figure 10b):
+    /// at most this many clusters may feed one outgoing glue wire. 1 on
+    /// DSPFabric (MUX unary fan-in).
+    pub out_node_max_in: u32,
+    /// Transport latency added to values crossing clusters at this level.
+    pub copy_latency: u32,
+}
+
+impl ArchConstraints {
+    /// Constraints of a DSPFabric group at hierarchy depth `d`.
+    pub fn for_dspfabric_level(fabric: &DspFabric, d: usize) -> Self {
+        let spec = fabric.level(d);
+        ArchConstraints {
+            max_in_neighbors: spec.in_wires as u32,
+            max_out_neighbors: None,
+            out_node_max_in: 1,
+            copy_latency: fabric.copy_latency,
+        }
+    }
+
+    /// Constraints of an RCP ring (single-level machine, §2.1).
+    pub fn for_rcp(rcp: &Rcp) -> Self {
+        ArchConstraints {
+            max_in_neighbors: rcp.input_ports as u32,
+            max_out_neighbors: None,
+            out_node_max_in: 1,
+            copy_latency: 1,
+        }
+    }
+
+    /// Validate a finished assignment against this constraint set.
+    ///
+    /// Checks, per the paper:
+    /// * real patterns only along potential arcs,
+    /// * distinct in-neighbours per cluster ≤ `max_in_neighbors`,
+    /// * distinct out-neighbours per cluster ≤ `max_out_neighbors` (if set),
+    /// * in-degree of every output special node ≤ `out_node_max_in`.
+    pub fn check(&self, apg: &AssignedPg) -> Result<(), String> {
+        for (&(src, dst), values) in apg.copies.iter() {
+            if values.is_empty() {
+                continue;
+            }
+            if !apg.pg.is_potential(src, dst) {
+                return Err(format!(
+                    "real pattern {src}->{dst} is not a potential connection"
+                ));
+            }
+        }
+        for c in apg.pg.cluster_ids() {
+            let ins = apg.real_in_neighbors(c).len() as u32;
+            if ins > self.max_in_neighbors {
+                return Err(format!(
+                    "cluster {c} has {ins} in-neighbours, limit {}",
+                    self.max_in_neighbors
+                ));
+            }
+            if let Some(limit) = self.max_out_neighbors {
+                let outs = apg.real_out_neighbors(c).len() as u32;
+                if outs > limit {
+                    return Err(format!(
+                        "cluster {c} has {outs} out-neighbours, limit {limit}"
+                    ));
+                }
+            }
+        }
+        for o in apg.pg.output_ids() {
+            let ins = apg.real_in_neighbors(o).len() as u32;
+            if ins > self.out_node_max_in {
+                return Err(format!(
+                    "output node {o} has fan-in {ins}, outNode_MaxIn = {}",
+                    self.out_node_max_in
+                ));
+            }
+            // Every value the parent expects on this wire must be produced
+            // by the feeding cluster(s).
+            if let PgNodeKind::Output { values, .. } = &apg.pg.node(o).kind {
+                for &v in values {
+                    let present = apg
+                        .copies
+                        .iter()
+                        .any(|(&(_, dst), vs)| dst == o && vs.contains(&v));
+                    if !present {
+                        return Err(format!("output node {o} never receives value {v}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::copies::AssignedPg;
+    use crate::ili::{Ili, IliWire};
+    use crate::pg::{Pg, PgNodeId};
+    use hca_arch::ResourceTable;
+    use hca_ddg::{DdgBuilder, Opcode};
+
+    #[test]
+    fn dspfabric_level_constraints() {
+        let f = DspFabric::standard(8, 4, 2);
+        let c0 = ArchConstraints::for_dspfabric_level(&f, 0);
+        assert_eq!(c0.max_in_neighbors, 8);
+        assert_eq!(c0.max_out_neighbors, None);
+        let c2 = ArchConstraints::for_dspfabric_level(&f, 2);
+        assert_eq!(c2.max_in_neighbors, 2); // CN input wires
+        assert_eq!(c2.out_node_max_in, 1);
+    }
+
+    #[test]
+    fn rcp_constraints() {
+        let c = ArchConstraints::for_rcp(&Rcp::figure1());
+        assert_eq!(c.max_in_neighbors, 2);
+    }
+
+    /// Small DDG: two producers on different clusters feeding one consumer.
+    fn two_to_one() -> (AssignedPg, ArchConstraints) {
+        let mut b = DdgBuilder::default();
+        let p0 = b.node(Opcode::Add);
+        let p1 = b.node(Opcode::Add);
+        let c = b.node(Opcode::Add);
+        b.flow(p0, c);
+        b.flow(p1, c);
+        let ddg = b.finish();
+        let pg = Pg::complete(3, ResourceTable::of_cns(4));
+        let mut apg = AssignedPg::new(pg);
+        apg.assign(p0, PgNodeId(0));
+        apg.assign(p1, PgNodeId(1));
+        apg.assign(c, PgNodeId(2));
+        apg.derive_copies(&ddg, None);
+        let cons = ArchConstraints {
+            max_in_neighbors: 2,
+            max_out_neighbors: None,
+            out_node_max_in: 1,
+            copy_latency: 1,
+        };
+        (apg, cons)
+    }
+
+    #[test]
+    fn in_neighbor_limit_respected() {
+        let (apg, cons) = two_to_one();
+        assert!(cons.check(&apg).is_ok());
+        let tight = ArchConstraints {
+            max_in_neighbors: 1,
+            ..cons
+        };
+        let err = tight.check(&apg).unwrap_err();
+        assert!(err.contains("in-neighbours"), "{err}");
+    }
+
+    #[test]
+    fn out_node_fanin_enforced() {
+        let mut b = DdgBuilder::default();
+        let k = b.node(Opcode::Add);
+        let h = b.node(Opcode::Add);
+        let ddg = b.finish();
+        let mut pg = Pg::complete(2, ResourceTable::of_cns(4));
+        pg.attach_ili(&Ili {
+            inputs: vec![],
+            outputs: vec![IliWire::new(vec![k, h])],
+        });
+        let out = pg.output_ids().next().unwrap();
+        let cons = ArchConstraints {
+            max_in_neighbors: 4,
+            max_out_neighbors: None,
+            out_node_max_in: 1,
+            copy_latency: 1,
+        };
+        // Figure 10c: k and h on the same cluster — legal.
+        let mut ok = AssignedPg::new(pg.clone());
+        ok.assign(k, PgNodeId(0));
+        ok.assign(h, PgNodeId(0));
+        ok.derive_copies(&ddg, None);
+        assert!(cons.check(&ok).is_ok());
+        // k and h on different clusters — two arcs into one output node.
+        let mut bad = AssignedPg::new(pg);
+        bad.assign(k, PgNodeId(0));
+        bad.assign(h, PgNodeId(1));
+        bad.derive_copies(&ddg, None);
+        let err = cons.check(&bad).unwrap_err();
+        assert!(err.contains("outNode_MaxIn"), "{err}");
+        let _ = out;
+    }
+
+    #[test]
+    fn missing_output_value_detected() {
+        let mut b = DdgBuilder::default();
+        let k = b.node(Opcode::Add);
+        let _ddg = b.finish();
+        let mut pg = Pg::complete(2, ResourceTable::of_cns(4));
+        pg.attach_ili(&Ili {
+            inputs: vec![],
+            outputs: vec![IliWire::new(vec![k])],
+        });
+        let apg = AssignedPg::new(pg); // nothing assigned, no copies
+        let cons = ArchConstraints {
+            max_in_neighbors: 4,
+            max_out_neighbors: None,
+            out_node_max_in: 1,
+            copy_latency: 1,
+        };
+        let err = cons.check(&apg).unwrap_err();
+        assert!(err.contains("never receives"), "{err}");
+    }
+
+    #[test]
+    fn out_neighbor_limit_optional() {
+        let (apg, mut cons) = two_to_one();
+        cons.max_out_neighbors = Some(1);
+        assert!(cons.check(&apg).is_ok()); // each producer has one out-neighbour
+        cons.max_out_neighbors = Some(0);
+        assert!(cons.check(&apg).is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! Copy bookkeeping over an assigned Pattern Graph.
+//!
+//! After ICA the paper works with the overlined structures: `DDG̅(x)` is the
+//! cluster instruction `x` was assigned to, `PG̅(c)` the instruction list of
+//! cluster `c`, and `cpy(PG̅(c,d))` the values on the arc from `c` to `d` —
+//! the **inter-cluster copies** (§4.1). [`AssignedPg`] stores exactly that.
+
+use crate::pg::{Pg, PgNodeId, PgNodeKind};
+use hca_ddg::{Ddg, NodeId};
+use rustc_hash::{FxHashMap, FxHashSet};
+use serde::{Deserialize, Serialize};
+
+/// Values flowing on each real arc: `cpy(PG̅(c, d))`.
+pub type CopyMap = FxHashMap<(PgNodeId, PgNodeId), Vec<NodeId>>;
+
+/// An assigned Pattern Graph: the result of one single-level ICA.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct AssignedPg {
+    /// The Pattern Graph (clusters + special nodes).
+    pub pg: Pg,
+    /// `DDG̅`: cluster per DDG node. External producers entering through the
+    /// ILI are mapped to their special input node.
+    pub assignment: FxHashMap<NodeId, PgNodeId>,
+    /// `cpy(PG̅(c, d))` for every real pattern.
+    pub copies: CopyMap,
+    /// Pass-through forwards: `(value, cluster)` pairs where an externally
+    /// produced value enters on a glue-in wire and leaves on a glue-out wire
+    /// with no local consumer — the named cluster spends an issue slot
+    /// re-emitting it (a `Route` op in the final DDG).
+    pub forwards: Vec<(NodeId, PgNodeId)>,
+}
+
+impl AssignedPg {
+    /// Fresh, unassigned wrapper around `pg`.
+    pub fn new(pg: Pg) -> Self {
+        AssignedPg {
+            pg,
+            assignment: FxHashMap::default(),
+            copies: CopyMap::default(),
+            forwards: Vec::new(),
+        }
+    }
+
+    /// Record `node → cluster` (or `external producer → input node`).
+    pub fn assign(&mut self, node: NodeId, cluster: PgNodeId) {
+        self.assignment.insert(node, cluster);
+    }
+
+    /// `DDG̅(x)`: cluster of an assigned node.
+    pub fn cluster_of(&self, node: NodeId) -> Option<PgNodeId> {
+        self.assignment.get(&node).copied()
+    }
+
+    /// `PG̅(c)`: instructions assigned to `c`, in `NodeId` order.
+    pub fn instructions_of(&self, cluster: PgNodeId) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .assignment
+            .iter()
+            .filter(|&(_, &c)| c == cluster)
+            .map(|(&n, _)| n)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// `cpy(PG̅(c, d))`: values on the real arc `c → d` (empty slice if none).
+    pub fn cpy(&self, src: PgNodeId, dst: PgNodeId) -> &[NodeId] {
+        self.copies.get(&(src, dst)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Distinct real in-neighbours of `c`.
+    pub fn real_in_neighbors(&self, c: PgNodeId) -> FxHashSet<PgNodeId> {
+        self.copies
+            .iter()
+            .filter(|(&(_, dst), vs)| dst == c && !vs.is_empty())
+            .map(|(&(src, _), _)| src)
+            .collect()
+    }
+
+    /// Distinct real out-neighbours of `c`.
+    pub fn real_out_neighbors(&self, c: PgNodeId) -> FxHashSet<PgNodeId> {
+        self.copies
+            .iter()
+            .filter(|(&(src, _), vs)| src == c && !vs.is_empty())
+            .map(|(&(_, dst), _)| dst)
+            .collect()
+    }
+
+    /// Total number of (value, destination) copy pairs — the paper's main
+    /// penalty source.
+    pub fn total_copies(&self) -> usize {
+        self.copies.values().map(Vec::len).sum()
+    }
+
+    /// Number of receive primitives cluster `c` will execute: one per value
+    /// arriving at `c` (each consumes an issue slot, §4.2 copy pressure).
+    pub fn recv_count(&self, c: PgNodeId) -> usize {
+        self.copies
+            .iter()
+            .filter(|(&(_, dst), _)| dst == c)
+            .map(|(_, vs)| vs.len())
+            .sum()
+    }
+
+    /// Flow-conservation audit of one assigned level: every working-set
+    /// consumer whose operand lives on another cluster must receive the
+    /// value on some real arc into its cluster, every value on an arc must
+    /// be available at the arc's source (produced there, bound to the input
+    /// node, or arriving on another arc), and every output-node value must
+    /// be fed. Returns human-readable violations (empty = conserved).
+    pub fn check_flow(&self, ddg: &Ddg, working_set: &[NodeId]) -> Vec<String> {
+        let mut errs = Vec::new();
+        let ws: FxHashSet<NodeId> = working_set.iter().copied().collect();
+        for &n in working_set {
+            let Some(cn) = self.cluster_of(n) else {
+                errs.push(format!("{n} in working set but unassigned"));
+                continue;
+            };
+            for (_, e) in ddg.pred_edges(n) {
+                if ddg.node(e.src).op == hca_ddg::Opcode::Const {
+                    continue;
+                }
+                let Some(cp) = self.cluster_of(e.src) else {
+                    continue; // external value not on this level's interface
+                };
+                if cp == cn {
+                    continue;
+                }
+                let delivered = self
+                    .copies
+                    .iter()
+                    .any(|(&(_, dst), vs)| dst == cn && vs.contains(&e.src));
+                if !delivered {
+                    errs.push(format!("{n}@{cn} never receives operand {} (at {cp})", e.src));
+                }
+            }
+        }
+        for (&(a, b), vs) in self.copies.iter() {
+            for &v in vs {
+                if !self.pg.node(a).kind.is_cluster() {
+                    // Input node: must actually carry v.
+                    if self.pg.input_carrying(v) != Some(a) {
+                        errs.push(format!("arc {a}->{b}: input node does not carry {v}"));
+                    }
+                    continue;
+                }
+                let produced_here = self.cluster_of(v) == Some(a) && ws.contains(&v);
+                let arrives = self
+                    .copies
+                    .iter()
+                    .any(|(&(_, dst), vs2)| dst == a && vs2.contains(&v));
+                if !produced_here && !arrives {
+                    errs.push(format!("arc {a}->{b}: {v} not available at {a}"));
+                }
+            }
+        }
+        errs
+    }
+
+    /// Rebuild `copies` from scratch out of the assignment and the DDG
+    /// (restricted to `working_set` when given):
+    ///
+    /// * for every dependence `u → v` with `v` in the working set and
+    ///   different clusters, value `u` is copied `cluster(u) → cluster(v)`
+    ///   (deduplicated: a value reaches each destination cluster once —
+    ///   broadcast within a cluster is free through the register file);
+    /// * every value listed on an output special node is copied from its
+    ///   producer's cluster to that node.
+    pub fn derive_copies(&mut self, ddg: &Ddg, working_set: Option<&FxHashSet<NodeId>>) {
+        self.copies.clear();
+        let in_ws = |n: NodeId| working_set.is_none_or(|ws| ws.contains(&n));
+        for e in ddg.edges() {
+            if !in_ws(e.dst) || ddg.node(e.src).op == hca_ddg::Opcode::Const {
+                continue;
+            }
+            let (Some(cu), Some(cv)) = (self.cluster_of(e.src), self.cluster_of(e.dst)) else {
+                continue;
+            };
+            if cu == cv {
+                continue;
+            }
+            let entry = self.copies.entry((cu, cv)).or_default();
+            if !entry.contains(&e.src) {
+                entry.push(e.src);
+            }
+        }
+        for o in self.pg.output_ids().collect::<Vec<_>>() {
+            let PgNodeKind::Output { values, .. } = &self.pg.node(o).kind else {
+                unreachable!()
+            };
+            for &v in values.clone().iter() {
+                if let Some(cv) = self.cluster_of(v) {
+                    let entry = self.copies.entry((cv, o)).or_default();
+                    if !entry.contains(&v) {
+                        entry.push(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ili::{Ili, IliWire};
+    use hca_arch::ResourceTable;
+    use hca_ddg::{DdgBuilder, Opcode};
+
+    fn fan_out_ddg() -> (Ddg, [NodeId; 4]) {
+        // x feeds three consumers.
+        let mut b = DdgBuilder::default();
+        let x = b.node(Opcode::Load);
+        let c1 = b.node(Opcode::Add);
+        let c2 = b.node(Opcode::Add);
+        let c3 = b.node(Opcode::Add);
+        b.flow(x, c1);
+        b.flow(x, c2);
+        b.flow(x, c3);
+        (b.finish(), [x, c1, c2, c3])
+    }
+
+    #[test]
+    fn copies_deduplicate_per_destination_cluster() {
+        let (ddg, [x, c1, c2, c3]) = fan_out_ddg();
+        let pg = Pg::complete(2, ResourceTable::of_cns(4));
+        let mut apg = AssignedPg::new(pg);
+        apg.assign(x, PgNodeId(0));
+        apg.assign(c1, PgNodeId(1));
+        apg.assign(c2, PgNodeId(1));
+        apg.assign(c3, PgNodeId(0));
+        apg.derive_copies(&ddg, None);
+        // x goes to cluster 1 exactly once even though two consumers live there.
+        assert_eq!(apg.cpy(PgNodeId(0), PgNodeId(1)), &[x]);
+        assert_eq!(apg.total_copies(), 1);
+        assert_eq!(apg.recv_count(PgNodeId(1)), 1);
+        assert_eq!(apg.recv_count(PgNodeId(0)), 0);
+    }
+
+    #[test]
+    fn instructions_of_lists_cluster_content() {
+        let (ddg, [x, c1, c2, c3]) = fan_out_ddg();
+        let pg = Pg::complete(2, ResourceTable::of_cns(4));
+        let mut apg = AssignedPg::new(pg);
+        apg.assign(x, PgNodeId(0));
+        apg.assign(c1, PgNodeId(1));
+        apg.assign(c2, PgNodeId(1));
+        apg.assign(c3, PgNodeId(0));
+        apg.derive_copies(&ddg, None);
+        assert_eq!(apg.instructions_of(PgNodeId(0)), vec![x, c3]);
+        assert_eq!(apg.instructions_of(PgNodeId(1)), vec![c1, c2]);
+        assert_eq!(apg.cluster_of(x), Some(PgNodeId(0)));
+    }
+
+    #[test]
+    fn working_set_limits_derivation() {
+        let (ddg, [x, c1, c2, c3]) = fan_out_ddg();
+        let pg = Pg::complete(2, ResourceTable::of_cns(4));
+        let mut apg = AssignedPg::new(pg);
+        apg.assign(x, PgNodeId(0));
+        apg.assign(c1, PgNodeId(1));
+        apg.assign(c2, PgNodeId(1));
+        apg.assign(c3, PgNodeId(0));
+        let ws: FxHashSet<NodeId> = [c1].into_iter().collect();
+        apg.derive_copies(&ddg, Some(&ws));
+        assert_eq!(apg.total_copies(), 1);
+        let _ = (c2, c3);
+    }
+
+    #[test]
+    fn output_node_copies_derived() {
+        let mut b = DdgBuilder::default();
+        let k = b.node(Opcode::Add);
+        let ddg = b.finish();
+        let mut pg = Pg::complete(2, ResourceTable::of_cns(4));
+        pg.attach_ili(&Ili {
+            inputs: vec![],
+            outputs: vec![IliWire::new(vec![k])],
+        });
+        let out = pg.output_ids().next().unwrap();
+        let mut apg = AssignedPg::new(pg);
+        apg.assign(k, PgNodeId(1));
+        apg.derive_copies(&ddg, None);
+        assert_eq!(apg.cpy(PgNodeId(1), out), &[k]);
+        assert_eq!(apg.real_in_neighbors(out).len(), 1);
+    }
+
+    #[test]
+    fn neighbor_sets() {
+        let (ddg, [x, c1, _, _]) = fan_out_ddg();
+        let pg = Pg::complete(3, ResourceTable::of_cns(4));
+        let mut apg = AssignedPg::new(pg);
+        apg.assign(x, PgNodeId(0));
+        apg.assign(c1, PgNodeId(2));
+        apg.derive_copies(&ddg, None);
+        assert!(apg.real_out_neighbors(PgNodeId(0)).contains(&PgNodeId(2)));
+        assert!(apg.real_in_neighbors(PgNodeId(2)).contains(&PgNodeId(0)));
+        assert!(apg.real_in_neighbors(PgNodeId(1)).is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! Inter-Level Interface (paper §4.1, Figure 9c).
+//!
+//! After the Mapper distributes the copies of a level over physical wires,
+//! it "generates an ILI for each subproblem of the current one": the list of
+//! input wires (with the values each pumps down) and output wires (with the
+//! values each sends up) crossing that child's boundary.
+
+use hca_ddg::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One glue wire crossing a sub-problem boundary.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IliWire {
+    /// Values carried by the wire (identified by their producing DDG node).
+    pub values: Vec<NodeId>,
+}
+
+impl IliWire {
+    /// Wire carrying the given values.
+    pub fn new(values: Vec<NodeId>) -> Self {
+        IliWire { values }
+    }
+
+    /// Time-multiplexing pressure of the wire.
+    pub fn pressure(&self) -> u32 {
+        self.values.len() as u32
+    }
+}
+
+/// The Inter-Level Interface of one sub-problem.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ili {
+    /// Wires entering the sub-problem from the parent level.
+    pub inputs: Vec<IliWire>,
+    /// Wires leaving the sub-problem towards the parent level.
+    pub outputs: Vec<IliWire>,
+}
+
+impl Ili {
+    /// The empty interface — used for the root problem, which has no parent.
+    pub fn root() -> Self {
+        Ili::default()
+    }
+
+    /// All values entering the sub-problem.
+    pub fn incoming_values(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.inputs.iter().flat_map(|w| w.values.iter().copied())
+    }
+
+    /// All values that must leave the sub-problem.
+    pub fn outgoing_values(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.outputs.iter().flat_map(|w| w.values.iter().copied())
+    }
+
+    /// True when nothing crosses the boundary.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty() && self.outputs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure9c_shape() {
+        // ILI_{0,3} of Figure 9: four input lines carrying a | b | c | {k,h},
+        // one output line carrying z.
+        let (a, b, c, k, h, z) = (
+            NodeId(0),
+            NodeId(1),
+            NodeId(2),
+            NodeId(3),
+            NodeId(4),
+            NodeId(5),
+        );
+        let ili = Ili {
+            inputs: vec![
+                IliWire::new(vec![a]),
+                IliWire::new(vec![b]),
+                IliWire::new(vec![c]),
+                IliWire::new(vec![k, h]),
+            ],
+            outputs: vec![IliWire::new(vec![z])],
+        };
+        assert_eq!(ili.inputs.len(), 4);
+        assert_eq!(ili.incoming_values().count(), 5);
+        assert_eq!(ili.outgoing_values().collect::<Vec<_>>(), vec![z]);
+        assert_eq!(ili.inputs[3].pressure(), 2);
+        assert!(!ili.is_empty());
+    }
+
+    #[test]
+    fn root_is_empty() {
+        assert!(Ili::root().is_empty());
+        assert_eq!(Ili::root().incoming_values().count(), 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # hca-pg — the Pattern Graph abstraction
+//!
+//! The Pattern Graph (PG) "represents the architecture topology at a high
+//! abstraction level" (paper §3, Figure 7): each node is a cluster described
+//! by its Resource Table; an arc states that two clusters *could* be
+//! connected by a communication pattern, without committing to any physical
+//! wire. During Instruction Cluster Assignment arcs become **real** patterns
+//! the moment an inter-cluster copy is allocated onto them; the Mapper later
+//! lowers real patterns onto MUX wires.
+//!
+//! For the hierarchical decomposition (§4.1) a child sub-problem's PG is
+//! completed with special **input nodes** (one per incoming glue wire,
+//! broadcastable to every cluster) and **output nodes** (one per outgoing
+//! glue wire, with the `outNode_MaxIn = 1` unary fan-in constraint).
+//!
+//! This crate owns the shared vocabulary between the Space Exploration
+//! Engine and the Mapper: PG storage ([`Pg`]), reconfiguration constraints
+//! ([`ArchConstraints`]), copy bookkeeping ([`AssignedPg`]) and the
+//! Inter-Level Interface ([`Ili`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod constraints;
+pub mod copies;
+pub mod ili;
+pub mod pg;
+
+pub use constraints::ArchConstraints;
+pub use copies::{AssignedPg, CopyMap};
+pub use ili::{Ili, IliWire};
+pub use pg::{Pg, PgNode, PgNodeId, PgNodeKind};

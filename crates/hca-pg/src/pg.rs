@@ -1,0 +1,368 @@
+//! Pattern Graph storage and construction.
+
+use crate::ili::Ili;
+use hca_arch::{ResourceTable, Rcp};
+use hca_ddg::NodeId;
+use serde::{Deserialize, Serialize};
+use smallvec::SmallVec;
+use std::fmt;
+
+/// Index of a PG node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PgNodeId(pub u32);
+
+impl PgNodeId {
+    /// Usable as a plain array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PgNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for PgNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// What a PG node stands for.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PgNodeKind {
+    /// A real cluster: member `member` of the group this PG describes.
+    Cluster {
+        /// Member index within the hierarchy group.
+        member: usize,
+    },
+    /// Special input node for incoming glue wire `wire` (paper §4.1): the
+    /// listed values are "pumped from the father into the current level".
+    Input {
+        /// ILI input-wire index.
+        wire: usize,
+        /// Values arriving on the wire.
+        values: Vec<NodeId>,
+    },
+    /// Special output node for outgoing glue wire `wire`: the listed values
+    /// are "sent to the father". Subject to `outNode_MaxIn`.
+    Output {
+        /// ILI output-wire index.
+        wire: usize,
+        /// Values leaving on the wire.
+        values: Vec<NodeId>,
+    },
+}
+
+impl PgNodeKind {
+    /// True for real clusters.
+    #[inline]
+    pub fn is_cluster(&self) -> bool {
+        matches!(self, PgNodeKind::Cluster { .. })
+    }
+}
+
+/// One PG node.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PgNode {
+    /// Role of the node.
+    pub kind: PgNodeKind,
+    /// Resource table ("each node of the PG is represented by its RT", §3).
+    /// Zero for special nodes — they execute nothing.
+    pub rt: ResourceTable,
+}
+
+/// The Pattern Graph: nodes plus *potential* communication patterns.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Pg {
+    nodes: Vec<PgNode>,
+    /// Out-adjacency of potential arcs.
+    succs: Vec<SmallVec<[PgNodeId; 8]>>,
+    /// In-adjacency of potential arcs.
+    preds: Vec<SmallVec<[PgNodeId; 8]>>,
+}
+
+impl Pg {
+    /// Empty PG.
+    pub fn new() -> Self {
+        Pg::default()
+    }
+
+    /// Add a node; returns its id.
+    pub fn add_node(&mut self, node: PgNode) -> PgNodeId {
+        let id = PgNodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.succs.push(SmallVec::new());
+        self.preds.push(SmallVec::new());
+        id
+    }
+
+    /// Declare a potential communication pattern `src → dst`.
+    ///
+    /// Idempotent; self-arcs are rejected (a cluster does not copy to itself).
+    pub fn add_potential(&mut self, src: PgNodeId, dst: PgNodeId) {
+        assert!(src != dst, "self communication pattern on {src}");
+        assert!(src.index() < self.nodes.len() && dst.index() < self.nodes.len());
+        if !self.succs[src.index()].contains(&dst) {
+            self.succs[src.index()].push(dst);
+            self.preds[dst.index()].push(src);
+        }
+    }
+
+    /// Number of nodes (clusters + special nodes).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Node payload.
+    #[inline]
+    pub fn node(&self, id: PgNodeId) -> &PgNode {
+        &self.nodes[id.index()]
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = PgNodeId> + Clone + use<> {
+        (0..self.nodes.len() as u32).map(PgNodeId)
+    }
+
+    /// Ids of the cluster (non-special) nodes.
+    pub fn cluster_ids(&self) -> impl Iterator<Item = PgNodeId> + '_ {
+        self.node_ids().filter(|&id| self.node(id).kind.is_cluster())
+    }
+
+    /// Ids of the special input nodes.
+    pub fn input_ids(&self) -> impl Iterator<Item = PgNodeId> + '_ {
+        self.node_ids()
+            .filter(|&id| matches!(self.node(id).kind, PgNodeKind::Input { .. }))
+    }
+
+    /// Ids of the special output nodes.
+    pub fn output_ids(&self) -> impl Iterator<Item = PgNodeId> + '_ {
+        self.node_ids()
+            .filter(|&id| matches!(self.node(id).kind, PgNodeKind::Output { .. }))
+    }
+
+    /// Is `src → dst` a potential pattern?
+    #[inline]
+    pub fn is_potential(&self, src: PgNodeId, dst: PgNodeId) -> bool {
+        self.succs[src.index()].contains(&dst)
+    }
+
+    /// Potential successors of `id`.
+    pub fn potential_succs(&self, id: PgNodeId) -> &[PgNodeId] {
+        &self.succs[id.index()]
+    }
+
+    /// Potential predecessors of `id`.
+    pub fn potential_preds(&self, id: PgNodeId) -> &[PgNodeId] {
+        &self.preds[id.index()]
+    }
+
+    /// Member index of a cluster node.
+    ///
+    /// # Panics
+    /// If `id` is a special node.
+    pub fn member_of(&self, id: PgNodeId) -> usize {
+        match self.node(id).kind {
+            PgNodeKind::Cluster { member } => member,
+            _ => panic!("{id} is a special node"),
+        }
+    }
+
+    /// The cluster node for member index `m`, if present.
+    pub fn cluster_of_member(&self, m: usize) -> Option<PgNodeId> {
+        self.cluster_ids()
+            .find(|&id| matches!(self.node(id).kind, PgNodeKind::Cluster { member } if member == m))
+    }
+
+    /// A complete PG over `n` clusters, each with resource table `rt` —
+    /// the level view of a DSPFabric group, where MUXes make every cluster
+    /// potentially reachable from every other (Figure 7).
+    pub fn complete(n: usize, rt: ResourceTable) -> Self {
+        let mut pg = Pg::new();
+        let ids: Vec<PgNodeId> = (0..n)
+            .map(|member| {
+                pg.add_node(PgNode {
+                    kind: PgNodeKind::Cluster { member },
+                    rt,
+                })
+            })
+            .collect();
+        for &a in &ids {
+            for &b in &ids {
+                if a != b {
+                    pg.add_potential(a, b);
+                }
+            }
+        }
+        pg
+    }
+
+    /// PG of an RCP ring: potential arcs follow the ring reach, resource
+    /// tables reflect the heterogeneous memory capability (§2.1).
+    pub fn from_rcp(rcp: &Rcp) -> Self {
+        let mut pg = Pg::new();
+        let ids: Vec<PgNodeId> = (0..rcp.clusters)
+            .map(|member| {
+                pg.add_node(PgNode {
+                    kind: PgNodeKind::Cluster { member },
+                    rt: rcp.cluster_rt(member),
+                })
+            })
+            .collect();
+        for dst in 0..rcp.clusters {
+            for src in rcp.potential_sources(dst) {
+                pg.add_potential(ids[src], ids[dst]);
+            }
+        }
+        pg
+    }
+
+    /// Complete this PG with the special nodes induced by an ILI (§4.1,
+    /// Figure 10b): one input node per incoming wire, connected by potential
+    /// patterns **to** every cluster; one output node per outgoing wire,
+    /// connected **from** every cluster.
+    pub fn attach_ili(&mut self, ili: &Ili) {
+        let clusters: Vec<PgNodeId> = self.cluster_ids().collect();
+        for (wire, w) in ili.inputs.iter().enumerate() {
+            let id = self.add_node(PgNode {
+                kind: PgNodeKind::Input {
+                    wire,
+                    values: w.values.clone(),
+                },
+                rt: ResourceTable::default(),
+            });
+            for &c in &clusters {
+                self.add_potential(id, c);
+            }
+        }
+        for (wire, w) in ili.outputs.iter().enumerate() {
+            let id = self.add_node(PgNode {
+                kind: PgNodeKind::Output {
+                    wire,
+                    values: w.values.clone(),
+                },
+                rt: ResourceTable::default(),
+            });
+            for &c in &clusters {
+                self.add_potential(c, id);
+            }
+        }
+    }
+
+    /// The input node (if any) whose wire carries value `v`.
+    pub fn input_carrying(&self, v: NodeId) -> Option<PgNodeId> {
+        self.input_ids().find(|&id| match &self.node(id).kind {
+            PgNodeKind::Input { values, .. } => values.contains(&v),
+            _ => false,
+        })
+    }
+
+    /// Output nodes whose wire must carry value `v`.
+    pub fn outputs_carrying(&self, v: NodeId) -> Vec<PgNodeId> {
+        self.output_ids()
+            .filter(|&id| match &self.node(id).kind {
+                PgNodeKind::Output { values, .. } => values.contains(&v),
+                _ => false,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ili::{Ili, IliWire};
+
+    #[test]
+    fn complete_pg_is_complete() {
+        let pg = Pg::complete(4, ResourceTable::of_cns(4));
+        assert_eq!(pg.num_nodes(), 4);
+        for a in pg.node_ids() {
+            assert_eq!(pg.potential_succs(a).len(), 3);
+            assert_eq!(pg.potential_preds(a).len(), 3);
+            assert!(!pg.is_potential(a, a));
+        }
+    }
+
+    #[test]
+    fn rcp_pg_follows_ring() {
+        let rcp = Rcp::figure1();
+        let pg = Pg::from_rcp(&rcp);
+        assert_eq!(pg.num_nodes(), 8);
+        let c0 = PgNodeId(0);
+        assert_eq!(pg.potential_preds(c0).len(), 4);
+        assert!(pg.is_potential(PgNodeId(1), c0));
+        assert!(!pg.is_potential(PgNodeId(4), c0));
+        // heterogeneous RTs survive
+        assert_eq!(pg.node(PgNodeId(0)).rt.addr_gen, 1);
+        assert_eq!(pg.node(PgNodeId(1)).rt.addr_gen, 0);
+    }
+
+    #[test]
+    fn attach_ili_adds_special_nodes() {
+        use hca_ddg::NodeId;
+        let mut pg = Pg::complete(4, ResourceTable::of_cns(1));
+        let ili = Ili {
+            inputs: vec![
+                IliWire::new(vec![NodeId(10)]),
+                IliWire::new(vec![NodeId(11), NodeId(12)]),
+            ],
+            outputs: vec![IliWire::new(vec![NodeId(20)])],
+        };
+        pg.attach_ili(&ili);
+        assert_eq!(pg.num_nodes(), 7);
+        assert_eq!(pg.input_ids().count(), 2);
+        assert_eq!(pg.output_ids().count(), 1);
+        let inp = pg.input_carrying(NodeId(11)).unwrap();
+        // Input nodes broadcast to every cluster…
+        for c in pg.cluster_ids().collect::<Vec<_>>() {
+            assert!(pg.is_potential(inp, c));
+        }
+        // …and clusters reach every output node.
+        let out = pg.outputs_carrying(NodeId(20));
+        assert_eq!(out.len(), 1);
+        for c in pg.cluster_ids().collect::<Vec<_>>() {
+            assert!(pg.is_potential(c, out[0]));
+        }
+        // Special nodes execute nothing.
+        assert_eq!(pg.node(inp).rt, ResourceTable::default());
+    }
+
+    #[test]
+    fn member_lookup_roundtrip() {
+        let pg = Pg::complete(4, ResourceTable::CN);
+        for m in 0..4 {
+            let id = pg.cluster_of_member(m).unwrap();
+            assert_eq!(pg.member_of(id), m);
+        }
+        assert!(pg.cluster_of_member(4).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "special node")]
+    fn member_of_special_panics() {
+        let mut pg = Pg::complete(2, ResourceTable::CN);
+        let ili = Ili {
+            inputs: vec![IliWire::new(vec![])],
+            outputs: vec![],
+        };
+        pg.attach_ili(&ili);
+        let inp = pg.input_ids().next().unwrap();
+        pg.member_of(inp);
+    }
+
+    #[test]
+    fn add_potential_is_idempotent() {
+        let mut pg = Pg::complete(2, ResourceTable::CN);
+        let (a, b) = (PgNodeId(0), PgNodeId(1));
+        pg.add_potential(a, b);
+        pg.add_potential(a, b);
+        assert_eq!(pg.potential_succs(a).len(), 1);
+        assert_eq!(pg.potential_preds(b).len(), 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Input-buffer occupancy analysis.
+//!
+//! §2.2: "Two regions of its register file are organized as input buffers,
+//! which push the incoming values on top, but can be read randomly by the
+//! receiver." Every value a CN receives sits in an input-buffer entry from
+//! the cycle its `recv` issues until the last local consumer has read it —
+//! with modulo overlap, `ceil(lifetime / II)` entries stay occupied in
+//! steady state. This module computes the per-CN high-water mark so a
+//! schedule can be checked against the buffer region size.
+
+use crate::modsched::ModuloSchedule;
+use hca_arch::DspFabric;
+use hca_core::FinalProgram;
+use hca_ddg::Opcode;
+
+/// Steady-state input-buffer occupancy per CN.
+pub fn input_buffer_pressure(
+    fp: &FinalProgram,
+    fabric: &DspFabric,
+    s: &ModuloSchedule,
+) -> Vec<u32> {
+    let mut occupancy = vec![0u32; fabric.num_cns()];
+    for n in fp.ddg.node_ids() {
+        if fp.ddg.node(n).op != Opcode::Recv {
+            continue;
+        }
+        let cn = fp.placement[n.index()];
+        let born = i64::from(s.time[n.index()]);
+        let mut dead = born;
+        for (_, e) in fp.ddg.succ_edges(n) {
+            let read =
+                i64::from(s.time[e.dst.index()]) + i64::from(s.ii) * i64::from(e.distance);
+            dead = dead.max(read);
+        }
+        let life = (dead - born).max(1) as u64;
+        occupancy[cn.index()] += u32::try_from(life.div_ceil(u64::from(s.ii))).unwrap();
+    }
+    occupancy
+}
+
+/// Does every CN's buffered population fit `capacity` entries (the size of
+/// its two input-buffer regions combined)?
+pub fn buffers_fit(pressure: &[u32], capacity: u32) -> bool {
+    pressure.iter().all(|&p| p <= capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modsched::modulo_schedule;
+    use hca_core::{run_hca, HcaConfig};
+    use hca_ddg::DdgBuilder;
+
+    #[test]
+    fn receiving_cns_have_buffered_values() {
+        // A producer chain forced across clusters by sheer width: some CN
+        // receives, so some CN buffers.
+        let mut b = DdgBuilder::default();
+        for _ in 0..6 {
+            let x = b.node(Opcode::Load);
+            let p = b.node(Opcode::AddrAdd);
+            b.carried(p, p, 1);
+            b.flow(p, x);
+            let y = b.op_with(Opcode::Mul, &[x]);
+            b.op_with(Opcode::Store, &[y, p]);
+        }
+        let ddg = b.finish();
+        let fabric = DspFabric::standard(8, 8, 8);
+        let res = run_hca(&ddg, &fabric, &HcaConfig::default()).unwrap();
+        let s = modulo_schedule(&res.final_program, &fabric, res.mii.final_mii).unwrap();
+        let occ = input_buffer_pressure(&res.final_program, &fabric, &s);
+        let total: u32 = occ.iter().sum();
+        assert_eq!(
+            total > 0,
+            res.final_program.num_recvs() > 0,
+            "buffers occupied iff values are received"
+        );
+        assert!(buffers_fit(&occ, 32));
+    }
+
+    #[test]
+    fn table1_kernels_fit_modest_buffers() {
+        let fabric = DspFabric::standard(8, 8, 8);
+        for kernel in hca_kernels::table1_kernels() {
+            let res = run_hca(&kernel.ddg, &fabric, &HcaConfig::default()).unwrap();
+            let s = modulo_schedule(&res.final_program, &fabric, res.mii.final_mii).unwrap();
+            let occ = input_buffer_pressure(&res.final_program, &fabric, &s);
+            assert!(
+                buffers_fit(&occ, 32),
+                "{}: worst {}",
+                kernel.name,
+                occ.iter().max().unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Kernel-Only Modulo Scheduling view (Rau, Schlansker & Tirumalai '92).
+//!
+//! KOMS keeps only the kernel in memory: prologue and epilogue are realised
+//! by predicating each operation on its pipeline *stage* being active, and
+//! a cyclic program counter walks the II-cycle kernel (paper §2.2: "no
+//! branches are allowed and the execution is controlled by a cyclic program
+//! counter"). This module folds a [`ModuloSchedule`] into that kernel form.
+
+use crate::modsched::ModuloSchedule;
+use hca_arch::{CnId, DspFabric};
+use hca_core::FinalProgram;
+use hca_ddg::NodeId;
+
+/// One kernel entry: the op a CN issues in a given kernel cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelOp {
+    /// The final-DDG node.
+    pub node: NodeId,
+    /// Pipeline stage the op belongs to (its activation predicate index).
+    pub stage: u32,
+}
+
+/// The folded kernel: `ops[cn][cycle]` for `cycle ∈ 0..ii`.
+#[derive(Clone, Debug)]
+pub struct KernelSchedule {
+    /// Initiation interval (kernel length in cycles).
+    pub ii: u32,
+    /// Stage count (pipeline depth in iterations).
+    pub stages: u32,
+    ops: Vec<Vec<Option<KernelOp>>>,
+}
+
+impl KernelSchedule {
+    /// Fold a modulo schedule into kernel form.
+    pub fn fold(fp: &FinalProgram, fabric: &DspFabric, s: &ModuloSchedule) -> Self {
+        let mut ops = vec![vec![None; s.ii as usize]; fabric.num_cns()];
+        for n in fp.ddg.node_ids() {
+            let cn = fp.placement[n.index()];
+            let slot = s.slot(n) as usize;
+            let prev = ops[cn.index()][slot].replace(KernelOp {
+                node: n,
+                stage: s.stage(n),
+            });
+            assert!(prev.is_none(), "single-issue violation at {cn} slot {slot}");
+        }
+        KernelSchedule {
+            ii: s.ii,
+            stages: s.stages,
+            ops,
+        }
+    }
+
+    /// Op issued by `cn` at kernel cycle `cycle` (if any).
+    pub fn op_at(&self, cn: CnId, cycle: u32) -> Option<KernelOp> {
+        self.ops[cn.index()][(cycle % self.ii) as usize]
+    }
+
+    /// Steady-state issue-slot utilisation: occupied kernel slots over
+    /// `num_cns · ii`.
+    pub fn utilization(&self) -> f64 {
+        let occupied: usize = self
+            .ops
+            .iter()
+            .map(|cn| cn.iter().filter(|o| o.is_some()).count())
+            .sum();
+        let total = self.ops.len() * self.ii as usize;
+        if total == 0 {
+            0.0
+        } else {
+            occupied as f64 / total as f64
+        }
+    }
+
+    /// Is `op`'s stage active in global cycle `t` for a loop of
+    /// `trip_count` iterations? This is the KOMS stage predicate: stage `s`
+    /// of iteration `i` executes during kernel pass `i + s`.
+    pub fn stage_active(&self, stage: u32, kernel_pass: u64, trip_count: u64) -> bool {
+        // Kernel pass p runs stage s of iteration p − s.
+        kernel_pass >= u64::from(stage)
+            && (kernel_pass - u64::from(stage)) < trip_count
+    }
+
+    /// Number of kernel passes needed for `trip_count` iterations.
+    pub fn total_passes(&self, trip_count: u64) -> u64 {
+        if trip_count == 0 {
+            0
+        } else {
+            trip_count + u64::from(self.stages) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modsched::modulo_schedule;
+    use hca_core::{run_hca, HcaConfig};
+    use hca_ddg::{DdgBuilder, Opcode};
+
+    fn folded() -> (FinalProgram, KernelSchedule) {
+        let mut b = DdgBuilder::default();
+        let a = b.node(Opcode::AddrAdd);
+        b.carried(a, a, 1);
+        let x = b.op_with(Opcode::Load, &[a]);
+        let y = b.op_with(Opcode::Mul, &[x]);
+        b.op_with(Opcode::Store, &[y, a]);
+        let ddg = b.finish();
+        let fabric = DspFabric::standard(8, 8, 8);
+        let res = run_hca(&ddg, &fabric, &HcaConfig::default()).unwrap();
+        let s = modulo_schedule(&res.final_program, &fabric, res.mii.final_mii).unwrap();
+        let k = KernelSchedule::fold(&res.final_program, &fabric, &s);
+        (res.final_program, k)
+    }
+
+    #[test]
+    fn every_node_lands_in_exactly_one_slot() {
+        let (fp, k) = folded();
+        let fabric = DspFabric::standard(8, 8, 8);
+        let mut seen = 0;
+        for cn in fabric.cn_ids() {
+            for cycle in 0..k.ii {
+                if k.op_at(cn, cycle).is_some() {
+                    seen += 1;
+                }
+            }
+        }
+        assert_eq!(seen, fp.ddg.num_nodes());
+        assert!(k.utilization() > 0.0);
+    }
+
+    #[test]
+    fn stage_predicates_ramp_up_and_drain() {
+        let (_, k) = folded();
+        let trip = 5u64;
+        // Stage 0 active from pass 0 to trip−1.
+        assert!(k.stage_active(0, 0, trip));
+        assert!(k.stage_active(0, trip - 1, trip));
+        assert!(!k.stage_active(0, trip, trip));
+        // The deepest stage activates last and drains last.
+        let last = k.stages - 1;
+        if k.stages > 1 {
+            assert!(!k.stage_active(last, 0, trip));
+        }
+        assert!(k.stage_active(last, u64::from(last), trip));
+        assert_eq!(k.total_passes(trip), trip + u64::from(k.stages) - 1);
+        assert_eq!(k.total_passes(0), 0);
+    }
+}

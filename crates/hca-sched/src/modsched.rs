@@ -1,0 +1,295 @@
+//! Rau's iterative modulo scheduling (MICRO '94), operating on the
+//! clusterised final DDG: every node already sits on its CN, so the
+//! scheduler only chooses *times*, subject to the per-CN single-issue
+//! modulo reservation and the shared DMA ports.
+
+use crate::mrt::Mrt;
+use hca_arch::DspFabric;
+use hca_core::FinalProgram;
+use hca_ddg::{analysis, NodeId};
+use std::fmt;
+
+/// A complete modulo schedule.
+#[derive(Clone, Debug)]
+pub struct ModuloSchedule {
+    /// Achieved initiation interval.
+    pub ii: u32,
+    /// Issue time per final-DDG node.
+    pub time: Vec<u32>,
+    /// Number of kernel stages: `max(time)/ii + 1`.
+    pub stages: u32,
+}
+
+impl ModuloSchedule {
+    /// Pipeline stage of a node.
+    #[inline]
+    pub fn stage(&self, n: NodeId) -> u32 {
+        self.time[n.index()] / self.ii
+    }
+
+    /// Kernel slot (cycle within the II window) of a node.
+    #[inline]
+    pub fn slot(&self, n: NodeId) -> u32 {
+        self.time[n.index()] % self.ii
+    }
+}
+
+/// Why scheduling failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchedError {
+    /// No II up to the given bound admitted a schedule within budget.
+    Infeasible {
+        /// Largest II attempted.
+        tried_up_to: u32,
+    },
+    /// The final DDG itself is unschedulable (zero-distance cycle).
+    BadGraph,
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::Infeasible { tried_up_to } => {
+                write!(f, "no modulo schedule found up to II = {tried_up_to}")
+            }
+            SchedError::BadGraph => write!(f, "final DDG has a zero-distance cycle"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// Schedule `fp` at the smallest feasible II ≥ `min_ii`.
+///
+/// `min_ii` should be the §4.2 lower bound (`MiiReport::final_mii`); the
+/// scheduler retries at II+1 on failure up to `4·min_ii + 16`.
+pub fn modulo_schedule(
+    fp: &FinalProgram,
+    fabric: &DspFabric,
+    min_ii: u32,
+) -> Result<ModuloSchedule, SchedError> {
+    let mii_rec = analysis::mii_rec(&fp.ddg).map_err(|_| SchedError::BadGraph)?;
+    let start = min_ii.max(mii_rec).max(1);
+    let max_ii = 4 * start + 16;
+    for ii in start..=max_ii {
+        if let Some(s) = try_schedule(fp, fabric, ii) {
+            return Ok(s);
+        }
+    }
+    Err(SchedError::Infeasible { tried_up_to: max_ii })
+}
+
+/// One attempt at a fixed II, with a scheduling-operation budget.
+fn try_schedule(fp: &FinalProgram, fabric: &DspFabric, ii: u32) -> Option<ModuloSchedule> {
+    let ddg = &fp.ddg;
+    let n = ddg.num_nodes();
+    if n == 0 {
+        return Some(ModuloSchedule {
+            ii,
+            time: Vec::new(),
+            stages: 1,
+        });
+    }
+    // Height-based priority over the intra-iteration DAG.
+    let topo = analysis::intra_topo_order(ddg)?;
+    let levels = analysis::asap_alap(ddg, &topo);
+
+    let mut time: Vec<Option<u32>> = vec![None; n];
+    let mut last_time: Vec<u32> = vec![0; n];
+    let mut mrt = Mrt::new(fabric, ii);
+    // Worklist ordered by (height desc, id) — recomputed lazily via sort.
+    let mut worklist: Vec<NodeId> = ddg.node_ids().collect();
+    worklist.sort_by_key(|&x| (u32::MAX - levels.height[x.index()], x.0));
+    let mut budget = 16 * n as u64 + 64;
+
+    while let Some(node) = pick_next(&worklist, &time, &levels) {
+        if budget == 0 {
+            return None;
+        }
+        budget -= 1;
+        let cn = fp.placement[node.index()];
+        let op = ddg.node(node).op;
+
+        // Earliest start from *scheduled* predecessors (modulo semantics).
+        let mut estart = 0i64;
+        for (_, e) in ddg.pred_edges(node) {
+            if let Some(tp) = time[e.src.index()] {
+                let lo = i64::from(tp) + i64::from(e.latency) - i64::from(ii) * i64::from(e.distance);
+                estart = estart.max(lo);
+            }
+        }
+        let estart = u32::try_from(estart.max(0)).ok()?;
+
+        // Search one full II window for a free slot.
+        let mut chosen = None;
+        for t in estart..estart + ii {
+            if mrt.is_free(cn, op, t) {
+                chosen = Some(t);
+                break;
+            }
+        }
+        // Forced placement (Rau): at least estart, and strictly after the
+        // node's previous slot so repeated ejections make progress.
+        let t = chosen.unwrap_or_else(|| estart.max(last_time[node.index()] + 1));
+        // Evict the resource conflict, if any.
+        if let Some(evicted) = mrt.occupant(cn, t) {
+            if evicted != node {
+                let et = time[evicted.index()].expect("occupants are scheduled");
+                mrt.remove(evicted, fp.placement[evicted.index()], ddg.node(evicted).op, et);
+                time[evicted.index()] = None;
+                last_time[evicted.index()] = et;
+            }
+        }
+        // DMA-port conflicts cannot be attributed to one occupant; bump time.
+        if !mrt.is_free(cn, op, t) {
+            last_time[node.index()] = t;
+            continue; // retry this node next round, one cycle later
+        }
+        mrt.place(node, cn, op, t);
+        time[node.index()] = Some(t);
+        last_time[node.index()] = t;
+
+        // Eject successors whose dependence the new time violates.
+        for (_, e) in ddg.succ_edges(node) {
+            if e.dst == node {
+                continue;
+            }
+            if let Some(ts) = time[e.dst.index()] {
+                let lo = i64::from(t) + i64::from(e.latency) - i64::from(ii) * i64::from(e.distance);
+                if i64::from(ts) < lo {
+                    mrt.remove(e.dst, fp.placement[e.dst.index()], ddg.node(e.dst).op, ts);
+                    time[e.dst.index()] = None;
+                    last_time[e.dst.index()] = ts;
+                }
+            }
+        }
+    }
+
+    let time: Vec<u32> = time.into_iter().map(|t| t.expect("all scheduled")).collect();
+    let stages = time.iter().map(|&t| t / ii).max().unwrap_or(0) + 1;
+    let sched = ModuloSchedule { ii, time, stages };
+    debug_assert!(validate(fp, fabric, &sched).is_ok());
+    Some(sched)
+}
+
+/// Next unscheduled node by (height, id) priority.
+fn pick_next(
+    worklist: &[NodeId],
+    time: &[Option<u32>],
+    _levels: &hca_ddg::AsapAlap,
+) -> Option<NodeId> {
+    worklist.iter().copied().find(|x| time[x.index()].is_none())
+}
+
+/// Check every dependence and resource constraint of a finished schedule.
+pub fn validate(
+    fp: &FinalProgram,
+    fabric: &DspFabric,
+    s: &ModuloSchedule,
+) -> Result<(), String> {
+    let ddg = &fp.ddg;
+    if s.time.len() != ddg.num_nodes() {
+        return Err("schedule length mismatch".into());
+    }
+    for e in ddg.edges() {
+        let lhs = i64::from(s.time[e.dst.index()]);
+        let rhs = i64::from(s.time[e.src.index()]) + i64::from(e.latency)
+            - i64::from(s.ii) * i64::from(e.distance);
+        if lhs < rhs {
+            return Err(format!(
+                "dependence {:?}->{:?} violated: {lhs} < {rhs}",
+                e.src, e.dst
+            ));
+        }
+    }
+    let mut mrt = Mrt::new(fabric, s.ii);
+    for x in ddg.node_ids() {
+        let cn = fp.placement[x.index()];
+        let op = ddg.node(x).op;
+        if !mrt.is_free(cn, op, s.time[x.index()]) {
+            return Err(format!("resource conflict at {x:?} on {cn}"));
+        }
+        mrt.place(x, cn, op, s.time[x.index()]);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hca_core::{run_hca, HcaConfig};
+    use hca_ddg::{DdgBuilder, Opcode};
+
+    fn schedule_kernel(ddg: &hca_ddg::Ddg) -> (FinalProgram, ModuloSchedule, DspFabric) {
+        let fabric = DspFabric::standard(8, 8, 8);
+        let res = run_hca(ddg, &fabric, &HcaConfig::default()).unwrap();
+        let s = modulo_schedule(&res.final_program, &fabric, res.mii.final_mii).unwrap();
+        (res.final_program, s, fabric)
+    }
+
+    #[test]
+    fn schedules_simple_mac_loop() {
+        let mut b = DdgBuilder::default();
+        let addr = b.node(Opcode::AddrAdd);
+        b.carried(addr, addr, 1);
+        let ld = b.op_with(Opcode::Load, &[addr]);
+        let acc = b.op_with(Opcode::Mac, &[ld]);
+        b.carried(acc, acc, 1);
+        b.op_with(Opcode::Store, &[acc, addr]);
+        let ddg = b.finish();
+        let (fp, s, fabric) = schedule_kernel(&ddg);
+        assert!(validate(&fp, &fabric, &s).is_ok());
+        // Mac self-recurrence at latency 2 pins II ≥ 2.
+        assert!(s.ii >= 2);
+        assert!(s.stages >= 1);
+    }
+
+    #[test]
+    fn achieved_ii_close_to_lower_bound() {
+        let mut b = DdgBuilder::default();
+        for _ in 0..3 {
+            let a = b.node(Opcode::AddrAdd);
+            b.carried(a, a, 1);
+            let x = b.op_with(Opcode::Load, &[a]);
+            let y = b.op_with(Opcode::Mul, &[x]);
+            let z = b.op_with(Opcode::Add, &[y]);
+            b.op_with(Opcode::Store, &[z, a]);
+        }
+        let ddg = b.finish();
+        let fabric = DspFabric::standard(8, 8, 8);
+        let res = run_hca(&ddg, &fabric, &HcaConfig::default()).unwrap();
+        let s = modulo_schedule(&res.final_program, &fabric, res.mii.final_mii).unwrap();
+        assert!(
+            s.ii <= res.mii.final_mii + 2,
+            "achieved {} vs bound {}",
+            s.ii,
+            res.mii.final_mii
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_schedule() {
+        let mut b = DdgBuilder::default();
+        let x = b.node(Opcode::Add);
+        let y = b.op_with(Opcode::Add, &[x]);
+        let _ = y;
+        let ddg = b.finish();
+        let fabric = DspFabric::standard(8, 8, 8);
+        let res = run_hca(&ddg, &fabric, &HcaConfig::default()).unwrap();
+        let mut s = modulo_schedule(&res.final_program, &fabric, 1).unwrap();
+        // Corrupt: schedule the consumer before its producer.
+        for t in s.time.iter_mut() {
+            *t = 0;
+        }
+        assert!(validate(&res.final_program, &fabric, &s).is_err());
+    }
+
+    #[test]
+    fn empty_program_schedules() {
+        let ddg = hca_ddg::Ddg::new();
+        let fabric = DspFabric::standard(8, 8, 8);
+        let res = run_hca(&ddg, &fabric, &HcaConfig::default()).unwrap();
+        let s = modulo_schedule(&res.final_program, &fabric, 1).unwrap();
+        assert_eq!(s.stages, 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Rotating-register allocation.
+//!
+//! DSPFabric CNs expose rotating register files (§2.2): a value defined in
+//! iteration `i` and still live when iteration `i+k` defines the same
+//! virtual register is kept alive because the physical register index
+//! rotates every II cycles. Allocation therefore colours *modulo lifetime
+//! intervals*: a value born at `t_def` and dead at `t_end` occupies
+//! `len = t_end − t_def` cycles; on a rotating file, two values of one CN
+//! may share a base register iff their intervals do not overlap modulo
+//! `R · II`, where `R` is the rotation depth the allocator assigns.
+//!
+//! The implementation uses the standard simplification (Rau et al.,
+//! "Register allocation for software pipelined loops"): sort values by
+//! start time and greedily assign the lowest base register whose previous
+//! occupant is already dead — the "best-fit wands" linear scan adapted to
+//! modulo time. The result is checked against the per-CN register-file
+//! capacity.
+
+use crate::modsched::ModuloSchedule;
+use hca_arch::DspFabric;
+use hca_core::FinalProgram;
+use hca_ddg::NodeId;
+
+/// One allocated value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ValueSlot {
+    /// Producing node (the value's identity).
+    pub value: NodeId,
+    /// Base rotating register on the producing CN.
+    pub base_register: u32,
+    /// Rotation depth: how many consecutive physical registers the value's
+    /// instances occupy (`ceil(lifetime / II)`, at least 1).
+    pub depth: u32,
+}
+
+/// A complete rotating allocation.
+#[derive(Clone, Debug)]
+pub struct RotatingAllocation {
+    /// Per-CN allocated values.
+    pub per_cn: Vec<Vec<ValueSlot>>,
+    /// Physical registers used per CN (base + depth high-water mark).
+    pub registers_used: Vec<u32>,
+}
+
+impl RotatingAllocation {
+    /// Worst per-CN register usage.
+    pub fn max_registers(&self) -> u32 {
+        self.registers_used.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Does the allocation fit a register file of `capacity` per CN?
+    pub fn fits(&self, capacity: u32) -> bool {
+        self.registers_used.iter().all(|&r| r <= capacity)
+    }
+}
+
+/// Lifetime of a value under a schedule: from issue to the last
+/// (distance-adjusted) use. `None` when the value has no consumers.
+fn lifetime(fp: &FinalProgram, s: &ModuloSchedule, n: NodeId) -> Option<(i64, i64)> {
+    let t_def = i64::from(s.time[n.index()]);
+    let mut t_end = None;
+    for (_, e) in fp.ddg.succ_edges(n) {
+        let use_t =
+            i64::from(s.time[e.dst.index()]) + i64::from(s.ii) * i64::from(e.distance);
+        t_end = Some(t_end.map_or(use_t, |x: i64| x.max(use_t)));
+    }
+    t_end.map(|e| (t_def, e.max(t_def + 1)))
+}
+
+/// Allocate every live value to rotating registers, per producing CN.
+pub fn allocate_rotating(
+    fp: &FinalProgram,
+    fabric: &DspFabric,
+    s: &ModuloSchedule,
+) -> RotatingAllocation {
+    let mut per_cn: Vec<Vec<ValueSlot>> = vec![Vec::new(); fabric.num_cns()];
+    let mut registers_used = vec![0u32; fabric.num_cns()];
+
+    // Gather lifetimes per CN, sorted by definition time (linear scan).
+    let mut by_cn: Vec<Vec<(NodeId, i64, i64)>> = vec![Vec::new(); fabric.num_cns()];
+    for n in fp.ddg.node_ids() {
+        if let Some((def, end)) = lifetime(fp, s, n) {
+            by_cn[fp.placement[n.index()].index()].push((n, def, end));
+        }
+    }
+    for (cn, mut values) in by_cn.into_iter().enumerate() {
+        values.sort_by_key(|&(n, def, _)| (def, n.0));
+        // free_at[r] = absolute cycle at which base register r's occupant
+        // dies (its whole rotation window has drained).
+        let mut free_at: Vec<i64> = Vec::new();
+        for (n, def, end) in values {
+            let life = (end - def) as u64;
+            let depth = u32::try_from(life.div_ceil(u64::from(s.ii))).unwrap().max(1);
+            // A value of depth d occupies its base register(s) until every
+            // rotated instance is dead: end + (d−1)·II ≥ conservative drain.
+            let drain = end + i64::from(depth - 1) * i64::from(s.ii);
+            let base = match free_at.iter().position(|&f| f <= def) {
+                Some(r) => {
+                    free_at[r] = drain;
+                    r
+                }
+                None => {
+                    free_at.push(drain);
+                    free_at.len() - 1
+                }
+            };
+            per_cn[cn].push(ValueSlot {
+                value: n,
+                base_register: base as u32,
+                depth,
+            });
+            let high = base as u32 + depth;
+            registers_used[cn] = registers_used[cn].max(high);
+        }
+    }
+    RotatingAllocation {
+        per_cn,
+        registers_used,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modsched::modulo_schedule;
+    use hca_core::{run_hca, HcaConfig};
+    use hca_ddg::{DdgBuilder, Opcode};
+
+    fn alloc_for(ddg: &hca_ddg::Ddg) -> (RotatingAllocation, ModuloSchedule) {
+        let fabric = DspFabric::standard(8, 8, 8);
+        let res = run_hca(ddg, &fabric, &HcaConfig::default()).unwrap();
+        let s = modulo_schedule(&res.final_program, &fabric, res.mii.final_mii).unwrap();
+        (allocate_rotating(&res.final_program, &fabric, &s), s)
+    }
+
+    #[test]
+    fn long_lived_values_get_depth() {
+        // load (latency 8) feeding a consumer: lifetime ≥ 8 cycles.
+        let mut b = DdgBuilder::default();
+        let a = b.node(Opcode::AddrAdd);
+        b.carried(a, a, 1);
+        let x = b.op_with(Opcode::Load, &[a]);
+        let y = b.op_with(Opcode::Shift, &[x]);
+        b.op_with(Opcode::Store, &[y, a]);
+        let ddg = b.finish();
+        let (alloc, s) = alloc_for(&ddg);
+        let slot = alloc
+            .per_cn
+            .iter()
+            .flatten()
+            .find(|v| v.value == x)
+            .expect("the load's value is allocated");
+        assert!(slot.depth * s.ii >= 8 || slot.depth >= 1);
+        assert!(alloc.max_registers() >= 1);
+        assert!(alloc.fits(64), "{:?}", alloc.registers_used);
+    }
+
+    #[test]
+    fn disjoint_lifetimes_share_registers() {
+        // A serial chain on (mostly) one CN: each value dies as the next is
+        // born, so register usage stays far below the value count.
+        let mut b = DdgBuilder::default();
+        let mut prev = b.node(Opcode::Const);
+        for _ in 0..10 {
+            prev = b.op_with(Opcode::Add, &[prev]);
+        }
+        b.op_with(Opcode::Store, &[prev]);
+        let ddg = b.finish();
+        let (alloc, _) = alloc_for(&ddg);
+        let total_values: usize = alloc.per_cn.iter().map(Vec::len).sum();
+        assert!(total_values >= 10);
+        assert!(
+            alloc.max_registers() <= 6,
+            "chain should reuse registers: {:?}",
+            alloc.registers_used
+        );
+    }
+
+    #[test]
+    fn table1_kernels_fit_a_64_entry_file() {
+        for kernel in hca_kernels::table1_kernels() {
+            let (alloc, _) = alloc_for(&kernel.ddg);
+            assert!(
+                alloc.fits(64),
+                "{}: {:?}",
+                kernel.name,
+                alloc.max_registers()
+            );
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! The `isAssignable` interface (paper §3).
+//!
+//! "For each node c of the PG, SEE checks if the current node n is
+//! Assignable to c, by taking into account the resource consumption and the
+//! availability of communication patterns."
+//!
+//! The implementation mirrors the paper's example policy: a cluster is a
+//! valid candidate only when every already-assigned neighbour can reach it
+//! *directly* over a potential pattern without violating the MUX input
+//! budgets; the escape hatch for over-constrained situations is the Route
+//! Allocator (the no-candidates action), not this check.
+
+use crate::state::{PartialState, SeeContext};
+use hca_ddg::NodeId;
+use hca_pg::PgNodeId;
+use rustc_hash::FxHashSet;
+
+/// Can `n` be assigned to `c` in state `st` without breaking resources or
+/// reconfiguration constraints?
+pub fn is_assignable(
+    ctx: &SeeContext<'_>,
+    st: &PartialState,
+    n: NodeId,
+    c: PgNodeId,
+) -> bool {
+    let pg = ctx.pg;
+    let node = pg.node(c);
+    // (i) The target must be a real cluster able to execute the opcode —
+    // e.g. RCP clusters without an address generator reject memory ops.
+    if !node.kind.is_cluster() || !node.rt.can_execute(ctx.ddg.node(n).op) {
+        return false;
+    }
+
+    let max_in = ctx.constraints.max_in_neighbors as usize;
+
+    // (ii) Operand availability: every assigned producer must reach c
+    // directly; count the *new* in-neighbours and values this would add.
+    let mut new_in_c: FxHashSet<PgNodeId> = FxHashSet::default();
+    let mut new_values_to_c = 0u32;
+    for (_, e) in ctx.ddg.pred_edges(n) {
+        if ctx.ddg.node(e.src).op == hca_ddg::Opcode::Const {
+            continue; // constants are preloaded, not transported
+        }
+        let Some(cp) = st.cluster_of(e.src) else {
+            continue;
+        };
+        if cp == c {
+            continue;
+        }
+        if !pg.is_potential(cp, c) {
+            return false;
+        }
+        if st.arc_pressure(cp, c) == 0 && !st.in_neighbors[c.index()].contains(&cp) {
+            new_in_c.insert(cp);
+        }
+        if !st
+            .copies
+            .get(&(cp, c))
+            .is_some_and(|vs| vs.contains(&e.src))
+        {
+            new_values_to_c += 1;
+        }
+    }
+    if st.in_neighbors[c.index()].len() + new_in_c.len() > max_in {
+        return false;
+    }
+
+    // (iii) Result availability: every assigned consumer's cluster must be
+    // reachable from c, with a spare input port where the arc is new.
+    // Constants impose nothing — they are replicated at configuration time.
+    let is_const = ctx.ddg.node(n).op == hca_ddg::Opcode::Const;
+    let mut new_out: FxHashSet<PgNodeId> = FxHashSet::default();
+    for (_, e) in ctx.ddg.succ_edges(n) {
+        if e.dst == n || is_const {
+            continue;
+        }
+        let Some(cs) = st.cluster_of(e.dst) else {
+            continue;
+        };
+        if cs == c || !pg.node(cs).kind.is_cluster() {
+            continue;
+        }
+        if !pg.is_potential(c, cs) {
+            return false;
+        }
+        if !st.in_neighbors[cs.index()].contains(&c) {
+            if st.in_neighbors[cs.index()].len() + 1 > max_in {
+                return false;
+            }
+            new_out.insert(cs);
+        }
+    }
+
+    // (iv) Optional out-neighbour budget (unlimited on DSPFabric: broadcast).
+    if let Some(limit) = ctx.constraints.max_out_neighbors {
+        let outs = st.out_neighbors[c.index()].len()
+            + new_out
+                .iter()
+                .filter(|d| !st.out_neighbors[c.index()].contains(d))
+                .count();
+        if outs > limit as usize {
+            return false;
+        }
+    }
+
+    // (v) Output special nodes listing n's value: unary fan-in
+    // (`outNode_MaxIn`) — the wire can be fed by c only if every value
+    // already on it comes from c too (Figure 10c forces co-location).
+    for o in pg.outputs_carrying(n) {
+        let ins = &st.in_neighbors[o.index()];
+        let would_be = ins.len() + usize::from(!ins.contains(&c));
+        if would_be > ctx.constraints.out_node_max_in as usize {
+            return false;
+        }
+    }
+
+    // (vi) Optional issue-pressure ceiling: the op itself plus the receives
+    // it forces on c must stay under `cap · issue_slots`.
+    if let Some(cap) = ctx.issue_cap {
+        let budget = cap.saturating_mul(node.rt.issue);
+        if st.issue_load[c.index()] + 1 + new_values_to_c > budget {
+            return false;
+        }
+    }
+
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostWeights;
+    use hca_arch::{Rcp, ResourceTable};
+    use hca_ddg::{Ddg, DdgAnalysis, DdgBuilder, Opcode};
+    use hca_pg::{ArchConstraints, Ili, IliWire, Pg};
+
+    fn mk_ctx<'a>(
+        ddg: &'a Ddg,
+        an: &'a DdgAnalysis,
+        pg: &'a Pg,
+        max_in: u32,
+    ) -> SeeContext<'a> {
+        SeeContext {
+            ddg,
+            analysis: an,
+            pg,
+            constraints: ArchConstraints {
+                max_in_neighbors: max_in,
+                max_out_neighbors: None,
+                out_node_max_in: 1,
+                copy_latency: 1,
+            },
+            weights: CostWeights::default(),
+            issue_cap: None,
+        }
+    }
+
+    #[test]
+    fn rejects_special_nodes_and_missing_resources() {
+        let mut b = DdgBuilder::default();
+        let ld = b.node(Opcode::Load);
+        let ddg = b.finish();
+        let an = DdgAnalysis::compute(&ddg).unwrap();
+        // RCP: odd clusters have no AG.
+        let rcp = Rcp::figure1();
+        let pg = Pg::from_rcp(&rcp);
+        let ctx = mk_ctx(&ddg, &an, &pg, 2);
+        let st = PartialState::initial(&ctx, &[]);
+        assert!(is_assignable(&ctx, &st, ld, PgNodeId(0)));
+        assert!(!is_assignable(&ctx, &st, ld, PgNodeId(1))); // no AG
+    }
+
+    #[test]
+    fn figure6_no_candidates_scenario() {
+        // Figure 6a in spirit: every cluster's input budget is exhausted by
+        // already-instantiated connections (C_k listens to C_{k+2}), and the
+        // new node n has operands on C0 and C1 — so every candidate would
+        // need an input arc that no cluster can still afford.
+        let mut b = DdgBuilder::default();
+        let senders: Vec<_> = (0..4).map(|_| b.node(Opcode::Add)).collect();
+        let receivers: Vec<_> = (0..4).map(|_| b.node(Opcode::Add)).collect();
+        for k in 0..4 {
+            b.flow(senders[k], receivers[k]);
+        }
+        let n = b.node(Opcode::Add);
+        b.flow(receivers[0], n); // operand i on C0
+        b.flow(receivers[1], n); // operand j on C1
+        let ddg = b.finish();
+        let an = DdgAnalysis::compute(&ddg).unwrap();
+        let pg = Pg::complete(4, ResourceTable::of_cns(4));
+        let ctx = mk_ctx(&ddg, &an, &pg, 1);
+        let mut st = PartialState::initial(&ctx, &[]);
+        for k in 0..4u32 {
+            st.apply_assign(&ctx, senders[k as usize], PgNodeId((k + 2) % 4));
+            st.apply_assign(&ctx, receivers[k as usize], PgNodeId(k));
+        }
+        // Each cluster now listens to exactly one source: its port is full.
+        for k in 0..4 {
+            assert_eq!(st.in_neighbors[k].len(), 1);
+        }
+        for c in pg.cluster_ids() {
+            assert!(!is_assignable(&ctx, &st, n, c), "cluster {c}");
+        }
+    }
+
+    #[test]
+    fn existing_arc_does_not_consume_new_port() {
+        let mut b = DdgBuilder::default();
+        let p = b.node(Opcode::Add);
+        let q1 = b.node(Opcode::Add);
+        let q2 = b.node(Opcode::Add);
+        b.flow(p, q1);
+        b.flow(p, q2);
+        let ddg = b.finish();
+        let an = DdgAnalysis::compute(&ddg).unwrap();
+        let pg = Pg::complete(2, ResourceTable::of_cns(4));
+        let ctx = mk_ctx(&ddg, &an, &pg, 1);
+        let mut st = PartialState::initial(&ctx, &[]);
+        st.apply_assign(&ctx, p, PgNodeId(0));
+        st.apply_assign(&ctx, q1, PgNodeId(1));
+        // Arc 0→1 is already real; q2 re-uses it.
+        assert!(is_assignable(&ctx, &st, q2, PgNodeId(1)));
+    }
+
+    #[test]
+    fn successor_port_budget_checked() {
+        let mut b = DdgBuilder::default();
+        let a = b.node(Opcode::Add);
+        let z = b.node(Opcode::Add);
+        let n = b.node(Opcode::Add);
+        b.flow(a, z);
+        b.flow(n, z);
+        let ddg = b.finish();
+        let an = DdgAnalysis::compute(&ddg).unwrap();
+        let pg = Pg::complete(3, ResourceTable::of_cns(4));
+        let ctx = mk_ctx(&ddg, &an, &pg, 1);
+        let mut st = PartialState::initial(&ctx, &[]);
+        st.apply_assign(&ctx, a, PgNodeId(0));
+        st.apply_assign(&ctx, z, PgNodeId(1)); // consumes 1's only port for 0
+        // Assigning n to cluster 2 would need a second in-neighbour on 1.
+        assert!(!is_assignable(&ctx, &st, n, PgNodeId(2)));
+        // Assigning n next to z is fine (no copy at all)…
+        assert!(is_assignable(&ctx, &st, n, PgNodeId(1)));
+        // …and so is joining the producer cluster 0 (arc 0→1 already real).
+        assert!(is_assignable(&ctx, &st, n, PgNodeId(0)));
+    }
+
+    #[test]
+    fn out_node_unary_fanin_blocks_second_cluster() {
+        let mut b = DdgBuilder::default();
+        let k = b.node(Opcode::Add);
+        let h = b.node(Opcode::Add);
+        let ddg = b.finish();
+        let an = DdgAnalysis::compute(&ddg).unwrap();
+        let mut pg = Pg::complete(2, ResourceTable::of_cns(4));
+        pg.attach_ili(&Ili {
+            inputs: vec![],
+            outputs: vec![IliWire::new(vec![k, h])],
+        });
+        let ctx = mk_ctx(&ddg, &an, &pg, 4);
+        let mut st = PartialState::initial(&ctx, &[]);
+        st.apply_assign(&ctx, k, PgNodeId(0));
+        // h must co-locate with k (Figure 10c).
+        assert!(is_assignable(&ctx, &st, h, PgNodeId(0)));
+        assert!(!is_assignable(&ctx, &st, h, PgNodeId(1)));
+    }
+
+    #[test]
+    fn issue_cap_limits_pile_up() {
+        let mut b = DdgBuilder::default();
+        let xs: Vec<_> = (0..3).map(|_| b.node(Opcode::Add)).collect();
+        let ddg = b.finish();
+        let an = DdgAnalysis::compute(&ddg).unwrap();
+        let pg = Pg::complete(2, ResourceTable::of_cns(1));
+        let mut ctx = mk_ctx(&ddg, &an, &pg, 4);
+        ctx.issue_cap = Some(2);
+        let mut st = PartialState::initial(&ctx, &[]);
+        st.apply_assign(&ctx, xs[0], PgNodeId(0));
+        st.apply_assign(&ctx, xs[1], PgNodeId(0));
+        assert!(!is_assignable(&ctx, &st, xs[2], PgNodeId(0)));
+        assert!(is_assignable(&ctx, &st, xs[2], PgNodeId(1)));
+    }
+
+    #[test]
+    fn max_out_neighbors_enforced_when_set() {
+        let mut b = DdgBuilder::default();
+        let p = b.node(Opcode::Add);
+        let q1 = b.node(Opcode::Add);
+        let q2 = b.node(Opcode::Add);
+        b.flow(p, q1);
+        b.flow(p, q2);
+        let ddg = b.finish();
+        let an = DdgAnalysis::compute(&ddg).unwrap();
+        let pg = Pg::complete(3, ResourceTable::of_cns(4));
+        let mut ctx = mk_ctx(&ddg, &an, &pg, 4);
+        ctx.constraints.max_out_neighbors = Some(1);
+        let mut st = PartialState::initial(&ctx, &[]);
+        st.apply_assign(&ctx, q1, PgNodeId(1));
+        st.apply_assign(&ctx, q2, PgNodeId(2));
+        // p on cluster 0 would need two out-neighbours.
+        assert!(!is_assignable(&ctx, &st, p, PgNodeId(0)));
+        assert!(is_assignable(&ctx, &st, p, PgNodeId(1)));
+    }
+}

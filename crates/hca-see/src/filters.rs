@@ -1,0 +1,106 @@
+//! Candidate and node filters (paper §3, Figure 5).
+//!
+//! The candidate filter reduces the per-node candidate list before the
+//! partial solution forks; the node filter "prunes low-quality partial
+//! solutions" to keep the frontier — the grey zone of Figure 5 — of limited
+//! size (beam search).
+
+use crate::state::PartialState;
+use hca_pg::PgNodeId;
+
+/// Reduces the list of scored candidates for one DDG node.
+#[derive(Clone, Copy, Debug)]
+pub struct CandidateFilter {
+    /// Keep at most this many candidates (branch factor of the search tree).
+    pub branch_factor: usize,
+    /// Drop candidates costing more than `best + margin` — "too severe" a
+    /// margin is one of the paper's two no-candidate causes, so keep it wide
+    /// by default.
+    pub margin: f64,
+}
+
+impl Default for CandidateFilter {
+    fn default() -> Self {
+        CandidateFilter {
+            branch_factor: 3,
+            margin: 16.0,
+        }
+    }
+}
+
+impl CandidateFilter {
+    /// Filter `candidates` (cluster, objective) in place: sort ascending by
+    /// cost (ties by cluster id for determinism), apply the margin, truncate
+    /// to the branch factor.
+    pub fn apply(&self, candidates: &mut Vec<(PgNodeId, f64)>) {
+        candidates.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        if let Some(&(_, best)) = candidates.first() {
+            let cutoff = best + self.margin;
+            candidates.retain(|&(_, c)| c <= cutoff);
+        }
+        candidates.truncate(self.branch_factor);
+    }
+}
+
+/// Prunes the frontier of partial solutions back to the beam width.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeFilter {
+    /// Maximum surviving partial solutions per step.
+    pub beam_width: usize,
+}
+
+impl Default for NodeFilter {
+    fn default() -> Self {
+        NodeFilter { beam_width: 8 }
+    }
+}
+
+impl NodeFilter {
+    /// Keep the `beam_width` cheapest states (stable on cost ties, so the
+    /// search is deterministic).
+    pub fn apply(&self, frontier: &mut Vec<PartialState>) {
+        frontier.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+        frontier.truncate(self.beam_width);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_filter_sorts_margins_and_truncates() {
+        let f = CandidateFilter {
+            branch_factor: 2,
+            margin: 5.0,
+        };
+        let mut cands = vec![
+            (PgNodeId(0), 10.0),
+            (PgNodeId(1), 3.0),
+            (PgNodeId(2), 7.0),
+            (PgNodeId(3), 4.0),
+        ];
+        f.apply(&mut cands);
+        // 10.0 dropped by margin (3+5=8), then truncation to 2.
+        assert_eq!(cands, vec![(PgNodeId(1), 3.0), (PgNodeId(3), 4.0)]);
+    }
+
+    #[test]
+    fn candidate_filter_tie_break_is_deterministic() {
+        let f = CandidateFilter::default();
+        let mut cands = vec![(PgNodeId(2), 1.0), (PgNodeId(0), 1.0), (PgNodeId(1), 1.0)];
+        f.apply(&mut cands);
+        assert_eq!(
+            cands.iter().map(|c| c.0).collect::<Vec<_>>(),
+            vec![PgNodeId(0), PgNodeId(1), PgNodeId(2)]
+        );
+    }
+
+    #[test]
+    fn candidate_filter_empty_ok() {
+        let f = CandidateFilter::default();
+        let mut cands: Vec<(PgNodeId, f64)> = vec![];
+        f.apply(&mut cands);
+        assert!(cands.is_empty());
+    }
+}

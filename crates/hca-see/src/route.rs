@@ -1,0 +1,416 @@
+//! The Route Allocator — the configurable *no-candidates action* (paper §3,
+//! Figure 6b).
+//!
+//! "When no candidates can be found a no candidates action is performed in
+//! order to escape from the impasse. A possible action can be the invocation
+//! of the configurable Route Allocator, which tries to assign the current
+//! DDG node to a convenient cluster, then routing the copies from/to its
+//! predecessors/successors … where available paths are used to route a copy
+//! from i to n passing through intermediate clusters."
+//!
+//! Routing reuses already-real arcs for free and only opens new arcs where
+//! the destination still has a spare input port; each intermediate hop
+//! executes a receive, so routed values pay issue slots along the way —
+//! which the objective function then prices via `routed_hops`.
+
+use crate::state::{PartialState, SeeContext};
+use hca_ddg::NodeId;
+use hca_pg::PgNodeId;
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+
+/// Find the cheapest cluster for `n`, routing all its operand/result flows
+/// through intermediate clusters where direct patterns are unavailable.
+///
+/// Returns the new state, or `None` when no cluster admits a complete
+/// routing within `max_hops` intermediate hops.
+pub fn route_assign(
+    ctx: &SeeContext<'_>,
+    st: &PartialState,
+    n: NodeId,
+    max_hops: usize,
+) -> Option<PartialState> {
+    let mut best: Option<PartialState> = None;
+    for c in ctx.pg.cluster_ids() {
+        if !ctx.pg.node(c).rt.can_execute(ctx.ddg.node(n).op) {
+            continue;
+        }
+        if let Some(candidate) = try_route_to(ctx, st, n, c, max_hops) {
+            if best.as_ref().is_none_or(|b| candidate.cost < b.cost) {
+                best = Some(candidate);
+            }
+        }
+    }
+    best
+}
+
+/// Attempt to place `n` on `c`, routing every flow. Tries per-operand
+/// routing first; when the target's ports cannot take one wire per operand,
+/// falls back to funnelling all remote operands through a single shared
+/// relay cluster (whose one output wire then carries them all to `c`).
+fn try_route_to(
+    ctx: &SeeContext<'_>,
+    st: &PartialState,
+    n: NodeId,
+    c: PgNodeId,
+    max_hops: usize,
+) -> Option<PartialState> {
+    let direct = route_operands_individually(ctx, st, n, c, max_hops);
+    let result = match direct {
+        Some(w) => Some(w),
+        None => route_operands_via_relay(ctx, st, n, c, max_hops),
+    };
+    let mut work = result?;
+
+    // Route the result towards assigned consumers.
+    for (_, e) in ctx.ddg.succ_edges(n) {
+        if e.dst == n {
+            continue;
+        }
+        let Some(cs) = work.cluster_of(e.dst) else {
+            continue;
+        };
+        if cs == c || !ctx.pg.node(cs).kind.is_cluster() {
+            continue;
+        }
+        route_value(ctx, &mut work, n, c, cs, max_hops)?;
+    }
+    // Output special nodes: direct arcs only (they model the glue wire); the
+    // unary fan-in must hold.
+    for o in ctx.pg.outputs_carrying(n) {
+        let ins = &work.in_neighbors[o.index()];
+        let would_be = ins.len() + usize::from(!ins.contains(&c));
+        if would_be > ctx.constraints.out_node_max_in as usize {
+            return None;
+        }
+        work.add_copy(ctx, n, c, o, None, false);
+    }
+    work.cost = crate::cost::objective(ctx, &work);
+    Some(work)
+}
+
+/// Place `n` on `c` and route each remote operand on its own cheapest path.
+fn route_operands_individually(
+    ctx: &SeeContext<'_>,
+    st: &PartialState,
+    n: NodeId,
+    c: PgNodeId,
+    max_hops: usize,
+) -> Option<PartialState> {
+    let mut work = st.clone();
+    work.place(ctx, n, c);
+    for (_, e) in ctx.ddg.pred_edges(n) {
+        if ctx.ddg.node(e.src).op == hca_ddg::Opcode::Const {
+            continue; // constants are preloaded, not transported
+        }
+        let Some(cp) = work.cluster_of(e.src) else {
+            continue;
+        };
+        if cp == c {
+            continue;
+        }
+        route_value(ctx, &mut work, e.src, cp, c, max_hops)?;
+    }
+    Some(work)
+}
+
+/// Place `n` on `c` and funnel every remote operand through one relay
+/// cluster: the relay receives each value (possibly multi-hop), re-emits
+/// them on its single output wire, and `c` spends only one input port.
+fn route_operands_via_relay(
+    ctx: &SeeContext<'_>,
+    st: &PartialState,
+    n: NodeId,
+    c: PgNodeId,
+    max_hops: usize,
+) -> Option<PartialState> {
+    let preds: Vec<NodeId> = ctx
+        .ddg
+        .pred_edges(n)
+        .filter_map(|(_, e)| {
+            if ctx.ddg.node(e.src).op == hca_ddg::Opcode::Const {
+                return None; // preloaded
+            }
+            let cp = st.cluster_of(e.src)?;
+            (cp != c).then_some(e.src)
+        })
+        .collect();
+    if preds.len() < 2 {
+        return None; // a relay cannot beat the direct attempt
+    }
+    let mut best: Option<PartialState> = None;
+    for relay in ctx.pg.cluster_ids() {
+        if relay == c || !ctx.pg.is_potential(relay, c) {
+            continue;
+        }
+        let mut work = st.clone();
+        work.place(ctx, n, c);
+        let mut ok = true;
+        for &v in &preds {
+            let cp = work.cluster_of(v).expect("checked above");
+            if cp == relay {
+                continue; // already at the relay
+            }
+            if route_value(ctx, &mut work, v, cp, relay, max_hops).is_none() {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        // Relay → target: one wire carries every funnelled value.
+        for &v in &preds {
+            if !arc_admissible(ctx, &work, v, relay, c) {
+                ok = false;
+                break;
+            }
+            work.add_copy(ctx, v, relay, c, None, false);
+            work.routed_hops += 1;
+        }
+        if !ok {
+            continue;
+        }
+        work.cost = crate::cost::objective(ctx, &work);
+        if best.as_ref().is_none_or(|b| work.cost < b.cost) {
+            best = Some(work);
+        }
+    }
+    best
+}
+
+/// Route value `v` from `src` to `dst` along potential arcs, preferring
+/// already-real arcs, and apply the copies. Fails when no admissible path of
+/// at most `max_hops` intermediate clusters exists.
+pub(crate) fn route_value(
+    ctx: &SeeContext<'_>,
+    work: &mut PartialState,
+    v: NodeId,
+    src: PgNodeId,
+    dst: PgNodeId,
+    max_hops: usize,
+) -> Option<()> {
+    let path = shortest_admissible_path(ctx, work, v, src, dst, max_hops + 1)?;
+    debug_assert!(path.len() >= 2);
+    let extra_hops = (path.len() - 2) as u32;
+    for w in path.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        // Re-verify admission: earlier segments may have consumed the port.
+        if !arc_admissible(ctx, work, v, a, b) {
+            return None;
+        }
+        work.add_copy(ctx, v, a, b, None, false);
+    }
+    work.routed_hops += extra_hops;
+    Some(())
+}
+
+/// Can value `v` be put on arc `a → b` right now?
+fn arc_admissible(
+    ctx: &SeeContext<'_>,
+    st: &PartialState,
+    v: NodeId,
+    a: PgNodeId,
+    b: PgNodeId,
+) -> bool {
+    if !ctx.pg.is_potential(a, b) {
+        return false;
+    }
+    if st
+        .copies
+        .get(&(a, b))
+        .is_some_and(|vs| vs.contains(&v))
+    {
+        return true; // already there — free
+    }
+    if st.in_neighbors[b.index()].contains(&a) {
+        return true;
+    }
+    st.in_neighbors[b.index()].len() < ctx.constraints.max_in_neighbors as usize
+}
+
+/// Cheapest admissible path `src → dst` (at most `max_edges` arcs).
+/// Dijkstra over `(new_ports, hops)`: hops that reuse an already-configured
+/// arc are free port-wise, so the router prefers piggybacking on existing
+/// connections over opening fresh ones — that keeps scarce input ports for
+/// the flows that really need them. Intermediate nodes must be real
+/// clusters — special nodes never forward.
+fn shortest_admissible_path(
+    ctx: &SeeContext<'_>,
+    st: &PartialState,
+    v: NodeId,
+    src: PgNodeId,
+    dst: PgNodeId,
+    max_edges: usize,
+) -> Option<Vec<PgNodeId>> {
+    // Tiny graphs (≤ a few dozen nodes): a sorted frontier is plenty.
+    let mut parent: FxHashMap<PgNodeId, PgNodeId> = FxHashMap::default();
+    let mut cost: FxHashMap<PgNodeId, (usize, usize)> = FxHashMap::default();
+    let mut frontier: VecDeque<PgNodeId> = VecDeque::new();
+    cost.insert(src, (0, 0));
+    frontier.push_back(src);
+    while let Some(cur) = frontier.pop_front() {
+        let (ports, hops) = cost[&cur];
+        if hops >= max_edges {
+            continue;
+        }
+        for &next in ctx.pg.potential_succs(cur) {
+            if next != dst && !ctx.pg.node(next).kind.is_cluster() {
+                continue;
+            }
+            if !arc_admissible(ctx, st, v, cur, next) {
+                continue;
+            }
+            let new_port = usize::from(!st.in_neighbors[next.index()].contains(&cur));
+            let cand = (ports + new_port, hops + 1);
+            if cost.get(&next).is_none_or(|&c| cand < c) {
+                cost.insert(next, cand);
+                parent.insert(next, cur);
+                frontier.push_back(next);
+            }
+        }
+    }
+    if !cost.contains_key(&dst) || dst == src {
+        return (dst == src).then(|| vec![src]);
+    }
+    let mut path = vec![dst];
+    let mut at = dst;
+    while at != src {
+        at = parent[&at];
+        path.push(at);
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignable::is_assignable;
+    use crate::cost::CostWeights;
+    use hca_arch::{Rcp, ResourceTable};
+    use hca_ddg::{Ddg, DdgAnalysis, DdgBuilder, Opcode};
+    use hca_pg::{ArchConstraints, Pg};
+
+    fn mk_ctx<'a>(
+        ddg: &'a Ddg,
+        an: &'a DdgAnalysis,
+        pg: &'a Pg,
+        max_in: u32,
+    ) -> SeeContext<'a> {
+        SeeContext {
+            ddg,
+            analysis: an,
+            pg,
+            constraints: ArchConstraints {
+                max_in_neighbors: max_in,
+                max_out_neighbors: None,
+                out_node_max_in: 1,
+                copy_latency: 1,
+            },
+            weights: CostWeights::default(),
+            issue_cap: None,
+        }
+    }
+
+    #[test]
+    fn routes_across_ring_when_direct_pattern_missing() {
+        // RCP ring with reach 1: cluster 0 cannot reach cluster 2 directly.
+        let rcp = Rcp::new(4, 1, 2, |_| true);
+        let pg = Pg::from_rcp(&rcp);
+        let mut b = DdgBuilder::default();
+        let i = b.node(Opcode::Add);
+        let n = b.node(Opcode::Add);
+        b.flow(i, n);
+        let ddg = b.finish();
+        let an = DdgAnalysis::compute(&ddg).unwrap();
+        let ctx = mk_ctx(&ddg, &an, &pg, 2);
+        let mut st = PartialState::initial(&ctx, &[]);
+        st.apply_assign(&ctx, i, PgNodeId(0));
+
+        // Force the impasse: pretend the engine wants n on cluster 2.
+        assert!(!is_assignable(&ctx, &st, n, PgNodeId(2)));
+        let routed = try_route_to(&ctx, &st, n, PgNodeId(2), 3).unwrap();
+        // The value of i hops through 1 or 3.
+        assert_eq!(routed.routed_hops, 1);
+        let via1 = routed.arc_pressure(PgNodeId(0), PgNodeId(1)) == 1
+            && routed.arc_pressure(PgNodeId(1), PgNodeId(2)) == 1;
+        let via3 = routed.arc_pressure(PgNodeId(0), PgNodeId(3)) == 1
+            && routed.arc_pressure(PgNodeId(3), PgNodeId(2)) == 1;
+        assert!(via1 || via3);
+    }
+
+    #[test]
+    fn route_assign_picks_direct_placement_when_cheaper() {
+        let rcp = Rcp::new(4, 1, 2, |_| true);
+        let pg = Pg::from_rcp(&rcp);
+        let mut b = DdgBuilder::default();
+        let i = b.node(Opcode::Add);
+        let n = b.node(Opcode::Add);
+        b.flow(i, n);
+        let ddg = b.finish();
+        let an = DdgAnalysis::compute(&ddg).unwrap();
+        let ctx = mk_ctx(&ddg, &an, &pg, 2);
+        let mut st = PartialState::initial(&ctx, &[]);
+        st.apply_assign(&ctx, i, PgNodeId(0));
+        let out = route_assign(&ctx, &st, n, 3).unwrap();
+        // Same cluster as the operand: zero copies, zero hops.
+        assert_eq!(out.cluster_of(n), Some(PgNodeId(0)));
+        assert_eq!(out.total_copies, 0);
+    }
+
+    #[test]
+    fn routing_respects_port_budget() {
+        // Complete 3-cluster PG but max_in = 0: no routing can ever land.
+        let pg = Pg::complete(3, ResourceTable::of_cns(4));
+        let mut b = DdgBuilder::default();
+        let i = b.node(Opcode::Add);
+        let n = b.node(Opcode::Add);
+        b.flow(i, n);
+        let ddg = b.finish();
+        let an = DdgAnalysis::compute(&ddg).unwrap();
+        let ctx = mk_ctx(&ddg, &an, &pg, 0);
+        let mut st = PartialState::initial(&ctx, &[]);
+        st.apply_assign(&ctx, i, PgNodeId(0));
+        // Only co-location works; any cross-cluster route fails.
+        assert!(try_route_to(&ctx, &st, n, PgNodeId(1), 3).is_none());
+        let out = route_assign(&ctx, &st, n, 3).unwrap();
+        assert_eq!(out.cluster_of(n), Some(PgNodeId(0)));
+    }
+
+    #[test]
+    fn hop_limit_bounds_search() {
+        // Line-of-sight ring, need 2 intermediate hops, allow only 1.
+        let rcp = Rcp::new(6, 1, 2, |_| true);
+        let pg = Pg::from_rcp(&rcp);
+        let mut b = DdgBuilder::default();
+        let i = b.node(Opcode::Add);
+        let n = b.node(Opcode::Add);
+        b.flow(i, n);
+        let ddg = b.finish();
+        let an = DdgAnalysis::compute(&ddg).unwrap();
+        let ctx = mk_ctx(&ddg, &an, &pg, 2);
+        let mut st = PartialState::initial(&ctx, &[]);
+        st.apply_assign(&ctx, i, PgNodeId(0));
+        assert!(try_route_to(&ctx, &st, n, PgNodeId(3), 1).is_none());
+        assert!(try_route_to(&ctx, &st, n, PgNodeId(3), 2).is_some());
+    }
+
+    #[test]
+    fn routes_result_to_consumers() {
+        let rcp = Rcp::new(4, 1, 2, |_| true);
+        let pg = Pg::from_rcp(&rcp);
+        let mut b = DdgBuilder::default();
+        let n = b.node(Opcode::Add);
+        let s = b.node(Opcode::Add);
+        b.flow(n, s);
+        let ddg = b.finish();
+        let an = DdgAnalysis::compute(&ddg).unwrap();
+        let ctx = mk_ctx(&ddg, &an, &pg, 2);
+        let mut st = PartialState::initial(&ctx, &[]);
+        st.apply_assign(&ctx, s, PgNodeId(2));
+        let routed = try_route_to(&ctx, &st, n, PgNodeId(0), 3).unwrap();
+        assert_eq!(routed.routed_hops, 1);
+        assert!(routed.total_copies >= 2); // two hops carry the value
+    }
+}

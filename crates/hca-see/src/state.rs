@@ -1,0 +1,514 @@
+//! Partial-solution state of the beam search.
+//!
+//! Each node of the exploration space (paper Figure 5) is a *partial
+//! solution*: an assignment of a prefix of the priority list plus the copy
+//! flow it induces. The state keeps incremental statistics (per-cluster
+//! resource usage, receive counts, arc pressures, in-neighbour sets) so that
+//! evaluating one more assignment is O(degree), not O(graph).
+
+use crate::cost::CostWeights;
+use hca_ddg::{Ddg, DdgAnalysis, NodeId};
+use hca_pg::{ArchConstraints, AssignedPg, Pg, PgNodeId, PgNodeKind};
+use rustc_hash::{FxHashMap, FxHashSet};
+use smallvec::SmallVec;
+
+/// Immutable context shared by every state of one SEE run.
+pub struct SeeContext<'a> {
+    /// The loop's DDG.
+    pub ddg: &'a Ddg,
+    /// Pre-computed analyses (levels, SCCs, MIIRec).
+    pub analysis: &'a DdgAnalysis,
+    /// The Pattern Graph of this sub-problem.
+    pub pg: &'a Pg,
+    /// Reconfiguration constraints at this level.
+    pub constraints: ArchConstraints,
+    /// Objective-function weights.
+    pub weights: CostWeights,
+    /// Optional hard cap on per-issue-slot load (a target-II ceiling); used
+    /// by `isAssignable` to reject pathological imbalance early.
+    pub issue_cap: Option<u32>,
+}
+
+/// A partial cluster assignment plus its incremental statistics.
+#[derive(Clone, Debug)]
+pub struct PartialState {
+    /// `DDG̅` so far (includes pre-assigned external producers on input nodes).
+    pub assignment: FxHashMap<NodeId, PgNodeId>,
+    /// Values on each real arc.
+    pub copies: FxHashMap<(PgNodeId, PgNodeId), SmallVec<[NodeId; 2]>>,
+    /// Issue-slot load per PG node (instructions + receives).
+    pub issue_load: Vec<u32>,
+    /// ALU ops per PG node.
+    pub alu_ops: Vec<u32>,
+    /// Address-generator ops per PG node.
+    pub ag_ops: Vec<u32>,
+    /// Receive primitives per PG node.
+    pub recv_load: Vec<u32>,
+    /// Distinct real in-neighbours per PG node.
+    pub in_neighbors: Vec<FxHashSet<PgNodeId>>,
+    /// Distinct real out-neighbours per PG node.
+    pub out_neighbors: Vec<FxHashSet<PgNodeId>>,
+    /// Total (value, destination) copy pairs.
+    pub total_copies: u32,
+    /// Copies whose endpoints sit in one SCC (they stretch a recurrence).
+    pub recurrence_copies: u32,
+    /// Accumulated critical-path penalty (copies on low-slack edges).
+    pub critical_penalty: f64,
+    /// Route-through hops added by the Route Allocator.
+    pub routed_hops: u32,
+    /// Pass-through forwards performed at this level: an external value
+    /// entering on a glue-in wire and leaving on a glue-out wire is re-emitted
+    /// by the named cluster (one issue slot for the `Route` op).
+    pub forwards: Vec<(NodeId, PgNodeId)>,
+    /// Cached objective value.
+    pub cost: f64,
+}
+
+impl PartialState {
+    /// Initial state: nothing assigned except the PG's own special input
+    /// nodes, to which the externally-produced values are bound (so that the
+    /// generic copy machinery treats "receive from the father" exactly like
+    /// "receive from a sibling cluster", §4.1).
+    ///
+    /// `working_set` lists the nodes this sub-problem will assign itself:
+    /// a value that is *produced here* must never be sourced from an input
+    /// wire, even when a merged parent wire happens to carry it back in —
+    /// doing so creates a circular cross-level dependency (the parent wire's
+    /// content ultimately comes from this very group's emission).
+    pub fn initial(ctx: &SeeContext<'_>, working_set: &[NodeId]) -> Self {
+        let n = ctx.pg.num_nodes();
+        let mut st = PartialState {
+            assignment: FxHashMap::default(),
+            copies: FxHashMap::default(),
+            issue_load: vec![0; n],
+            alu_ops: vec![0; n],
+            ag_ops: vec![0; n],
+            recv_load: vec![0; n],
+            in_neighbors: vec![FxHashSet::default(); n],
+            out_neighbors: vec![FxHashSet::default(); n],
+            total_copies: 0,
+            recurrence_copies: 0,
+            critical_penalty: 0.0,
+            routed_hops: 0,
+            forwards: Vec::new(),
+            cost: 0.0,
+        };
+        let ws: FxHashSet<NodeId> = working_set.iter().copied().collect();
+        for id in ctx.pg.input_ids() {
+            if let PgNodeKind::Input { values, .. } = &ctx.pg.node(id).kind {
+                for &v in values {
+                    if !ws.contains(&v) {
+                        st.assignment.insert(v, id);
+                    }
+                }
+            }
+        }
+        st
+    }
+
+    /// Cluster currently holding `n`, if assigned.
+    #[inline]
+    pub fn cluster_of(&self, n: NodeId) -> Option<PgNodeId> {
+        self.assignment.get(&n).copied()
+    }
+
+    /// Pressure (value count) of the real arc `src → dst`.
+    #[inline]
+    pub fn arc_pressure(&self, src: PgNodeId, dst: PgNodeId) -> u32 {
+        self.copies.get(&(src, dst)).map_or(0, |v| v.len() as u32)
+    }
+
+    /// How many of `c`'s in-neighbours are glue-in (special input) nodes.
+    pub fn glue_in_neighbors(&self, ctx: &SeeContext<'_>, c: PgNodeId) -> usize {
+        self.in_neighbors[c.index()]
+            .iter()
+            .filter(|&&s| !ctx.pg.node(s).kind.is_cluster())
+            .count()
+    }
+
+    /// Per-cluster cap on *directly bound* glue-in wires: half the input
+    /// ports, rounded down but at least one. Hoarding the other half for
+    /// sibling arcs keeps relay aggregation possible — without this, a
+    /// cluster that binds both of its ports to parent wires walls itself off
+    /// from the rest of the group and the search dead-ends.
+    pub fn glue_in_cap(ctx: &SeeContext<'_>) -> usize {
+        ((ctx.constraints.max_in_neighbors as usize) / 2).max(1)
+    }
+
+    /// Record value `v` on arc `src → dst` (no-op when already present).
+    /// Updates receive counts, in-neighbour sets and copy statistics.
+    ///
+    /// `via_edge_slack`/`in_recurrence` carry the DDG-edge context used by
+    /// the cost criteria; pass `None` for routing hops that correspond to no
+    /// DDG edge.
+    pub fn add_copy(
+        &mut self,
+        ctx: &SeeContext<'_>,
+        v: NodeId,
+        src: PgNodeId,
+        dst: PgNodeId,
+        via_edge_slack: Option<u32>,
+        in_recurrence: bool,
+    ) -> bool {
+        let entry = self.copies.entry((src, dst)).or_default();
+        if entry.contains(&v) {
+            return false;
+        }
+        entry.push(v);
+        self.total_copies += 1;
+        self.in_neighbors[dst.index()].insert(src);
+        self.out_neighbors[src.index()].insert(dst);
+        // Receiving a value costs one issue slot on the destination cluster
+        // (the rcv primitive, §2.2) — but only on real clusters: special
+        // output nodes model the parent boundary and execute nothing.
+        if ctx.pg.node(dst).kind.is_cluster() {
+            self.recv_load[dst.index()] += 1;
+            self.issue_load[dst.index()] += 1;
+        }
+        if in_recurrence {
+            self.recurrence_copies += 1;
+        }
+        if let Some(slack) = via_edge_slack {
+            // A copy on a tight edge stretches the schedule: weigh it by how
+            // little slack the edge has to absorb the transport latency.
+            let lat = f64::from(ctx.constraints.copy_latency);
+            let room = f64::from(slack);
+            self.critical_penalty += (lat / (1.0 + room)).min(lat);
+        }
+        true
+    }
+
+    /// Book `n` onto cluster `c` and charge its resources — without creating
+    /// any copies. The Route Allocator uses this directly and routes the
+    /// flows itself; everyone else goes through [`apply_assign`].
+    ///
+    /// [`apply_assign`]: PartialState::apply_assign
+    pub fn place(&mut self, ctx: &SeeContext<'_>, n: NodeId, c: PgNodeId) {
+        debug_assert!(ctx.pg.node(c).kind.is_cluster(), "assigning to special node");
+        debug_assert!(!self.assignment.contains_key(&n), "{n} already assigned");
+        self.assignment.insert(n, c);
+        self.issue_load[c.index()] += 1;
+        match ctx.ddg.node(n).op.resource_class() {
+            hca_ddg::ResourceClass::Alu => self.alu_ops[c.index()] += 1,
+            hca_ddg::ResourceClass::AddrGen => self.ag_ops[c.index()] += 1,
+            hca_ddg::ResourceClass::Receive => {}
+        }
+    }
+
+    /// Assign DDG node `n` to cluster `c`, creating every induced copy:
+    /// from each assigned producer of `n`'s operands, towards each assigned
+    /// consumer of `n`'s value, and towards output special nodes listing it.
+    ///
+    /// The caller must have verified assignability; this method only applies.
+    pub fn apply_assign(&mut self, ctx: &SeeContext<'_>, n: NodeId, c: PgNodeId) {
+        self.place(ctx, n, c);
+        let scc = &ctx.analysis.scc;
+        // Operand flows into n. Constants never travel: the configuration
+        // loader replicates them into every register file before the loop
+        // starts (§2.2's reconfiguration phase), so they cost neither a wire
+        // nor a receive.
+        for (_, e) in ctx.ddg.pred_edges(n) {
+            if ctx.ddg.node(e.src).op == hca_ddg::Opcode::Const {
+                continue;
+            }
+            if let Some(cp) = self.cluster_of(e.src) {
+                if cp != c {
+                    let slack = edge_slack(ctx, e);
+                    let rec = scc[e.src.index()] == scc[e.dst.index()]
+                        && ctx.pg.node(cp).kind.is_cluster();
+                    self.add_copy(ctx, e.src, cp, c, Some(slack), rec);
+                }
+            }
+        }
+        // n's value flows to already-assigned consumers.
+        if ctx.ddg.node(n).op != hca_ddg::Opcode::Const {
+            for (_, e) in ctx.ddg.succ_edges(n) {
+                if e.dst == n {
+                    continue; // self recurrence needs no transport
+                }
+                if let Some(cs) = self.cluster_of(e.dst) {
+                    if cs != c && ctx.pg.node(cs).kind.is_cluster() {
+                        let slack = edge_slack(ctx, e);
+                        let rec = scc[e.src.index()] == scc[e.dst.index()];
+                        self.add_copy(ctx, n, c, cs, Some(slack), rec);
+                    }
+                }
+            }
+        }
+        // n's value flows up through every output wire listing it.
+        for o in ctx.pg.outputs_carrying(n) {
+            self.add_copy(ctx, n, c, o, None, false);
+        }
+        self.cost = crate::cost::objective(ctx, self);
+    }
+
+    /// Estimated final MII of the partial solution (§4.2): the max of the
+    /// DDG's MIIRec, the per-cluster issue pressure (instructions plus
+    /// receives over issue slots, and per-class pressure), and the worst arc
+    /// pressure (every value on one pattern consumes a transport slot).
+    pub fn estimated_mii(&self, ctx: &SeeContext<'_>) -> u32 {
+        let mut mii = ctx.analysis.mii_rec;
+        for id in ctx.pg.cluster_ids() {
+            let rt = ctx.pg.node(id).rt;
+            let i = id.index();
+            if rt.issue > 0 {
+                mii = mii.max(self.issue_load[i].div_ceil(rt.issue));
+            }
+            if rt.alu > 0 {
+                mii = mii.max(self.alu_ops[i].div_ceil(rt.alu));
+            }
+            if rt.addr_gen > 0 {
+                mii = mii.max(self.ag_ops[i].div_ceil(rt.addr_gen));
+            } else if self.ag_ops[i] > 0 {
+                return u32::MAX;
+            }
+        }
+        for arcs in self.copies.values() {
+            mii = mii.max(arcs.len() as u32);
+        }
+        mii.max(1)
+    }
+
+    /// Highest per-issue-slot utilisation across clusters.
+    pub fn max_utilization(&self, ctx: &SeeContext<'_>) -> f64 {
+        let mut worst: f64 = 0.0;
+        for id in ctx.pg.cluster_ids() {
+            let rt = ctx.pg.node(id).rt;
+            if rt.issue > 0 {
+                worst = worst.max(f64::from(self.issue_load[id.index()]) / f64::from(rt.issue));
+            }
+        }
+        worst
+    }
+
+    /// Mean *squared* per-issue-slot utilisation — the load-balance
+    /// criterion. Convexity matters: below the recurrence-MII bound the
+    /// pressure term is flat (packing one cluster and spreading both meet
+    /// MIIRec), but concentrated placements explode into receive storms and
+    /// port contention one hierarchy level down. The squared term keeps a
+    /// spreading gradient alive everywhere.
+    pub fn utilization_sq_mean(&self, ctx: &SeeContext<'_>) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0u32;
+        for id in ctx.pg.cluster_ids() {
+            let rt = ctx.pg.node(id).rt;
+            if rt.issue > 0 {
+                let u = f64::from(self.issue_load[id.index()]) / f64::from(rt.issue);
+                sum += u * u;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / f64::from(count)
+        }
+    }
+
+    /// Freeze into the [`AssignedPg`] handed to the Mapper.
+    pub fn into_assigned(self, pg: &Pg) -> AssignedPg {
+        let mut copies = hca_pg::CopyMap::default();
+        for ((s, d), vs) in self.copies {
+            copies.insert((s, d), vs.into_vec());
+        }
+        AssignedPg {
+            pg: pg.clone(),
+            assignment: self.assignment,
+            copies,
+            forwards: self.forwards,
+        }
+    }
+}
+
+/// Slack of a dependence edge: how many cycles of transport latency the edge
+/// can absorb without stretching the schedule. Intra-iteration edges use the
+/// ALAP/ASAP slack of the consumer; loop-carried edges get slack
+/// proportional to `II · distance` headroom (approximated with MIIRec).
+fn edge_slack(ctx: &SeeContext<'_>, e: hca_ddg::DdgEdge) -> u32 {
+    if e.distance == 0 {
+        let lv = &ctx.analysis.levels;
+        lv.alap[e.dst.index()].saturating_sub(lv.asap[e.src.index()] + e.latency)
+    } else {
+        (ctx.analysis.mii_rec * e.distance).saturating_sub(e.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hca_arch::ResourceTable;
+    use hca_ddg::{DdgBuilder, Opcode};
+    use hca_pg::{Ili, IliWire};
+
+    fn ctx_fixture(
+        ddg: &Ddg,
+        _pg: &Pg,
+    ) -> (DdgAnalysis, ArchConstraints) {
+        let an = DdgAnalysis::compute(ddg).unwrap();
+        let cons = ArchConstraints {
+            max_in_neighbors: 4,
+            max_out_neighbors: None,
+            out_node_max_in: 1,
+            copy_latency: 1,
+        };
+        (an, cons)
+    }
+
+    #[test]
+    fn initial_state_binds_input_values() {
+        let mut b = DdgBuilder::default();
+        let ext = b.node(Opcode::Load);
+        let _ = b.node(Opcode::Add);
+        let ddg = b.finish();
+        let mut pg = Pg::complete(2, ResourceTable::of_cns(4));
+        pg.attach_ili(&Ili {
+            inputs: vec![IliWire::new(vec![ext])],
+            outputs: vec![],
+        });
+        let (an, cons) = ctx_fixture(&ddg, &pg);
+        let ctx = SeeContext {
+            ddg: &ddg,
+            analysis: &an,
+            pg: &pg,
+            constraints: cons,
+            weights: CostWeights::default(),
+            issue_cap: None,
+        };
+        let st = PartialState::initial(&ctx, &[]);
+        let inp = pg.input_ids().next().unwrap();
+        assert_eq!(st.cluster_of(ext), Some(inp));
+    }
+
+    #[test]
+    fn apply_assign_creates_copies_and_recv() {
+        let mut b = DdgBuilder::default();
+        let p = b.node(Opcode::Add);
+        let q = b.node(Opcode::Add);
+        b.flow(p, q);
+        let ddg = b.finish();
+        let pg = Pg::complete(2, ResourceTable::of_cns(4));
+        let (an, cons) = ctx_fixture(&ddg, &pg);
+        let ctx = SeeContext {
+            ddg: &ddg,
+            analysis: &an,
+            pg: &pg,
+            constraints: cons,
+            weights: CostWeights::default(),
+            issue_cap: None,
+        };
+        let mut st = PartialState::initial(&ctx, &[]);
+        st.apply_assign(&ctx, p, PgNodeId(0));
+        assert_eq!(st.total_copies, 0);
+        st.apply_assign(&ctx, q, PgNodeId(1));
+        assert_eq!(st.total_copies, 1);
+        assert_eq!(st.arc_pressure(PgNodeId(0), PgNodeId(1)), 1);
+        // q's cluster pays the receive issue slot on top of its own op.
+        assert_eq!(st.issue_load[1], 2);
+        assert_eq!(st.recv_load[1], 1);
+        assert!(st.in_neighbors[1].contains(&PgNodeId(0)));
+    }
+
+    #[test]
+    fn copies_deduplicate_per_value_and_arc() {
+        // p feeds two consumers on the same remote cluster: one copy.
+        let mut b = DdgBuilder::default();
+        let p = b.node(Opcode::Add);
+        let q1 = b.node(Opcode::Add);
+        let q2 = b.node(Opcode::Add);
+        b.flow(p, q1);
+        b.flow(p, q2);
+        let ddg = b.finish();
+        let pg = Pg::complete(2, ResourceTable::of_cns(4));
+        let (an, cons) = ctx_fixture(&ddg, &pg);
+        let ctx = SeeContext {
+            ddg: &ddg,
+            analysis: &an,
+            pg: &pg,
+            constraints: cons,
+            weights: CostWeights::default(),
+            issue_cap: None,
+        };
+        let mut st = PartialState::initial(&ctx, &[]);
+        st.apply_assign(&ctx, p, PgNodeId(0));
+        st.apply_assign(&ctx, q1, PgNodeId(1));
+        st.apply_assign(&ctx, q2, PgNodeId(1));
+        assert_eq!(st.total_copies, 1);
+        assert_eq!(st.recv_load[1], 1);
+    }
+
+    #[test]
+    fn recurrence_copies_counted() {
+        let mut b = DdgBuilder::default();
+        let a = b.node(Opcode::Add);
+        let c = b.node(Opcode::Add);
+        b.flow(a, c);
+        b.carried(c, a, 1);
+        let ddg = b.finish();
+        let pg = Pg::complete(2, ResourceTable::of_cns(4));
+        let (an, cons) = ctx_fixture(&ddg, &pg);
+        let ctx = SeeContext {
+            ddg: &ddg,
+            analysis: &an,
+            pg: &pg,
+            constraints: cons,
+            weights: CostWeights::default(),
+            issue_cap: None,
+        };
+        let mut st = PartialState::initial(&ctx, &[]);
+        st.apply_assign(&ctx, a, PgNodeId(0));
+        st.apply_assign(&ctx, c, PgNodeId(1));
+        // Both the a→c and the carried c→a flow cross clusters inside one SCC.
+        assert_eq!(st.total_copies, 2);
+        assert_eq!(st.recurrence_copies, 2);
+    }
+
+    #[test]
+    fn estimated_mii_tracks_issue_pressure() {
+        let mut b = DdgBuilder::default();
+        let nodes: Vec<NodeId> = (0..6).map(|_| b.node(Opcode::Add)).collect();
+        let ddg = b.finish();
+        let pg = Pg::complete(2, ResourceTable::of_cns(1)); // single-issue
+        let (an, cons) = ctx_fixture(&ddg, &pg);
+        let ctx = SeeContext {
+            ddg: &ddg,
+            analysis: &an,
+            pg: &pg,
+            constraints: cons,
+            weights: CostWeights::default(),
+            issue_cap: None,
+        };
+        let mut st = PartialState::initial(&ctx, &[]);
+        for (i, &n) in nodes.iter().enumerate() {
+            st.apply_assign(&ctx, n, PgNodeId((i % 2) as u32));
+        }
+        assert_eq!(st.estimated_mii(&ctx), 3); // 3 ops per single-issue CN
+        assert!((st.max_utilization(&ctx) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn output_node_copy_has_no_recv_cost() {
+        let mut b = DdgBuilder::default();
+        let k = b.node(Opcode::Add);
+        let ddg = b.finish();
+        let mut pg = Pg::complete(2, ResourceTable::of_cns(4));
+        pg.attach_ili(&Ili {
+            inputs: vec![],
+            outputs: vec![IliWire::new(vec![k])],
+        });
+        let (an, cons) = ctx_fixture(&ddg, &pg);
+        let ctx = SeeContext {
+            ddg: &ddg,
+            analysis: &an,
+            pg: &pg,
+            constraints: cons,
+            weights: CostWeights::default(),
+            issue_cap: None,
+        };
+        let out = pg.output_ids().next().unwrap();
+        let mut st = PartialState::initial(&ctx, &[]);
+        st.apply_assign(&ctx, k, PgNodeId(0));
+        assert_eq!(st.arc_pressure(PgNodeId(0), out), 1);
+        assert_eq!(st.recv_load[out.index()], 0);
+        assert_eq!(st.issue_load[out.index()], 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the Space Exploration Engine: any schedulable
+//! random DDG assigned onto any complete Pattern Graph must come out fully
+//! assigned, flow-conserving and constraint-clean.
+
+use hca_arch::ResourceTable;
+use hca_ddg::{Ddg, DdgAnalysis, DdgBuilder, NodeId, Opcode};
+use hca_pg::{ArchConstraints, Pg};
+use hca_see::{See, SeeConfig};
+use proptest::prelude::*;
+
+/// A random layered DAG with optional carried accumulators (no external
+/// crates: generated from proptest's own entropy).
+fn ddg_strategy() -> impl Strategy<Value = Ddg> {
+    (
+        2usize..24,
+        proptest::collection::vec((0usize..100, 0usize..100, any::<bool>()), 1..40),
+        0usize..3,
+    )
+        .prop_map(|(n, raw_edges, accs)| {
+            let mut b = DdgBuilder::default();
+            let ops = [Opcode::Add, Opcode::Mul, Opcode::Shift, Opcode::Logic];
+            let nodes: Vec<NodeId> = (0..n)
+                .map(|i| b.node(ops[i % ops.len()]))
+                .collect();
+            for (x, y, _) in raw_edges {
+                let (a, c) = (x % n, y % n);
+                if a < c {
+                    b.flow(nodes[a], nodes[c]); // forward-only: acyclic
+                }
+            }
+            for &node in nodes.iter().take(accs.min(n)) {
+                b.carried(node, node, 1);
+            }
+            b.finish()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn see_output_is_flow_conserving(
+        ddg in ddg_strategy(),
+        clusters in 2usize..6,
+        max_in in 2u32..6,
+    ) {
+        let an = DdgAnalysis::compute(&ddg).unwrap();
+        let pg = Pg::complete(clusters, ResourceTable::of_cns(4));
+        let cons = ArchConstraints {
+            max_in_neighbors: max_in,
+            max_out_neighbors: None,
+            out_node_max_in: 1,
+            copy_latency: 1,
+        };
+        let see = See::new(&ddg, &an, &pg, cons, SeeConfig::default());
+        let Ok(out) = see.run(None) else {
+            // Tight ports can legitimately defeat the search on dense DDGs.
+            return Ok(());
+        };
+        for n in ddg.node_ids() {
+            prop_assert!(out.assigned.cluster_of(n).is_some(), "{:?}", n);
+        }
+        let ws: Vec<NodeId> = ddg.node_ids().collect();
+        let errs = out.assigned.check_flow(&ddg, &ws);
+        prop_assert!(errs.is_empty(), "{errs:?}");
+        prop_assert!(cons.check(&out.assigned).is_ok());
+        // The estimate is a true lower-bound style quantity: at least the
+        // recurrence MII and at least the perfect-balance issue bound.
+        let per_cluster = (ddg.num_nodes() as u32).div_ceil(4 * clusters as u32);
+        prop_assert!(out.est_mii >= an.mii_rec.max(per_cluster).max(1));
+    }
+
+    #[test]
+    fn chain_fallback_always_legal_when_it_applies(
+        ddg in ddg_strategy(),
+        clusters in 2usize..6,
+    ) {
+        let an = DdgAnalysis::compute(&ddg).unwrap();
+        let pg = Pg::complete(clusters, ResourceTable::of_cns(4));
+        let cons = ArchConstraints {
+            max_in_neighbors: 2,
+            max_out_neighbors: None,
+            out_node_max_in: 1,
+            copy_latency: 1,
+        };
+        let see = See::new(&ddg, &an, &pg, cons, SeeConfig::default());
+        if let Some(out) = see.chain_fallback(None) {
+            let ws: Vec<NodeId> = ddg.node_ids().collect();
+            let errs = out.assigned.check_flow(&ddg, &ws);
+            prop_assert!(errs.is_empty(), "{errs:?}");
+        }
+        if let Some(out) = see.layered_fallback(None) {
+            let ws: Vec<NodeId> = ddg.node_ids().collect();
+            let errs = out.assigned.check_flow(&ddg, &ws);
+            prop_assert!(errs.is_empty(), "{errs:?}");
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! The simulator: cycle-by-cycle execution of the folded kernel.
+
+use crate::values::{const_value, eval, live_in, reference_run, StoreLog};
+use hca_arch::DspFabric;
+use hca_core::FinalProgram;
+use hca_ddg::{analysis, NodeId, Opcode};
+use hca_sched::KernelSchedule;
+use rustc_hash::FxHashMap;
+use std::fmt;
+
+/// Result of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimOutput {
+    /// All stored values, sorted by (store node, iteration).
+    pub stores: StoreLog,
+    /// Total cycles executed (passes × II).
+    pub cycles: u64,
+    /// Observed input-buffer high-water mark per CN: how many received
+    /// values were simultaneously live in the CN's buffer regions (§2.2),
+    /// prologue/epilogue transients included.
+    pub buffer_high_water: Vec<u32>,
+}
+
+/// Why simulation (or verification) failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// An operand had not been produced — or had not covered its latency —
+    /// when its consumer issued: a cluster-assignment or scheduling bug.
+    OperandNotReady {
+        /// Consuming node.
+        node: NodeId,
+        /// Iteration being executed.
+        iter: u64,
+        /// The missing operand's producer.
+        operand: NodeId,
+        /// Global cycle of the attempted issue.
+        cycle: u64,
+    },
+    /// A stored value differed from the sequential reference.
+    Mismatch {
+        /// Store node.
+        node: NodeId,
+        /// Iteration.
+        iter: u64,
+        /// Reference value.
+        expected: i64,
+        /// Simulated value.
+        got: i64,
+    },
+    /// Store logs differ in shape (missing/extra stores).
+    LogShape {
+        /// Stores in the reference log.
+        expected: usize,
+        /// Stores in the simulated log.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OperandNotReady {
+                node,
+                iter,
+                operand,
+                cycle,
+            } => write!(
+                f,
+                "operand {operand} of {node} not ready at iteration {iter}, cycle {cycle}"
+            ),
+            SimError::Mismatch {
+                node,
+                iter,
+                expected,
+                got,
+            } => write!(
+                f,
+                "store {node} iteration {iter}: expected {expected}, got {got}"
+            ),
+            SimError::LogShape { expected, got } => {
+                write!(f, "store log shape: expected {expected} entries, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Verification report.
+#[derive(Clone, Copy, Debug)]
+pub struct SimReport {
+    /// Iterations executed.
+    pub trip: u64,
+    /// Total machine cycles.
+    pub cycles: u64,
+    /// Stored values compared against the reference.
+    pub stores_checked: usize,
+    /// Kernel initiation interval.
+    pub ii: u32,
+    /// Steady-state issue-slot utilisation.
+    pub utilization: f64,
+    /// Worst observed input-buffer occupancy across CNs.
+    pub max_buffered: u32,
+}
+
+/// Execute the folded kernel for `trip` iterations.
+pub fn simulate(
+    fp: &FinalProgram,
+    fabric: &DspFabric,
+    kernel: &KernelSchedule,
+    trip: u64,
+) -> Result<SimOutput, SimError> {
+    let ddg = &fp.ddg;
+    let topo_pos: Vec<usize> = {
+        let topo = analysis::intra_topo_order(ddg).expect("schedulable final DDG");
+        let mut pos = vec![0usize; ddg.num_nodes()];
+        for (i, &n) in topo.iter().enumerate() {
+            pos[n.index()] = i;
+        }
+        pos
+    };
+
+    // (node, iteration) → (value, issue cycle).
+    let mut computed: FxHashMap<(NodeId, u64), (i64, u64)> = FxHashMap::default();
+    let mut stores = StoreLog::new();
+    // Input-buffer tracking: each executed recv instance occupies a buffer
+    // entry from its arrival until its last local read.
+    let mut recv_instances: Vec<(NodeId, u64, u64)> = Vec::new(); // (recv, iter, arrival)
+    let passes = kernel.total_passes(trip);
+    let ii = u64::from(kernel.ii);
+
+    for pass in 0..passes {
+        for cyc in 0..kernel.ii {
+            let global = pass * ii + u64::from(cyc);
+            // Every CN issues its slot "simultaneously"; zero-latency
+            // same-cycle chains are honoured by topological ordering.
+            let mut issuing: Vec<(NodeId, u64)> = Vec::new();
+            for cn in fabric.cn_ids() {
+                if let Some(op) = kernel.op_at(cn, cyc) {
+                    if kernel.stage_active(op.stage, pass, trip) {
+                        let iter = pass - u64::from(op.stage);
+                        issuing.push((op.node, iter));
+                    }
+                }
+            }
+            issuing.sort_by_key(|&(n, _)| topo_pos[n.index()]);
+
+            for (n, iter) in issuing {
+                let node = ddg.node(n);
+                let mut args = Vec::new();
+                let mut ready = Ok(());
+                for (_, e) in ddg.pred_edges(n) {
+                    if ddg.node(e.src).op == Opcode::Const {
+                        // Constants are preloaded into every register file.
+                        args.push(const_value(e.src));
+                        continue;
+                    }
+                    let v = if iter >= u64::from(e.distance) {
+                        let key = (e.src, iter - u64::from(e.distance));
+                        match computed.get(&key) {
+                            Some(&(v, t)) if t + u64::from(e.latency) <= global => v,
+                            _ => {
+                                ready = Err(SimError::OperandNotReady {
+                                    node: n,
+                                    iter,
+                                    operand: e.src,
+                                    cycle: global,
+                                });
+                                break;
+                            }
+                        }
+                    } else {
+                        live_in(e.src, e.distance)
+                    };
+                    args.push(v);
+                }
+                ready?;
+                let v = match node.op {
+                    Opcode::Const => const_value(n),
+                    op => eval(op, &args),
+                };
+                computed.insert((n, iter), (v, global));
+                if node.op == Opcode::Store {
+                    stores.push((n, iter, v));
+                }
+                if node.op == Opcode::Recv {
+                    recv_instances.push((n, iter, global));
+                }
+            }
+        }
+    }
+    stores.sort_unstable();
+
+    // Post-pass: buffer occupancy per CN as max interval overlap.
+    let mut events: Vec<Vec<(u64, i32)>> = vec![Vec::new(); fabric.num_cns()];
+    for &(r, iter, arrival) in &recv_instances {
+        let mut last_read = arrival;
+        for (_, e) in ddg.succ_edges(r) {
+            let key = (e.dst, iter + u64::from(e.distance));
+            if let Some(&(_, t)) = computed.get(&key) {
+                last_read = last_read.max(t);
+            }
+        }
+        let cn = fp.placement[r.index()].index();
+        events[cn].push((arrival, 1));
+        events[cn].push((last_read + 1, -1));
+    }
+    let buffer_high_water: Vec<u32> = events
+        .into_iter()
+        .map(|mut ev| {
+            ev.sort_unstable();
+            let mut cur = 0i32;
+            let mut peak = 0i32;
+            for (_, d) in ev {
+                cur += d;
+                peak = peak.max(cur);
+            }
+            peak as u32
+        })
+        .collect();
+
+    Ok(SimOutput {
+        stores,
+        cycles: passes * ii,
+        buffer_high_water,
+    })
+}
+
+/// Render a human-readable issue trace of the first `passes` kernel passes:
+/// one row per (pass, cycle), one column per *active* CN, each cell the op
+/// issued there (with its pipeline stage). The tool-side view of §2.2's
+/// cyclic program counter walking the kernel.
+pub fn render_trace(
+    fp: &FinalProgram,
+    fabric: &DspFabric,
+    kernel: &KernelSchedule,
+    passes: u64,
+    trip: u64,
+) -> String {
+    use std::fmt::Write as _;
+    // Only CNs that ever issue something get a column.
+    let active: Vec<_> = fabric
+        .cn_ids()
+        .filter(|&cn| (0..kernel.ii).any(|c| kernel.op_at(cn, c).is_some()))
+        .collect();
+    let mut out = String::new();
+    let _ = write!(out, "{:>9} ", "pass.cyc");
+    for cn in &active {
+        let _ = write!(out, "{:>10}", cn.to_string());
+    }
+    out.push('\n');
+    for pass in 0..passes.min(kernel.total_passes(trip)) {
+        for cyc in 0..kernel.ii {
+            let _ = write!(out, "{:>6}.{:<2} ", pass, cyc);
+            for &cn in &active {
+                match kernel.op_at(cn, cyc) {
+                    Some(op) if kernel.stage_active(op.stage, pass, trip) => {
+                        let mnem = fp.ddg.node(op.node).op.mnemonic();
+                        let cell = format!("{}/s{}", mnem, op.stage);
+                        let _ = write!(out, "{cell:>10}");
+                    }
+                    Some(_) => {
+                        let _ = write!(out, "{:>10}", "·"); // predicated off
+                    }
+                    None => {
+                        let _ = write!(out, "{:>10}", "");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// End-to-end check: simulate the clusterised, scheduled kernel and compare
+/// every stored value against the sequential reference interpretation of
+/// the *source* DDG.
+pub fn verify_execution(
+    source: &hca_ddg::Ddg,
+    fp: &FinalProgram,
+    fabric: &DspFabric,
+    kernel: &KernelSchedule,
+    trip: u64,
+) -> Result<SimReport, SimError> {
+    let reference = reference_run(source, trip);
+    let sim = simulate(fp, fabric, kernel, trip)?;
+    if reference.len() != sim.stores.len() {
+        return Err(SimError::LogShape {
+            expected: reference.len(),
+            got: sim.stores.len(),
+        });
+    }
+    for (&(rn, ri, rv), &(sn, si, sv)) in reference.iter().zip(&sim.stores) {
+        if rn != sn || ri != si {
+            return Err(SimError::LogShape {
+                expected: reference.len(),
+                got: sim.stores.len(),
+            });
+        }
+        if rv != sv {
+            return Err(SimError::Mismatch {
+                node: rn,
+                iter: ri,
+                expected: rv,
+                got: sv,
+            });
+        }
+    }
+    Ok(SimReport {
+        trip,
+        cycles: sim.cycles,
+        stores_checked: sim.stores.len(),
+        ii: kernel.ii,
+        utilization: kernel.utilization(),
+        max_buffered: sim.buffer_high_water.iter().copied().max().unwrap_or(0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hca_core::{run_hca, HcaConfig};
+    use hca_ddg::DdgBuilder;
+    use hca_sched::modulo_schedule;
+
+    fn pipeline(ddg: &hca_ddg::Ddg, trip: u64) -> Result<SimReport, SimError> {
+        let fabric = DspFabric::standard(8, 8, 8);
+        let res = run_hca(ddg, &fabric, &HcaConfig::default()).unwrap();
+        assert!(res.is_legal());
+        let s = modulo_schedule(&res.final_program, &fabric, res.mii.final_mii).unwrap();
+        let k = KernelSchedule::fold(&res.final_program, &fabric, &s);
+        verify_execution(ddg, &res.final_program, &fabric, &k, trip)
+    }
+
+    #[test]
+    fn mac_loop_executes_correctly() {
+        let mut b = DdgBuilder::default();
+        let a = b.node(Opcode::AddrAdd);
+        b.carried(a, a, 1);
+        let x = b.op_with(Opcode::Load, &[a]);
+        let y = b.op_with(Opcode::Mul, &[x]);
+        let acc = b.op_with(Opcode::Mac, &[y]);
+        b.carried(acc, acc, 1);
+        b.op_with(Opcode::Store, &[acc, a]);
+        let ddg = b.finish();
+        let rep = pipeline(&ddg, 16).unwrap();
+        assert_eq!(rep.stores_checked, 16);
+        assert!(rep.cycles >= 16);
+    }
+
+    #[test]
+    fn parallel_chains_execute_correctly() {
+        let mut b = DdgBuilder::default();
+        for _ in 0..4 {
+            let a = b.node(Opcode::AddrAdd);
+            b.carried(a, a, 1);
+            let x = b.op_with(Opcode::Load, &[a]);
+            let y = b.op_with(Opcode::Shift, &[x]);
+            let z = b.op_with(Opcode::Add, &[y, x]);
+            b.op_with(Opcode::Store, &[z, a]);
+        }
+        let ddg = b.finish();
+        let rep = pipeline(&ddg, 8).unwrap();
+        assert_eq!(rep.stores_checked, 32);
+        assert!(rep.utilization > 0.0 && rep.utilization <= 1.0);
+    }
+
+    #[test]
+    fn buffer_high_water_tracks_receives() {
+        // A wide kernel guaranteed to cross CNs: some CN must buffer, and
+        // the observed peak stays within the machine's buffer regions.
+        let mut b = DdgBuilder::default();
+        for _ in 0..6 {
+            let p = b.node(Opcode::AddrAdd);
+            b.carried(p, p, 1);
+            let x = b.op_with(Opcode::Load, &[p]);
+            let y = b.op_with(Opcode::Mul, &[x]);
+            let z = b.op_with(Opcode::Add, &[y, x]);
+            b.op_with(Opcode::Store, &[z, p]);
+        }
+        let ddg = b.finish();
+        let fabric = DspFabric::standard(8, 8, 8);
+        let res = hca_core::run_hca(&ddg, &fabric, &hca_core::HcaConfig::default()).unwrap();
+        let s = hca_sched::modulo_schedule(&res.final_program, &fabric, res.mii.final_mii)
+            .unwrap();
+        let k = KernelSchedule::fold(&res.final_program, &fabric, &s);
+        let out = simulate(&res.final_program, &fabric, &k, 8).unwrap();
+        let peak: u32 = out.buffer_high_water.iter().copied().max().unwrap_or(0);
+        assert_eq!(
+            peak > 0,
+            res.final_program.num_recvs() > 0,
+            "buffers used iff values received"
+        );
+        assert!(peak <= 32, "{peak}");
+    }
+
+    #[test]
+    fn trace_renders_prologue_predication() {
+        let mut b = DdgBuilder::default();
+        let p = b.node(Opcode::AddrAdd);
+        b.carried(p, p, 1);
+        let x = b.op_with(Opcode::Load, &[p]);
+        let y = b.op_with(Opcode::Mul, &[x]);
+        b.op_with(Opcode::Store, &[y, p]);
+        let ddg = b.finish();
+        let fabric = DspFabric::standard(8, 8, 8);
+        let res = hca_core::run_hca(&ddg, &fabric, &hca_core::HcaConfig::default()).unwrap();
+        let s = hca_sched::modulo_schedule(&res.final_program, &fabric, res.mii.final_mii)
+            .unwrap();
+        let k = KernelSchedule::fold(&res.final_program, &fabric, &s);
+        let trace = render_trace(&res.final_program, &fabric, &k, 2, 10);
+        // Header + 2 passes × II rows.
+        assert_eq!(trace.lines().count() as u32, 1 + 2 * k.ii);
+        assert!(trace.contains("ld"), "{trace}");
+        if k.stages > 1 {
+            // Deep stages are predicated off during the first pass.
+            assert!(trace.contains('·'), "{trace}");
+        }
+    }
+
+    #[test]
+    fn zero_trip_runs_nothing() {
+        let mut b = DdgBuilder::default();
+        let x = b.node(Opcode::Const);
+        b.op_with(Opcode::Store, &[x]);
+        let ddg = b.finish();
+        let rep = pipeline(&ddg, 0).unwrap();
+        assert_eq!(rep.stores_checked, 0);
+        assert_eq!(rep.cycles, 0);
+    }
+
+    #[test]
+    fn broken_schedule_detected() {
+        // Hand-build a kernel whose consumer issues before its producer's
+        // latency elapsed: the simulator must flag it.
+        let mut b = DdgBuilder::default();
+        let x = b.node(Opcode::Const);
+        let y = b.op_with(Opcode::Mul, &[x]); // latency 2… but x is const.
+        let z = b.op_with(Opcode::Add, &[y]);
+        b.op_with(Opcode::Store, &[z]);
+        let ddg = b.finish();
+        let fabric = DspFabric::standard(8, 8, 8);
+        let res = run_hca(&ddg, &fabric, &HcaConfig::default()).unwrap();
+        let mut s = modulo_schedule(&res.final_program, &fabric, res.mii.final_mii).unwrap();
+        // Corrupt: issue everything at time 0 (same CN slots will differ,
+        // but dependences break).
+        for t in s.time.iter_mut() {
+            *t = 0;
+        }
+        // Folding may panic on single-issue violations; place nodes on
+        // distinct slots instead: everyone at its node index mod ii keeps
+        // the fold valid while violating dependences.
+        let ii = s.ii.max(4);
+        s.ii = ii;
+        for (i, t) in s.time.iter_mut().enumerate() {
+            *t = (i as u32) % ii;
+        }
+        s.stages = 1;
+        let k = KernelSchedule::fold(&res.final_program, &fabric, &s);
+        let out = verify_execution(&ddg, &res.final_program, &fabric, &k, 4);
+        assert!(out.is_err(), "corrupted schedule must not verify");
+    }
+}

@@ -1,0 +1,77 @@
+//! Architecture exploration: how MUX bandwidth (the N/M/K parameters of
+//! §2.2) shapes clusterisation quality, and how the same SEE engine drives
+//! the flat ring-topology RCP machine of §2.1.
+//!
+//! ```sh
+//! cargo run --example architecture_exploration --release
+//! ```
+
+use hca_repro::arch::{DspFabric, Rcp};
+use hca_repro::ddg::DdgAnalysis;
+use hca_repro::hca::{run_hca, HcaConfig};
+use hca_repro::pg::{ArchConstraints, Pg};
+use hca_repro::see::{See, SeeConfig};
+
+fn main() {
+    // --- Part 1: DSPFabric bandwidth sweep on the IDCT row kernel -------
+    let kernel = hca_repro::kernels::idct::build();
+    println!("idcthor on 64-CN DSPFabric, sweeping the MUX capacities:\n");
+    println!("{:>7} {:>10} {:>7} {:>8} {:>8}", "N=M=K", "final MII", "legal", "wires", "recvs");
+    for cap in [8usize, 6, 4, 3, 2] {
+        let fabric = DspFabric::standard(cap, cap, cap);
+        match run_hca(&kernel.ddg, &fabric, &HcaConfig::default()) {
+            Ok(res) => println!(
+                "{:>7} {:>10} {:>7} {:>8} {:>8}",
+                cap,
+                res.mii.final_mii,
+                if res.is_legal() { "yes" } else { "NO" },
+                res.stats.wires,
+                res.final_program.num_recvs(),
+            ),
+            Err(e) => println!("{cap:>7} failed: {e}"),
+        }
+    }
+
+    // --- Part 2: hierarchy shape at constant CN count --------------------
+    println!("\nsame 16 CNs, different hierarchy shapes (2-level machines):\n");
+    for (sets, cns) in [(2usize, 8usize), (4, 4), (8, 2)] {
+        let fabric = DspFabric::two_level(sets, cns, 4);
+        match run_hca(&kernel.ddg, &fabric, &HcaConfig::default()) {
+            Ok(res) => println!(
+                "  {sets} groups × {cns} CNs: final MII {} (legal: {})",
+                res.mii.final_mii,
+                res.is_legal()
+            ),
+            Err(e) => println!("  {sets} groups × {cns} CNs: failed: {e}"),
+        }
+    }
+
+    // --- Part 3: the flat RCP ring (§2.1) through the same SEE -----------
+    // RCP needs no hierarchy: its Pattern Graph is the ring itself, and one
+    // SEE run performs the whole Instruction Cluster Assignment.
+    println!("\nFIR-8 on the 8-cluster RCP ring (reach 2, 2 input ports):");
+    let fir = hca_repro::kernels::dspstone::fir(8);
+    let analysis = DdgAnalysis::compute(&fir).unwrap();
+    let rcp = Rcp::figure1();
+    let pg = Pg::from_rcp(&rcp);
+    let constraints = ArchConstraints::for_rcp(&rcp);
+    let see = See::new(&fir, &analysis, &pg, constraints, SeeConfig::default());
+    match see.run(None) {
+        Ok(out) => {
+            println!(
+                "  assigned {} instructions, estimated MII {}, {} copies, {} routed",
+                out.assigned.assignment.len(),
+                out.est_mii,
+                out.assigned.total_copies(),
+                out.stats.routed_nodes,
+            );
+            for c in pg.cluster_ids() {
+                let instrs = out.assigned.instructions_of(c);
+                if !instrs.is_empty() {
+                    println!("  cluster {c}: {} instructions", instrs.len());
+                }
+            }
+        }
+        Err(e) => println!("  failed: {e}"),
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 1 — "A 8-cluster RCP ring topology. (a) Potential connections
+//! (b) A feasible topology": reconstructs the depicted machine and checks
+//! that exactly the drawn class of topologies is admitted.
+
+use hca_repro::arch::Rcp;
+
+#[test]
+fn potential_connections_match_figure_1a() {
+    let rcp = Rcp::figure1();
+    // Each cluster could receive a copy from 4 neighbours…
+    for c in 0..8 {
+        assert_eq!(rcp.potential_sources(c).len(), 4, "cluster {c}");
+    }
+    // …specifically the two nearest on each side of the ring.
+    assert_eq!(rcp.potential_sources(3), vec![1, 2, 4, 5]);
+}
+
+#[test]
+fn feasible_topology_of_figure_1b() {
+    let rcp = Rcp::figure1();
+    // K = 2 input ports: a nearest-neighbour double ring is feasible.
+    let wires: Vec<(usize, usize)> = (0..8)
+        .flat_map(|c| [((c + 7) % 8, c), ((c + 1) % 8, c)])
+        .collect();
+    assert!(rcp.check_topology(&wires).is_ok());
+}
+
+#[test]
+fn infeasible_topologies_rejected() {
+    let rcp = Rcp::figure1();
+    // Exceeding the K = 2 input ports is rejected…
+    let overload = [(1usize, 0usize), (2, 0), (7, 0)];
+    assert!(rcp.check_topology(&overload).is_err());
+    // …and so is wiring beyond the potential-connection reach.
+    assert!(rcp.check_topology(&[(0, 4)]).is_err());
+}

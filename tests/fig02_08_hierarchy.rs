@@ -1,0 +1,56 @@
+//! Figures 2 and 8 — the 64-cluster DSPFabric hierarchy and the paper's
+//! problem decomposition: "each node of PG₀ contains 16 ALUs/AGs, each node
+//! of PG₀,ᵢ contains 4 ALUs/AGs and each node of PG₀,ᵢ,ⱼ contains only one
+//! ALU/AG".
+
+use hca_repro::arch::{DspFabric, ResourceTable};
+use hca_repro::hca::decompose::level_pg;
+use hca_repro::pg::Ili;
+
+#[test]
+fn figure2_machine_shape() {
+    let f = DspFabric::standard(8, 8, 8);
+    assert_eq!(f.depth(), 3);
+    assert_eq!(f.num_cns(), 64);
+    // 4 cluster-sets of 16 CNs, each set 4 clusters of 4 CNs.
+    assert_eq!(f.level(0).arity, 4);
+    assert_eq!(f.level(1).arity, 4);
+    assert_eq!(f.level(2).arity, 4);
+    // CNs: two incoming wires, one outgoing (§2.2).
+    assert_eq!(f.level(2).in_wires, 2);
+    assert_eq!(f.level(2).out_wires, 1);
+}
+
+#[test]
+fn figure8_resource_tables_per_level() {
+    let f = DspFabric::standard(8, 8, 8);
+    for d in 0..3 {
+        let pg = level_pg(&f, d, &Ili::root());
+        assert_eq!(pg.num_nodes(), 4);
+        let expect = match d {
+            0 => ResourceTable::of_cns(16),
+            1 => ResourceTable::of_cns(4),
+            _ => ResourceTable::CN,
+        };
+        for c in pg.cluster_ids() {
+            assert_eq!(pg.node(c).rt, expect, "depth {d}");
+        }
+        // MUXes make every sibling potentially reachable: complete graph.
+        for a in pg.cluster_ids() {
+            assert_eq!(pg.potential_succs(a).len(), 3);
+        }
+    }
+}
+
+#[test]
+fn section4_path_explosion() {
+    // "Two computation nodes at different sides of level 0 MUXes are
+    // potentially connected by K²M²N² parallel shortest paths."
+    let f = DspFabric::standard(8, 8, 8);
+    let a = f.cn_of_path(&[0, 0, 0]);
+    let b = f.cn_of_path(&[1, 0, 0]);
+    assert_eq!(f.parallel_shortest_paths(a, b), 8u128.pow(6));
+    // Same-cluster CNs do not explode.
+    let c = f.cn_of_path(&[0, 0, 1]);
+    assert!(f.parallel_shortest_paths(a, c) < 8u128.pow(6));
+}

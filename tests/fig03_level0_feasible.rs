@@ -1,0 +1,56 @@
+//! Figure 3 — "A feasible inter-connection among cluster sets" at level 0
+//! with N = 4: output wires broadcast, input wires are single-source, and
+//! the N-wire budgets bound what can be configured.
+
+use hca_repro::arch::topology::{ConfiguredWire, WireSource};
+use hca_repro::arch::{DspFabric, Topology};
+use hca_repro::ddg::NodeId;
+
+fn wire(src: usize, receivers: &[usize], values: &[u32]) -> ConfiguredWire {
+    ConfiguredWire {
+        src: WireSource::Member(src),
+        receivers: receivers.to_vec(),
+        to_parent: false,
+        values: values.iter().map(|&v| NodeId(v)).collect(),
+    }
+}
+
+#[test]
+fn figure3_style_topology_is_feasible() {
+    let f = DspFabric::standard(4, 4, 4);
+    let mut t = Topology::new();
+    let g = t.group_mut(&[]);
+    // A ring of broadcasts plus a couple of extra point-to-point wires —
+    // the kind of data path the figure sketches.
+    g.wires.push(wire(0, &[1, 2], &[0]));
+    g.wires.push(wire(1, &[2, 3], &[1]));
+    g.wires.push(wire(2, &[3], &[2]));
+    g.wires.push(wire(3, &[0], &[3]));
+    g.wires.push(wire(0, &[3], &[4]));
+    assert!(t.validate(&f).is_ok());
+}
+
+#[test]
+fn input_budget_bounds_feasibility() {
+    // With N = 2, a set listening to three distinct wires is infeasible.
+    let f = DspFabric::standard(2, 2, 2);
+    let mut t = Topology::new();
+    let g = t.group_mut(&[]);
+    g.wires.push(wire(0, &[3], &[0]));
+    g.wires.push(wire(1, &[3], &[1]));
+    g.wires.push(wire(2, &[3], &[2]));
+    let err = t.validate(&f).unwrap_err();
+    assert!(err.to_string().contains("input ports"), "{err}");
+}
+
+#[test]
+fn output_budget_bounds_feasibility() {
+    let f = DspFabric::standard(2, 2, 2);
+    let mut t = Topology::new();
+    let g = t.group_mut(&[]);
+    for v in 0..3u32 {
+        g.wires.push(wire(0, &[(v as usize % 3) + 1], &[v]));
+    }
+    let err = t.validate(&f).unwrap_err();
+    assert!(err.to_string().contains("output wires"), "{err}");
+}

@@ -1,0 +1,92 @@
+//! Figures 4 and 5 — the cluster-assignment framework and its bounded
+//! exploration frontier: the SEE walks a priority list, evaluates candidate
+//! clusters through `isAssignable` + the objective function, and the
+//! candidate/node filters keep the frontier ("the grey zone") small.
+
+use hca_repro::arch::ResourceTable;
+use hca_repro::ddg::{DdgAnalysis, DdgBuilder, Opcode};
+use hca_repro::pg::{ArchConstraints, Pg};
+use hca_repro::see::{See, SeeConfig};
+
+fn constraints() -> ArchConstraints {
+    ArchConstraints {
+        max_in_neighbors: 4,
+        max_out_neighbors: None,
+        out_node_max_in: 1,
+        copy_latency: 1,
+    }
+}
+
+/// A loop body with two independent chains and a shared producer.
+fn sample() -> hca_repro::ddg::Ddg {
+    let mut b = DdgBuilder::default();
+    let src = b.node(Opcode::Load);
+    for _ in 0..2 {
+        let x = b.op_with(Opcode::Mul, &[src]);
+        let y = b.op_with(Opcode::Add, &[x]);
+        b.op_with(Opcode::Store, &[y]);
+    }
+    b.finish()
+}
+
+#[test]
+fn beam_width_bounds_explored_states() {
+    let ddg = sample();
+    let an = DdgAnalysis::compute(&ddg).unwrap();
+    let pg = Pg::complete(4, ResourceTable::of_cns(4));
+
+    let run = |beam: usize| {
+        let cfg = SeeConfig {
+            beam_width: beam,
+            ..SeeConfig::default()
+        };
+        See::new(&ddg, &an, &pg, constraints(), cfg)
+            .run(None)
+            .unwrap()
+    };
+    let narrow = run(1);
+    let wide = run(16);
+    // The frontier cap directly bounds the number of materialised partial
+    // solutions (Figure 5's grey zone).
+    assert!(narrow.stats.states_explored < wide.stats.states_explored);
+    assert!(narrow.stats.states_explored <= ddg.num_nodes() * 3);
+    // And a wider beam can only match or improve the objective.
+    assert!(wide.cost <= narrow.cost + 1e-9);
+}
+
+#[test]
+fn candidate_filter_prunes_branching() {
+    let ddg = sample();
+    let an = DdgAnalysis::compute(&ddg).unwrap();
+    let pg = Pg::complete(4, ResourceTable::of_cns(4));
+    let one = SeeConfig {
+        branch_factor: 1,
+        beam_width: 16,
+        ..SeeConfig::default()
+    };
+    let three = SeeConfig {
+        branch_factor: 3,
+        beam_width: 16,
+        ..SeeConfig::default()
+    };
+    let a = See::new(&ddg, &an, &pg, constraints(), one).run(None).unwrap();
+    let b = See::new(&ddg, &an, &pg, constraints(), three).run(None).unwrap();
+    assert!(a.stats.states_explored <= b.stats.states_explored);
+}
+
+#[test]
+fn every_node_assigned_and_copies_recorded() {
+    let ddg = sample();
+    let an = DdgAnalysis::compute(&ddg).unwrap();
+    let pg = Pg::complete(4, ResourceTable::of_cns(4));
+    let out = See::new(&ddg, &an, &pg, constraints(), SeeConfig::default())
+        .run(None)
+        .unwrap();
+    for n in ddg.node_ids() {
+        assert!(out.assigned.cluster_of(n).is_some(), "{n} unassigned");
+    }
+    // The result is a PG̅ with cpy labels: flow conservation must hold.
+    let ws: Vec<_> = ddg.node_ids().collect();
+    let errs = out.assigned.check_flow(&ddg, &ws);
+    assert!(errs.is_empty(), "{errs:?}");
+}

@@ -1,0 +1,55 @@
+//! Figure 7 — "Example of Pattern Graph": four clusters connected by
+//! multiplexers are abstracted as a complete graph; the Mapper later
+//! distributes the PG's copies onto the real MUX wires.
+
+use hca_repro::arch::{LevelSpec, ResourceTable};
+use hca_repro::ddg::NodeId;
+use hca_repro::mapper::{map_level, MapOptions};
+use hca_repro::pg::{AssignedPg, Pg, PgNodeId};
+
+#[test]
+fn mux_cluster_group_abstracts_to_complete_graph() {
+    let pg = Pg::complete(4, ResourceTable::of_cns(4));
+    for a in pg.cluster_ids() {
+        for b in pg.cluster_ids() {
+            assert_eq!(pg.is_potential(a, b), a != b);
+        }
+    }
+}
+
+#[test]
+fn mapper_lowers_pg_copies_onto_wires() {
+    // A PG̅ with copies on three arcs lowers onto ≤ capacity wires with the
+    // same values, which is precisely the abstraction boundary of Figure 7.
+    let pg = Pg::complete(4, ResourceTable::of_cns(4));
+    let mut apg = AssignedPg::new(pg);
+    apg.copies
+        .insert((PgNodeId(0), PgNodeId(1)), vec![NodeId(0)]);
+    apg.copies
+        .insert((PgNodeId(0), PgNodeId(2)), vec![NodeId(0)]);
+    apg.copies
+        .insert((PgNodeId(3), PgNodeId(0)), vec![NodeId(7), NodeId(8)]);
+    let spec = LevelSpec {
+        arity: 4,
+        in_wires: 4,
+        out_wires: 4,
+        glue_in: 0,
+        glue_out: 0,
+    };
+    let out = map_level(&apg, spec, MapOptions::default()).unwrap();
+    // Value 0 broadcast from member 0 — a single wire reaching 1 and 2.
+    let w0: Vec<_> = out
+        .group
+        .wires
+        .iter()
+        .filter(|w| w.values.contains(&NodeId(0)))
+        .collect();
+    assert_eq!(w0.len(), 1);
+    let mut rec = w0[0].receivers.clone();
+    rec.sort_unstable();
+    assert_eq!(rec, vec![1, 2]);
+    // Everything the PG promised is on some wire.
+    for v in [NodeId(7), NodeId(8)] {
+        assert!(out.group.wires.iter().any(|w| w.values.contains(&v)));
+    }
+}

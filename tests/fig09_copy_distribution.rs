@@ -1,0 +1,104 @@
+//! Figure 9 — copy distribution and ILI generation: "compatibly with the
+//! availability of communication wires, the Mapper uses only one line to
+//! broadcast x and z, moreover it tries to use all the possible
+//! communication patterns to map the remaining copies, e.g. distributing
+//! a, b and c over three wires"; then "the Mapper generates also four ILI",
+//! with ILI₀,₃ reporting four input lines (a | b | c | k,h) and one output
+//! line (z).
+
+use hca_repro::arch::{LevelSpec, ResourceTable};
+use hca_repro::ddg::NodeId;
+use hca_repro::mapper::{map_level, MapOptions};
+use hca_repro::pg::{AssignedPg, Pg, PgNodeId};
+
+/// The PG̅ of Figure 9a: x broadcast 0→{1,2}; a,b,c point-to-point 0→3;
+/// k,h on one arc 1→3; z broadcast 3→{0,1}.
+fn figure9_assigned() -> AssignedPg {
+    let (x, a, b, c, k, h, z) = (
+        NodeId(10),
+        NodeId(0),
+        NodeId(1),
+        NodeId(2),
+        NodeId(3),
+        NodeId(4),
+        NodeId(20),
+    );
+    let pg = Pg::complete(4, ResourceTable::of_cns(16));
+    let mut apg = AssignedPg::new(pg);
+    apg.copies.insert((PgNodeId(0), PgNodeId(1)), vec![x]);
+    apg.copies.insert((PgNodeId(0), PgNodeId(2)), vec![x]);
+    apg.copies.insert((PgNodeId(0), PgNodeId(3)), vec![a, b, c]);
+    apg.copies.insert((PgNodeId(1), PgNodeId(3)), vec![k, h]);
+    apg.copies.insert((PgNodeId(3), PgNodeId(0)), vec![z]);
+    apg.copies.insert((PgNodeId(3), PgNodeId(1)), vec![z]);
+    apg
+}
+
+fn spec() -> LevelSpec {
+    LevelSpec {
+        arity: 4,
+        in_wires: 4,
+        out_wires: 4,
+        glue_in: 0,
+        glue_out: 0,
+    }
+}
+
+#[test]
+fn broadcasts_use_one_line_and_p2p_copies_spread() {
+    let out = map_level(
+        &figure9_assigned(),
+        spec(),
+        MapOptions { balance_split: true },
+    )
+    .unwrap();
+    // x occupies exactly one wire, broadcast to clusters 1 and 2.
+    let xw: Vec<_> = out
+        .group
+        .wires
+        .iter()
+        .filter(|w| w.values.contains(&NodeId(10)))
+        .collect();
+    assert_eq!(xw.len(), 1);
+    assert_eq!(xw[0].receivers, vec![1, 2]);
+    // a, b, c are distributed over three parallel wires (pressure 1 each).
+    let p2p: Vec<_> = out
+        .group
+        .wires
+        .iter()
+        .filter(|w| {
+            [NodeId(0), NodeId(1), NodeId(2)]
+                .iter()
+                .any(|v| w.values.contains(v))
+        })
+        .collect();
+    assert_eq!(p2p.len(), 3, "a, b, c over three wires");
+    assert!(p2p.iter().all(|w| w.pressure() == 1));
+    // z: one broadcast line from cluster 3.
+    let zw: Vec<_> = out
+        .group
+        .wires
+        .iter()
+        .filter(|w| w.values.contains(&NodeId(20)))
+        .collect();
+    assert_eq!(zw.len(), 1);
+}
+
+#[test]
+fn ili_of_subproblem_3_matches_figure_9c() {
+    let out = map_level(
+        &figure9_assigned(),
+        spec(),
+        MapOptions { balance_split: true },
+    )
+    .unwrap();
+    let ili3 = &out.child_ilis[3];
+    // Four input lines: a | b | c | {k, h}.
+    assert_eq!(ili3.inputs.len(), 4);
+    let mut sizes: Vec<usize> = ili3.inputs.iter().map(|w| w.values.len()).collect();
+    sizes.sort_unstable();
+    assert_eq!(sizes, vec![1, 1, 1, 2]);
+    // One output line carrying z.
+    assert_eq!(ili3.outputs.len(), 1);
+    assert_eq!(ili3.outputs[0].values, vec![NodeId(20)]);
+}

@@ -1,0 +1,71 @@
+//! Figure 10 — a child sub-problem's PG completed with special nodes:
+//! input nodes broadcastable to every cluster, output nodes with the
+//! `outNode_MaxIn` unary fan-in; "in order to satisfy the additional
+//! constraint, both the instruction k and h has been assigned to the same
+//! cluster".
+
+use hca_repro::arch::ResourceTable;
+use hca_repro::ddg::{DdgAnalysis, DdgBuilder, Opcode};
+use hca_repro::pg::{ArchConstraints, Ili, IliWire, Pg};
+use hca_repro::see::{See, SeeConfig};
+
+#[test]
+fn pg_completed_with_special_nodes_as_in_figure_10b() {
+    let mut b = DdgBuilder::default();
+    let x = b.node(Opcode::Add); // incoming from two input wires
+    let z = b.node(Opcode::Add);
+    let ddg = b.finish();
+    let _ = ddg;
+    let mut pg = Pg::complete(4, ResourceTable::of_cns(4));
+    pg.attach_ili(&Ili {
+        inputs: vec![IliWire::new(vec![x]), IliWire::new(vec![z])],
+        outputs: vec![IliWire::new(vec![])],
+    });
+    assert_eq!(pg.input_ids().count(), 2);
+    assert_eq!(pg.output_ids().count(), 1);
+    // Input nodes can broadcast to all clusters; all clusters reach the
+    // output node.
+    let inp = pg.input_ids().next().unwrap();
+    let out = pg.output_ids().next().unwrap();
+    for c in pg.cluster_ids().collect::<Vec<_>>() {
+        assert!(pg.is_potential(inp, c));
+        assert!(pg.is_potential(c, out));
+    }
+}
+
+#[test]
+fn out_node_max_in_forces_k_and_h_onto_one_cluster() {
+    // Figure 10c: k and h leave on the same output wire; after ICA they
+    // must share a cluster.
+    let mut b = DdgBuilder::default();
+    let x = b.node(Opcode::Add); // external producer
+    let k = b.node(Opcode::Add);
+    let h = b.node(Opcode::Add);
+    let mid = b.op_with(Opcode::Add, &[x]);
+    b.flow(mid, k);
+    b.flow(mid, h);
+    let ddg = b.finish();
+    let an = DdgAnalysis::compute(&ddg).unwrap();
+    let mut pg = Pg::complete(4, ResourceTable::of_cns(4));
+    pg.attach_ili(&Ili {
+        inputs: vec![IliWire::new(vec![x])],
+        outputs: vec![IliWire::new(vec![k, h])],
+    });
+    let cons = ArchConstraints {
+        max_in_neighbors: 4,
+        max_out_neighbors: None,
+        out_node_max_in: 1,
+        copy_latency: 1,
+    };
+    let out = See::new(&ddg, &an, &pg, cons, SeeConfig::default())
+        .run(Some(&[mid, k, h]))
+        .unwrap();
+    assert_eq!(
+        out.assigned.cluster_of(k),
+        out.assigned.cluster_of(h),
+        "unary fan-in must co-locate k and h"
+    );
+    // And the output node is fed by exactly that one cluster.
+    let o = pg.output_ids().next().unwrap();
+    assert_eq!(out.assigned.real_in_neighbors(o).len(), 1);
+}

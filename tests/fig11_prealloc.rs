@@ -1,0 +1,99 @@
+//! Figure 11 — "Preallocation of communication wires from/to the outer
+//! level": the glue wires mandated by the ILI are configured before copy
+//! distribution and consume the receivers' input ports, "partially limiting
+//! the reconfiguration space".
+
+use hca_repro::arch::topology::WireSource;
+use hca_repro::arch::{LevelSpec, ResourceTable};
+use hca_repro::ddg::{DdgBuilder, Opcode};
+use hca_repro::mapper::{map_level, MapOptions};
+use hca_repro::pg::{AssignedPg, Ili, IliWire, Pg, PgNodeId};
+
+#[test]
+fn glue_wires_are_preallocated_and_consume_ports() {
+    let mut b = DdgBuilder::default();
+    let ext = b.node(Opcode::Add); // arrives on a glue-in wire
+    let k = b.node(Opcode::Add); // leaves on a glue-out wire
+    let u = b.op_with(Opcode::Add, &[ext]);
+    let _ = (k, u);
+    let ddg = b.finish();
+
+    let mut pg = Pg::complete(2, ResourceTable::of_cns(4));
+    pg.attach_ili(&Ili {
+        inputs: vec![IliWire::new(vec![ext])],
+        outputs: vec![IliWire::new(vec![k])],
+    });
+    let inp = pg.input_carrying(ext).unwrap();
+    let mut apg = AssignedPg::new(pg);
+    apg.assign(ext, inp);
+    apg.assign(u, PgNodeId(1));
+    apg.assign(k, PgNodeId(0));
+    apg.derive_copies(&ddg, None);
+
+    let spec = LevelSpec {
+        arity: 2,
+        in_wires: 2,
+        out_wires: 2,
+        glue_in: 2,
+        glue_out: 2,
+    };
+    let out = map_level(&apg, spec, MapOptions::default()).unwrap();
+
+    // The glue-in wire exists, sourced from the parent, landing on member 1.
+    let glue_in: Vec<_> = out
+        .group
+        .wires
+        .iter()
+        .filter(|w| w.src == WireSource::Parent)
+        .collect();
+    assert_eq!(glue_in.len(), 1);
+    assert_eq!(glue_in[0].receivers, vec![1]);
+    // The glue-out wire continues to the parent from member 0.
+    let glue_out: Vec<_> = out.group.wires.iter().filter(|w| w.to_parent).collect();
+    assert_eq!(glue_out.len(), 1);
+    assert_eq!(glue_out[0].src, WireSource::Member(0));
+    assert_eq!(out.stats.glue_in_wires, 1);
+}
+
+#[test]
+fn preallocated_glue_limits_the_remaining_space() {
+    // Budget math: member 1 has 1 input port; the glue-in wire takes it, so
+    // a sibling copy towards member 1 cannot be mapped any more.
+    let mut b = DdgBuilder::default();
+    let ext = b.node(Opcode::Add);
+    let u = b.op_with(Opcode::Add, &[ext]); // member 1 consumes the glue
+    let p = b.node(Opcode::Add); // member 0 produces…
+    let q = b.op_with(Opcode::Add, &[p]); // …and member 1 would also need p
+    let _ = (u, q);
+    let ddg = b.finish();
+
+    let mut pg = Pg::complete(2, ResourceTable::of_cns(4));
+    pg.attach_ili(&Ili {
+        inputs: vec![IliWire::new(vec![ext])],
+        outputs: vec![],
+    });
+    let inp = pg.input_carrying(ext).unwrap();
+    let mut apg = AssignedPg::new(pg);
+    apg.assign(ext, inp);
+    apg.assign(u, PgNodeId(1));
+    apg.assign(p, PgNodeId(0));
+    apg.assign(q, PgNodeId(1));
+    apg.derive_copies(&ddg, None);
+
+    let tight = LevelSpec {
+        arity: 2,
+        in_wires: 1,
+        out_wires: 2,
+        glue_in: 1,
+        glue_out: 0,
+    };
+    let err = map_level(&apg, tight, MapOptions::default()).unwrap_err();
+    assert!(err.to_string().contains("input ports"), "{err}");
+
+    // With one more port everything fits.
+    let ok = LevelSpec {
+        in_wires: 2,
+        ..tight
+    };
+    assert!(map_level(&apg, ok, MapOptions::default()).is_ok());
+}

@@ -1,0 +1,62 @@
+//! Serialisation round-trips: DDGs and configured topologies survive
+//! JSON encoding bit-exactly (the CLI and the experiment dumps rely on it).
+
+use hca_repro::arch::topology::{ConfiguredWire, WireSource};
+use hca_repro::arch::{DspFabric, Topology};
+use hca_repro::ddg::{analysis, NodeId};
+
+#[test]
+fn ddg_roundtrips_through_json() {
+    for kernel in hca_repro::kernels::table1_kernels() {
+        let json = serde_json::to_string(&kernel.ddg).unwrap();
+        let back: hca_repro::ddg::Ddg = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.num_nodes(), kernel.ddg.num_nodes(), "{}", kernel.name);
+        assert_eq!(back.edges(), kernel.ddg.edges(), "{}", kernel.name);
+        assert_eq!(
+            analysis::mii_rec(&back).unwrap(),
+            kernel.expected.mii_rec,
+            "{}",
+            kernel.name
+        );
+        // Adjacency rebuilt identically.
+        for n in kernel.ddg.node_ids() {
+            assert_eq!(back.out_degree(n), kernel.ddg.out_degree(n));
+            assert_eq!(back.in_degree(n), kernel.ddg.in_degree(n));
+            assert_eq!(back.node(n).op, kernel.ddg.node(n).op);
+        }
+    }
+}
+
+#[test]
+fn machine_roundtrips_through_json() {
+    let f = DspFabric::parse("2x4x4x4@8,6,4,2").unwrap();
+    let json = serde_json::to_string(&f).unwrap();
+    let back: DspFabric = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, f);
+}
+
+#[test]
+fn topology_roundtrips_through_json() {
+    let f = DspFabric::standard(8, 8, 8);
+    let mut t = Topology::new();
+    t.group_mut(&[0, 1]).wires.push(ConfiguredWire {
+        src: WireSource::Member(2),
+        receivers: vec![0, 3],
+        to_parent: true,
+        values: vec![NodeId(5), NodeId(9)],
+    });
+    t.group_mut(&[]).wires.push(ConfiguredWire {
+        src: WireSource::Member(0),
+        receivers: vec![1],
+        to_parent: false,
+        values: vec![NodeId(5)],
+    });
+    let json = serde_json::to_string(&t).unwrap();
+    let back: Topology = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.num_wires(), 2);
+    assert!(back.validate(&f).is_ok());
+    assert_eq!(
+        back.group(&[0, 1]).unwrap().wires,
+        t.group(&[0, 1]).unwrap().wires
+    );
+}

@@ -1,0 +1,54 @@
+//! End-to-end reproduction check for Table 1: every kernel's published
+//! characteristics hold, HCA produces a *legal* clusterisation on the
+//! paper's machine, and the final MII is a sound bound (≥ the theoretical
+//! optimum, and achieved by a real modulo schedule).
+
+use hca_repro::arch::DspFabric;
+use hca_repro::hca::{mii, run_hca, HcaConfig};
+
+#[test]
+fn table1_characteristics_match_the_paper() {
+    let fabric = DspFabric::standard(8, 8, 8);
+    for kernel in hca_repro::kernels::table1_kernels() {
+        assert_eq!(kernel.ddg.num_nodes(), kernel.expected.n_instr, "{}", kernel.name);
+        let rec = hca_repro::ddg::analysis::mii_rec(&kernel.ddg).unwrap();
+        assert_eq!(rec, kernel.expected.mii_rec, "{} MIIRec", kernel.name);
+        let res = mii::mii_res_unified(&kernel.ddg, &fabric);
+        assert_eq!(res, kernel.expected.mii_res, "{} MIIRes", kernel.name);
+    }
+}
+
+#[test]
+fn all_four_kernels_clusterise_legally_at_full_bandwidth() {
+    let fabric = DspFabric::standard(8, 8, 8);
+    for kernel in hca_repro::kernels::table1_kernels() {
+        let res = run_hca(&kernel.ddg, &fabric, &HcaConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+        assert!(res.is_legal(), "{}: {:?}", kernel.name, res.coherency);
+        assert!(
+            res.mii.final_mii >= res.mii.theoretical,
+            "{}: final {} below theoretical {}",
+            kernel.name,
+            res.mii.final_mii,
+            res.mii.theoretical
+        );
+        // Every instruction placed, exactly once.
+        assert_eq!(res.placement.len(), kernel.ddg.num_nodes(), "{}", kernel.name);
+    }
+}
+
+#[test]
+fn placements_respect_heterogeneous_resources() {
+    // All CNs are homogeneous on DSPFabric, but the invariant the paper
+    // needs is stronger: per-CN issue load must be bounded by final MII.
+    let fabric = DspFabric::standard(8, 8, 8);
+    let kernel = hca_repro::kernels::fir2dim::build();
+    let res = run_hca(&kernel.ddg, &fabric, &HcaConfig::default()).unwrap();
+    let load = res.final_program.issue_load(&fabric);
+    let max = load.iter().copied().max().unwrap();
+    assert!(
+        max <= res.mii.final_mii,
+        "issue load {max} exceeds reported final MII {}",
+        res.mii.final_mii
+    );
+}
