@@ -107,7 +107,10 @@ mod tests {
 
     #[test]
     fn zero_port_dma_is_infeasible_for_mem() {
-        let d = DmaModel { ports: 0, latency: 1 };
+        let d = DmaModel {
+            ports: 0,
+            latency: 1,
+        };
         assert_eq!(d.mii_res_mem(&ddg_with_mem(1, 0)), u32::MAX);
         assert_eq!(d.mii_res_mem(&ddg_with_mem(0, 0)), 1);
     }

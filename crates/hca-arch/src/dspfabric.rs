@@ -406,9 +406,9 @@ mod tests {
         let a = f.cn_of_path(&[0, 0, 0]);
         let b = f.cn_of_path(&[1, 0, 0]);
         let expect = 8u128 * 8 * 8 * 8 * 8 * 8; // N·N · N(glue_out lvl1)·... see below
-        // With standard(n,m,k): crossing root: out·in = n²; level-1 boundary:
-        // glue_out(=n)·glue_in(=n) — wait, glue at level 1 is n, at leaves
-        // glue_in=k, glue_out=m. Total = n² · (n·n) · (m·k).
+                                                // With standard(n,m,k): crossing root: out·in = n²; level-1 boundary:
+                                                // glue_out(=n)·glue_in(=n) — wait, glue at level 1 is n, at leaves
+                                                // glue_in=k, glue_out=m. Total = n² · (n·n) · (m·k).
         let got = f.parallel_shortest_paths(a, b);
         assert_eq!(got, 8u128.pow(4) * 8 * 8);
         assert_eq!(got, expect);

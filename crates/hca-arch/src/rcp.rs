@@ -125,8 +125,9 @@ mod tests {
         let r = Rcp::figure1();
         // Fig 1b-style ring with 2 input ports: each cluster listens to its
         // two immediate neighbours.
-        let wires: Vec<(usize, usize)> =
-            (0..8).flat_map(|c| [((c + 7) % 8, c), ((c + 1) % 8, c)]).collect();
+        let wires: Vec<(usize, usize)> = (0..8)
+            .flat_map(|c| [((c + 7) % 8, c), ((c + 1) % 8, c)])
+            .collect();
         assert!(r.check_topology(&wires).is_ok());
     }
 

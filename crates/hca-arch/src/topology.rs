@@ -90,12 +90,19 @@ impl GroupTopology {
 
     /// Number of distinct wires member `m` listens to (input-port usage).
     pub fn in_ports_used(&self, m: usize) -> usize {
-        self.wires.iter().filter(|w| w.receivers.contains(&m)).count()
+        self.wires
+            .iter()
+            .filter(|w| w.receivers.contains(&m))
+            .count()
     }
 
     /// Max time-multiplexing pressure over the group's wires.
     pub fn max_pressure(&self) -> u32 {
-        self.wires.iter().map(ConfiguredWire::pressure).max().unwrap_or(0)
+        self.wires
+            .iter()
+            .map(ConfiguredWire::pressure)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -122,7 +129,10 @@ impl std::error::Error for TopologyError {}
 /// Serialises as a list of `(path, group)` pairs — JSON objects cannot key
 /// on integer paths.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
-#[serde(from = "Vec<(GroupPath, GroupTopology)>", into = "Vec<(GroupPath, GroupTopology)>")]
+#[serde(
+    from = "Vec<(GroupPath, GroupTopology)>",
+    into = "Vec<(GroupPath, GroupTopology)>"
+)]
 pub struct Topology {
     groups: FxHashMap<GroupPath, GroupTopology>,
 }
@@ -172,7 +182,11 @@ impl Topology {
     /// Maximum wire pressure anywhere in the machine (contributes to the
     /// final MII: each value on a wire consumes one transport slot per II).
     pub fn max_wire_pressure(&self) -> u32 {
-        self.groups.values().map(GroupTopology::max_pressure).max().unwrap_or(0)
+        self.groups
+            .values()
+            .map(GroupTopology::max_pressure)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Validate every group against the machine's MUX budgets.
@@ -275,9 +289,9 @@ impl Topology {
         for g in (meet + 1..depth).rev() {
             let group = &ps[..g];
             let ok = self.group(group).is_some_and(|gt| {
-                gt.wires.iter().any(|w| {
-                    w.src == WireSource::Member(ps[g]) && w.to_parent && w.carries(v)
-                })
+                gt.wires
+                    .iter()
+                    .any(|w| w.src == WireSource::Member(ps[g]) && w.to_parent && w.carries(v))
             });
             if !ok {
                 return false;
@@ -480,7 +494,11 @@ mod tests {
             to_parent: false,
             values: vec![v(0)],
         });
-        assert!(t2.validate(&f).unwrap_err().message.contains("no receivers"));
+        assert!(t2
+            .validate(&f)
+            .unwrap_err()
+            .message
+            .contains("no receivers"));
     }
 
     #[test]

@@ -14,7 +14,11 @@ fn bench_beam(c: &mut Criterion) {
         let mut cfg = HcaConfig::default();
         cfg.see.beam_width = beam;
         group.bench_with_input(BenchmarkId::from_parameter(beam), &cfg, |b, cfg| {
-            b.iter(|| run_hca(&kernel.ddg, &fabric, cfg).map(|r| r.mii.final_mii).ok())
+            b.iter(|| {
+                run_hca(&kernel.ddg, &fabric, cfg)
+                    .map(|r| r.mii.final_mii)
+                    .ok()
+            })
         });
     }
     group.finish();

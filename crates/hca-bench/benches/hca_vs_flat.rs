@@ -16,7 +16,11 @@ fn bench_scaling(c: &mut Criterion) {
     group.sample_size(10);
     for (n, ddg) in &family {
         group.bench_with_input(BenchmarkId::new("hca", n), ddg, |b, ddg| {
-            b.iter(|| run_hca(ddg, &fabric, &HcaConfig::default()).map(|r| r.mii.final_mii).ok())
+            b.iter(|| {
+                run_hca(ddg, &fabric, &HcaConfig::default())
+                    .map(|r| r.mii.final_mii)
+                    .ok()
+            })
         });
         let analysis = DdgAnalysis::compute(ddg).unwrap();
         group.bench_with_input(BenchmarkId::new("flat", n), ddg, |b, ddg| {

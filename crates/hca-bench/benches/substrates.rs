@@ -55,7 +55,9 @@ fn bench_substrates(c: &mut Criterion) {
             map_level(
                 std::hint::black_box(&outcome.assigned),
                 spec,
-                MapOptions { balance_split: true },
+                MapOptions {
+                    balance_split: true,
+                },
             )
             .map(|m| m.stats.max_pressure)
             .unwrap()

@@ -10,7 +10,8 @@
 //! reports legality and final MII.
 
 use hca_arch::DspFabric;
-use hca_core::{run_hca, HcaConfig};
+use hca_bench::{bench_case, BenchCase};
+use hca_core::{run_hca, run_hca_obs, HcaConfig};
 use hca_ddg::PriorityPolicy;
 use hca_see::CostWeights;
 use serde::Serialize;
@@ -24,12 +25,14 @@ struct Outcome {
     millis: u128,
 }
 
-fn run_variant(name: &str, config: &HcaConfig, out: &mut Vec<Outcome>) {
+fn run_variant(name: &str, config: &HcaConfig, out: &mut Vec<Outcome>, bench: &mut Vec<BenchCase>) {
     let fabric = DspFabric::standard(8, 8, 8);
     print!("{name:<24}");
     for kernel in hca_kernels::table1_kernels() {
         let t0 = std::time::Instant::now();
-        let res = run_hca(&kernel.ddg, &fabric, config).ok();
+        let res = bench_case(format!("{name}/{}", kernel.name), bench, |obs| {
+            run_hca_obs(&kernel.ddg, &fabric, config, obs).ok()
+        });
         let millis = t0.elapsed().as_millis();
         let cell = match &res {
             Some(r) if r.is_legal() => format!("{}", r.mii.final_mii),
@@ -50,6 +53,7 @@ fn run_variant(name: &str, config: &HcaConfig, out: &mut Vec<Outcome>) {
 
 fn main() {
     let mut out = Vec::new();
+    let mut bench = Vec::new();
     print!("{:<24}", "variant");
     for k in hca_kernels::table1_kernels() {
         print!("{:>16}", k.name);
@@ -60,19 +64,24 @@ fn main() {
     for beam in [1usize, 4, 8, 32] {
         let mut cfg = HcaConfig::default();
         cfg.see.beam_width = beam;
-        run_variant(&format!("A1 beam={beam}"), &cfg, &mut out);
+        run_variant(&format!("A1 beam={beam}"), &cfg, &mut out, &mut bench);
     }
     // A2: priority policy.
     for &p in PriorityPolicy::all() {
         let mut cfg = HcaConfig::default();
         cfg.see.priority = p;
-        run_variant(&format!("A2 priority={}", p.name()), &cfg, &mut out);
+        run_variant(
+            &format!("A2 priority={}", p.name()),
+            &cfg,
+            &mut out,
+            &mut bench,
+        );
     }
     // A3: route allocator.
     for router in [true, false] {
         let mut cfg = HcaConfig::default();
         cfg.see.enable_router = router;
-        run_variant(&format!("A3 router={router}"), &cfg, &mut out);
+        run_variant(&format!("A3 router={router}"), &cfg, &mut out, &mut bench);
     }
     // A4: objective weights.
     for (name, w) in [
@@ -82,7 +91,7 @@ fn main() {
     ] {
         let mut cfg = HcaConfig::default();
         cfg.see.weights = w;
-        run_variant(&format!("A4 weights={name}"), &cfg, &mut out);
+        run_variant(&format!("A4 weights={name}"), &cfg, &mut out, &mut bench);
     }
     // A5: unrolling (more exposed ILP vs larger working set), fir2dim only.
     {
@@ -112,4 +121,5 @@ fn main() {
     }
     println!("\n('—' = failed, '!' = illegal clusterisation)");
     hca_bench::dump_json("ablation", &out);
+    hca_bench::dump_bench_json("ablation", &bench);
 }

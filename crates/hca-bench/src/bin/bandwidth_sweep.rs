@@ -9,7 +9,8 @@
 //! the paper's N = M = K = 8 point the best.
 
 use hca_arch::DspFabric;
-use hca_core::run_hca_portfolio;
+use hca_bench::bench_case;
+use hca_core::run_hca_portfolio_obs;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -41,11 +42,15 @@ fn main() {
     }
     println!();
     let mut points = Vec::new();
+    let mut bench = Vec::new();
     for &(n, m, k) in &sweep {
         print!("{:<12}", format!("{n},{m},{k}"));
         for kernel in &kernels {
             let fabric = DspFabric::standard(n, m, k);
-            match run_hca_portfolio(&kernel.ddg, &fabric) {
+            let res = bench_case(format!("{n},{m},{k}/{}", kernel.name), &mut bench, |obs| {
+                run_hca_portfolio_obs(&kernel.ddg, &fabric, obs)
+            });
+            match res {
                 Ok(res) => {
                     let tag = if res.is_legal() { "" } else { "!" };
                     print!("{:>16}", format!("{}{}", res.mii.final_mii, tag));
@@ -77,4 +82,5 @@ fn main() {
     }
     println!("\n('!' marks an illegal clusterisation the checker rejected)");
     hca_bench::dump_json("bandwidth_sweep", &points);
+    hca_bench::dump_bench_json("bandwidth_sweep", &bench);
 }

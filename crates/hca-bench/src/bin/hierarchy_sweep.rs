@@ -5,7 +5,8 @@
 //! driver never special-cases the depth.
 
 use hca_arch::DspFabric;
-use hca_core::{run_hca, HcaConfig};
+use hca_bench::bench_case;
+use hca_core::{run_hca_obs, HcaConfig};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -24,8 +25,14 @@ fn main() {
     let machines: Vec<(&'static str, DspFabric)> = vec![
         ("8x8@8,8", DspFabric::parse("8x8@8,8").unwrap()), // flat-ish, 64 CN
         ("4x4x4@8,8,8", DspFabric::parse("4x4x4@8,8,8").unwrap()), // the paper
-        ("2x2x4x4@8,8,8,8", DspFabric::parse("2x2x4x4@8,8,8,8").unwrap()), // deep, 64 CN
-        ("4x4x4x4@8,8,8,8", DspFabric::parse("4x4x4x4@8,8,8,8").unwrap()), // 256 CN
+        (
+            "2x2x4x4@8,8,8,8",
+            DspFabric::parse("2x2x4x4@8,8,8,8").unwrap(),
+        ), // deep, 64 CN
+        (
+            "4x4x4x4@8,8,8,8",
+            DspFabric::parse("4x4x4x4@8,8,8,8").unwrap(),
+        ), // 256 CN
     ];
     let kernels = hca_kernels::table1_kernels();
     print!("{:<20} {:>5} {:>6}", "machine", "CNs", "depth");
@@ -34,16 +41,14 @@ fn main() {
     }
     println!();
     let mut points = Vec::new();
+    let mut bench = Vec::new();
     for (name, fabric) in &machines {
-        print!(
-            "{:<20} {:>5} {:>6}",
-            name,
-            fabric.num_cns(),
-            fabric.depth()
-        );
+        print!("{:<20} {:>5} {:>6}", name, fabric.num_cns(), fabric.depth());
         for kernel in &kernels {
             let t0 = std::time::Instant::now();
-            let res = run_hca(&kernel.ddg, fabric, &HcaConfig::default()).ok();
+            let res = bench_case(format!("{name}/{}", kernel.name), &mut bench, |obs| {
+                run_hca_obs(&kernel.ddg, fabric, &HcaConfig::default(), obs).ok()
+            });
             let cell = match &res {
                 Some(r) if r.is_legal() => format!("{}", r.mii.final_mii),
                 Some(r) => format!("{}!", r.mii.final_mii),
@@ -65,4 +70,5 @@ fn main() {
     }
     println!("\n('—' = failed, '!' = illegal clusterisation)");
     hca_bench::dump_json("hierarchy_sweep", &points);
+    hca_bench::dump_bench_json("hierarchy_sweep", &bench);
 }

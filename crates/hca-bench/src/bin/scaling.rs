@@ -11,7 +11,8 @@
 //! onto the real machine.
 
 use hca_arch::DspFabric;
-use hca_core::{run_flat, run_hca, HcaConfig};
+use hca_bench::bench_case;
+use hca_core::{run_flat, run_hca_obs, HcaConfig};
 use hca_ddg::DdgAnalysis;
 use hca_kernels::synthetic::scaling_family;
 use hca_see::SeeConfig;
@@ -38,9 +39,12 @@ fn main() {
         "nodes", "HCA ms", "MII", "states", "flat ms", "estMII", "states"
     );
     let mut points = Vec::new();
+    let mut bench = Vec::new();
     for (n, ddg) in scaling_family(&sizes, 0xC0FFEE) {
         let t0 = Instant::now();
-        let hca = run_hca(&ddg, &fabric, &HcaConfig::default()).ok();
+        let hca = bench_case(format!("hca/{n}"), &mut bench, |obs| {
+            run_hca_obs(&ddg, &fabric, &HcaConfig::default(), obs).ok()
+        });
         let hca_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         let analysis = DdgAnalysis::compute(&ddg).unwrap();
@@ -74,4 +78,5 @@ fn main() {
          is generally not mappable onto the real machine, which is the point)"
     );
     hca_bench::dump_json("scaling", &points);
+    hca_bench::dump_bench_json("scaling", &bench);
 }

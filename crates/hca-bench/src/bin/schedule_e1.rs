@@ -7,10 +7,8 @@
 //! two of) the §4.2 MII lower bound that HCA optimised for — i.e. the
 //! cluster assignment really was schedulable at its advertised quality.
 
-use hca_bench::{clusterize, dump_json, paper_fabric};
-use hca_sched::{
-    modulo_schedule, register_pressure, swing_schedule, KernelSchedule,
-};
+use hca_bench::{bench_case, clusterize_obs, dump_bench_json, dump_json, paper_fabric};
+use hca_sched::{modulo_schedule, register_pressure, swing_schedule, KernelSchedule};
 use hca_sim::verify_execution;
 use serde::Serialize;
 
@@ -34,15 +32,37 @@ fn main() {
     println!("E1 — modulo scheduling + simulated execution (trip count {TRIP})\n");
     println!(
         "{:<16} {:>7} {:>5} {:>7} {:>7} {:>6} {:>8} {:>9} {:>10} {:>10}",
-        "Loop", "MII-LB", "II", "SMS-II", "stages", "util", "max-regs", "SMS-regs", "verified", "cyc/iter"
+        "Loop",
+        "MII-LB",
+        "II",
+        "SMS-II",
+        "stages",
+        "util",
+        "max-regs",
+        "SMS-regs",
+        "verified",
+        "cyc/iter"
     );
     let mut rows = Vec::new();
+    let mut bench = Vec::new();
     for kernel in hca_kernels::table1_kernels() {
-        let Some((res, _)) = clusterize(&kernel, &fabric) else {
+        let outcome = bench_case(kernel.name, &mut bench, |obs| {
+            let (res, _) = clusterize_obs(&kernel, &fabric, obs)?;
+            let sched = {
+                let _span = obs.span("sched", "iterative");
+                modulo_schedule(&res.final_program, &fabric, res.mii.final_mii)
+            };
+            let sms = {
+                let _span = obs.span("sched", "sms");
+                swing_schedule(&res.final_program, &fabric, res.mii.final_mii).ok()
+            };
+            Some((res, sched, sms))
+        });
+        let Some((res, sched, sms)) = outcome else {
             println!("{:<16} clusterisation failed", kernel.name);
             continue;
         };
-        let sched = match modulo_schedule(&res.final_program, &fabric, res.mii.final_mii) {
+        let sched = match sched {
             Ok(s) => s,
             Err(e) => {
                 println!("{:<16} scheduling failed: {e}", kernel.name);
@@ -51,8 +71,7 @@ fn main() {
         };
         let folded = KernelSchedule::fold(&res.final_program, &fabric, &sched);
         let pressure = register_pressure(&res.final_program, &fabric, &sched);
-        // The register-pressure-aware alternative, for comparison.
-        let sms = swing_schedule(&res.final_program, &fabric, res.mii.final_mii).ok();
+        // `sms` is the register-pressure-aware alternative, for comparison.
         let sms_regs = sms.as_ref().map(|s| {
             register_pressure(&res.final_program, &fabric, s)
                 .into_iter()
@@ -92,4 +111,5 @@ fn main() {
         }
     }
     dump_json("schedule_e1", &rows);
+    dump_bench_json("schedule_e1", &bench);
 }

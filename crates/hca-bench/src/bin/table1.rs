@@ -8,7 +8,7 @@
 //! MIIRes match exactly, and Final MII sits near the unified-machine
 //! theoretical optimum.
 
-use hca_bench::{clusterize, dump_json, paper_fabric};
+use hca_bench::{bench_case, clusterize_obs, dump_bench_json, dump_json, paper_fabric};
 use hca_core::Table1Row;
 use serde::Serialize;
 
@@ -32,9 +32,13 @@ fn main() {
         "Loop", "N_Instr", "MIIRec", "MIIRes", "Legal", "Final MII (paper)", "runtime"
     );
     let mut rows = Vec::new();
+    let mut bench = Vec::new();
     for kernel in hca_kernels::table1_kernels() {
         let t0 = std::time::Instant::now();
-        let Some((res, row)) = clusterize(&kernel, &fabric) else {
+        let outcome = bench_case(kernel.name, &mut bench, |obs| {
+            clusterize_obs(&kernel, &fabric, obs)
+        });
+        let Some((res, row)) = outcome else {
             println!("{:<16} FAILED TO CLUSTERISE", kernel.name);
             continue;
         };
@@ -60,4 +64,5 @@ fn main() {
         });
     }
     dump_json("table1", &rows);
+    dump_bench_json("table1", &bench);
 }

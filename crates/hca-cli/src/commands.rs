@@ -103,16 +103,46 @@ pub(crate) fn cmd_clusterize(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Reproduce the paper's Table 1: run all four multimedia loops through the
+/// best-of-portfolio search and print the markdown table. With
+/// `--metrics-out` the rows (each carrying its run's [`RunMetrics`]) are
+/// written as one JSON array; `--trace-out` writes one trace per kernel,
+/// tagged with the kernel name.
+pub(crate) fn cmd_table1(opts: &Options) -> Result<(), String> {
+    let fabric = opts.fabric();
+    let mut rows = Vec::new();
+    for kernel in hca_kernels::table1_kernels() {
+        let obs = opts.kernel_obs(kernel.name)?;
+        let res = hca_core::run_hca_portfolio_obs(&kernel.ddg, &fabric, &obs)
+            .map_err(|e| format!("{}: {e}", kernel.name))?;
+        obs.finish();
+        rows.push(Table1Row::from_result(kernel.name, &kernel.ddg, &res));
+    }
+    print!("{}", Table1Row::render_table(&rows));
+    if let Some(path) = &opts.metrics_out {
+        crate::write_json(path, &rows)?;
+        println!("(metrics for {} kernels written to {path})", rows.len());
+    }
+    Ok(())
+}
+
 pub(crate) fn cmd_schedule(opts: &Options) -> Result<(), String> {
     let (name, ddg) = opts.load_ddg()?;
     let fabric = opts.fabric();
-    let res = opts.run(&ddg)?;
-    let sched = if opts.sms {
-        swing_schedule(&res.final_program, &fabric, res.mii.final_mii)
-    } else {
-        modulo_schedule(&res.final_program, &fabric, res.mii.final_mii)
-    }
-    .map_err(|e| e.to_string())?;
+    let obs = opts.obs()?;
+    let res = opts.run_with(&ddg, &obs)?;
+    let sched = {
+        let _span = obs
+            .span("sched", if opts.sms { "sms" } else { "iterative" })
+            .with_arg("mii", u64::from(res.mii.final_mii));
+        if opts.sms {
+            swing_schedule(&res.final_program, &fabric, res.mii.final_mii)
+        } else {
+            modulo_schedule(&res.final_program, &fabric, res.mii.final_mii)
+        }
+        .map_err(|e| e.to_string())?
+    };
+    opts.finish_obs(&obs)?;
     let folded = KernelSchedule::fold(&res.final_program, &fabric, &sched);
     let regs = allocate_rotating(&res.final_program, &fabric, &sched);
     let dma = derive_dma_program(&res.final_program, &fabric, &sched);
@@ -157,13 +187,20 @@ pub(crate) fn cmd_schedule(opts: &Options) -> Result<(), String> {
 pub(crate) fn cmd_simulate(opts: &Options) -> Result<(), String> {
     let (name, ddg) = opts.load_ddg()?;
     let fabric = opts.fabric();
-    let res = opts.run(&ddg)?;
-    let sched = if opts.sms {
-        swing_schedule(&res.final_program, &fabric, res.mii.final_mii)
-    } else {
-        modulo_schedule(&res.final_program, &fabric, res.mii.final_mii)
-    }
-    .map_err(|e| e.to_string())?;
+    let obs = opts.obs()?;
+    let res = opts.run_with(&ddg, &obs)?;
+    let sched = {
+        let _span = obs
+            .span("sched", if opts.sms { "sms" } else { "iterative" })
+            .with_arg("mii", u64::from(res.mii.final_mii));
+        if opts.sms {
+            swing_schedule(&res.final_program, &fabric, res.mii.final_mii)
+        } else {
+            modulo_schedule(&res.final_program, &fabric, res.mii.final_mii)
+        }
+        .map_err(|e| e.to_string())?
+    };
+    opts.finish_obs(&obs)?;
     let folded = KernelSchedule::fold(&res.final_program, &fabric, &sched);
     if opts.trace {
         print!(
@@ -223,8 +260,8 @@ pub(crate) fn cmd_sweep(opts: &Options) -> Result<(), String> {
 pub(crate) fn cmd_rcp(opts: &Options) -> Result<(), String> {
     let (name, ddg) = opts.load_ddg()?;
     let rcp = hca_arch::Rcp::figure1();
-    let res = hca_core::run_rcp(&ddg, &rcp, hca_see::SeeConfig::default())
-        .map_err(|e| e.to_string())?;
+    let res =
+        hca_core::run_rcp(&ddg, &rcp, hca_see::SeeConfig::default()).map_err(|e| e.to_string())?;
     println!(
         "{name} on the 8-cluster RCP ring (reach {}, {} input ports):",
         rcp.reach, rcp.input_ports

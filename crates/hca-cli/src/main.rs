@@ -19,8 +19,9 @@
 //! ```
 
 use hca_arch::DspFabric;
-use hca_core::{run_hca, run_hca_portfolio, HcaConfig, HcaResult};
+use hca_core::{run_hca_obs, run_hca_portfolio_obs, HcaConfig, HcaResult};
 use hca_ddg::{analysis, Ddg};
+use hca_obs::{ChromeTraceSink, JsonlSink, Obs, StderrSink};
 use std::process::ExitCode;
 
 mod commands;
@@ -28,6 +29,31 @@ mod commands;
 use commands::*;
 
 fn main() -> ExitCode {
+    // `hca export … --dot | head` closes stdout early and the std print
+    // machinery then panics on EPIPE with a full backtrace. Treat a broken
+    // pipe as a normal quiet exit; every other panic behaves as before.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if !is_broken_pipe_panic(info.payload()) {
+            default_hook(info);
+        }
+    }));
+    match std::panic::catch_unwind(run_cli) {
+        Ok(code) => code,
+        Err(payload) if is_broken_pipe_panic(payload.as_ref()) => ExitCode::SUCCESS,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+fn is_broken_pipe_panic(payload: &(dyn std::any::Any + Send)) -> bool {
+    let msg = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied());
+    msg.is_some_and(|m| m.contains("Broken pipe"))
+}
+
+fn run_cli() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprint!("{USAGE}");
@@ -45,6 +71,7 @@ fn main() -> ExitCode {
         "kernels" => cmd_kernels(),
         "analyze" => cmd_analyze(&opts),
         "clusterize" => cmd_clusterize(&opts),
+        "table1" => cmd_table1(&opts),
         "schedule" => cmd_schedule(&opts),
         "simulate" => cmd_simulate(&opts),
         "sweep" => cmd_sweep(&opts),
@@ -74,6 +101,7 @@ commands:
   kernels                      list built-in workloads
   analyze    <kernel|file>     DDG statistics and MII bounds
   clusterize <kernel|file>     run HCA, print the report
+  table1                       run all four Table-1 kernels, print the table
   schedule   <kernel|file>     + modulo scheduling, registers, DMA program
   simulate   <kernel|file>     + cycle-level execution, verified vs reference
   sweep                        bandwidth sweep over the built-in kernels
@@ -89,6 +117,15 @@ options:
   --unroll F         unroll the loop body F times before everything else
   --trace            (simulate) print the first kernel passes' issue table
   --dot | --json     export format
+
+observability:
+  --metrics-out F    write a RunMetrics JSON report (phase timings, SEE /
+                     mapper / coherency counters) to F; table1 writes one
+                     entry per kernel
+  --trace-out F      write a structured event trace to F: `.jsonl` gets one
+                     JSON event per line, anything else gets Chrome
+                     trace_event JSON (load in chrome://tracing)
+  -v, --verbose      log pipeline events and phase timings to stderr
 ";
 
 /// Parsed command-line options.
@@ -103,6 +140,9 @@ pub(crate) struct Options {
     pub trace: bool,
     pub dot: bool,
     pub json: bool,
+    pub metrics_out: Option<String>,
+    pub trace_out: Option<String>,
+    pub verbose: bool,
 }
 
 impl Options {
@@ -118,6 +158,9 @@ impl Options {
             trace: false,
             dot: false,
             json: false,
+            metrics_out: None,
+            trace_out: None,
+            verbose: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -154,6 +197,18 @@ impl Options {
                 "--portfolio" => o.portfolio = true,
                 "--sms" => o.sms = true,
                 "--trace" => o.trace = true,
+                "--metrics-out" => {
+                    let v = it.next().ok_or("--metrics-out needs a path")?;
+                    // Fail on an unwritable path now, not after a long run
+                    // (same early check `--trace-out` gets from its sink).
+                    std::fs::File::create(v).map_err(|e| format!("--metrics-out {v}: {e}"))?;
+                    o.metrics_out = Some(v.clone());
+                }
+                "--trace-out" => {
+                    let v = it.next().ok_or("--trace-out needs a path")?;
+                    o.trace_out = Some(v.clone());
+                }
+                "-v" | "--verbose" => o.verbose = true,
                 "--dot" => o.dot = true,
                 "--json" => o.json = true,
                 other if !other.starts_with('-') && o.target.is_none() => {
@@ -182,7 +237,10 @@ impl Options {
             .ok_or("missing kernel name or DDG file")?;
         let finish = |name: String, ddg: Ddg| -> (String, Ddg) {
             if self.unroll > 1 {
-                (format!("{name}×{}", self.unroll), hca_ddg::unroll(&ddg, self.unroll))
+                (
+                    format!("{name}×{}", self.unroll),
+                    hca_ddg::unroll(&ddg, self.unroll),
+                )
             } else {
                 (name, ddg)
             }
@@ -207,8 +265,9 @@ impl Options {
         if let Some(g) = extra {
             return Ok(finish(target.to_string(), g));
         }
-        let body = std::fs::read_to_string(target)
-            .map_err(|e| format!("`{target}` is not a built-in kernel and not a readable file ({e})"))?;
+        let body = std::fs::read_to_string(target).map_err(|e| {
+            format!("`{target}` is not a built-in kernel and not a readable file ({e})")
+        })?;
         let ddg: Ddg =
             serde_json::from_str(&body).map_err(|e| format!("bad DDG JSON in {target}: {e}"))?;
         analysis::intra_topo_order(&ddg)
@@ -216,12 +275,89 @@ impl Options {
         Ok(finish(target.to_string(), ddg))
     }
 
+    /// Build the observer requested by `--metrics-out` / `--trace-out` / `-v`.
+    /// Disabled when none of the flags are present. Also installed as the
+    /// process-wide observer so scheduler diagnostics reach the same sinks.
+    pub fn obs(&self) -> Result<Obs, String> {
+        let obs = self.build_obs(self.trace_out.as_deref())?;
+        if obs.is_enabled() {
+            hca_obs::set_global(obs.clone());
+        }
+        Ok(obs)
+    }
+
+    /// Per-kernel observer for `table1`: fresh metrics per kernel, with the
+    /// `--trace-out` path tagged by the kernel name (`t.json` →
+    /// `t.fir2dim.json`) so each kernel gets its own trace file.
+    pub fn kernel_obs(&self, kernel: &str) -> Result<Obs, String> {
+        let tagged = self.trace_out.as_deref().map(|p| suffix_path(p, kernel));
+        self.build_obs(tagged.as_deref())
+    }
+
+    fn build_obs(&self, trace_out: Option<&str>) -> Result<Obs, String> {
+        if !self.verbose && trace_out.is_none() && self.metrics_out.is_none() {
+            return Ok(Obs::disabled());
+        }
+        let obs = Obs::enabled();
+        if self.verbose {
+            obs.add_sink(Box::new(StderrSink::new()));
+        }
+        if let Some(path) = trace_out {
+            if path.ends_with(".jsonl") {
+                let sink =
+                    JsonlSink::create(path).map_err(|e| format!("--trace-out {path}: {e}"))?;
+                obs.add_sink(Box::new(sink));
+            } else {
+                let sink = ChromeTraceSink::create(path)
+                    .map_err(|e| format!("--trace-out {path}: {e}"))?;
+                obs.add_sink(Box::new(sink));
+            }
+        }
+        Ok(obs)
+    }
+
+    /// Flush sinks and write the `--metrics-out` report, if requested.
+    pub fn finish_obs(&self, obs: &Obs) -> Result<(), String> {
+        let metrics = obs.finish();
+        if let Some(path) = &self.metrics_out {
+            let m = metrics.ok_or("internal: --metrics-out without an enabled observer")?;
+            write_json(path, &m)?;
+        }
+        Ok(())
+    }
+
     pub fn run(&self, ddg: &Ddg) -> Result<HcaResult, String> {
+        let obs = self.obs()?;
+        let res = self.run_with(ddg, &obs)?;
+        self.finish_obs(&obs)?;
+        Ok(res)
+    }
+
+    /// Run HCA under an externally managed observer (for commands that add
+    /// their own spans — scheduling, simulation — before flushing).
+    pub fn run_with(&self, ddg: &Ddg, obs: &Obs) -> Result<HcaResult, String> {
         let fabric = self.fabric();
         if self.portfolio {
-            run_hca_portfolio(ddg, &fabric).map_err(|e| e.to_string())
+            run_hca_portfolio_obs(ddg, &fabric, obs).map_err(|e| e.to_string())
         } else {
-            run_hca(ddg, &fabric, &HcaConfig::default()).map_err(|e| e.to_string())
+            run_hca_obs(ddg, &fabric, &HcaConfig::default(), obs).map_err(|e| e.to_string())
         }
+    }
+}
+
+/// Pretty-print `value` as JSON into `path` (with a trailing newline).
+pub(crate) fn write_json(path: &str, value: &impl serde::Serialize) -> Result<(), String> {
+    let mut body = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    body.push('\n');
+    std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// Insert `tag` before the file extension: `trace.json` → `trace.fir2dim.json`.
+fn suffix_path(path: &str, tag: &str) -> String {
+    match path.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() && !ext.contains('/') => {
+            format!("{stem}.{tag}.{ext}")
+        }
+        _ => format!("{path}.{tag}"),
     }
 }

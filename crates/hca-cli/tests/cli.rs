@@ -18,7 +18,13 @@ fn hca(args: &[&str]) -> (bool, String, String) {
 fn kernels_lists_table1_loops() {
     let (ok, stdout, _) = hca(&["kernels"]);
     assert!(ok);
-    for name in ["fir2dim", "idcthor", "mpeg2inter", "h264deblocking", "biquad"] {
+    for name in [
+        "fir2dim",
+        "idcthor",
+        "mpeg2inter",
+        "h264deblocking",
+        "biquad",
+    ] {
         assert!(stdout.contains(name), "{name} missing:\n{stdout}");
     }
 }
@@ -42,7 +48,10 @@ fn clusterize_reports_legality() {
 fn simulate_verifies_execution() {
     let (ok, stdout, stderr) = hca(&["simulate", "fir8", "--trip", "5"]);
     assert!(ok, "{stderr}");
-    assert!(stdout.contains("match the sequential reference"), "{stdout}");
+    assert!(
+        stdout.contains("match the sequential reference"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -85,6 +94,100 @@ fn rcp_subcommand_reports_ring_assignment() {
     assert!(ok, "{stderr}");
     assert!(stdout.contains("RCP ring"), "{stdout}");
     assert!(stdout.contains("legal: true"), "{stdout}");
+}
+
+#[test]
+fn metrics_out_writes_valid_json_with_phase_timings_and_counters() {
+    let dir = std::env::temp_dir().join(format!("hca-cli-metrics-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("m.json");
+    let trace = dir.join("t.jsonl");
+    let (ok, _, stderr) = hca(&[
+        "clusterize",
+        "dot_product",
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+
+    // --metrics-out: valid JSON carrying phase timings and pipeline counters.
+    let body = std::fs::read_to_string(&metrics).unwrap();
+    let v = serde_json::from_str_value(&body).expect("valid JSON");
+    let phases = v.field("phases").as_seq().expect("phases array");
+    assert!(
+        phases
+            .iter()
+            .any(|p| p.field("phase").as_str() == Some("driver.coherency")),
+        "{body}"
+    );
+    let counters = v.field("counters").as_seq().expect("counters array");
+    let counter = |name: &str| {
+        counters
+            .iter()
+            .find(|c| c.field("name").as_str() == Some(name))
+            .and_then(|c| c.field("value").as_u64())
+    };
+    assert!(
+        counter("see.states_explored").is_some_and(|n| n > 0),
+        "{body}"
+    );
+    assert!(
+        counter("driver.subproblems").is_some_and(|n| n > 0),
+        "{body}"
+    );
+    assert_eq!(counter("coherency.violations"), Some(0), "{body}");
+
+    // --trace-out *.jsonl: every line is one valid JSON event.
+    let trace_body = std::fs::read_to_string(&trace).unwrap();
+    assert!(!trace_body.is_empty());
+    for line in trace_body.lines() {
+        let ev = serde_json::from_str_value(line).expect("valid JSONL event");
+        assert!(ev.field("phase").as_str().is_some(), "{line}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_out_chrome_trace_loads_as_json() {
+    let dir = std::env::temp_dir().join(format!("hca-cli-chrome-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.json");
+    let (ok, _, stderr) = hca(&[
+        "clusterize",
+        "dot_product",
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    let body = std::fs::read_to_string(&trace).unwrap();
+    let v = serde_json::from_str_value(&body).expect("valid JSON");
+    let events = v.field("traceEvents").as_seq().expect("traceEvents array");
+    assert!(!events.is_empty());
+    assert!(
+        events.iter().any(|e| e.field("ph").as_str() == Some("X")),
+        "expected at least one complete (span) event"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn closed_stdout_is_a_quiet_success() {
+    // `hca kernels | head -0`: stdout is closed before the binary writes.
+    // The EPIPE must not surface as a panic/backtrace.
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hca"))
+        .arg("kernels")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    drop(child.stdout.take()); // close the read end immediately
+    let out = child.wait_with_output().unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
 }
 
 #[test]

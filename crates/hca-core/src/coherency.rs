@@ -248,9 +248,27 @@ mod tests {
             .wires
             .push(wire(WireSource::Member(0), &[2], false, &[7]));
         let src = f.cn_of_path(&[0, 0, 0]);
-        assert!(value_delivered(&f, &t, NodeId(7), src, f.cn_of_path(&[0, 0, 2])));
-        assert!(!value_delivered(&f, &t, NodeId(7), src, f.cn_of_path(&[0, 0, 1])));
-        assert!(!value_delivered(&f, &t, NodeId(8), src, f.cn_of_path(&[0, 0, 2])));
+        assert!(value_delivered(
+            &f,
+            &t,
+            NodeId(7),
+            src,
+            f.cn_of_path(&[0, 0, 2])
+        ));
+        assert!(!value_delivered(
+            &f,
+            &t,
+            NodeId(7),
+            src,
+            f.cn_of_path(&[0, 0, 1])
+        ));
+        assert!(!value_delivered(
+            &f,
+            &t,
+            NodeId(8),
+            src,
+            f.cn_of_path(&[0, 0, 2])
+        ));
     }
 
     #[test]
@@ -303,7 +321,8 @@ mod tests {
         let v = NodeId(9);
         let mut t = Topology::new();
         let g = t.group_mut(&[0, 0]);
-        g.wires.push(wire(WireSource::Member(1), &[2, 3], false, &[9]));
+        g.wires
+            .push(wire(WireSource::Member(1), &[2, 3], false, &[9]));
         g.wires.push(wire(WireSource::Member(2), &[1], false, &[9]));
         // Producer sits in a different cluster with no wires at all.
         let src = f.cn_of_path(&[3, 3, 3]);

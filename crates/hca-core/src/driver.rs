@@ -14,7 +14,8 @@ use crate::post::{build_final_program, FinalProgram};
 use crate::problem::Subproblem;
 use hca_arch::{CnId, DspFabric, Topology};
 use hca_ddg::{analysis::DdgError, Ddg, DdgAnalysis, NodeId};
-use hca_mapper::{map_level, MapError, MapOptions, MapperOutput};
+use hca_mapper::{map_level_obs, MapError, MapOptions, MapperOutput};
+use hca_obs::{Obs, RunMetrics};
 use hca_see::{See, SeeConfig, SeeError};
 use rustc_hash::FxHashMap;
 use std::fmt;
@@ -108,6 +109,9 @@ pub struct HcaResult {
     pub coherency: CoherencyReport,
     /// Run statistics.
     pub stats: HcaStats,
+    /// Observability snapshot (phase timings, counters, histograms);
+    /// `None` when the run was not observed.
+    pub metrics: Option<RunMetrics>,
 }
 
 impl HcaResult {
@@ -140,8 +144,60 @@ impl HcaResult {
 /// assert_eq!(result.placement.len(), ddg.num_nodes());
 /// ```
 pub fn run_hca(ddg: &Ddg, fabric: &DspFabric, config: &HcaConfig) -> Result<HcaResult, HcaError> {
+    // Legacy escape hatch: HCA_TRACE=1 (or 2, for wire dumps) routes the
+    // driver's diagnostic events to stderr through a throwaway observer.
+    let obs = if std::env::var_os("HCA_TRACE").is_some() {
+        Obs::stderr_logger()
+    } else {
+        Obs::disabled()
+    };
+    run_hca_obs(ddg, fabric, config, &obs)
+}
+
+/// SEE phase label for a hierarchy level (static so disabled spans stay
+/// allocation-free).
+fn level_phase(d: usize) -> &'static str {
+    match d {
+        0 => "level0",
+        1 => "level1",
+        2 => "level2",
+        3 => "level3",
+        _ => "level4plus",
+    }
+}
+
+/// Fold one SEE run's statistics into the observer's counters.
+fn record_see_stats(obs: &Obs, s: &hca_see::SeeStats) {
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.counter_add("see.states_explored", s.states_explored as u64);
+    obs.counter_add("see.states_pruned", s.states_pruned as u64);
+    obs.counter_add("see.cand_rejected_margin", s.cand_rejected_margin as u64);
+    obs.counter_add("see.cand_rejected_branch", s.cand_rejected_branch as u64);
+    obs.counter_add("see.route_attempts", s.route_attempts as u64);
+    obs.counter_add("see.routed_nodes", s.routed_nodes as u64);
+    obs.counter_add("see.routed_hops", u64::from(s.routed_hops));
+    for &width in &s.beam_occupancy {
+        obs.histogram_record("see.beam_occupancy", width);
+    }
+}
+
+/// [`run_hca`] with explicit observability: phase spans (decomposition,
+/// per-level SEE, mapper, materialisation, coherency, MII), the SEE /
+/// mapper / coherency counters, and structured diagnostic events replacing
+/// the old `HCA_TRACE` `eprintln!`s. With a disabled [`Obs`] every hook is
+/// a no-op branch and the run behaves exactly like [`run_hca`].
+pub fn run_hca_obs(
+    ddg: &Ddg,
+    fabric: &DspFabric,
+    config: &HcaConfig,
+    obs: &Obs,
+) -> Result<HcaResult, HcaError> {
+    let analysis_span = obs.span("driver", "analysis");
     let analysis = DdgAnalysis::compute(ddg).map_err(HcaError::Analysis)?;
     let theo_mii = crate::mii::theoretical_mii(analysis.mii_rec, ddg, fabric);
+    drop(analysis_span);
     let mut topology = Topology::new();
     let mut placement: FxHashMap<NodeId, CnId> = FxHashMap::default();
     let mut route_ops: Vec<(NodeId, CnId)> = Vec::new();
@@ -152,9 +208,11 @@ pub fn run_hca(ddg: &Ddg, fabric: &DspFabric, config: &HcaConfig) -> Result<HcaR
     while let Some(sp) = stack.pop() {
         stats.subproblems += 1;
         let d = sp.depth();
+        let decompose_span = obs.span("driver", "decompose");
         let pg = level_pg(fabric, d, &sp.ili);
         let constraints = level_constraints(fabric, d);
         let spec = effective_spec(fabric, d);
+        drop(decompose_span);
         // Pressure-balancing splits only at the very top: deeper levels must
         // hoard crossbar intake and CN input ports.
         let opts = MapOptions {
@@ -217,11 +275,15 @@ pub fn run_hca(ddg: &Ddg, fabric: &DspFabric, config: &HcaConfig) -> Result<HcaR
         // Run every tier and keep the best mapped result — tiers are cheap
         // (sub-problems are tiny) and which strategy wins varies per
         // sub-problem.
-        for see_cfg in tiers {
+        let see_span = obs.span("see", level_phase(d));
+        for (tier, see_cfg) in tiers.into_iter().enumerate() {
             let see = See::new(ddg, &analysis, &pg, constraints, see_cfg);
             let outcome = match see.run(Some(&sp.working_set)) {
                 Ok(o) => o,
                 Err(source) => {
+                    obs.log("see", "tier_failed", || {
+                        format!("{} tier {tier}: {source}", sp.id())
+                    });
                     attempt_err = Some(HcaError::See {
                         problem: format!(
                             "{} (ws {} nodes, ili {} in / {} out, max_in {})",
@@ -237,7 +299,8 @@ pub fn run_hca(ddg: &Ddg, fabric: &DspFabric, config: &HcaConfig) -> Result<HcaR
                 }
             };
             stats.see_states += outcome.stats.states_explored;
-            match map_level(&outcome.assigned, spec, opts) {
+            record_see_stats(obs, &outcome.stats);
+            match map_level_obs(&outcome.assigned, spec, opts, obs) {
                 Ok(mapped) => {
                     // Copies dominate downstream cost (each becomes receives,
                     // ports and wires one level down), so weigh them against
@@ -261,12 +324,14 @@ pub fn run_hca(ddg: &Ddg, fabric: &DspFabric, config: &HcaConfig) -> Result<HcaR
                 }
             }
         }
+        drop(see_span);
         // Completion backstop: the deterministic chain layout (see
         // `See::chain_fallback`) — legal whenever the consumed wires fit,
         // at terrible MII, so only the search's rare dead-ends pay it.
         if solved.is_none() {
-            if std::env::var_os("HCA_TRACE").is_some() {
-                eprintln!(
+            obs.counter_add("driver.fallbacks", 1);
+            obs.log("driver", "fallback", || {
+                let mut msg = format!(
                     "chain fallback at {} (ws {}, ili {}in/{}out): {}",
                     sp.id(),
                     sp.working_set.len(),
@@ -278,13 +343,15 @@ pub fn run_hca(ddg: &Ddg, fabric: &DspFabric, config: &HcaConfig) -> Result<HcaR
                 );
                 if std::env::var("HCA_TRACE").as_deref() == Ok("2") {
                     for (i, w) in sp.ili.inputs.iter().enumerate() {
-                        eprintln!("  in[{i}]: {:?}", w.values);
+                        msg.push_str(&format!("\n  in[{i}]: {:?}", w.values));
                     }
                     for (i, w) in sp.ili.outputs.iter().enumerate() {
-                        eprintln!("  out[{i}]: {:?}", w.values);
+                        msg.push_str(&format!("\n  out[{i}]: {:?}", w.values));
                     }
                 }
-            }
+                msg
+            });
+            let fallback_span = obs.span("driver", "fallback");
             let see = See::new(ddg, &analysis, &pg, constraints, config.see);
             // Layered (work-spreading) fallback first; the single-host chain
             // only for the cases it cannot express.
@@ -295,40 +362,51 @@ pub fn run_hca(ddg: &Ddg, fabric: &DspFabric, config: &HcaConfig) -> Result<HcaR
             .into_iter()
             .flatten()
             {
-                if let Ok(mapped) = map_level(&outcome.assigned, spec, opts) {
+                if let Ok(mapped) = map_level_obs(&outcome.assigned, spec, opts, obs) {
+                    record_see_stats(obs, &outcome.stats);
                     solved = Some((outcome, mapped));
                     break;
                 }
             }
+            drop(fallback_span);
         }
 
         if let Some((outcome, _)) = &solved {
-            if std::env::var_os("HCA_TRACE").is_some() {
+            // Flow re-verification is a debugging aid, not a pipeline stage:
+            // it stays behind the HCA_TRACE gate (an enabled observer alone
+            // must not change what work the driver performs).
+            if obs.is_enabled() && std::env::var_os("HCA_TRACE").is_some() {
                 for err in outcome.assigned.check_flow(ddg, &sp.working_set) {
-                    eprintln!("flow violation at {}: {err}", sp.id());
+                    obs.log("driver", "flow_violation", || {
+                        format!("flow violation at {}: {err}", sp.id())
+                    });
                 }
             }
         }
 
         let Some((outcome, mapped)) = solved else {
-            if std::env::var_os("HCA_TRACE").is_some() {
-                eprintln!("--- failing subproblem {} ---", sp.id());
+            obs.log("driver", "subproblem_failed", || {
+                let mut msg = format!("--- failing subproblem {} ---", sp.id());
                 for (i, w) in sp.ili.inputs.iter().enumerate() {
-                    eprintln!("  in[{i}]: {:?}", w.values);
+                    msg.push_str(&format!("\n  in[{i}]: {:?}", w.values));
                 }
                 for (i, w) in sp.ili.outputs.iter().enumerate() {
-                    eprintln!("  out[{i}]: {:?}", w.values);
+                    msg.push_str(&format!("\n  out[{i}]: {:?}", w.values));
                 }
                 for &n in &sp.working_set {
                     let preds: Vec<String> = ddg
                         .pred_edges(n)
                         .map(|(_, e)| format!("{}{}", e.src, if e.distance > 0 { "*" } else { "" }))
                         .collect();
-                    eprintln!("  {n}: {} <- {:?}", ddg.node(n).op, preds);
+                    msg.push_str(&format!("\n  {n}: {} <- {:?}", ddg.node(n).op, preds));
                 }
-            }
+                msg
+            });
             return Err(attempt_err.expect("at least one attempt ran"));
         };
+        obs.histogram_merge("mapper.copies_per_wire", &mapped.stats.copy_hist);
+        obs.counter_add("mapper.member_wires", mapped.stats.member_wires as u64);
+        obs.counter_add("mapper.glue_in_wires", mapped.stats.glue_in_wires as u64);
         stats.routed_nodes += outcome.stats.routed_nodes;
         if d == 0 {
             ini_mii = outcome.est_mii;
@@ -355,10 +433,8 @@ pub fn run_hca(ddg: &Ddg, fabric: &DspFabric, config: &HcaConfig) -> Result<HcaR
             // Relay hops: a CN that re-emits a value it neither produced nor
             // forwarded upward still spends an issue slot moving it from its
             // input buffer to its output register — materialise those too.
-            let mut relays: rustc_hash::FxHashSet<(NodeId, CnId)> = route_ops
-                .iter()
-                .copied()
-                .collect();
+            let mut relays: rustc_hash::FxHashSet<(NodeId, CnId)> =
+                route_ops.iter().copied().collect();
             for (&(a, b), values) in outcome.assigned.copies.iter() {
                 if !outcome.assigned.pg.node(a).kind.is_cluster() || values.is_empty() {
                     continue;
@@ -376,6 +452,7 @@ pub fn run_hca(ddg: &Ddg, fabric: &DspFabric, config: &HcaConfig) -> Result<HcaR
                 }
             }
         } else {
+            let _decompose_span = obs.span("driver", "decompose");
             let wss = child_working_sets(&outcome.assigned, &sp.working_set, spec.arity);
             for (member, ws) in wss.into_iter().enumerate() {
                 let ili = mapped.child_ilis[member].clone();
@@ -394,10 +471,42 @@ pub fn run_hca(ddg: &Ddg, fabric: &DspFabric, config: &HcaConfig) -> Result<HcaR
     }
 
     stats.forwards = route_ops.len();
+    let materialise_span = obs.span("driver", "materialise");
     let final_program = build_final_program(ddg, fabric, &placement, &route_ops);
-    let mii = mii_report(ddg, analysis.mii_rec, fabric, &final_program, &topology, ini_mii);
+    drop(materialise_span);
+    let mii_span = obs.span("driver", "mii");
+    let mii = mii_report(
+        ddg,
+        analysis.mii_rec,
+        fabric,
+        &final_program,
+        &topology,
+        ini_mii,
+    );
+    drop(mii_span);
     let place = placement.clone();
+    let coherency_span = obs.span("driver", "coherency");
     let coherency = check_coherency(fabric, &topology, ddg, &move |n| place[&n]);
+    drop(coherency_span);
+
+    if obs.is_enabled() {
+        obs.counter_add("driver.subproblems", stats.subproblems as u64);
+        obs.counter_add("driver.forwards", stats.forwards as u64);
+        obs.counter_add("driver.wires", stats.wires as u64);
+        obs.counter_add("coherency.violations", coherency.violations.len() as u64);
+        obs.counter_add(
+            "coherency.topology_errors",
+            coherency.topology_errors.len() as u64,
+        );
+        obs.instant(
+            "driver",
+            "done",
+            vec![
+                ("final_mii".into(), u64::from(mii.final_mii).into()),
+                ("legal".into(), coherency.is_legal().into()),
+            ],
+        );
+    }
 
     Ok(HcaResult {
         placement,
@@ -406,6 +515,7 @@ pub fn run_hca(ddg: &Ddg, fabric: &DspFabric, config: &HcaConfig) -> Result<HcaR
         mii,
         coherency,
         stats,
+        metrics: obs.snapshot(),
     })
 }
 
@@ -415,6 +525,18 @@ pub fn run_hca(ddg: &Ddg, fabric: &DspFabric, config: &HcaConfig) -> Result<HcaR
 /// this outer sweep additionally varies the global search character, which
 /// matters because upper-level choices lock in the decomposition.
 pub fn run_hca_portfolio(ddg: &Ddg, fabric: &DspFabric) -> Result<HcaResult, HcaError> {
+    run_hca_portfolio_obs(ddg, fabric, &Obs::disabled())
+}
+
+/// [`run_hca_portfolio`] with observability. All variants share the
+/// observer (counters accumulate across the portfolio, spans are labelled
+/// with the variant index); the winner's [`HcaResult::metrics`] snapshot is
+/// taken at the end so it covers the whole portfolio run.
+pub fn run_hca_portfolio_obs(
+    ddg: &Ddg,
+    fabric: &DspFabric,
+    obs: &Obs,
+) -> Result<HcaResult, HcaError> {
     let mut base = HcaConfig::default();
     let mut variants: Vec<HcaConfig> = vec![base];
     base.see.beam_width = 16;
@@ -435,22 +557,26 @@ pub fn run_hca_portfolio(ddg: &Ddg, fabric: &DspFabric) -> Result<HcaResult, Hca
 
     let mut best: Option<HcaResult> = None;
     let mut last_err: Option<HcaError> = None;
-    for cfg in variants {
-        match run_hca(ddg, fabric, &cfg) {
+    for (i, cfg) in variants.into_iter().enumerate() {
+        let span = obs
+            .span("driver", "portfolio_variant")
+            .with_arg("variant", i);
+        let run = run_hca_obs(ddg, fabric, &cfg, obs);
+        drop(span);
+        match run {
             Ok(res) => {
-                let key = |r: &HcaResult| {
-                    (
-                        !r.is_legal(),
-                        r.mii.final_mii,
-                        r.final_program.num_recvs(),
-                    )
-                };
+                let key =
+                    |r: &HcaResult| (!r.is_legal(), r.mii.final_mii, r.final_program.num_recvs());
                 if best.as_ref().is_none_or(|b| key(&res) < key(b)) {
                     best = Some(res);
                 }
             }
             Err(e) => last_err = Some(e),
         }
+    }
+    if let Some(res) = &mut best {
+        // Re-snapshot so the winner's metrics cover every variant.
+        res.metrics = obs.snapshot();
     }
     best.ok_or_else(|| last_err.expect("at least one variant ran"))
 }

@@ -36,7 +36,10 @@ pub mod problem;
 pub mod rcp_flow;
 pub mod report;
 
-pub use driver::{run_hca, run_hca_portfolio, HcaConfig, HcaError, HcaResult, HcaStats};
+pub use driver::{
+    run_hca, run_hca_obs, run_hca_portfolio, run_hca_portfolio_obs, HcaConfig, HcaError, HcaResult,
+    HcaStats,
+};
 pub use flat::run_flat;
 pub use mii::MiiReport;
 pub use post::FinalProgram;

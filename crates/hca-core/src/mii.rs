@@ -41,7 +41,11 @@ pub struct MiiReport {
 pub fn mii_res_unified(ddg: &Ddg, fabric: &DspFabric) -> u32 {
     let cns = fabric.num_cns() as u32;
     let ops = ddg.num_nodes() as u32;
-    let issue = if cns == 0 { u32::MAX } else { ops.div_ceil(cns) };
+    let issue = if cns == 0 {
+        u32::MAX
+    } else {
+        ops.div_ceil(cns)
+    };
     issue.max(fabric.dma.mii_res_mem(ddg)).max(1)
 }
 
@@ -83,8 +87,7 @@ pub fn mii_report(
 
     let wire_mii = topology.max_wire_pressure().max(1);
     let dma_mii = fabric.dma.mii_res_mem(ddg);
-    let final_mii_rec =
-        analysis::mii_rec(&final_program.ddg).unwrap_or(u32::MAX);
+    let final_mii_rec = analysis::mii_rec(&final_program.ddg).unwrap_or(u32::MAX);
 
     let final_mii = ini_mii
         .max(max_cls_mii)

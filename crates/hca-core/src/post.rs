@@ -72,9 +72,11 @@ pub fn build_final_program(
         let node = ddg.node(n);
         let id = out.add_node(node.op, node.name.clone());
         debug_assert_eq!(id, n, "original ids preserved");
-        place.push(*placement.get(&n).unwrap_or_else(|| {
-            panic!("{n} was never placed on a CN")
-        }));
+        place.push(
+            *placement
+                .get(&n)
+                .unwrap_or_else(|| panic!("{n} was never placed on a CN")),
+        );
     }
 
     let mut recv_nodes: FxHashMap<(NodeId, CnId, u32), NodeId> = FxHashMap::default();
@@ -87,25 +89,20 @@ pub fn build_final_program(
             continue;
         }
         let hops = transport_hops(fabric, cu, cw);
-        let recv = *recv_nodes.entry((e.src, cw, e.distance)).or_insert_with(|| {
-            let r = out.add_node(
-                Opcode::Recv,
-                Some(format!("rcv {} @{cw}", e.src)),
-            );
-            place.push(cw);
-            out.add_edge(e.src, r, e.latency, e.distance);
-            r
-        });
+        let recv = *recv_nodes
+            .entry((e.src, cw, e.distance))
+            .or_insert_with(|| {
+                let r = out.add_node(Opcode::Recv, Some(format!("rcv {} @{cw}", e.src)));
+                place.push(cw);
+                out.add_edge(e.src, r, e.latency, e.distance);
+                r
+            });
         out.add_edge(recv, e.dst, fabric.copy_latency * hops, 0);
     }
 
     let mut route_nodes = Vec::with_capacity(route_ops.len());
     for &(v, cn) in route_ops {
-        let producer_latency = ddg
-            .succ_edges(v)
-            .map(|(_, e)| e.latency)
-            .max()
-            .unwrap_or(1);
+        let producer_latency = ddg.succ_edges(v).map(|(_, e)| e.latency).max().unwrap_or(1);
         let r = out.add_node(Opcode::Route, Some(format!("rt {v} @{cn}")));
         place.push(cn);
         out.add_edge(v, r, producer_latency, 0);
@@ -221,12 +218,7 @@ mod tests {
             f.cn_of_path(&[1, 0, 0]),
             f.cn_of_path(&[0, 1, 0]),
         );
-        let fp = build_final_program(
-            &ddg,
-            &f,
-            &place_map(&[(u, ca), (w, cb)]),
-            &[(u, cfwd)],
-        );
+        let fp = build_final_program(&ddg, &f, &place_map(&[(u, ca), (w, cb)]), &[(u, cfwd)]);
         assert_eq!(fp.route_nodes.len(), 1);
         let (r, v) = fp.route_nodes[0];
         assert_eq!(v, u);

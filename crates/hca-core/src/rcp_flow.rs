@@ -31,9 +31,8 @@ pub struct RcpResult {
 
 /// Map `ddg` onto an RCP ring.
 pub fn run_rcp(ddg: &Ddg, rcp: &Rcp, config: SeeConfig) -> Result<RcpResult, SeeError> {
-    let analysis = DdgAnalysis::compute(ddg).map_err(|_| SeeError::NoCandidates {
-        node: NodeId(0),
-    })?;
+    let analysis =
+        DdgAnalysis::compute(ddg).map_err(|_| SeeError::NoCandidates { node: NodeId(0) })?;
     let pg = Pg::from_rcp(rcp);
     let constraints = ArchConstraints::for_rcp(rcp);
     let see = See::new(ddg, &analysis, &pg, constraints, config);

@@ -2,6 +2,7 @@
 
 use crate::driver::HcaResult;
 use hca_ddg::Ddg;
+use hca_obs::RunMetrics;
 use serde::Serialize;
 use std::fmt;
 
@@ -21,6 +22,8 @@ pub struct Table1Row {
     pub legal: bool,
     /// `Final MII`.
     pub final_mii: u32,
+    /// Observability snapshot of the producing run, when it was observed.
+    pub metrics: Option<RunMetrics>,
 }
 
 impl Table1Row {
@@ -33,15 +36,14 @@ impl Table1Row {
             mii_res: result.mii.mii_res,
             legal: result.is_legal(),
             final_mii: result.mii.final_mii,
+            metrics: result.metrics.clone(),
         }
     }
 
     /// Render a set of rows as the paper's table.
     pub fn render_table(rows: &[Table1Row]) -> String {
         let mut s = String::new();
-        s.push_str(
-            "| Loop | N_Instr | MIIRec | MIIRes | Legal clusterization | Final MII |\n",
-        );
+        s.push_str("| Loop | N_Instr | MIIRec | MIIRes | Legal clusterization | Final MII |\n");
         s.push_str("|---|---|---|---|---|---|\n");
         for r in rows {
             s.push_str(&format!(
@@ -86,6 +88,7 @@ mod tests {
             mii_res: 2,
             legal: true,
             final_mii: 3,
+            metrics: None,
         }];
         let t = Table1Row::render_table(&rows);
         assert!(t.contains("| fir2dim | 57 | 3 | 2 | yes | 3 |"), "{t}");

@@ -177,13 +177,17 @@ impl Ddg {
     /// Outgoing edges of `n`.
     #[inline]
     pub fn succ_edges(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, DdgEdge)> + '_ {
-        self.succs[n.index()].iter().map(|&e| (e, self.edges[e.index()]))
+        self.succs[n.index()]
+            .iter()
+            .map(|&e| (e, self.edges[e.index()]))
     }
 
     /// Incoming edges of `n`.
     #[inline]
     pub fn pred_edges(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, DdgEdge)> + '_ {
-        self.preds[n.index()].iter().map(|&e| (e, self.edges[e.index()]))
+        self.preds[n.index()]
+            .iter()
+            .map(|&e| (e, self.edges[e.index()]))
     }
 
     /// Successor nodes (with multiplicity) of `n`.

@@ -278,7 +278,11 @@ mod tests {
     fn mnemonics_unique() {
         let mut seen = std::collections::HashSet::new();
         for &op in Opcode::source_opcodes() {
-            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op.mnemonic());
+            assert!(
+                seen.insert(op.mnemonic()),
+                "duplicate mnemonic {}",
+                op.mnemonic()
+            );
         }
     }
 }

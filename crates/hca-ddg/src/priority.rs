@@ -82,13 +82,7 @@ impl PriorityOrder {
         let lv = &analysis.levels;
         match policy {
             PriorityPolicy::DataflowOrder => {
-                nodes.sort_by_key(|&n| {
-                    (
-                        lv.asap[n.index()],
-                        u32::MAX - lv.height[n.index()],
-                        n.0,
-                    )
-                });
+                nodes.sort_by_key(|&n| (lv.asap[n.index()], u32::MAX - lv.height[n.index()], n.0));
             }
             PriorityPolicy::HeightFirst => {
                 nodes.sort_by_key(|&n| (u32::MAX - lv.height[n.index()], n.0));
@@ -192,8 +186,7 @@ mod tests {
     fn working_set_restricts_order() {
         let (g, [a, _, c, _]) = chain_and_leaf();
         let an = DdgAnalysis::compute(&g).unwrap();
-        let ord =
-            PriorityOrder::compute(&g, &an, Some(&[c, a]), PriorityPolicy::CreationOrder);
+        let ord = PriorityOrder::compute(&g, &an, Some(&[c, a]), PriorityPolicy::CreationOrder);
         assert_eq!(ord.nodes(), &[a, c]);
     }
 

@@ -96,11 +96,7 @@ mod tests {
         let base = analysis::mii_rec(&g).unwrap(); // mac: latency 2 / dist 1
         for f in [2u32, 3, 5] {
             let u = unroll(&g, f);
-            assert_eq!(
-                analysis::mii_rec(&u).unwrap(),
-                base * f,
-                "factor {f}"
-            );
+            assert_eq!(analysis::mii_rec(&u).unwrap(), base * f, "factor {f}");
         }
     }
 

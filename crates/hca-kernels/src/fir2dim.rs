@@ -82,7 +82,8 @@ mod tests {
         assert_eq!(k.ddg.count_ops(|o| o == Opcode::Add), 8);
         // 8 window addrs + row/out pointers + 9 loads + 1 store.
         assert_eq!(
-            k.ddg.count_ops(|o| o.resource_class() == ResourceClass::AddrGen),
+            k.ddg
+                .count_ops(|o| o.resource_class() == ResourceClass::AddrGen),
             20
         );
     }

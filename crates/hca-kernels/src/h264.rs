@@ -44,8 +44,7 @@ fn edge(b: &mut DdgBuilder, ctx: &SharedCtx, which: usize) -> usize {
         addr = b.op_with(Opcode::AddrAdd, &[addr]);
         px.push(b.op_with(Opcode::Load, &[addr]));
     }
-    let (p3, p2, p1, p0, q0, q1, q2, q3) =
-        (px[0], px[1], px[2], px[3], px[4], px[5], px[6], px[7]);
+    let (p3, p2, p1, p0, q0, q1, q2, q3) = (px[0], px[1], px[2], px[3], px[4], px[5], px[6], px[7]);
     let _ = (p3, q3);
 
     // Activation: |p0−q0|<α, |p1−p0|<β, |q1−q0|<β, all three anded.

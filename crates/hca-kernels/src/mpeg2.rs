@@ -106,12 +106,7 @@ mod tests {
         let k = build();
         // Plenty of distance-1 edges but the intra-iteration graph is a DAG.
         assert!(analysis::intra_topo_order(&k.ddg).is_some());
-        let carried = k
-            .ddg
-            .edges()
-            .iter()
-            .filter(|e| e.is_loop_carried())
-            .count();
+        let carried = k.ddg.edges().iter().filter(|e| e.is_loop_carried()).count();
         assert!(carried >= 18, "{carried}");
     }
 }

@@ -139,7 +139,11 @@ pub fn distribute_member(
     slots.dedup();
     for &s in &slots {
         wires.push(WireDraft {
-            flows: flows.iter().filter(|f| f.slot == Some(s)).cloned().collect(),
+            flows: flows
+                .iter()
+                .filter(|f| f.slot == Some(s))
+                .cloned()
+                .collect(),
         });
     }
     // Phase B: one wire per remaining value. Keeping values on separate
@@ -219,8 +223,7 @@ pub fn distribute_member(
         // whose receivers can all afford one more port.
         let mut cand: Option<(usize, usize)> = None; // (pressure, index), max
         for (ix, w) in wires.iter().enumerate() {
-            let movable: Vec<&ValueFlow> =
-                w.flows.iter().filter(|f| f.slot.is_none()).collect();
+            let movable: Vec<&ValueFlow> = w.flows.iter().filter(|f| f.slot.is_none()).collect();
             if movable.is_empty() || w.pressure() < 2 {
                 continue;
             }
@@ -318,14 +321,12 @@ mod tests {
             flow(2, &[3], None),
         ];
         let mut ports = vec![0; 4];
-        let wires =
-            distribute_member(0, &flows, 4, &mut ports, &lim(4, 4), false).unwrap();
+        let wires = distribute_member(0, &flows, 4, &mut ports, &lim(4, 4), false).unwrap();
         assert_eq!(wires.len(), 3);
         assert_eq!(ports[3], 3);
         // Tight ports force the values back onto one line.
         let mut ports = vec![0; 4];
-        let wires =
-            distribute_member(0, &flows, 4, &mut ports, &lim(4, 1), false).unwrap();
+        let wires = distribute_member(0, &flows, 4, &mut ports, &lim(4, 1), false).unwrap();
         assert_eq!(wires.len(), 1);
         assert_eq!(wires[0].pressure(), 3);
         assert_eq!(ports[3], 1);
@@ -401,8 +402,7 @@ mod tests {
     fn port_overflow_unresolvable_errors() {
         let flows = [flow(0, &[1], None)];
         let mut ports = vec![0, 1, 0, 0];
-        let err =
-            distribute_member(0, &flows, 2, &mut ports, &lim(4, 1), true).unwrap_err();
+        let err = distribute_member(0, &flows, 2, &mut ports, &lim(4, 1), true).unwrap_err();
         assert!(err.message.contains("input ports"), "{err}");
     }
 

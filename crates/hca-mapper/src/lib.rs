@@ -28,4 +28,4 @@ pub mod ili_gen;
 pub mod mapper;
 pub mod prealloc;
 
-pub use mapper::{map_level, MapError, MapOptions, MapperOutput, MapperStats};
+pub use mapper::{map_level, map_level_obs, MapError, MapOptions, MapperOutput, MapperStats};

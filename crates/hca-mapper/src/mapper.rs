@@ -33,8 +33,8 @@ impl From<DistributeError> for MapError {
     }
 }
 
-/// Mapper metrics for the experiment harnesses.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Mapper metrics for the experiment harnesses and the observability layer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MapperStats {
     /// Pre-allocated glue-in wires.
     pub glue_in_wires: usize,
@@ -42,6 +42,12 @@ pub struct MapperStats {
     pub member_wires: usize,
     /// Worst per-wire value count — the transport term of the final MII.
     pub max_pressure: u32,
+    /// Copy-distribution histogram: `copy_hist[p]` counts configured wires
+    /// carrying `p` values (glue-in and member wires alike).
+    pub copy_hist: Vec<u64>,
+    /// The per-member output-wire budget (`spec.out_wires`) the histogram is
+    /// measured against — the MUX capacity N/M/K of this level.
+    pub out_wire_budget: usize,
 }
 
 /// Result of mapping one group.
@@ -76,12 +82,28 @@ pub fn map_level(
     spec: LevelSpec,
     opts: MapOptions,
 ) -> Result<MapperOutput, MapError> {
+    map_level_obs(assigned, spec, opts, &hca_obs::Obs::disabled())
+}
+
+/// [`map_level`] with observability: phase spans for glue pre-allocation,
+/// copy distribution and child-ILI generation. The copy-distribution
+/// histogram is returned in [`MapperStats::copy_hist`]; the caller decides
+/// which attempts' histograms enter the run metrics (the HCA driver merges
+/// only the winning attempt per sub-problem).
+pub fn map_level_obs(
+    assigned: &AssignedPg,
+    spec: LevelSpec,
+    opts: MapOptions,
+    obs: &hca_obs::Obs,
+) -> Result<MapperOutput, MapError> {
     let arity = spec.arity;
     let mut ports_used = vec![0usize; arity];
 
     // 1. Pre-allocate the glue between the outer and the inner level
     //    (Figure 11) — these ports are no longer available for distribution.
+    let prealloc_span = obs.span("mapper", "prealloc");
     let glue_in = preallocate_glue_in(assigned, &mut ports_used);
+    drop(prealloc_span);
     if glue_in.len() > spec.glue_in {
         return Err(MapError {
             message: format!(
@@ -106,10 +128,7 @@ pub fn map_level(
     let out_count = assigned.pg.output_ids().count();
     if out_count > spec.glue_out {
         return Err(MapError {
-            message: format!(
-                "{out_count} glue-out wires exceed budget {}",
-                spec.glue_out
-            ),
+            message: format!("{out_count} glue-out wires exceed budget {}", spec.glue_out),
         });
     }
     let mut flows: Vec<FxHashMap<NodeId, ValueFlow>> =
@@ -164,6 +183,7 @@ pub fn map_level(
     // 3. Distribute each member's flows over its output wires. Receivers'
     //    port budgets are shared across members, so reserve one port per
     //    not-yet-distributed member that must still reach each receiver.
+    let distribute_span = obs.span("mapper", "distribute");
     let mut group = GroupTopology { wires: glue_in };
     let mut max_pressure = group
         .wires
@@ -205,6 +225,16 @@ pub fn map_level(
         }
     }
 
+    drop(distribute_span);
+
+    let mut copy_hist: Vec<u64> = Vec::new();
+    for w in &group.wires {
+        let p = w.pressure() as usize;
+        if copy_hist.len() <= p {
+            copy_hist.resize(p + 1, 0);
+        }
+        copy_hist[p] += 1;
+    }
     let stats = MapperStats {
         glue_in_wires: group
             .wires
@@ -213,8 +243,12 @@ pub fn map_level(
             .count(),
         member_wires,
         max_pressure,
+        copy_hist,
+        out_wire_budget: spec.out_wires,
     };
+    let ili_span = obs.span("mapper", "ili_gen");
     let child_ilis = child_ilis(&group, arity);
+    drop(ili_span);
     Ok(MapperOutput {
         group,
         child_ilis,
@@ -258,12 +292,20 @@ mod tests {
         // Copies installed directly, mirroring the PG̅ of Figure 9a.
         apg.copies.insert((PgNodeId(0), PgNodeId(1)), vec![x]);
         apg.copies.insert((PgNodeId(0), PgNodeId(2)), vec![x]);
-        apg.copies.insert((PgNodeId(0), PgNodeId(3)), vec![a, bb, c]);
+        apg.copies
+            .insert((PgNodeId(0), PgNodeId(3)), vec![a, bb, c]);
         apg.copies.insert((PgNodeId(1), PgNodeId(3)), vec![k, h]);
         apg.copies.insert((PgNodeId(3), PgNodeId(0)), vec![z]);
         apg.copies.insert((PgNodeId(3), PgNodeId(1)), vec![z]);
 
-        let out = map_level(&apg, spec(4, 4, 4, 0, 0), MapOptions { balance_split: true }).unwrap();
+        let out = map_level(
+            &apg,
+            spec(4, 4, 4, 0, 0),
+            MapOptions {
+                balance_split: true,
+            },
+        )
+        .unwrap();
         // Member 0: x broadcast on one wire, a/b/c spread over three.
         let m0: Vec<&ConfiguredWire> = out
             .group
@@ -353,8 +395,7 @@ mod tests {
         let _ddg = b.finish();
         let pg = Pg::complete(2, ResourceTable::of_cns(4));
         let mut apg = AssignedPg::new(pg);
-        apg.copies
-            .insert((PgNodeId(0), PgNodeId(1)), vs.clone());
+        apg.copies.insert((PgNodeId(0), PgNodeId(1)), vs.clone());
         // Single output wire: all three values share it.
         let out = map_level(&apg, spec(2, 4, 1, 0, 0), MapOptions::default()).unwrap();
         assert_eq!(out.stats.max_pressure, 3);

@@ -15,10 +15,7 @@ use hca_pg::{AssignedPg, PgNodeKind};
 ///
 /// Returns the wires ordered by ILI wire index, so the correspondence
 /// between the parent's ILI and the group's configured wires is positional.
-pub fn preallocate_glue_in(
-    assigned: &AssignedPg,
-    ports_used: &mut [usize],
-) -> Vec<ConfiguredWire> {
+pub fn preallocate_glue_in(assigned: &AssignedPg, ports_used: &mut [usize]) -> Vec<ConfiguredWire> {
     let mut inputs: Vec<(usize, Vec<hca_ddg::NodeId>, Vec<usize>)> = Vec::new();
     for inp in assigned.pg.input_ids() {
         let PgNodeKind::Input { wire, values } = &assigned.pg.node(inp).kind else {

@@ -1,0 +1,149 @@
+//! The one record type every sink consumes.
+//!
+//! An [`Event`] is either the completion of a timed [`Span`](crate::Span)
+//! (`dur_us` is `Some`), an instant marker, or a log line (`msg` is `Some`).
+//! Events are plain data: serialisable, comparable, and cheap enough to
+//! buffer in memory for tests.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A typed argument value attached to an [`Event`].
+///
+/// Externally tagged in serde form (`{"U64": 5}`); both file sinks flatten
+/// it to a bare JSON scalar instead.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ArgValue {
+    /// Unsigned counter-like quantity.
+    U64(u64),
+    /// Signed quantity.
+    I64(i64),
+    /// Ratio / cost / score.
+    F64(f64),
+    /// Free-form text.
+    Str(String),
+    /// Flag.
+    Bool(bool),
+}
+
+impl fmt::Display for ArgValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgValue::U64(v) => write!(f, "{v}"),
+            ArgValue::I64(v) => write!(f, "{v}"),
+            ArgValue::F64(v) => write!(f, "{v}"),
+            ArgValue::Str(v) => write!(f, "{v}"),
+            ArgValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(u64::from(v))
+    }
+}
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::I64(v)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Bool(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// One observability record.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Microseconds since the observer's epoch (span events: span *start*).
+    pub ts_us: u64,
+    /// Pipeline phase / category, e.g. `"see"`, `"mapper"`, `"driver"`.
+    pub phase: String,
+    /// Event name within the phase, e.g. `"tier"`, `"distribute"`.
+    pub name: String,
+    /// `Some(wall_us)` for a completed span, `None` for instants and logs.
+    pub dur_us: Option<u64>,
+    /// Structured key/value payload.
+    pub args: Vec<(String, ArgValue)>,
+    /// Human-readable text for log events (replaces ad-hoc `eprintln!`).
+    pub msg: Option<String>,
+}
+
+impl Event {
+    /// An instant event with no payload.
+    pub fn instant(ts_us: u64, phase: impl Into<String>, name: impl Into<String>) -> Self {
+        Event {
+            ts_us,
+            phase: phase.into(),
+            name: name.into(),
+            dur_us: None,
+            args: Vec::new(),
+            msg: None,
+        }
+    }
+
+    /// Attach an argument (builder style).
+    pub fn arg(mut self, key: impl Into<String>, value: impl Into<ArgValue>) -> Self {
+        self.args.push((key.into(), value.into()));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_round_trips_through_json() {
+        let ev = Event::instant(42, "see", "tier")
+            .arg("level", 3u64)
+            .arg("cost", 1.5)
+            .arg("legal", true)
+            .arg("why", "margin");
+        let text = serde_json::to_string(&ev).unwrap();
+        let back: Event = serde_json::from_str(&text).unwrap();
+        assert_eq!(ev, back);
+    }
+
+    #[test]
+    fn span_event_round_trips() {
+        let ev = Event {
+            ts_us: 10,
+            phase: "mapper".into(),
+            name: "distribute".into(),
+            dur_us: Some(250),
+            args: vec![("wires".into(), ArgValue::U64(8))],
+            msg: Some("ok".into()),
+        };
+        let text = serde_json::to_string(&ev).unwrap();
+        let back: Event = serde_json::from_str(&text).unwrap();
+        assert_eq!(ev, back);
+    }
+}

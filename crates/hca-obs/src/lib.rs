@@ -1,0 +1,339 @@
+//! Structured tracing, pipeline metrics and machine-readable run reports
+//! for the HCA toolchain.
+//!
+//! The central type is [`Obs`], a cheap cloneable observer handle threaded
+//! through the pipeline (driver → SEE tiers → mapper → coherency →
+//! scheduling). A **disabled** handle is a `None` — every call site pays one
+//! branch and allocates nothing, so instrumented code costs effectively
+//! nothing in ordinary runs. An **enabled** handle:
+//!
+//! * times phases via RAII [`Span`] guards and folds the wall-clock totals
+//!   into a metrics registry;
+//! * accumulates namespaced counters and histograms
+//!   (`"see.states_pruned"`, `"mapper.copies_per_wire"`, …);
+//! * fans events out to any number of [`PipelineObserver`] sinks — JSONL
+//!   ([`JsonlSink`]), Chrome `trace_event` ([`ChromeTraceSink`]), stderr
+//!   ([`StderrSink`]) or in-memory ([`MemorySink`]);
+//! * snapshots everything into a serialisable [`RunMetrics`] for
+//!   `--metrics-out` files and `BENCH_*.json` reports.
+//!
+//! ```
+//! use hca_obs::{MemorySink, Obs};
+//!
+//! let obs = Obs::enabled();
+//! let sink = MemorySink::new();
+//! obs.add_sink(Box::new(sink.clone()));
+//! {
+//!     let _span = obs.span("see", "tier").with_arg("level", 2u64);
+//!     obs.counter_add("see.states_explored", 17);
+//! }
+//! let metrics = obs.snapshot().unwrap();
+//! assert_eq!(metrics.counter("see.states_explored"), Some(17));
+//! assert_eq!(sink.events().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod event;
+mod metrics;
+mod sink;
+
+pub use event::{ArgValue, Event};
+pub use metrics::{Counter, Histogram, PhaseTiming, RunMetrics};
+pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, PipelineObserver, StderrSink};
+
+use metrics::Registry;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+struct Inner {
+    epoch: Instant,
+    sinks: Mutex<Vec<Box<dyn PipelineObserver>>>,
+    registry: Mutex<Registry>,
+}
+
+/// Observer handle. Clone freely; clones share sinks and metrics.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Obs {
+    /// A disabled observer: every operation is a cheap no-op.
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    /// An enabled observer with no sinks yet (metrics are still collected).
+    pub fn enabled() -> Self {
+        Obs {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                sinks: Mutex::new(Vec::new()),
+                registry: Mutex::new(Registry::default()),
+            })),
+        }
+    }
+
+    /// An enabled observer that logs instants and messages to stderr — the
+    /// replacement for ad-hoc `HCA_TRACE` / `SMS_TRACE` `eprintln!`s.
+    pub fn stderr_logger() -> Self {
+        let obs = Self::enabled();
+        obs.add_sink(Box::new(StderrSink::logs_only()));
+        obs
+    }
+
+    /// Is this handle collecting anything?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attach a sink; it receives every subsequent event.
+    pub fn add_sink(&self, sink: Box<dyn PipelineObserver>) {
+        if let Some(inner) = &self.inner {
+            inner.sinks.lock().unwrap().push(sink);
+        }
+    }
+
+    /// Microseconds since this observer was created.
+    pub fn now_us(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_micros() as u64,
+            None => 0,
+        }
+    }
+
+    /// Open a timed span; the phase timing is recorded and a completion
+    /// event emitted when the guard drops.
+    #[inline]
+    pub fn span(&self, phase: &'static str, name: &'static str) -> Span {
+        match &self.inner {
+            Some(_) => Span {
+                obs: self.clone(),
+                phase,
+                name,
+                start_us: self.now_us(),
+                t0: Instant::now(),
+                args: Vec::new(),
+            },
+            None => Span {
+                obs: Obs::disabled(),
+                phase,
+                name,
+                start_us: 0,
+                t0: Instant::now(),
+                args: Vec::new(),
+            },
+        }
+    }
+
+    /// Emit an instant event.
+    pub fn instant(&self, phase: &str, name: &str, args: Vec<(String, ArgValue)>) {
+        if self.inner.is_some() {
+            let mut ev = Event::instant(self.now_us(), phase, name);
+            ev.args = args;
+            self.emit(&ev);
+        }
+    }
+
+    /// Emit a log event; the message closure runs only when enabled, so
+    /// formatting costs nothing on the disabled path.
+    #[inline]
+    pub fn log(&self, phase: &str, name: &str, msg: impl FnOnce() -> String) {
+        if self.inner.is_some() {
+            let mut ev = Event::instant(self.now_us(), phase, name);
+            ev.msg = Some(msg());
+            self.emit(&ev);
+        }
+    }
+
+    /// Add `delta` to the counter `name`.
+    #[inline]
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.lock().unwrap().counter_add(name, delta);
+        }
+    }
+
+    /// Record one observation of magnitude `value` in histogram `name`.
+    #[inline]
+    pub fn histogram_record(&self, name: &str, value: usize) {
+        if let Some(inner) = &self.inner {
+            inner.registry.lock().unwrap().histogram_record(name, value);
+        }
+    }
+
+    /// Merge dense bucket counts (index = magnitude) into histogram `name`.
+    pub fn histogram_merge(&self, name: &str, buckets: &[u64]) {
+        if let Some(inner) = &self.inner {
+            inner
+                .registry
+                .lock()
+                .unwrap()
+                .histogram_merge(name, buckets);
+        }
+    }
+
+    /// Snapshot the collected metrics; `None` when disabled.
+    pub fn snapshot(&self) -> Option<RunMetrics> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.registry.lock().unwrap().snapshot())
+    }
+
+    /// Flush all sinks (end of run) and return the final metrics snapshot.
+    pub fn finish(&self) -> Option<RunMetrics> {
+        if let Some(inner) = &self.inner {
+            for sink in inner.sinks.lock().unwrap().iter_mut() {
+                sink.flush();
+            }
+        }
+        self.snapshot()
+    }
+
+    fn emit(&self, event: &Event) {
+        if let Some(inner) = &self.inner {
+            for sink in inner.sinks.lock().unwrap().iter_mut() {
+                sink.on_event(event);
+            }
+        }
+    }
+}
+
+/// RAII guard for a timed pipeline phase. Records `phase.name` wall time and
+/// emits a completion event on drop.
+pub struct Span {
+    obs: Obs,
+    phase: &'static str,
+    name: &'static str,
+    start_us: u64,
+    t0: Instant,
+    args: Vec<(String, ArgValue)>,
+}
+
+impl Span {
+    /// Attach an argument to the completion event (builder style).
+    pub fn with_arg(mut self, key: impl Into<String>, value: impl Into<ArgValue>) -> Self {
+        if self.obs.is_enabled() {
+            self.args.push((key.into(), value.into()));
+        }
+        self
+    }
+
+    /// Attach an argument to the completion event.
+    pub fn arg(&mut self, key: impl Into<String>, value: impl Into<ArgValue>) {
+        if self.obs.is_enabled() {
+            self.args.push((key.into(), value.into()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = &self.obs.inner else {
+            return;
+        };
+        let wall_us = self.t0.elapsed().as_micros() as u64;
+        let key = format!("{}.{}", self.phase, self.name);
+        inner.registry.lock().unwrap().record_span(&key, wall_us);
+        let ev = Event {
+            ts_us: self.start_us,
+            phase: self.phase.to_string(),
+            name: self.name.to_string(),
+            dur_us: Some(wall_us),
+            args: std::mem::take(&mut self.args),
+            msg: None,
+        };
+        self.obs.emit(&ev);
+    }
+}
+
+// ------------------------------------------------------------------ global
+
+static GLOBAL: OnceLock<Obs> = OnceLock::new();
+
+/// Install the process-wide observer used by code that is not reached by an
+/// explicit [`Obs`] parameter (e.g. SMS trace diagnostics). First caller
+/// wins; returns `false` if one was already installed.
+pub fn set_global(obs: Obs) -> bool {
+    GLOBAL.set(obs).is_ok()
+}
+
+/// The process-wide observer; disabled unless [`set_global`] was called.
+pub fn global() -> Obs {
+    GLOBAL.get().cloned().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_observer_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        {
+            let _span = obs.span("see", "tier").with_arg("level", 1u64);
+            obs.counter_add("c", 5);
+            obs.histogram_record("h", 2);
+            obs.log("see", "x", || unreachable!("must not format when disabled"));
+        }
+        assert!(obs.snapshot().is_none());
+        assert!(obs.finish().is_none());
+    }
+
+    #[test]
+    fn spans_record_timings_and_emit_events() {
+        let obs = Obs::enabled();
+        let sink = MemorySink::new();
+        obs.add_sink(Box::new(sink.clone()));
+        {
+            let _a = obs.span("driver", "see").with_arg("level", 0u64);
+            let _b = obs.span("driver", "see");
+        }
+        let m = obs.snapshot().unwrap();
+        let timing = &m.phases[0];
+        assert_eq!(timing.phase, "driver.see");
+        assert_eq!(timing.calls, 2);
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.dur_us.is_some()));
+        // Inner span (dropped first) carries no args; outer carries one.
+        assert!(events.iter().any(|e| e.args.is_empty()));
+        assert!(events
+            .iter()
+            .any(|e| e.args == vec![("level".to_string(), ArgValue::U64(0))]));
+    }
+
+    #[test]
+    fn counters_and_histograms_aggregate_across_clones() {
+        let obs = Obs::enabled();
+        let clone = obs.clone();
+        obs.counter_add("see.states", 2);
+        clone.counter_add("see.states", 3);
+        clone.histogram_merge("copies", &[0, 4]);
+        obs.histogram_record("copies", 1);
+        let m = obs.finish().unwrap();
+        assert_eq!(m.counter("see.states"), Some(5));
+        assert_eq!(m.histogram("copies"), Some(&[0, 5][..]));
+    }
+
+    #[test]
+    fn log_events_reach_sinks_with_message() {
+        let obs = Obs::enabled();
+        let sink = MemorySink::new();
+        obs.add_sink(Box::new(sink.clone()));
+        obs.log("sched", "sms", || "II 4: empty window".to_string());
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].msg.as_deref(), Some("II 4: empty window"));
+        assert_eq!(events[0].dur_us, None);
+    }
+
+    #[test]
+    fn global_defaults_to_disabled() {
+        // Never install a global in tests: first-caller-wins is process-wide.
+        assert!(!global().is_enabled() || GLOBAL.get().is_some());
+    }
+}

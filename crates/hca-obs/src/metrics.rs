@@ -1,0 +1,181 @@
+//! The metrics registry and its machine-readable snapshot, [`RunMetrics`].
+//!
+//! Counters and histograms are namespaced with dotted keys
+//! (`"see.states_explored"`, `"mapper.copies_per_wire"`); phase timings are
+//! accumulated automatically by [`Span`](crate::Span) drops. A snapshot is a
+//! plain serialisable struct so CLI `--metrics-out` files and
+//! `BENCH_*.json` reports share one schema.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Accumulated wall-clock time for one pipeline phase.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTiming {
+    /// `phase.name` of the spans folded into this row.
+    pub phase: String,
+    /// Number of spans.
+    pub calls: u64,
+    /// Total wall time, microseconds.
+    pub wall_us: u64,
+}
+
+/// One named counter.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    /// Dotted name, e.g. `"see.states_pruned"`.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One named histogram; `buckets[i]` counts observations of magnitude `i`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Dotted name, e.g. `"mapper.copies_per_wire"`.
+    pub name: String,
+    /// Dense bucket counts indexed by observed value.
+    pub buckets: Vec<u64>,
+}
+
+/// Machine-readable snapshot of everything an observer collected.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Per-phase wall-clock totals, sorted by phase name.
+    pub phases: Vec<PhaseTiming>,
+    /// Counters, sorted by name.
+    pub counters: Vec<Counter>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<Histogram>,
+}
+
+impl RunMetrics {
+    /// Value of a counter, or `None` if it was never touched.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Total wall time of a phase in microseconds, or `None`.
+    pub fn phase_wall_us(&self, phase: &str) -> Option<u64> {
+        self.phases
+            .iter()
+            .find(|p| p.phase == phase)
+            .map(|p| p.wall_us)
+    }
+
+    /// Buckets of a histogram, or `None`.
+    pub fn histogram(&self, name: &str) -> Option<&[u64]> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name)
+            .map(|h| h.buckets.as_slice())
+    }
+}
+
+/// Mutable accumulation state behind the observer's mutex.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    phases: BTreeMap<String, (u64, u64)>,
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Vec<u64>>,
+}
+
+impl Registry {
+    pub(crate) fn record_span(&mut self, key: &str, wall_us: u64) {
+        let slot = self.phases.entry(key.to_string()).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 += wall_us;
+    }
+
+    pub(crate) fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Add one observation of magnitude `value` to `name`.
+    pub(crate) fn histogram_record(&mut self, name: &str, value: usize) {
+        let buckets = self.histograms.entry(name.to_string()).or_default();
+        if buckets.len() <= value {
+            buckets.resize(value + 1, 0);
+        }
+        buckets[value] += 1;
+    }
+
+    /// Merge a dense bucket vector (index = magnitude) into `name`.
+    pub(crate) fn histogram_merge(&mut self, name: &str, add: &[u64]) {
+        let buckets = self.histograms.entry(name.to_string()).or_default();
+        if buckets.len() < add.len() {
+            buckets.resize(add.len(), 0);
+        }
+        for (slot, v) in buckets.iter_mut().zip(add) {
+            *slot += v;
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> RunMetrics {
+        RunMetrics {
+            phases: self
+                .phases
+                .iter()
+                .map(|(phase, &(calls, wall_us))| PhaseTiming {
+                    phase: phase.clone(),
+                    calls,
+                    wall_us,
+                })
+                .collect(),
+            counters: self
+                .counters
+                .iter()
+                .map(|(name, &value)| Counter {
+                    name: name.clone(),
+                    value,
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, buckets)| Histogram {
+                    name: name.clone(),
+                    buckets: buckets.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_accumulates_and_snapshots() {
+        let mut r = Registry::default();
+        r.record_span("see", 100);
+        r.record_span("see", 50);
+        r.counter_add("see.states", 7);
+        r.counter_add("see.states", 3);
+        r.histogram_record("copies", 2);
+        r.histogram_record("copies", 2);
+        r.histogram_record("copies", 0);
+        r.histogram_merge("copies", &[1, 1]);
+        let m = r.snapshot();
+        assert_eq!(m.phase_wall_us("see"), Some(150));
+        assert_eq!(m.phases[0].calls, 2);
+        assert_eq!(m.counter("see.states"), Some(10));
+        assert_eq!(m.histogram("copies"), Some(&[2, 1, 2][..]));
+    }
+
+    #[test]
+    fn run_metrics_round_trips_through_json() {
+        let mut r = Registry::default();
+        r.record_span("driver.see", 12);
+        r.counter_add("coherency.violations", 0);
+        r.histogram_record("mapper.copies_per_wire", 3);
+        let m = r.snapshot();
+        let text = serde_json::to_string_pretty(&m).unwrap();
+        let back: RunMetrics = serde_json::from_str(&text).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -131,7 +131,10 @@ impl AssignedPg {
                     .iter()
                     .any(|(&(_, dst), vs)| dst == cn && vs.contains(&e.src));
                 if !delivered {
-                    errs.push(format!("{n}@{cn} never receives operand {} (at {cp})", e.src));
+                    errs.push(format!(
+                        "{n}@{cn} never receives operand {} (at {cp})",
+                        e.src
+                    ));
                 }
             }
         }

@@ -1,7 +1,7 @@
 //! Pattern Graph storage and construction.
 
 use crate::ili::Ili;
-use hca_arch::{ResourceTable, Rcp};
+use hca_arch::{Rcp, ResourceTable};
 use hca_ddg::NodeId;
 use serde::{Deserialize, Serialize};
 use smallvec::SmallVec;
@@ -131,7 +131,8 @@ impl Pg {
 
     /// Ids of the cluster (non-special) nodes.
     pub fn cluster_ids(&self) -> impl Iterator<Item = PgNodeId> + '_ {
-        self.node_ids().filter(|&id| self.node(id).kind.is_cluster())
+        self.node_ids()
+            .filter(|&id| self.node(id).kind.is_cluster())
     }
 
     /// Ids of the special input nodes.

@@ -28,8 +28,7 @@ pub fn input_buffer_pressure(
         let born = i64::from(s.time[n.index()]);
         let mut dead = born;
         for (_, e) in fp.ddg.succ_edges(n) {
-            let read =
-                i64::from(s.time[e.dst.index()]) + i64::from(s.ii) * i64::from(e.distance);
+            let read = i64::from(s.time[e.dst.index()]) + i64::from(s.ii) * i64::from(e.distance);
             dead = dead.max(read);
         }
         let life = (dead - born).max(1) as u64;

@@ -57,7 +57,9 @@ pub struct DmaProgram {
 impl DmaProgram {
     /// Does the program respect the DMA's port budget every cycle?
     pub fn fits_ports(&self, fabric: &DspFabric) -> bool {
-        self.requests_per_cycle.iter().all(|&r| r <= fabric.dma.ports)
+        self.requests_per_cycle
+            .iter()
+            .all(|&r| r <= fabric.dma.ports)
     }
 
     /// Does the steady-state in-flight population fit FIFOs of the paper's
@@ -100,12 +102,8 @@ fn find_induction(fp: &FinalProgram, mem: NodeId) -> (Option<NodeId>, u32) {
         });
     let mut hops = 0u32;
     while let Some(a) = cur {
-        let self_recurrent = ddg
-            .succ_edges(a)
-            .any(|(_, e)| e.dst == a && e.distance > 0)
-            || ddg
-                .pred_edges(a)
-                .any(|(_, e)| e.src == a && e.distance > 0);
+        let self_recurrent = ddg.succ_edges(a).any(|(_, e)| e.dst == a && e.distance > 0)
+            || ddg.pred_edges(a).any(|(_, e)| e.src == a && e.distance > 0);
         let carried_in = ddg.pred_edges(a).any(|(_, e)| e.distance > 0);
         if self_recurrent || carried_in {
             return (Some(a), hops);
@@ -124,11 +122,7 @@ fn find_induction(fp: &FinalProgram, mem: NodeId) -> (Option<NodeId>, u32) {
 }
 
 /// Derive the DMA program for a scheduled, placed kernel.
-pub fn derive_dma_program(
-    fp: &FinalProgram,
-    fabric: &DspFabric,
-    s: &ModuloSchedule,
-) -> DmaProgram {
+pub fn derive_dma_program(fp: &FinalProgram, fabric: &DspFabric, s: &ModuloSchedule) -> DmaProgram {
     let ddg = &fp.ddg;
     let mut streams: Vec<StreamDescriptor> = Vec::new();
     for n in ddg.node_ids() {
@@ -191,7 +185,11 @@ mod tests {
         let fabric = DspFabric::standard(8, 8, 8);
         let res = run_hca(ddg, &fabric, &HcaConfig::default()).unwrap();
         let s = modulo_schedule(&res.final_program, &fabric, res.mii.final_mii).unwrap();
-        (derive_dma_program(&res.final_program, &fabric, &s), fabric, s)
+        (
+            derive_dma_program(&res.final_program, &fabric, &s),
+            fabric,
+            s,
+        )
     }
 
     #[test]
@@ -206,8 +204,16 @@ mod tests {
         let ddg = b.finish();
         let (prog, fabric, _) = program_for(&ddg);
         assert_eq!(prog.streams.len(), 2);
-        let load = prog.streams.iter().find(|d| d.dir == StreamDir::In).unwrap();
-        let store = prog.streams.iter().find(|d| d.dir == StreamDir::Out).unwrap();
+        let load = prog
+            .streams
+            .iter()
+            .find(|d| d.dir == StreamDir::In)
+            .unwrap();
+        let store = prog
+            .streams
+            .iter()
+            .find(|d| d.dir == StreamDir::Out)
+            .unwrap();
         assert_eq!(load.induction, Some(ind));
         assert_eq!(load.offset_hops, 1);
         assert_eq!(store.induction, Some(ind));

@@ -76,8 +76,7 @@ impl KernelSchedule {
     /// of iteration `i` executes during kernel pass `i + s`.
     pub fn stage_active(&self, stage: u32, kernel_pass: u64, trip_count: u64) -> bool {
         // Kernel pass p runs stage s of iteration p − s.
-        kernel_pass >= u64::from(stage)
-            && (kernel_pass - u64::from(stage)) < trip_count
+        kernel_pass >= u64::from(stage) && (kernel_pass - u64::from(stage)) < trip_count
     }
 
     /// Number of kernel passes needed for `trip_count` iterations.

@@ -76,7 +76,9 @@ pub fn modulo_schedule(
             return Ok(s);
         }
     }
-    Err(SchedError::Infeasible { tried_up_to: max_ii })
+    Err(SchedError::Infeasible {
+        tried_up_to: max_ii,
+    })
 }
 
 /// One attempt at a fixed II, with a scheduling-operation budget.
@@ -114,7 +116,8 @@ fn try_schedule(fp: &FinalProgram, fabric: &DspFabric, ii: u32) -> Option<Modulo
         let mut estart = 0i64;
         for (_, e) in ddg.pred_edges(node) {
             if let Some(tp) = time[e.src.index()] {
-                let lo = i64::from(tp) + i64::from(e.latency) - i64::from(ii) * i64::from(e.distance);
+                let lo =
+                    i64::from(tp) + i64::from(e.latency) - i64::from(ii) * i64::from(e.distance);
                 estart = estart.max(lo);
             }
         }
@@ -135,7 +138,12 @@ fn try_schedule(fp: &FinalProgram, fabric: &DspFabric, ii: u32) -> Option<Modulo
         if let Some(evicted) = mrt.occupant(cn, t) {
             if evicted != node {
                 let et = time[evicted.index()].expect("occupants are scheduled");
-                mrt.remove(evicted, fp.placement[evicted.index()], ddg.node(evicted).op, et);
+                mrt.remove(
+                    evicted,
+                    fp.placement[evicted.index()],
+                    ddg.node(evicted).op,
+                    et,
+                );
                 time[evicted.index()] = None;
                 last_time[evicted.index()] = et;
             }
@@ -155,7 +163,8 @@ fn try_schedule(fp: &FinalProgram, fabric: &DspFabric, ii: u32) -> Option<Modulo
                 continue;
             }
             if let Some(ts) = time[e.dst.index()] {
-                let lo = i64::from(t) + i64::from(e.latency) - i64::from(ii) * i64::from(e.distance);
+                let lo =
+                    i64::from(t) + i64::from(e.latency) - i64::from(ii) * i64::from(e.distance);
                 if i64::from(ts) < lo {
                     mrt.remove(e.dst, fp.placement[e.dst.index()], ddg.node(e.dst).op, ts);
                     time[e.dst.index()] = None;
@@ -165,7 +174,10 @@ fn try_schedule(fp: &FinalProgram, fabric: &DspFabric, ii: u32) -> Option<Modulo
         }
     }
 
-    let time: Vec<u32> = time.into_iter().map(|t| t.expect("all scheduled")).collect();
+    let time: Vec<u32> = time
+        .into_iter()
+        .map(|t| t.expect("all scheduled"))
+        .collect();
     let stages = time.iter().map(|&t| t / ii).max().unwrap_or(0) + 1;
     let sched = ModuloSchedule { ii, time, stages };
     debug_assert!(validate(fp, fabric, &sched).is_ok());
@@ -182,11 +194,7 @@ fn pick_next(
 }
 
 /// Check every dependence and resource constraint of a finished schedule.
-pub fn validate(
-    fp: &FinalProgram,
-    fabric: &DspFabric,
-    s: &ModuloSchedule,
-) -> Result<(), String> {
+pub fn validate(fp: &FinalProgram, fabric: &DspFabric, s: &ModuloSchedule) -> Result<(), String> {
     let ddg = &fp.ddg;
     if s.time.len() != ddg.num_nodes() {
         return Err("schedule length mismatch".into());

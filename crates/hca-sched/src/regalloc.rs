@@ -13,11 +13,7 @@ use hca_arch::DspFabric;
 use hca_core::FinalProgram;
 
 /// Per-CN rotating-register demand for a schedule.
-pub fn register_pressure(
-    fp: &FinalProgram,
-    fabric: &DspFabric,
-    s: &ModuloSchedule,
-) -> Vec<u32> {
+pub fn register_pressure(fp: &FinalProgram, fabric: &DspFabric, s: &ModuloSchedule) -> Vec<u32> {
     let mut pressure = vec![0u32; fabric.num_cns()];
     for n in fp.ddg.node_ids() {
         let t_def = i64::from(s.time[n.index()]);
@@ -26,8 +22,7 @@ pub fn register_pressure(
         // later, i.e. d·II cycles later in absolute time).
         let mut t_end = t_def;
         for (_, e) in fp.ddg.succ_edges(n) {
-            let use_t = i64::from(s.time[e.dst.index()])
-                + i64::from(s.ii) * i64::from(e.distance);
+            let use_t = i64::from(s.time[e.dst.index()]) + i64::from(s.ii) * i64::from(e.distance);
             t_end = t_end.max(use_t);
         }
         if t_end > t_def {

@@ -60,8 +60,7 @@ fn lifetime(fp: &FinalProgram, s: &ModuloSchedule, n: NodeId) -> Option<(i64, i6
     let t_def = i64::from(s.time[n.index()]);
     let mut t_end = None;
     for (_, e) in fp.ddg.succ_edges(n) {
-        let use_t =
-            i64::from(s.time[e.dst.index()]) + i64::from(s.ii) * i64::from(e.distance);
+        let use_t = i64::from(s.time[e.dst.index()]) + i64::from(s.ii) * i64::from(e.distance);
         t_end = Some(t_end.map_or(use_t, |x: i64| x.max(use_t)));
     }
     t_end.map(|e| (t_def, e.max(t_def + 1)))
@@ -90,7 +89,9 @@ pub fn allocate_rotating(
         let mut free_at: Vec<i64> = Vec::new();
         for (n, def, end) in values {
             let life = (end - def) as u64;
-            let depth = u32::try_from(life.div_ceil(u64::from(s.ii))).unwrap().max(1);
+            let depth = u32::try_from(life.div_ceil(u64::from(s.ii)))
+                .unwrap()
+                .max(1);
             // A value of depth d occupies its base register(s) until every
             // rotated instance is dead: end + (d−1)·II ≥ conservative drain.
             let drain = end + i64::from(depth - 1) * i64::from(s.ii);

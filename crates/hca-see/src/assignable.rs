@@ -17,12 +17,7 @@ use rustc_hash::FxHashSet;
 
 /// Can `n` be assigned to `c` in state `st` without breaking resources or
 /// reconfiguration constraints?
-pub fn is_assignable(
-    ctx: &SeeContext<'_>,
-    st: &PartialState,
-    n: NodeId,
-    c: PgNodeId,
-) -> bool {
+pub fn is_assignable(ctx: &SeeContext<'_>, st: &PartialState, n: NodeId, c: PgNodeId) -> bool {
     let pg = ctx.pg;
     let node = pg.node(c);
     // (i) The target must be a real cluster able to execute the opcode —
@@ -134,12 +129,7 @@ mod tests {
     use hca_ddg::{Ddg, DdgAnalysis, DdgBuilder, Opcode};
     use hca_pg::{ArchConstraints, Ili, IliWire, Pg};
 
-    fn mk_ctx<'a>(
-        ddg: &'a Ddg,
-        an: &'a DdgAnalysis,
-        pg: &'a Pg,
-        max_in: u32,
-    ) -> SeeContext<'a> {
+    fn mk_ctx<'a>(ddg: &'a Ddg, an: &'a DdgAnalysis, pg: &'a Pg, max_in: u32) -> SeeContext<'a> {
         SeeContext {
             ddg,
             analysis: an,
@@ -237,7 +227,7 @@ mod tests {
         let mut st = PartialState::initial(&ctx, &[]);
         st.apply_assign(&ctx, a, PgNodeId(0));
         st.apply_assign(&ctx, z, PgNodeId(1)); // consumes 1's only port for 0
-        // Assigning n to cluster 2 would need a second in-neighbour on 1.
+                                               // Assigning n to cluster 2 would need a second in-neighbour on 1.
         assert!(!is_assignable(&ctx, &st, n, PgNodeId(2)));
         // Assigning n next to z is fine (no copy at all)…
         assert!(is_assignable(&ctx, &st, n, PgNodeId(1)));

@@ -2,7 +2,7 @@
 
 use crate::assignable::is_assignable;
 use crate::cost::CostWeights;
-use crate::filters::{CandidateFilter, NodeFilter};
+use crate::filters::{CandidateFilter, CandidatePruning, NodeFilter};
 use crate::route::route_assign;
 use crate::state::{PartialState, SeeContext};
 use hca_ddg::{Ddg, DdgAnalysis, NodeId, PriorityOrder, PriorityPolicy};
@@ -75,15 +75,31 @@ impl fmt::Display for SeeError {
 
 impl std::error::Error for SeeError {}
 
-/// Run statistics, for the scaling/ablation experiments.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Run statistics, for the scaling/ablation experiments and the
+/// observability layer (`hca-obs` run reports).
+///
+/// Counter invariant, checked by tests: every state materialised in the
+/// main loop is either pruned by the node filter or survives into a
+/// frontier, so `states_explored == states_pruned + Σ beam_occupancy`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SeeStats {
     /// Partial solutions materialised across the whole run.
     pub states_explored: usize,
+    /// Partial solutions dropped by the node filter (beam truncation).
+    pub states_pruned: usize,
+    /// Candidates rejected by the candidate filter's cost margin.
+    pub cand_rejected_margin: usize,
+    /// Candidates rejected by branch-factor truncation.
+    pub cand_rejected_branch: usize,
+    /// Frontier states offered to the Route Allocator after a no-candidate
+    /// step (each is one rescue retry).
+    pub route_attempts: usize,
     /// Nodes placed through the Route Allocator.
     pub routed_nodes: usize,
     /// Total extra hops those placements cost.
     pub routed_hops: u32,
+    /// Frontier width after beam filtering, one entry per placement step.
+    pub beam_occupancy: Vec<usize>,
 }
 
 /// Result of a successful SEE run.
@@ -166,7 +182,7 @@ impl<'a> See<'a> {
             // Expand every frontier state: evaluate each cluster, filter
             // candidates, fork. States are independent — evaluate in
             // parallel (rayon) and merge deterministically afterwards.
-            let expansions: Vec<Vec<PartialState>> = frontier
+            let expansions: Vec<(Vec<PartialState>, CandidatePruning)> = frontier
                 .par_iter()
                 .map(|st| {
                     let mut cands: Vec<(PgNodeId, f64)> = Vec::new();
@@ -178,25 +194,31 @@ impl<'a> See<'a> {
                         trial.apply_assign(&self.ctx, n, c);
                         cands.push((c, trial.cost));
                     }
-                    cand_filter.apply(&mut cands);
-                    cands
+                    let pruning = cand_filter.apply(&mut cands);
+                    let forks: Vec<PartialState> = cands
                         .into_iter()
                         .map(|(c, _)| {
                             let mut next = st.clone();
                             next.apply_assign(&self.ctx, n, c);
                             next
                         })
-                        .collect()
+                        .collect();
+                    (forks, pruning)
                 })
                 .collect();
 
-            let mut next_frontier: Vec<PartialState> =
-                expansions.into_iter().flatten().collect();
+            let mut next_frontier: Vec<PartialState> = Vec::new();
+            for (forks, pruning) in expansions {
+                stats.cand_rejected_margin += pruning.by_margin;
+                stats.cand_rejected_branch += pruning.by_branch;
+                next_frontier.extend(forks);
+            }
 
             if next_frontier.is_empty() {
                 // No-candidates action (paper §3): route from the best states.
                 if self.config.enable_router {
                     for st in &frontier {
+                        stats.route_attempts += 1;
                         if let Some(routed) =
                             route_assign(&self.ctx, st, n, self.config.max_route_hops)
                         {
@@ -211,7 +233,8 @@ impl<'a> See<'a> {
             }
 
             stats.states_explored += next_frontier.len();
-            node_filter.apply(&mut next_frontier);
+            stats.states_pruned += node_filter.apply(&mut next_frontier);
+            stats.beam_occupancy.push(next_frontier.len());
             frontier = next_frontier;
         }
 
@@ -276,8 +299,7 @@ impl<'a> See<'a> {
         let mut chunk = 0usize;
         let mut in_chunk = 0usize;
         for (i, &n) in ordered.iter().enumerate() {
-            let scc_boundary =
-                i == 0 || scc[n.index()] != scc[ordered[i - 1].index()];
+            let scc_boundary = i == 0 || scc[n.index()] != scc[ordered[i - 1].index()];
             if in_chunk >= target && scc_boundary && chunk + 1 < arity {
                 chunk += 1;
                 in_chunk = 0;
@@ -338,7 +360,11 @@ impl<'a> See<'a> {
         for (_, _, earliest) in &wires {
             let mut placed = None;
             for (i, load) in seat_load.iter_mut().enumerate().take(earliest + 1) {
-                let cap = if i == 0 { max_in } else { max_in.saturating_sub(1) };
+                let cap = if i == 0 {
+                    max_in
+                } else {
+                    max_in.saturating_sub(1)
+                };
                 if *load < cap {
                     *load += 1;
                     placed = Some(i);
@@ -358,9 +384,9 @@ impl<'a> See<'a> {
             }
         }
         let carry_forward = |st: &mut PartialState,
-                                 avail: &mut rustc_hash::FxHashMap<NodeId, usize>,
-                                 v: NodeId,
-                                 to: usize| {
+                             avail: &mut rustc_hash::FxHashMap<NodeId, usize>,
+                             v: NodeId,
+                             to: usize| {
             let from = avail[&v];
             for k in from..to {
                 st.add_copy(ctx, v, chain[k], chain[k + 1], None, false);
@@ -426,8 +452,13 @@ impl<'a> See<'a> {
             est_mii,
             stats: SeeStats {
                 states_explored: 1,
+                // One state built, one state kept: keeps the documented
+                // `explored == pruned + Σ occupancy` split exact for
+                // fallback outcomes too.
+                beam_occupancy: vec![1],
                 routed_nodes: ws.len(),
                 routed_hops,
+                ..SeeStats::default()
             },
         })
     }
@@ -455,8 +486,7 @@ impl<'a> See<'a> {
             ws.iter()
                 .all(|&n| ctx.pg.node(c).rt.can_execute(ctx.ddg.node(n).op))
         })?;
-        let mut chain: Vec<PgNodeId> =
-            clusters.iter().copied().filter(|&c| c != host).collect();
+        let mut chain: Vec<PgNodeId> = clusters.iter().copied().filter(|&c| c != host).collect();
         chain.push(host);
         if chain.windows(2).any(|w| !ctx.pg.is_potential(w[0], w[1])) {
             return None;
@@ -544,8 +574,13 @@ impl<'a> See<'a> {
             est_mii,
             stats: SeeStats {
                 states_explored: 1,
+                // One state built, one state kept: keeps the documented
+                // `explored == pruned + Σ occupancy` split exact for
+                // fallback outcomes too.
+                beam_occupancy: vec![1],
                 routed_nodes: ws.len(),
                 routed_hops,
+                ..SeeStats::default()
             },
         })
     }
@@ -565,12 +600,7 @@ impl<'a> See<'a> {
         for o in self.ctx.pg.output_ids() {
             if let hca_pg::PgNodeKind::Output { values, .. } = &self.ctx.pg.node(o).kind {
                 for &v in values {
-                    if self
-                        .ctx
-                        .pg
-                        .input_carrying(v)
-                        .is_some()
-                    {
+                    if self.ctx.pg.input_carrying(v).is_some() {
                         tasks.push((o, v));
                     }
                 }
@@ -654,15 +684,8 @@ impl<'a> See<'a> {
             let direct_ok = trial.in_neighbors[c.index()].contains(&inp)
                 || ports_left > usize::from(more_after_this && relay.is_none());
             if direct_ok
-                && crate::route::route_value(
-                    ctx,
-                    &mut trial,
-                    v,
-                    inp,
-                    c,
-                    self.config.max_route_hops,
-                )
-                .is_some()
+                && crate::route::route_value(ctx, &mut trial, v, inp, c, self.config.max_route_hops)
+                    .is_some()
             {
                 // delivered directly (or over an already-open path)
             } else {
@@ -680,14 +703,7 @@ impl<'a> See<'a> {
                         r
                     }
                 };
-                crate::route::route_value(
-                    ctx,
-                    &mut trial,
-                    v,
-                    inp,
-                    r,
-                    self.config.max_route_hops,
-                )?;
+                crate::route::route_value(ctx, &mut trial, v, inp, r, self.config.max_route_hops)?;
                 trial.add_copy(ctx, v, r, c, None, false);
                 trial.routed_hops += 1;
             }
@@ -734,7 +750,11 @@ mod tests {
         // Modulo scheduling overlaps iterations, so splitting a serial chain
         // can still lower the resource MII — but the copy terms keep the
         // splits rare, and the estimated MII must reach the ideal 1–2.
-        assert!(out.assigned.total_copies() <= 2, "{}", out.assigned.total_copies());
+        assert!(
+            out.assigned.total_copies() <= 2,
+            "{}",
+            out.assigned.total_copies()
+        );
         assert!(out.est_mii <= 2, "MII {}", out.est_mii);
         for n in ddg.node_ids() {
             assert!(out.assigned.cluster_of(n).is_some());

@@ -28,17 +28,33 @@ impl Default for CandidateFilter {
     }
 }
 
+/// How many candidates [`CandidateFilter::apply`] rejected, by rule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CandidatePruning {
+    /// Rejected for costing more than `best + margin`.
+    pub by_margin: usize,
+    /// Rejected by truncation to the branch factor.
+    pub by_branch: usize,
+}
+
 impl CandidateFilter {
     /// Filter `candidates` (cluster, objective) in place: sort ascending by
     /// cost (ties by cluster id for determinism), apply the margin, truncate
-    /// to the branch factor.
-    pub fn apply(&self, candidates: &mut Vec<(PgNodeId, f64)>) {
+    /// to the branch factor. Returns how many candidates each rule dropped.
+    pub fn apply(&self, candidates: &mut Vec<(PgNodeId, f64)>) -> CandidatePruning {
         candidates.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let before = candidates.len();
         if let Some(&(_, best)) = candidates.first() {
             let cutoff = best + self.margin;
             candidates.retain(|&(_, c)| c <= cutoff);
         }
+        let by_margin = before - candidates.len();
+        let after_margin = candidates.len();
         candidates.truncate(self.branch_factor);
+        CandidatePruning {
+            by_margin,
+            by_branch: after_margin - candidates.len(),
+        }
     }
 }
 
@@ -57,10 +73,12 @@ impl Default for NodeFilter {
 
 impl NodeFilter {
     /// Keep the `beam_width` cheapest states (stable on cost ties, so the
-    /// search is deterministic).
-    pub fn apply(&self, frontier: &mut Vec<PartialState>) {
+    /// search is deterministic). Returns the number of states pruned.
+    pub fn apply(&self, frontier: &mut Vec<PartialState>) -> usize {
         frontier.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+        let before = frontier.len();
         frontier.truncate(self.beam_width);
+        before - frontier.len()
     }
 }
 
@@ -80,9 +98,16 @@ mod tests {
             (PgNodeId(2), 7.0),
             (PgNodeId(3), 4.0),
         ];
-        f.apply(&mut cands);
+        let pruned = f.apply(&mut cands);
         // 10.0 dropped by margin (3+5=8), then truncation to 2.
         assert_eq!(cands, vec![(PgNodeId(1), 3.0), (PgNodeId(3), 4.0)]);
+        assert_eq!(
+            pruned,
+            CandidatePruning {
+                by_margin: 1,
+                by_branch: 1
+            }
+        );
     }
 
     #[test]

@@ -216,11 +216,7 @@ fn arc_admissible(
     if !ctx.pg.is_potential(a, b) {
         return false;
     }
-    if st
-        .copies
-        .get(&(a, b))
-        .is_some_and(|vs| vs.contains(&v))
-    {
+    if st.copies.get(&(a, b)).is_some_and(|vs| vs.contains(&v)) {
         return true; // already there — free
     }
     if st.in_neighbors[b.index()].contains(&a) {
@@ -292,12 +288,7 @@ mod tests {
     use hca_ddg::{Ddg, DdgAnalysis, DdgBuilder, Opcode};
     use hca_pg::{ArchConstraints, Pg};
 
-    fn mk_ctx<'a>(
-        ddg: &'a Ddg,
-        an: &'a DdgAnalysis,
-        pg: &'a Pg,
-        max_in: u32,
-    ) -> SeeContext<'a> {
+    fn mk_ctx<'a>(ddg: &'a Ddg, an: &'a DdgAnalysis, pg: &'a Pg, max_in: u32) -> SeeContext<'a> {
         SeeContext {
             ddg,
             analysis: an,

@@ -184,7 +184,10 @@ impl PartialState {
     ///
     /// [`apply_assign`]: PartialState::apply_assign
     pub fn place(&mut self, ctx: &SeeContext<'_>, n: NodeId, c: PgNodeId) {
-        debug_assert!(ctx.pg.node(c).kind.is_cluster(), "assigning to special node");
+        debug_assert!(
+            ctx.pg.node(c).kind.is_cluster(),
+            "assigning to special node"
+        );
         debug_assert!(!self.assignment.contains_key(&n), "{n} already assigned");
         self.assignment.insert(n, c);
         self.issue_load[c.index()] += 1;
@@ -340,10 +343,7 @@ mod tests {
     use hca_ddg::{DdgBuilder, Opcode};
     use hca_pg::{Ili, IliWire};
 
-    fn ctx_fixture(
-        ddg: &Ddg,
-        _pg: &Pg,
-    ) -> (DdgAnalysis, ArchConstraints) {
+    fn ctx_fixture(ddg: &Ddg, _pg: &Pg) -> (DdgAnalysis, ArchConstraints) {
         let an = DdgAnalysis::compute(ddg).unwrap();
         let cons = ArchConstraints {
             max_in_neighbors: 4,

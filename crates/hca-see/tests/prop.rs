@@ -19,9 +19,7 @@ fn ddg_strategy() -> impl Strategy<Value = Ddg> {
         .prop_map(|(n, raw_edges, accs)| {
             let mut b = DdgBuilder::default();
             let ops = [Opcode::Add, Opcode::Mul, Opcode::Shift, Opcode::Logic];
-            let nodes: Vec<NodeId> = (0..n)
-                .map(|i| b.node(ops[i % ops.len()]))
-                .collect();
+            let nodes: Vec<NodeId> = (0..n).map(|i| b.node(ops[i % ops.len()])).collect();
             for (x, y, _) in raw_edges {
                 let (a, c) = (x % n, y % n);
                 if a < c {

@@ -1,0 +1,124 @@
+//! Consistency of the [`SeeStats`] counters feeding the observability
+//! layer: the new pruning/occupancy counters must agree with each other
+//! and with the frontier arithmetic of the beam search.
+
+use hca_arch::ResourceTable;
+use hca_ddg::{DdgAnalysis, DdgBuilder, Opcode};
+use hca_pg::{ArchConstraints, Pg};
+use hca_see::{See, SeeConfig, SeeOutcome};
+
+fn constraints() -> ArchConstraints {
+    ArchConstraints {
+        max_in_neighbors: 4,
+        max_out_neighbors: None,
+        out_node_max_in: 1,
+        copy_latency: 1,
+    }
+}
+
+/// 8 independent 2-op chains — wide enough to overflow narrow beams.
+fn wide_ddg() -> hca_ddg::Ddg {
+    let mut b = DdgBuilder::default();
+    for _ in 0..8 {
+        let x = b.node(Opcode::Load);
+        let y = b.node(Opcode::Add);
+        b.flow(x, y);
+    }
+    b.finish()
+}
+
+fn run(config: SeeConfig) -> SeeOutcome {
+    let ddg = wide_ddg();
+    let an = DdgAnalysis::compute(&ddg).unwrap();
+    let pg = Pg::complete(4, ResourceTable::of_cns(2));
+    let see = See::new(&ddg, &an, &pg, constraints(), config);
+    see.run(None).unwrap()
+}
+
+#[test]
+fn explored_splits_into_pruned_plus_occupancy() {
+    for beam_width in [1, 2, 8, 64] {
+        let out = run(SeeConfig {
+            beam_width,
+            ..SeeConfig::default()
+        });
+        let s = &out.stats;
+        let occupancy: usize = s.beam_occupancy.iter().sum();
+        assert_eq!(
+            s.states_explored,
+            s.states_pruned + occupancy,
+            "beam {beam_width}: explored {} != pruned {} + occupancy {occupancy}",
+            s.states_explored,
+            s.states_pruned,
+        );
+    }
+}
+
+#[test]
+fn beam_occupancy_tracks_every_placement_step_within_width() {
+    let out = run(SeeConfig {
+        beam_width: 4,
+        ..SeeConfig::default()
+    });
+    let s = &out.stats;
+    // One entry per placed node, each within the beam width and non-empty.
+    assert_eq!(s.beam_occupancy.len(), wide_ddg().num_nodes());
+    assert!(s.beam_occupancy.iter().all(|&w| (1..=4).contains(&w)));
+}
+
+#[test]
+fn wider_beams_explore_monotonically_more_states() {
+    let mut last = 0usize;
+    for beam_width in [1, 2, 4, 16] {
+        let out = run(SeeConfig {
+            beam_width,
+            ..SeeConfig::default()
+        });
+        assert!(
+            out.stats.states_explored >= last,
+            "beam {beam_width} explored {} < previous {last}",
+            out.stats.states_explored
+        );
+        last = out.stats.states_explored;
+    }
+}
+
+#[test]
+fn branch_factor_one_rejects_all_runners_up() {
+    // With branch factor 1 every state forks once, so no state is ever
+    // pruned by the beam and every runner-up candidate is rejected.
+    let out = run(SeeConfig {
+        beam_width: 8,
+        branch_factor: 1,
+        candidate_margin: f64::INFINITY,
+        ..SeeConfig::default()
+    });
+    let s = &out.stats;
+    assert_eq!(s.states_pruned, 0);
+    assert_eq!(s.cand_rejected_margin, 0);
+    assert!(s.cand_rejected_branch > 0);
+    assert!(s.beam_occupancy.iter().all(|&w| w == 1));
+}
+
+#[test]
+fn zero_margin_moves_rejections_to_the_margin_rule() {
+    let strict = run(SeeConfig {
+        candidate_margin: 0.0,
+        ..SeeConfig::default()
+    });
+    assert!(
+        strict.stats.cand_rejected_margin > 0,
+        "a zero margin must reject some scored candidate"
+    );
+}
+
+#[test]
+fn counters_are_zero_only_where_meaningful() {
+    let out = run(SeeConfig::default());
+    let s = &out.stats;
+    assert!(s.states_explored > 0);
+    // This fabric is fully connected and uncongested: no routing rescue.
+    assert_eq!(s.route_attempts, 0);
+    assert_eq!(s.routed_nodes, 0);
+    assert_eq!(s.routed_hops, 0);
+}

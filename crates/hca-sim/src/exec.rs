@@ -382,8 +382,7 @@ mod tests {
         let ddg = b.finish();
         let fabric = DspFabric::standard(8, 8, 8);
         let res = hca_core::run_hca(&ddg, &fabric, &hca_core::HcaConfig::default()).unwrap();
-        let s = hca_sched::modulo_schedule(&res.final_program, &fabric, res.mii.final_mii)
-            .unwrap();
+        let s = hca_sched::modulo_schedule(&res.final_program, &fabric, res.mii.final_mii).unwrap();
         let k = KernelSchedule::fold(&res.final_program, &fabric, &s);
         let out = simulate(&res.final_program, &fabric, &k, 8).unwrap();
         let peak: u32 = out.buffer_high_water.iter().copied().max().unwrap_or(0);
@@ -406,8 +405,7 @@ mod tests {
         let ddg = b.finish();
         let fabric = DspFabric::standard(8, 8, 8);
         let res = hca_core::run_hca(&ddg, &fabric, &hca_core::HcaConfig::default()).unwrap();
-        let s = hca_sched::modulo_schedule(&res.final_program, &fabric, res.mii.final_mii)
-            .unwrap();
+        let s = hca_sched::modulo_schedule(&res.final_program, &fabric, res.mii.final_mii).unwrap();
         let k = KernelSchedule::fold(&res.final_program, &fabric, &s);
         let trace = render_trace(&res.final_program, &fabric, &k, 2, 10);
         // Header + 2 passes × II rows.

@@ -50,9 +50,11 @@ pub fn eval(op: Opcode, args: &[i64]) -> i64 {
         Opcode::Recv | Opcode::Route => args.first().copied().unwrap_or(0),
         Opcode::Load => memory(args.first().copied().unwrap_or(0)),
         _ => {
-            let mut acc = mix64(op.mnemonic().bytes().fold(0u64, |a, b| {
-                a.wrapping_mul(257).wrapping_add(u64::from(b))
-            }));
+            let mut acc = mix64(
+                op.mnemonic()
+                    .bytes()
+                    .fold(0u64, |a, b| a.wrapping_mul(257).wrapping_add(u64::from(b))),
+            );
             for (i, &a) in args.iter().enumerate() {
                 acc = mix64(acc ^ (a as u64).rotate_left(i as u32 + 1));
             }

@@ -16,7 +16,10 @@ fn main() {
     // --- Part 1: DSPFabric bandwidth sweep on the IDCT row kernel -------
     let kernel = hca_repro::kernels::idct::build();
     println!("idcthor on 64-CN DSPFabric, sweeping the MUX capacities:\n");
-    println!("{:>7} {:>10} {:>7} {:>8} {:>8}", "N=M=K", "final MII", "legal", "wires", "recvs");
+    println!(
+        "{:>7} {:>10} {:>7} {:>8} {:>8}",
+        "N=M=K", "final MII", "legal", "wires", "recvs"
+    );
     for cap in [8usize, 6, 4, 3, 2] {
         let fabric = DspFabric::standard(cap, cap, cap);
         match run_hca(&kernel.ddg, &fabric, &HcaConfig::default()) {

@@ -40,8 +40,8 @@ fn main() {
     );
 
     // Modulo scheduling at the computed lower bound.
-    let sched = modulo_schedule(&res.final_program, &fabric, res.mii.final_mii)
-        .expect("schedulable");
+    let sched =
+        modulo_schedule(&res.final_program, &fabric, res.mii.final_mii).expect("schedulable");
     println!(
         "modulo schedule: II = {} (bound {}), {} stages",
         sched.ii, res.mii.final_mii, sched.stages

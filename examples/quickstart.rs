@@ -48,7 +48,10 @@ fn main() {
         );
     }
     println!("\nconfigured wires: {}", result.topology.num_wires());
-    println!("receive primitives inserted: {}", result.final_program.num_recvs());
+    println!(
+        "receive primitives inserted: {}",
+        result.final_program.num_recvs()
+    );
     println!(
         "MII: recurrence {}, resource {}, theoretical optimum {}, final {}",
         result.mii.mii_rec, result.mii.mii_res, result.mii.theoretical, result.mii.final_mii

@@ -6,14 +6,10 @@
 use hca_repro::arch::DspFabric;
 use hca_repro::hca::coherency::check_coherency;
 use hca_repro::hca::{run_hca, HcaConfig};
-use hca_repro::sched::{modulo_schedule, modsched, KernelSchedule};
+use hca_repro::sched::{modsched, modulo_schedule, KernelSchedule};
 use hca_repro::sim::{simulate, verify_execution};
 
-fn clusterized() -> (
-    hca_repro::ddg::Ddg,
-    DspFabric,
-    hca_repro::hca::HcaResult,
-) {
+fn clusterized() -> (hca_repro::ddg::Ddg, DspFabric, hca_repro::hca::HcaResult) {
     let ddg = hca_repro::kernels::fir2dim::build().ddg;
     let fabric = DspFabric::standard(8, 8, 8);
     let res = run_hca(&ddg, &fabric, &HcaConfig::default()).unwrap();
@@ -65,10 +61,7 @@ fn moving_a_node_breaks_coherency() {
     let placement = res.placement.clone();
     let victim = ddg
         .node_ids()
-        .find(|&n| {
-            ddg.succs(n).next().is_some()
-                && ddg.node(n).op != hca_repro::ddg::Opcode::Const
-        })
+        .find(|&n| ddg.succs(n).next().is_some() && ddg.node(n).op != hca_repro::ddg::Opcode::Const)
         .unwrap();
     let far = fabric.cn_of_path(&[3, 3, 3]);
     let moved = move |n: hca_repro::ddg::NodeId| if n == victim { far } else { placement[&n] };
@@ -104,7 +97,10 @@ fn schedule_validator_rejects_issue_conflicts() {
     for n in fp.ddg.node_ids() {
         by_cn.entry(fp.placement[n.index()]).or_default().push(n);
     }
-    let pair = by_cn.values().find(|v| v.len() >= 2).expect("some CN holds two ops");
+    let pair = by_cn
+        .values()
+        .find(|v| v.len() >= 2)
+        .expect("some CN holds two ops");
     s.time[pair[1].index()] = s.time[pair[0].index()];
     assert!(modsched::validate(&res.final_program, &fabric, &s).is_err());
 }

@@ -69,8 +69,12 @@ fn candidate_filter_prunes_branching() {
         beam_width: 16,
         ..SeeConfig::default()
     };
-    let a = See::new(&ddg, &an, &pg, constraints(), one).run(None).unwrap();
-    let b = See::new(&ddg, &an, &pg, constraints(), three).run(None).unwrap();
+    let a = See::new(&ddg, &an, &pg, constraints(), one)
+        .run(None)
+        .unwrap();
+    let b = See::new(&ddg, &an, &pg, constraints(), three)
+        .run(None)
+        .unwrap();
     assert!(a.stats.states_explored <= b.stats.states_explored);
 }
 

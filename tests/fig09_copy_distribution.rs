@@ -49,7 +49,9 @@ fn broadcasts_use_one_line_and_p2p_copies_spread() {
     let out = map_level(
         &figure9_assigned(),
         spec(),
-        MapOptions { balance_split: true },
+        MapOptions {
+            balance_split: true,
+        },
     )
     .unwrap();
     // x occupies exactly one wire, broadcast to clusters 1 and 2.
@@ -89,7 +91,9 @@ fn ili_of_subproblem_3_matches_figure_9c() {
     let out = map_level(
         &figure9_assigned(),
         spec(),
-        MapOptions { balance_split: true },
+        MapOptions {
+            balance_split: true,
+        },
     )
     .unwrap();
     let ili3 = &out.child_ilis[3];

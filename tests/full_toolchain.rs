@@ -11,8 +11,7 @@ fn end_to_end(ddg: &hca_repro::ddg::Ddg, trip: u64) {
     let fabric = DspFabric::standard(8, 8, 8);
     let res = run_hca(ddg, &fabric, &HcaConfig::default()).expect("clusterise");
     assert!(res.is_legal(), "{:?}", res.coherency);
-    let sched =
-        modulo_schedule(&res.final_program, &fabric, res.mii.final_mii).expect("schedule");
+    let sched = modulo_schedule(&res.final_program, &fabric, res.mii.final_mii).expect("schedule");
     assert!(sched.ii >= res.mii.final_mii);
     hca_repro::sched::modsched::validate(&res.final_program, &fabric, &sched)
         .expect("schedule validates");

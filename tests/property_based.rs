@@ -11,16 +11,24 @@ use hca_repro::sim::verify_execution;
 use proptest::prelude::*;
 
 fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
-    (8usize..80, 2usize..12, 0.0f64..0.6, 0.0f64..0.4, 0usize..3, any::<u64>()).prop_map(
-        |(nodes, width, density, mem_ratio, accumulators, seed)| SyntheticSpec {
-            nodes,
-            width,
-            density,
-            mem_ratio,
-            accumulators,
-            seed,
-        },
+    (
+        8usize..80,
+        2usize..12,
+        0.0f64..0.6,
+        0.0f64..0.4,
+        0usize..3,
+        any::<u64>(),
     )
+        .prop_map(
+            |(nodes, width, density, mem_ratio, accumulators, seed)| SyntheticSpec {
+                nodes,
+                width,
+                density,
+                mem_ratio,
+                accumulators,
+                seed,
+            },
+        )
 }
 
 proptest! {

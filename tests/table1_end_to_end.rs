@@ -10,7 +10,12 @@ use hca_repro::hca::{mii, run_hca, HcaConfig};
 fn table1_characteristics_match_the_paper() {
     let fabric = DspFabric::standard(8, 8, 8);
     for kernel in hca_repro::kernels::table1_kernels() {
-        assert_eq!(kernel.ddg.num_nodes(), kernel.expected.n_instr, "{}", kernel.name);
+        assert_eq!(
+            kernel.ddg.num_nodes(),
+            kernel.expected.n_instr,
+            "{}",
+            kernel.name
+        );
         let rec = hca_repro::ddg::analysis::mii_rec(&kernel.ddg).unwrap();
         assert_eq!(rec, kernel.expected.mii_rec, "{} MIIRec", kernel.name);
         let res = mii::mii_res_unified(&kernel.ddg, &fabric);
@@ -33,7 +38,12 @@ fn all_four_kernels_clusterise_legally_at_full_bandwidth() {
             res.mii.theoretical
         );
         // Every instruction placed, exactly once.
-        assert_eq!(res.placement.len(), kernel.ddg.num_nodes(), "{}", kernel.name);
+        assert_eq!(
+            res.placement.len(),
+            kernel.ddg.num_nodes(),
+            "{}",
+            kernel.name
+        );
     }
 }
 

@@ -1,0 +1,255 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! A minimal wall-clock timing harness with criterion's API shape: no
+//! statistical analysis, no HTML reports, no `target/criterion` state —
+//! each benchmark runs `sample_size` timed samples and prints
+//! median/min/max to stdout. Honours the standard `--bench` /
+//! `--test` harness flags and treats any other positional argument as a
+//! substring filter on benchmark names, so `cargo bench <filter>` works.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state, stand-in for `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+    /// `cargo test --benches` runs each bench once for smoke coverage.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--profile-time" => {}
+                "--test" => test_mode = true,
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            sample_size: 10,
+            filter,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id.full_name(), self.sample_size, |b| f(b));
+        self
+    }
+
+    fn run_one<F>(&self, name: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let samples = if self.test_mode {
+            1
+        } else {
+            sample_size.max(1)
+        };
+        let mut times: Vec<Duration> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            times.push(bencher.elapsed);
+        }
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        println!(
+            "bench {name:<40} median {median:>12?} (min {:?}, max {:?}, n={samples})",
+            times[0],
+            times[times.len() - 1],
+        );
+    }
+}
+
+/// A named group sharing configuration, stand-in for
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmark a closure under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().full_name());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full, samples, |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().full_name());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full, samples, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (printing is incremental; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark, stand-in for `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` pair.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Parameter-only id (the group supplies the function name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full_name(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("bench"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: Some(name.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+/// Timing callback handle, stand-in for `criterion::Bencher`.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time one sample of the routine (criterion times many iterations per
+    /// sample; this stand-in times exactly one).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed = start.elapsed();
+        black_box(out);
+    }
+}
+
+/// Declare a benchmark group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_filters() {
+        let mut c = Criterion {
+            sample_size: 2,
+            filter: Some("match".into()),
+            test_mode: true,
+        };
+        let mut ran = 0;
+        c.bench_function("matching_name", |b| b.iter(|| ran += 1));
+        c.bench_function("other", |b| b.iter(|| ran += 100));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        assert_eq!(BenchmarkId::new("f", 3).full_name(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(8).full_name(), "8");
+    }
+}

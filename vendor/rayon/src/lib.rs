@@ -1,0 +1,110 @@
+//! Offline stand-in for the `rayon` crate (see `vendor/README.md`).
+//!
+//! Every "parallel" iterator here is the corresponding *sequential* std
+//! iterator: `par_iter()` et al. simply delegate to `iter()`. Results are
+//! bit-identical to real rayon for the deterministic merge patterns this
+//! workspace uses (`par_iter().map(..).collect()`); only wall-clock
+//! parallelism is lost.
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+/// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Element type.
+    type Item;
+    /// "Parallel" (here: sequential) owned iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+    #[inline]
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// Iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Element type (a shared reference).
+    type Item: 'data;
+    /// "Parallel" (here: sequential) borrowing iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+    <&'data C as IntoIterator>::Item: 'data,
+{
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    type Item = <&'data C as IntoIterator>::Item;
+    #[inline]
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential stand-in for `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Element type (an exclusive reference).
+    type Item: 'data;
+    /// "Parallel" (here: sequential) mutably-borrowing iterator.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+    <&'data mut C as IntoIterator>::Item: 'data,
+{
+    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+    type Item = <&'data mut C as IntoIterator>::Item;
+    #[inline]
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential stand-in for `rayon::join`.
+#[inline]
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Sequential stand-in for `rayon::scope` — runs the closure with a unit
+/// scope token; spawned work must be driven by the closure itself.
+#[inline]
+pub fn scope<F, R>(f: F) -> R
+where
+    F: FnOnce() -> R,
+{
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1u32, 2, 3];
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let owned: Vec<u32> = v.clone().into_par_iter().collect();
+        assert_eq!(owned, v);
+    }
+}

@@ -1,0 +1,107 @@
+//! Offline stand-in for the `rustc-hash` crate.
+//!
+//! The container this repository builds in has no crates.io access, so the
+//! workspace vendors the handful of third-party APIs it uses (see
+//! `vendor/README.md`). This crate provides `FxHashMap`/`FxHashSet`: a
+//! `HashMap`/`HashSet` over a fast non-cryptographic multiply-xor hasher in
+//! the spirit of the Firefox/rustc "Fx" hash.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant (a 64-bit prime-ish mix constant).
+const K: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Fast non-cryptographic hasher: rotate, xor, multiply per word.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<(u32, u32), Vec<u32>> = FxHashMap::default();
+        m.insert((1, 2), vec![3]);
+        assert_eq!(m[&(1, 2)], vec![3]);
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let h = |bytes: &[u8]| {
+            let mut f = FxHasher::default();
+            f.write(bytes);
+            f.finish()
+        };
+        assert_eq!(h(b"abcdef"), h(b"abcdef"));
+        assert_ne!(h(b"abcdef"), h(b"abcdeg"));
+    }
+}

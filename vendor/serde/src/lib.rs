@@ -1,0 +1,578 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! Instead of real serde's zero-copy visitor architecture, this stand-in
+//! serialises through an owned [`Value`] tree:
+//!
+//! * [`Serialize`] renders a type into a [`Value`];
+//! * [`Deserialize`] rebuilds a type from a [`Value`];
+//! * the companion `serde_json` stand-in converts [`Value`] to/from JSON
+//!   text.
+//!
+//! The `derive` feature re-exports `#[derive(Serialize, Deserialize)]`
+//! proc-macros from the sibling `serde_derive` stand-in, which mirror real
+//! serde's data model: structs as JSON objects, newtype structs as their
+//! inner value, fieldless enum variants as strings, payload variants as
+//! externally tagged single-key objects. Maps with non-string keys — which
+//! real `serde_json` rejects — serialise as sequences of `[key, value]`
+//! pairs.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialised tree, the interchange format between
+/// [`Serialize`], [`Deserialize`] and the JSON front-end.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (used when the value exceeds `i64::MAX`).
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Key-ordered object (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+/// Shared null used when a struct field is absent.
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Object field lookup; absent fields read as `Null` so `Option` fields
+    /// deserialise to `None`.
+    pub fn field(&self, name: &str) -> &Value {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map_or(&NULL, |(_, v)| v),
+            _ => &NULL,
+        }
+    }
+
+    /// The entries of an object, if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements of a sequence, if this is one.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload widened to `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(n) => Some(n as f64),
+            Value::UInt(n) => Some(n as f64),
+            Value::Float(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `i64`, if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(n) => Some(n),
+            Value::UInt(n) => i64::try_from(n).ok(),
+            Value::Float(n) if n.fract() == 0.0 && n.abs() < 9.0e18 => Some(n as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `u64`, if integral and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(n) => u64::try_from(n).ok(),
+            Value::UInt(n) => Some(n),
+            Value::Float(n) if n.fract() == 0.0 && (0.0..1.9e19).contains(&n) => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialisation/deserialisation error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Build an error from any message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Error {
+            message: message.to_string(),
+        }
+    }
+
+    /// "expected X, found Y" convenience constructor.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Error::custom(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself into a [`Value`].
+pub trait Serialize {
+    /// Render into the interchange tree.
+    fn serialize(&self) -> Value;
+}
+
+/// A type that can rebuild itself from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from the interchange tree.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------- primitives
+
+macro_rules! ser_de_int {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            #[inline]
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            #[inline]
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| Error::expected("integer", v))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(format!(
+                    "integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_int!(i8 i16 i32 i64 isize u8 u16 u32);
+
+macro_rules! ser_de_uint {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            #[inline]
+            fn serialize(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(n) => Value::Int(n),
+                    Err(_) => Value::UInt(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            #[inline]
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| Error::expected("unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(format!(
+                    "integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_uint!(u64 usize u128);
+
+impl Serialize for f64 {
+    #[inline]
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    #[inline]
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    #[inline]
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    #[inline]
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|n| n as f32)
+            .ok_or_else(|| Error::expected("number", v))
+    }
+}
+
+impl Serialize for bool {
+    #[inline]
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    #[inline]
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    #[inline]
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    #[inline]
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    #[inline]
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    #[inline]
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::expected("string", v))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    #[inline]
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    #[inline]
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    #[inline]
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl Serialize for () {
+    #[inline]
+    fn serialize(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    #[inline]
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(Error::expected("null", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    #[inline]
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    #[inline]
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+// --------------------------------------------------------------- collections
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::expected("sequence", v))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($( ($($t:ident . $i:tt),+) )*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$i.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let items = v.as_seq().ok_or_else(|| Error::expected("sequence", v))?;
+                let expected = [$( stringify!($i) ),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected a {expected}-tuple, found {} elements", items.len())));
+                }
+                Ok(($($t::deserialize(&items[$i])?,)+))
+            }
+        }
+    )*};
+}
+
+ser_de_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Maps serialise as a sequence of `[key, value]` pairs so that non-string
+/// keys (tuples, newtype ids) survive JSON.
+fn serialize_map_entries<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Value {
+    Value::Seq(
+        entries
+            .map(|(k, v)| Value::Seq(vec![k.serialize(), v.serialize()]))
+            .collect(),
+    )
+}
+
+fn deserialize_map_entries<K: Deserialize, V: Deserialize>(
+    v: &Value,
+) -> Result<Vec<(K, V)>, Error> {
+    v.as_seq()
+        .ok_or_else(|| Error::expected("sequence of [key, value] pairs", v))?
+        .iter()
+        .map(<(K, V)>::deserialize)
+        .collect()
+}
+
+impl<K: Serialize, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        // Deterministic output: order by the serialised key's JSON-ish debug.
+        let mut items: Vec<Value> = self
+            .iter()
+            .map(|(k, v)| Value::Seq(vec![k.serialize(), v.serialize()]))
+            .collect();
+        items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Value::Seq(items)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(deserialize_map_entries(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        serialize_map_entries(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(deserialize_map_entries(v)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize, S: BuildHasher> Serialize for HashSet<T, S> {
+    fn serialize(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(Serialize::serialize).collect();
+        items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Value::Seq(items)
+    }
+}
+
+impl<T, S> Deserialize for HashSet<T, S>
+where
+    T: Deserialize + Eq + Hash,
+    S: BuildHasher + Default,
+{
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(Vec::<T>::deserialize(v)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(Vec::<T>::deserialize(v)?.into_iter().collect())
+    }
+}
+
+impl Serialize for Value {
+    #[inline]
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    #[inline]
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for std::time::Duration {
+    /// Durations serialise as fractional seconds.
+    #[inline]
+    fn serialize(&self) -> Value {
+        Value::Float(self.as_secs_f64())
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let secs = v.as_f64().ok_or_else(|| Error::expected("number", v))?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(Error::custom("duration must be a non-negative number"));
+        }
+        Ok(std::time::Duration::from_secs_f64(secs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::deserialize(&42u32.serialize()).unwrap(), 42);
+        assert_eq!(i64::deserialize(&(-7i64).serialize()).unwrap(), -7);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<u32>::deserialize(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn map_with_tuple_keys_roundtrips() {
+        let mut m: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+        m.insert((1, 2), vec![3, 4]);
+        m.insert((5, 6), vec![]);
+        let v = m.serialize();
+        let back: HashMap<(u32, u32), Vec<u32>> = HashMap::deserialize(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn absent_field_reads_as_null() {
+        let v = Value::Map(vec![("a".into(), Value::Int(1))]);
+        assert_eq!(v.field("missing"), &Value::Null);
+        assert_eq!(v.field("a").as_i64(), Some(1));
+    }
+}

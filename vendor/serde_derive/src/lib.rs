@@ -1,0 +1,508 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Generates impls of the *stand-in* `serde::Serialize`/`serde::Deserialize`
+//! traits (`fn serialize(&self) -> Value` / `fn deserialize(&Value)`), not
+//! real serde's visitor traits. Implemented with a hand-rolled token walker
+//! — no `syn`/`quote` are available offline.
+//!
+//! Supported shapes (everything this workspace derives):
+//! * structs with named fields → `Value::Map` keyed by field name;
+//! * newtype structs → the inner value, transparently;
+//! * tuple structs (arity ≥ 2) → `Value::Seq`;
+//! * unit structs → `Value::Null`;
+//! * enums: unit variants → `Value::Str(name)`, tuple/struct variants →
+//!   externally tagged `{ name: payload }` like real serde;
+//! * container attribute `#[serde(from = "T", into = "T")]`;
+//! * field attribute `#[serde(flatten)]` (serialise side: splices the
+//!   field's map into the parent; deserialise side: rebuilds the field from
+//!   the parent map itself);
+//! * field attributes `#[serde(default)]` and `#[serde(skip)]` (absent →
+//!   `Default::default()`).
+//!
+//! Generic type parameters are not supported — the workspace derives only
+//! concrete types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the stand-in `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive the stand-in `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ------------------------------------------------------------------- parsing
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    flatten: bool,
+    default: bool,
+    skip: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Body {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    /// `#[serde(from = "...")]` type, if any.
+    from: Option<String>,
+    /// `#[serde(into = "...")]` type, if any.
+    into: Option<String>,
+    body: Body,
+}
+
+/// Pull the contents of every `#[serde(...)]` attribute group at the current
+/// position, returning the combined attribute text and advancing past all
+/// leading attributes.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> String {
+    let mut serde_attrs = String::new();
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        let inner = g.stream().to_string();
+                        if let Some(rest) = inner.strip_prefix("serde") {
+                            serde_attrs.push_str(rest.trim());
+                            serde_attrs.push(' ');
+                        }
+                        *pos += 2;
+                        continue;
+                    }
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    serde_attrs
+}
+
+/// Extract `key = "value"` from a flattened attribute text.
+fn attr_string(attrs: &str, key: &str) -> Option<String> {
+    let at = attrs.find(key)?;
+    let rest = &attrs[at + key.len()..];
+    let rest = rest.trim_start().strip_prefix('=')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1; // pub(crate) / pub(super)
+                }
+            }
+        }
+    }
+}
+
+/// Skip a type (or discriminant expression) up to a top-level comma, tracking
+/// `<`/`>` nesting so commas inside generics don't terminate early.
+fn skip_to_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *pos < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*pos] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Parse a `{ name: Type, ... }` field group.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            break;
+        };
+        let name = name.to_string();
+        pos += 1; // name
+        pos += 1; // ':'
+        skip_to_comma(&tokens, &mut pos);
+        pos += 1; // ','
+        fields.push(Field {
+            name,
+            attrs: FieldAttrs {
+                flatten: attrs.contains("flatten"),
+                default: attrs.contains("default"),
+                skip: attrs
+                    .split(|c: char| !c.is_alphanumeric() && c != '_')
+                    .any(|w| w == "skip"),
+            },
+        });
+    }
+    fields
+}
+
+/// Count the fields of a `( Type, ... )` tuple group.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        take_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        skip_to_comma(&tokens, &mut pos);
+        count += 1;
+        pos += 1; // ','
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        take_attrs(&tokens, &mut pos);
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            break;
+        };
+        let name = name.to_string();
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Shape::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Shape::Named(parse_named_fields(g))
+            }
+            _ => Shape::Unit,
+        };
+        // Optional discriminant `= expr`, then the separating comma.
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == '=' {
+                pos += 1;
+                skip_to_comma(&tokens, &mut pos);
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let attrs = take_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stand-in derive: expected struct/enum, got {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stand-in derive: expected type name, got {other:?}"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde stand-in derive: generic type `{name}` is not supported");
+        }
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Shape::Named(parse_named_fields(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Shape::Tuple(count_tuple_fields(g)))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Shape::Unit),
+            other => panic!("serde stand-in derive: malformed struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g))
+            }
+            other => panic!("serde stand-in derive: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde stand-in derive: unsupported item kind `{other}`"),
+    };
+
+    Item {
+        name,
+        from: attr_string(&attrs, "from"),
+        into: attr_string(&attrs, "into"),
+        body,
+    }
+}
+
+// ------------------------------------------------------------------- codegen
+
+fn serialize_named(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut code = String::from("{ let mut __m: Vec<(String, serde::Value)> = Vec::new();\n");
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        let expr = access(&f.name);
+        if f.attrs.flatten {
+            code.push_str(&format!(
+                "match serde::Serialize::serialize(&{expr}) {{\n\
+                 serde::Value::Map(__entries) => __m.extend(__entries),\n\
+                 __other => __m.push((\"{n}\".to_string(), __other)),\n\
+                 }}\n",
+                n = f.name
+            ));
+        } else {
+            code.push_str(&format!(
+                "__m.push((\"{n}\".to_string(), serde::Serialize::serialize(&{expr})));\n",
+                n = f.name
+            ));
+        }
+    }
+    code.push_str("serde::Value::Map(__m) }");
+    code
+}
+
+fn deserialize_named(fields: &[Field], ctor: &str) -> String {
+    let mut code = format!(
+        "let __m = __v.as_map().ok_or_else(|| serde::Error::expected(\"map\", __v))?;\n\
+         let _ = __m;\n\
+         Ok({ctor} {{\n"
+    );
+    for f in fields {
+        if f.attrs.skip || (f.attrs.default && f.attrs.flatten) {
+            code.push_str(&format!("{n}: Default::default(),\n", n = f.name));
+        } else if f.attrs.flatten {
+            code.push_str(&format!(
+                "{n}: serde::Deserialize::deserialize(__v)?,\n",
+                n = f.name
+            ));
+        } else if f.attrs.default {
+            code.push_str(&format!(
+                "{n}: match __v.field(\"{n}\") {{\n\
+                 serde::Value::Null => Default::default(),\n\
+                 __f => serde::Deserialize::deserialize(__f)?,\n\
+                 }},\n",
+                n = f.name
+            ));
+        } else {
+            code.push_str(&format!(
+                "{n}: serde::Deserialize::deserialize(__v.field(\"{n}\"))?,\n",
+                n = f.name
+            ));
+        }
+    }
+    code.push_str("})");
+    code
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into) = &item.into {
+        format!(
+            "let __conv: {into} = <Self as ::core::clone::Clone>::clone(self).into();\n\
+             serde::Serialize::serialize(&__conv)"
+        )
+    } else {
+        match &item.body {
+            Body::Struct(Shape::Unit) => "serde::Value::Null".to_string(),
+            Body::Struct(Shape::Tuple(1)) => "serde::Serialize::serialize(&self.0)".to_string(),
+            Body::Struct(Shape::Tuple(n)) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Serialize::serialize(&self.{i})"))
+                    .collect();
+                format!("serde::Value::Seq(vec![{}])", items.join(", "))
+            }
+            Body::Struct(Shape::Named(fields)) => serialize_named(fields, |f| format!("self.{f}")),
+            Body::Enum(variants) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => arms.push_str(&format!(
+                            "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+                        )),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "serde::Serialize::serialize(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("serde::Serialize::serialize({b})"))
+                                    .collect();
+                                format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                            };
+                            arms.push_str(&format!(
+                                "{name}::{vn}({binds_pat}) => serde::Value::Map(vec![(\"{vn}\".to_string(), {payload})]),\n",
+                                binds_pat = binds.join(", ")
+                            ));
+                        }
+                        Shape::Named(fields) => {
+                            let pat: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                            let payload = serialize_named(fields, |f| f.to_string());
+                            arms.push_str(&format!(
+                                "{name}::{vn} {{ {pat} }} => serde::Value::Map(vec![(\"{vn}\".to_string(), {payload})]),\n",
+                                pat = pat.join(", ")
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(from) = &item.from {
+        format!(
+            "let __inner: {from} = serde::Deserialize::deserialize(__v)?;\n\
+             Ok(<Self as ::core::convert::From<{from}>>::from(__inner))"
+        )
+    } else {
+        match &item.body {
+            Body::Struct(Shape::Unit) => format!("let _ = __v; Ok({name})"),
+            Body::Struct(Shape::Tuple(1)) => {
+                format!("Ok({name}(serde::Deserialize::deserialize(__v)?))")
+            }
+            Body::Struct(Shape::Tuple(n)) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Deserialize::deserialize(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "let __items = __v.as_seq().ok_or_else(|| serde::Error::expected(\"sequence\", __v))?;\n\
+                     if __items.len() != {n} {{\n\
+                     return Err(serde::Error::custom(format!(\"expected {n} elements, found {{}}\", __items.len())));\n\
+                     }}\n\
+                     Ok({name}({items}))",
+                    items = items.join(", ")
+                )
+            }
+            Body::Struct(Shape::Named(fields)) => deserialize_named(fields, name),
+            Body::Enum(variants) => {
+                let mut str_arms = String::new();
+                let mut map_arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => {
+                            str_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"))
+                        }
+                        Shape::Tuple(n) => {
+                            let build = if *n == 1 {
+                                format!(
+                                    "return Ok({name}::{vn}(serde::Deserialize::deserialize(__payload)?));"
+                                )
+                            } else {
+                                let items: Vec<String> = (0..*n)
+                                    .map(|i| {
+                                        format!("serde::Deserialize::deserialize(&__items[{i}])?")
+                                    })
+                                    .collect();
+                                format!(
+                                    "let __items = __payload.as_seq().ok_or_else(|| serde::Error::expected(\"sequence\", __payload))?;\n\
+                                     if __items.len() != {n} {{\n\
+                                     return Err(serde::Error::custom(\"wrong tuple-variant arity\"));\n\
+                                     }}\n\
+                                     return Ok({name}::{vn}({items}));",
+                                    items = items.join(", ")
+                                )
+                            };
+                            map_arms.push_str(&format!("\"{vn}\" => {{ {build} }}\n"));
+                        }
+                        Shape::Named(fields) => {
+                            let build = deserialize_named(fields, &format!("{name}::{vn}"))
+                                .replace("__v", "__payload");
+                            map_arms.push_str(&format!(
+                                "\"{vn}\" => {{ return (|| -> Result<Self, serde::Error> {{ {build} }})(); }}\n"
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "match __v {{\n\
+                     serde::Value::Str(__s) => match __s.as_str() {{\n\
+                     {str_arms}\
+                     __other => return Err(serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                     let (__tag, __payload) = &__entries[0];\n\
+                     match __tag.as_str() {{\n\
+                     {map_arms}\
+                     __other => return Err(serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }}\n\
+                     }},\n\
+                     __other => return Err(serde::Error::expected(\"variant of {name}\", __other)),\n\
+                     }}"
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &serde::Value) -> Result<Self, serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

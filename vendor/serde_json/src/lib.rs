@@ -1,0 +1,445 @@
+//! Offline stand-in for `serde_json` (see `vendor/README.md`).
+//!
+//! Converts the stand-in `serde::Value` tree to and from JSON text. The
+//! output is ordinary JSON — objects keep insertion order, floats print via
+//! Rust's shortest round-trip formatting — so files written here load in any
+//! JSON consumer (including Chrome's trace viewer).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+pub use serde::{Error, Value};
+
+/// Serialise a value to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), None, 0);
+    Ok(out)
+}
+
+/// Serialise a value to human-readable JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serialise a value as compact JSON into an [`std::io::Write`] sink.
+pub fn to_writer<W: std::io::Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let text = to_string(value)?;
+    writer
+        .write_all(text.as_bytes())
+        .map_err(|e| Error::custom(format!("io error: {e}")))
+}
+
+/// Deserialise a value from JSON text.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse(text)?;
+    T::deserialize(&value)
+}
+
+/// Parse JSON text into a [`Value`] without rebuilding a concrete type.
+pub fn from_str_value(text: &str) -> Result<Value, Error> {
+    parse(text)
+}
+
+// ------------------------------------------------------------------- writing
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::UInt(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Float(n) => {
+            if n.is_finite() {
+                // Keep integral floats distinguishable from ints (`1.0`).
+                if n.fract() == 0.0 && n.abs() < 1.0e15 {
+                    let _ = write!(out, "{n:.1}");
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            } else {
+                // JSON has no Inf/NaN; mirror serde_json's lossy `null`.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Seq(items) => write_group(out, indent, depth, '[', ']', items.len(), |out, i| {
+            write_value(out, &items[i], indent, depth + 1);
+        }),
+        Value::Map(entries) => {
+            write_group(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                let (k, v) = &entries[i];
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, depth + 1);
+            })
+        }
+    }
+}
+
+fn write_group(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ------------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::custom("unexpected end of JSON input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::custom(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => self.string().map(Value::Str),
+            b'[' => self.seq(),
+            b'{' => self.map(),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(Error::custom(format!(
+                "unexpected character `{}` at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                other => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]`, found `{}` at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            entries.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                other => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}`, found `{}` at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error::custom("unterminated string"))?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::custom("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::custom("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::custom("bad \\u escape"))?;
+                            // Surrogate pairs: read the low half if present.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                let rest = self.bytes.get(self.pos..self.pos + 6);
+                                match rest {
+                                    Some([b'\\', b'u', h @ ..]) => {
+                                        let low = u32::from_str_radix(
+                                            std::str::from_utf8(h)
+                                                .map_err(|_| Error::custom("bad \\u escape"))?,
+                                            16,
+                                        )
+                                        .map_err(|_| Error::custom("bad \\u escape"))?;
+                                        self.pos += 6;
+                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                                    }
+                                    _ => return Err(Error::custom("lone surrogate")),
+                                }
+                            } else {
+                                code
+                            };
+                            s.push(
+                                char::from_u32(c)
+                                    .ok_or_else(|| Error::custom("invalid \\u escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "unknown escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (input is a &str, so slicing on
+                    // char boundaries is safe).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    s.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| Error::custom("invalid UTF-8 in string"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Int(n));
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_compact() {
+        let v = Value::Map(vec![
+            ("name".into(), Value::Str("fir\"8\n".into())),
+            ("n".into(), Value::Int(-3)),
+            (
+                "xs".into(),
+                Value::Seq(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("f".into(), Value::Float(1.0)),
+        ]);
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str_value(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = Value::Map(vec![("a".into(), Value::Seq(vec![Value::Int(1)]))]);
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\n  \"a\": [\n    1\n  ]\n"));
+        assert_eq!(from_str_value(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let xs = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        let text = to_string(&xs).unwrap();
+        let back: Vec<(u32, String)> = from_str(&text).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v: String = from_str("\"\\u0041\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v, "A\u{1F600}");
+    }
+}

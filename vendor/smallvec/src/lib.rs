@@ -1,0 +1,239 @@
+//! Offline stand-in for the `smallvec` crate (see `vendor/README.md`).
+//!
+//! Backed by a plain `Vec` — no inline storage, but the full `SmallVec<[T; N]>`
+//! type-level API this workspace uses. The inline-capacity parameter is
+//! carried in the type for signature compatibility and ignored at runtime.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+
+/// Backing-array marker: `SmallVec<[T; N]>` takes an array type parameter.
+pub trait Array {
+    /// Element type of the array.
+    type Item;
+    /// Inline capacity (unused by this stand-in).
+    const CAP: usize;
+}
+
+impl<T, const N: usize> Array for [T; N] {
+    type Item = T;
+    const CAP: usize = N;
+}
+
+/// Vec-backed replacement for `smallvec::SmallVec`.
+pub struct SmallVec<A: Array> {
+    inner: Vec<A::Item>,
+}
+
+impl<A: Array> SmallVec<A> {
+    /// Empty vector.
+    #[inline]
+    pub const fn new() -> Self {
+        SmallVec { inner: Vec::new() }
+    }
+
+    /// Empty vector with room for `cap` elements.
+    #[inline]
+    pub fn with_capacity(cap: usize) -> Self {
+        SmallVec {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Borrow as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[A::Item] {
+        &self.inner
+    }
+
+    /// Borrow as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [A::Item] {
+        &mut self.inner
+    }
+
+    /// Convert into the backing `Vec`.
+    #[inline]
+    pub fn into_vec(self) -> Vec<A::Item> {
+        self.inner
+    }
+
+    /// Build from a `Vec` without copying.
+    #[inline]
+    pub fn from_vec(v: Vec<A::Item>) -> Self {
+        SmallVec { inner: v }
+    }
+}
+
+impl<A: Array> Deref for SmallVec<A> {
+    type Target = Vec<A::Item>;
+    #[inline]
+    fn deref(&self) -> &Vec<A::Item> {
+        &self.inner
+    }
+}
+
+impl<A: Array> DerefMut for SmallVec<A> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut Vec<A::Item> {
+        &mut self.inner
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    #[inline]
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+impl<A: Array> Clone for SmallVec<A>
+where
+    A::Item: Clone,
+{
+    #[inline]
+    fn clone(&self) -> Self {
+        SmallVec {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<A: Array> PartialEq for SmallVec<A>
+where
+    A::Item: PartialEq,
+{
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.inner == other.inner
+    }
+}
+
+impl<A: Array> Eq for SmallVec<A> where A::Item: Eq {}
+
+impl<A: Array, T: PartialEq<A::Item>> PartialEq<[T]> for SmallVec<A> {
+    #[inline]
+    fn eq(&self, other: &[T]) -> bool {
+        other == self.inner.as_slice()
+    }
+}
+
+impl<A: Array> Hash for SmallVec<A>
+where
+    A::Item: Hash,
+{
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.inner.hash(state)
+    }
+}
+
+impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
+    #[inline]
+    fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
+        SmallVec {
+            inner: Vec::from_iter(iter),
+        }
+    }
+}
+
+impl<A: Array> Extend<A::Item> for SmallVec<A> {
+    #[inline]
+    fn extend<I: IntoIterator<Item = A::Item>>(&mut self, iter: I) {
+        self.inner.extend(iter)
+    }
+}
+
+impl<A: Array> From<Vec<A::Item>> for SmallVec<A> {
+    #[inline]
+    fn from(v: Vec<A::Item>) -> Self {
+        SmallVec { inner: v }
+    }
+}
+
+impl<A: Array> IntoIterator for SmallVec<A> {
+    type Item = A::Item;
+    type IntoIter = std::vec::IntoIter<A::Item>;
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
+    type Item = &'a A::Item;
+    type IntoIter = std::slice::Iter<'a, A::Item>;
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a mut SmallVec<A> {
+    type Item = &'a mut A::Item;
+    type IntoIter = std::slice::IterMut<'a, A::Item>;
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter_mut()
+    }
+}
+
+/// `smallvec![...]` constructor macro, mirroring `vec![...]`.
+#[macro_export]
+macro_rules! smallvec {
+    () => { $crate::SmallVec::new() };
+    ($elem:expr; $n:expr) => { $crate::SmallVec::from_vec(vec![$elem; $n]) };
+    ($($x:expr),+ $(,)?) => { $crate::SmallVec::from_vec(vec![$($x),+]) };
+}
+
+#[cfg(feature = "serde")]
+impl<A: Array> serde::Serialize for SmallVec<A>
+where
+    A::Item: serde::Serialize,
+{
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Seq(self.inner.iter().map(serde::Serialize::serialize).collect())
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<A: Array> serde::Deserialize for SmallVec<A>
+where
+    A::Item: serde::Deserialize,
+{
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(SmallVec {
+            inner: Vec::<A::Item>::deserialize(v)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_like_vec() {
+        let mut s: SmallVec<[u32; 4]> = SmallVec::new();
+        s.push(1);
+        s.push(2);
+        s.extend([3, 4]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.iter().sum::<u32>(), 10);
+        let collected: SmallVec<[u32; 4]> = (0..3).collect();
+        assert_eq!(collected.as_slice(), &[0, 1, 2]);
+        let m = smallvec![9u32, 8];
+        let m: SmallVec<[u32; 2]> = m;
+        assert_eq!(m.as_slice(), &[9, 8]);
+    }
+}
