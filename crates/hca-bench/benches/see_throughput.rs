@@ -1,0 +1,57 @@
+//! Criterion bench behind the delta-state SEE rework: raw beam-search
+//! throughput on the largest Table-1 kernel (h264deblocking, 214 nodes) for
+//! beam widths 1, 8 and 32. Besides the criterion wall-clock samples, each
+//! configuration prints placements/sec (from the engine's own per-step
+//! timers) and the peak frontier footprint (`SeeStats::peak_frontier_bytes`)
+//! so the state-representation win stays tracked over time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hca_arch::ResourceTable;
+use hca_ddg::DdgAnalysis;
+use hca_pg::{ArchConstraints, Pg};
+use hca_see::{See, SeeConfig};
+
+fn bench_see_throughput(c: &mut Criterion) {
+    let kernel = hca_kernels::table1_kernels()
+        .into_iter()
+        .max_by_key(|k| k.ddg.num_nodes())
+        .expect("table1 kernel set is non-empty");
+    let analysis = DdgAnalysis::compute(&kernel.ddg).expect("kernel analysable");
+    // Level-0 shape of the paper's 64-CN machine: 8 clusters of 8 CNs each.
+    let pg = Pg::complete(8, ResourceTable::of_cns(8));
+    let constraints = ArchConstraints {
+        max_in_neighbors: 4,
+        max_out_neighbors: None,
+        out_node_max_in: 1,
+        copy_latency: 1,
+    };
+    let nodes = kernel.ddg.num_nodes() as f64;
+
+    let mut group = c.benchmark_group("see_throughput");
+    group.sample_size(10);
+    for beam_width in [1usize, 8, 32] {
+        let config = SeeConfig {
+            beam_width,
+            ..SeeConfig::default()
+        };
+        let see = See::new(&kernel.ddg, &analysis, &pg, constraints, config);
+        let outcome = see
+            .run(None)
+            .expect("largest kernel assigns on the complete Pg");
+        let step_secs = outcome.stats.step_time_ns.iter().sum::<u64>() as f64 * 1e-9;
+        println!(
+            "see_throughput/{}/beam{beam_width}: {:.0} placements/s, \
+             peak frontier {:.1} KiB",
+            kernel.name,
+            nodes / step_secs.max(1e-9),
+            outcome.stats.peak_frontier_bytes as f64 / 1024.0,
+        );
+        group.bench_function(BenchmarkId::from_parameter(beam_width), |b| {
+            b.iter(|| see.run(std::hint::black_box(None)).map(|o| o.cost).ok())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_see_throughput);
+criterion_main!(benches);

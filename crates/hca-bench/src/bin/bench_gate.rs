@@ -1,0 +1,145 @@
+//! **Bench regression gate** — diffs a fresh run of the fixed gate workload
+//! (full HCA over the four Table-1 kernels) against the checked-in
+//! `BENCH_baseline.json` and exits non-zero when any case regresses by more
+//! than the tolerance (default 25% wall-clock).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p hca-bench --bin bench_gate            # compare
+//! cargo run --release -p hca-bench --bin bench_gate -- --record   # rebaseline
+//! cargo run --release -p hca-bench --bin bench_gate -- --tolerance 40
+//! ```
+//!
+//! Each case takes the best of three runs to damp scheduler noise; absolute
+//! numbers are machine-specific, so CI runs this job as non-blocking and the
+//! baseline documents the reference machine's trajectory rather than a
+//! portable truth.
+
+use hca_core::{run_hca, HcaConfig};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One measured case of the gate workload.
+#[derive(Serialize, Deserialize)]
+struct GateCase {
+    /// Kernel name.
+    case: String,
+    /// Best-of-three wall-clock, milliseconds.
+    millis: f64,
+}
+
+/// The checked-in baseline file.
+#[derive(Serialize, Deserialize)]
+struct Baseline {
+    /// Allowed wall-clock regression, percent.
+    tolerance_pct: f64,
+    /// Reference measurements.
+    cases: Vec<GateCase>,
+}
+
+/// `BENCH_baseline.json` at the repository root.
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_baseline.json")
+}
+
+/// Run the fixed gate workload: best-of-3 full-HCA wall-clock per kernel.
+fn measure() -> Vec<GateCase> {
+    let fabric = hca_bench::paper_fabric();
+    let mut cases = Vec::new();
+    for kernel in hca_kernels::table1_kernels() {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let res = run_hca(&kernel.ddg, &fabric, &HcaConfig::default());
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            assert!(
+                res.is_ok(),
+                "{}: HCA failed in the gate workload",
+                kernel.name
+            );
+            best = best.min(ms);
+        }
+        cases.push(GateCase {
+            case: kernel.name.to_string(),
+            millis: best,
+        });
+    }
+    cases
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let record = args.iter().any(|a| a == "--record");
+    let tolerance_override = args
+        .iter()
+        .position(|a| a == "--tolerance")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f64>().ok());
+
+    let fresh = measure();
+
+    if record {
+        let baseline = Baseline {
+            tolerance_pct: tolerance_override.unwrap_or(25.0),
+            cases: fresh,
+        };
+        let body = serde_json::to_string_pretty(&baseline).expect("serialisable baseline");
+        std::fs::write(baseline_path(), body + "\n").expect("write baseline");
+        println!(
+            "recorded {} cases to {}",
+            baseline.cases.len(),
+            baseline_path().display()
+        );
+        return;
+    }
+
+    let text = std::fs::read_to_string(baseline_path()).unwrap_or_else(|e| {
+        eprintln!(
+            "cannot read {} ({e}); run with --record to create it",
+            baseline_path().display()
+        );
+        std::process::exit(2);
+    });
+    let baseline: Baseline = serde_json::from_str(&text).expect("well-formed baseline");
+    let tolerance = tolerance_override.unwrap_or(baseline.tolerance_pct);
+
+    println!(
+        "{:<20} {:>12} {:>12} {:>9}  (tolerance {tolerance:.0}%)",
+        "case", "baseline ms", "fresh ms", "delta"
+    );
+    let mut regressed = false;
+    for new in &fresh {
+        let Some(old) = baseline.cases.iter().find(|c| c.case == new.case) else {
+            println!(
+                "{:<20} {:>12} {:>12.1} {:>9}",
+                new.case, "—", new.millis, "new"
+            );
+            continue;
+        };
+        let delta_pct = (new.millis - old.millis) / old.millis * 100.0;
+        let flag = if delta_pct > tolerance {
+            regressed = true;
+            "  REGRESSION"
+        } else {
+            ""
+        };
+        println!(
+            "{:<20} {:>12.1} {:>12.1} {:>+8.1}%{flag}",
+            new.case, old.millis, new.millis, delta_pct
+        );
+    }
+    hca_bench::dump_bench_json(
+        "bench_gate",
+        &fresh
+            .iter()
+            .map(|c| (c.case.clone(), c.millis))
+            .collect::<Vec<_>>(),
+    );
+    if regressed {
+        eprintln!("bench gate FAILED: wall-clock regression beyond {tolerance:.0}%");
+        std::process::exit(1);
+    }
+    println!("bench gate OK");
+}

@@ -12,7 +12,7 @@ use crate::decompose::{child_working_sets, effective_spec, level_constraints, le
 use crate::mii::{mii_report, MiiReport};
 use crate::post::{build_final_program, FinalProgram};
 use crate::problem::Subproblem;
-use hca_arch::{CnId, DspFabric, Topology};
+use hca_arch::{CnId, DspFabric, GroupTopology, Topology};
 use hca_ddg::{analysis::DdgError, Ddg, DdgAnalysis, NodeId};
 use hca_mapper::{map_level_obs, MapError, MapOptions, MapperOutput};
 use hca_obs::{Obs, RunMetrics};
@@ -181,6 +181,47 @@ fn record_see_stats(obs: &Obs, s: &hca_see::SeeStats) {
     for &width in &s.beam_occupancy {
         obs.histogram_record("see.beam_occupancy", width);
     }
+    let step_ns: u64 = s.step_time_ns.iter().sum();
+    obs.counter_add("see.step_time_us", step_ns / 1_000);
+}
+
+/// Shared immutable context of one HCA run, threaded through the recursive
+/// sub-problem solver (and across `hca-par` workers — everything here is a
+/// shared reference to immutable or internally-synchronised data).
+struct SolveCtx<'a> {
+    ddg: &'a Ddg,
+    fabric: &'a DspFabric,
+    config: &'a HcaConfig,
+    obs: &'a Obs,
+    analysis: &'a DdgAnalysis,
+    theo_mii: u32,
+}
+
+/// Everything one sub-problem subtree contributes to the final result.
+///
+/// Each solved sub-problem appends to these sequences locally; a parent
+/// concatenates its children's results in **reverse member order** — the
+/// traversal order of the historical explicit-stack DFS — so the merged
+/// sequences (and everything derived from them: placement map insertion
+/// order, route-op order, topology groups) are bit-identical whatever the
+/// `HCA_THREADS` count.
+#[derive(Default)]
+struct SubResult {
+    placement: Vec<(NodeId, CnId)>,
+    route_ops: Vec<(NodeId, CnId)>,
+    groups: Vec<(Vec<usize>, GroupTopology)>,
+    stats: HcaStats,
+    /// `est_mii` of the level-0 outcome (1 everywhere below the root).
+    ini_mii: u32,
+}
+
+/// Fold a child subtree's statistics into the parent's.
+fn merge_stats(into: &mut HcaStats, from: &HcaStats) {
+    into.subproblems += from.subproblems;
+    into.see_states += from.see_states;
+    into.routed_nodes += from.routed_nodes;
+    into.forwards += from.forwards;
+    into.wires += from.wires;
 }
 
 /// [`run_hca`] with explicit observability: phase spans (decomposition,
@@ -198,277 +239,29 @@ pub fn run_hca_obs(
     let analysis = DdgAnalysis::compute(ddg).map_err(HcaError::Analysis)?;
     let theo_mii = crate::mii::theoretical_mii(analysis.mii_rec, ddg, fabric);
     drop(analysis_span);
+
+    let cx = SolveCtx {
+        ddg,
+        fabric,
+        config,
+        obs,
+        analysis: &analysis,
+        theo_mii,
+    };
+    let root = Subproblem::root(ddg.node_ids().collect());
+    let sub = solve_subproblem(&cx, &root)?;
+
     let mut topology = Topology::new();
-    let mut placement: FxHashMap<NodeId, CnId> = FxHashMap::default();
-    let mut route_ops: Vec<(NodeId, CnId)> = Vec::new();
-    let mut stats = HcaStats::default();
-    let mut ini_mii = 1u32;
-
-    let mut stack = vec![Subproblem::root(ddg.node_ids().collect())];
-    while let Some(sp) = stack.pop() {
-        stats.subproblems += 1;
-        let d = sp.depth();
-        let decompose_span = obs.span("driver", "decompose");
-        let pg = level_pg(fabric, d, &sp.ili);
-        let constraints = level_constraints(fabric, d);
-        let spec = effective_spec(fabric, d);
-        drop(decompose_span);
-        // Pressure-balancing splits only at the very top: deeper levels must
-        // hoard crossbar intake and CN input ports.
-        let opts = MapOptions {
-            balance_split: d + 2 < fabric.depth(),
-        };
-
-        // Escalating retries: when the beam dead-ends (or its assignment is
-        // unmappable), widen the search before giving up — a common trick in
-        // production clusterers, and cheap because failures are rare.
-        let mut attempt_err: Option<HcaError> = None;
-        let mut solved: Option<(hca_see::SeeOutcome, MapperOutput)> = None;
-        // Escalation ladder. Tier 0 is the user's config plus the
-        // spread-forcing issue cap; later tiers deliberately *diversify*
-        // (different priority orders, wider beams, and finally a pure
-        // copy-minimising objective) — empirically, distinct sub-problems
-        // fall to distinct strategies, so breadth beats depth here.
-        let base = config.see;
-        let cap = config.issue_cap_slack;
-        let tiers: [SeeConfig; 5] = [
-            SeeConfig {
-                issue_cap: cap.map(|s| theo_mii + s),
-                ..base
-            },
-            SeeConfig {
-                issue_cap: cap.map(|s| theo_mii + s + 2),
-                beam_width: base.beam_width * 8,
-                branch_factor: base.branch_factor * 2,
-                candidate_margin: base.candidate_margin * 4.0,
-                ..base
-            },
-            SeeConfig {
-                issue_cap: None,
-                beam_width: base.beam_width * 4,
-                branch_factor: base.branch_factor + 1,
-                candidate_margin: base.candidate_margin * 2.0,
-                priority: hca_ddg::PriorityPolicy::ExternalOperandsFirst,
-                ..base
-            },
-            SeeConfig {
-                issue_cap: None,
-                beam_width: base.beam_width * 4,
-                branch_factor: base.branch_factor + 1,
-                candidate_margin: f64::INFINITY,
-                // Survival mode: a pressure-minimising objective steers every
-                // beam state towards balanced placements that die on input
-                // ports; pure copy minimisation co-locates dataflow
-                // neighbours — the port-light shape that still fits.
-                weights: hca_see::CostWeights::copies_only(),
-                ..base
-            },
-            SeeConfig {
-                issue_cap: None,
-                beam_width: base.beam_width * 8,
-                branch_factor: base.branch_factor * 2,
-                candidate_margin: base.candidate_margin * 4.0,
-                priority: hca_ddg::PriorityPolicy::ConnectivityFirst,
-                ..base
-            },
-        ];
-        // Run every tier and keep the best mapped result — tiers are cheap
-        // (sub-problems are tiny) and which strategy wins varies per
-        // sub-problem.
-        let see_span = obs.span("see", level_phase(d));
-        for (tier, see_cfg) in tiers.into_iter().enumerate() {
-            let see = See::new(ddg, &analysis, &pg, constraints, see_cfg);
-            let outcome = match see.run(Some(&sp.working_set)) {
-                Ok(o) => o,
-                Err(source) => {
-                    obs.log("see", "tier_failed", || {
-                        format!("{} tier {tier}: {source}", sp.id())
-                    });
-                    attempt_err = Some(HcaError::See {
-                        problem: format!(
-                            "{} (ws {} nodes, ili {} in / {} out, max_in {})",
-                            sp.id(),
-                            sp.working_set.len(),
-                            sp.ili.inputs.len(),
-                            sp.ili.outputs.len(),
-                            constraints.max_in_neighbors,
-                        ),
-                        source,
-                    });
-                    continue;
-                }
-            };
-            stats.see_states += outcome.stats.states_explored;
-            record_see_stats(obs, &outcome.stats);
-            match map_level_obs(&outcome.assigned, spec, opts, obs) {
-                Ok(mapped) => {
-                    // Copies dominate downstream cost (each becomes receives,
-                    // ports and wires one level down), so weigh them against
-                    // the local MII estimate rather than tie-breaking on it.
-                    let score = |o: &hca_see::SeeOutcome| {
-                        16 * o.est_mii as usize + o.assigned.total_copies()
-                    };
-                    let better = match &solved {
-                        None => true,
-                        Some((best, _)) => score(&outcome) < score(best),
-                    };
-                    if better {
-                        solved = Some((outcome, mapped));
-                    }
-                }
-                Err(source) => {
-                    attempt_err = Some(HcaError::Map {
-                        problem: sp.id(),
-                        source,
-                    });
-                }
-            }
-        }
-        drop(see_span);
-        // Completion backstop: the deterministic chain layout (see
-        // `See::chain_fallback`) — legal whenever the consumed wires fit,
-        // at terrible MII, so only the search's rare dead-ends pay it.
-        if solved.is_none() {
-            obs.counter_add("driver.fallbacks", 1);
-            obs.log("driver", "fallback", || {
-                let mut msg = format!(
-                    "chain fallback at {} (ws {}, ili {}in/{}out): {}",
-                    sp.id(),
-                    sp.working_set.len(),
-                    sp.ili.inputs.len(),
-                    sp.ili.outputs.len(),
-                    attempt_err
-                        .as_ref()
-                        .map_or_else(|| "?".into(), ToString::to_string),
-                );
-                if std::env::var("HCA_TRACE").as_deref() == Ok("2") {
-                    for (i, w) in sp.ili.inputs.iter().enumerate() {
-                        msg.push_str(&format!("\n  in[{i}]: {:?}", w.values));
-                    }
-                    for (i, w) in sp.ili.outputs.iter().enumerate() {
-                        msg.push_str(&format!("\n  out[{i}]: {:?}", w.values));
-                    }
-                }
-                msg
-            });
-            let fallback_span = obs.span("driver", "fallback");
-            let see = See::new(ddg, &analysis, &pg, constraints, config.see);
-            // Layered (work-spreading) fallback first; the single-host chain
-            // only for the cases it cannot express.
-            for outcome in [
-                see.layered_fallback(Some(&sp.working_set)),
-                see.chain_fallback(Some(&sp.working_set)),
-            ]
-            .into_iter()
-            .flatten()
-            {
-                if let Ok(mapped) = map_level_obs(&outcome.assigned, spec, opts, obs) {
-                    record_see_stats(obs, &outcome.stats);
-                    solved = Some((outcome, mapped));
-                    break;
-                }
-            }
-            drop(fallback_span);
-        }
-
-        if let Some((outcome, _)) = &solved {
-            // Flow re-verification is a debugging aid, not a pipeline stage:
-            // it stays behind the HCA_TRACE gate (an enabled observer alone
-            // must not change what work the driver performs).
-            if obs.is_enabled() && std::env::var_os("HCA_TRACE").is_some() {
-                for err in outcome.assigned.check_flow(ddg, &sp.working_set) {
-                    obs.log("driver", "flow_violation", || {
-                        format!("flow violation at {}: {err}", sp.id())
-                    });
-                }
-            }
-        }
-
-        let Some((outcome, mapped)) = solved else {
-            obs.log("driver", "subproblem_failed", || {
-                let mut msg = format!("--- failing subproblem {} ---", sp.id());
-                for (i, w) in sp.ili.inputs.iter().enumerate() {
-                    msg.push_str(&format!("\n  in[{i}]: {:?}", w.values));
-                }
-                for (i, w) in sp.ili.outputs.iter().enumerate() {
-                    msg.push_str(&format!("\n  out[{i}]: {:?}", w.values));
-                }
-                for &n in &sp.working_set {
-                    let preds: Vec<String> = ddg
-                        .pred_edges(n)
-                        .map(|(_, e)| format!("{}{}", e.src, if e.distance > 0 { "*" } else { "" }))
-                        .collect();
-                    msg.push_str(&format!("\n  {n}: {} <- {:?}", ddg.node(n).op, preds));
-                }
-                msg
-            });
-            return Err(attempt_err.expect("at least one attempt ran"));
-        };
-        obs.histogram_merge("mapper.copies_per_wire", &mapped.stats.copy_hist);
-        obs.counter_add("mapper.member_wires", mapped.stats.member_wires as u64);
-        obs.counter_add("mapper.glue_in_wires", mapped.stats.glue_in_wires as u64);
-        stats.routed_nodes += outcome.stats.routed_nodes;
-        if d == 0 {
-            ini_mii = outcome.est_mii;
-        }
-        stats.wires += mapped.group.wires.len();
-        *topology.group_mut(&sp.path) = mapped.group;
-
-        if d + 1 == fabric.depth() {
-            // Leaf: members are single CNs.
-            for &n in &sp.working_set {
-                let c = outcome
-                    .assigned
-                    .cluster_of(n)
-                    .expect("SEE assigns every working-set node");
-                let mut path = sp.path.clone();
-                path.push(outcome.assigned.pg.member_of(c));
-                placement.insert(n, fabric.cn_of_path(&path));
-            }
-            for &(v, c) in &outcome.assigned.forwards {
-                let mut path = sp.path.clone();
-                path.push(outcome.assigned.pg.member_of(c));
-                route_ops.push((v, fabric.cn_of_path(&path)));
-            }
-            // Relay hops: a CN that re-emits a value it neither produced nor
-            // forwarded upward still spends an issue slot moving it from its
-            // input buffer to its output register — materialise those too.
-            let mut relays: rustc_hash::FxHashSet<(NodeId, CnId)> =
-                route_ops.iter().copied().collect();
-            for (&(a, b), values) in outcome.assigned.copies.iter() {
-                if !outcome.assigned.pg.node(a).kind.is_cluster() || values.is_empty() {
-                    continue;
-                }
-                let _ = b;
-                for &v in values {
-                    if outcome.assigned.cluster_of(v) != Some(a) {
-                        let mut path = sp.path.clone();
-                        path.push(outcome.assigned.pg.member_of(a));
-                        let cn = fabric.cn_of_path(&path);
-                        if relays.insert((v, cn)) {
-                            route_ops.push((v, cn));
-                        }
-                    }
-                }
-            }
-        } else {
-            let _decompose_span = obs.span("driver", "decompose");
-            let wss = child_working_sets(&outcome.assigned, &sp.working_set, spec.arity);
-            for (member, ws) in wss.into_iter().enumerate() {
-                let ili = mapped.child_ilis[member].clone();
-                if ws.is_empty() && ili.is_empty() {
-                    continue; // nothing to do in this subtree
-                }
-                let mut path = sp.path.clone();
-                path.push(member);
-                stack.push(Subproblem {
-                    path,
-                    working_set: ws,
-                    ili,
-                });
-            }
-        }
+    for (path, group) in sub.groups {
+        *topology.group_mut(&path) = group;
     }
+    let mut placement: FxHashMap<NodeId, CnId> = FxHashMap::default();
+    for (n, cn) in sub.placement {
+        placement.insert(n, cn);
+    }
+    let route_ops = sub.route_ops;
+    let ini_mii = sub.ini_mii;
+    let mut stats = sub.stats;
 
     stats.forwards = route_ops.len();
     let materialise_span = obs.span("driver", "materialise");
@@ -517,6 +310,308 @@ pub fn run_hca_obs(
         stats,
         metrics: obs.snapshot(),
     })
+}
+
+/// Solve sub-problem `sp` and its whole subtree: run the SEE escalation
+/// ladder and the Mapper at this level, then recurse into the child
+/// sub-problems — in parallel, they are independent. Returns the subtree's
+/// contribution to the final result; see [`SubResult`] for the determinism
+/// contract.
+fn solve_subproblem(cx: &SolveCtx<'_>, sp: &Subproblem) -> Result<SubResult, HcaError> {
+    let SolveCtx {
+        ddg,
+        fabric,
+        config,
+        obs,
+        analysis,
+        theo_mii,
+    } = *cx;
+    let mut res = SubResult {
+        ini_mii: 1,
+        ..SubResult::default()
+    };
+    res.stats.subproblems = 1;
+    let d = sp.depth();
+    let decompose_span = obs.span("driver", "decompose");
+    let pg = level_pg(fabric, d, &sp.ili);
+    let constraints = level_constraints(fabric, d);
+    let spec = effective_spec(fabric, d);
+    drop(decompose_span);
+    // Pressure-balancing splits only at the very top: deeper levels must
+    // hoard crossbar intake and CN input ports.
+    let opts = MapOptions {
+        balance_split: d + 2 < fabric.depth(),
+    };
+
+    // Escalating retries: when the beam dead-ends (or its assignment is
+    // unmappable), widen the search before giving up — a common trick in
+    // production clusterers, and cheap because failures are rare.
+    let mut attempt_err: Option<HcaError> = None;
+    let mut solved: Option<(hca_see::SeeOutcome, MapperOutput)> = None;
+    // Escalation ladder. Tier 0 is the user's config plus the
+    // spread-forcing issue cap; later tiers deliberately *diversify*
+    // (different priority orders, wider beams, and finally a pure
+    // copy-minimising objective) — empirically, distinct sub-problems
+    // fall to distinct strategies, so breadth beats depth here.
+    let base = config.see;
+    let cap = config.issue_cap_slack;
+    let tiers: [SeeConfig; 5] = [
+        SeeConfig {
+            issue_cap: cap.map(|s| theo_mii + s),
+            ..base
+        },
+        SeeConfig {
+            issue_cap: cap.map(|s| theo_mii + s + 2),
+            beam_width: base.beam_width * 8,
+            branch_factor: base.branch_factor * 2,
+            candidate_margin: base.candidate_margin * 4.0,
+            ..base
+        },
+        SeeConfig {
+            issue_cap: None,
+            beam_width: base.beam_width * 4,
+            branch_factor: base.branch_factor + 1,
+            candidate_margin: base.candidate_margin * 2.0,
+            priority: hca_ddg::PriorityPolicy::ExternalOperandsFirst,
+            ..base
+        },
+        SeeConfig {
+            issue_cap: None,
+            beam_width: base.beam_width * 4,
+            branch_factor: base.branch_factor + 1,
+            candidate_margin: f64::INFINITY,
+            // Survival mode: a pressure-minimising objective steers every
+            // beam state towards balanced placements that die on input
+            // ports; pure copy minimisation co-locates dataflow
+            // neighbours — the port-light shape that still fits.
+            weights: hca_see::CostWeights::copies_only(),
+            ..base
+        },
+        SeeConfig {
+            issue_cap: None,
+            beam_width: base.beam_width * 8,
+            branch_factor: base.branch_factor * 2,
+            candidate_margin: base.candidate_margin * 4.0,
+            priority: hca_ddg::PriorityPolicy::ConnectivityFirst,
+            ..base
+        },
+    ];
+    // Run every tier and keep the best mapped result — tiers are cheap
+    // (sub-problems are tiny) and which strategy wins varies per
+    // sub-problem.
+    let see_span = obs.span("see", level_phase(d));
+    for (tier, see_cfg) in tiers.into_iter().enumerate() {
+        let see = See::new(ddg, analysis, &pg, constraints, see_cfg);
+        let outcome = match see.run(Some(&sp.working_set)) {
+            Ok(o) => o,
+            Err(source) => {
+                obs.log("see", "tier_failed", || {
+                    format!("{} tier {tier}: {source}", sp.id())
+                });
+                attempt_err = Some(HcaError::See {
+                    problem: format!(
+                        "{} (ws {} nodes, ili {} in / {} out, max_in {})",
+                        sp.id(),
+                        sp.working_set.len(),
+                        sp.ili.inputs.len(),
+                        sp.ili.outputs.len(),
+                        constraints.max_in_neighbors,
+                    ),
+                    source,
+                });
+                continue;
+            }
+        };
+        res.stats.see_states += outcome.stats.states_explored;
+        record_see_stats(obs, &outcome.stats);
+        match map_level_obs(&outcome.assigned, spec, opts, obs) {
+            Ok(mapped) => {
+                // Copies dominate downstream cost (each becomes receives,
+                // ports and wires one level down), so weigh them against
+                // the local MII estimate rather than tie-breaking on it.
+                let score =
+                    |o: &hca_see::SeeOutcome| 16 * o.est_mii as usize + o.assigned.total_copies();
+                let better = match &solved {
+                    None => true,
+                    Some((best, _)) => score(&outcome) < score(best),
+                };
+                if better {
+                    solved = Some((outcome, mapped));
+                }
+            }
+            Err(source) => {
+                attempt_err = Some(HcaError::Map {
+                    problem: sp.id(),
+                    source,
+                });
+            }
+        }
+    }
+    drop(see_span);
+    // Completion backstop: the deterministic chain layout (see
+    // `See::chain_fallback`) — legal whenever the consumed wires fit,
+    // at terrible MII, so only the search's rare dead-ends pay it.
+    if solved.is_none() {
+        obs.counter_add("driver.fallbacks", 1);
+        obs.log("driver", "fallback", || {
+            let mut msg = format!(
+                "chain fallback at {} (ws {}, ili {}in/{}out): {}",
+                sp.id(),
+                sp.working_set.len(),
+                sp.ili.inputs.len(),
+                sp.ili.outputs.len(),
+                attempt_err
+                    .as_ref()
+                    .map_or_else(|| "?".into(), ToString::to_string),
+            );
+            if std::env::var("HCA_TRACE").as_deref() == Ok("2") {
+                for (i, w) in sp.ili.inputs.iter().enumerate() {
+                    msg.push_str(&format!("\n  in[{i}]: {:?}", w.values));
+                }
+                for (i, w) in sp.ili.outputs.iter().enumerate() {
+                    msg.push_str(&format!("\n  out[{i}]: {:?}", w.values));
+                }
+            }
+            msg
+        });
+        let fallback_span = obs.span("driver", "fallback");
+        let see = See::new(ddg, analysis, &pg, constraints, config.see);
+        // Layered (work-spreading) fallback first; the single-host chain
+        // only for the cases it cannot express.
+        for outcome in [
+            see.layered_fallback(Some(&sp.working_set)),
+            see.chain_fallback(Some(&sp.working_set)),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            if let Ok(mapped) = map_level_obs(&outcome.assigned, spec, opts, obs) {
+                record_see_stats(obs, &outcome.stats);
+                solved = Some((outcome, mapped));
+                break;
+            }
+        }
+        drop(fallback_span);
+    }
+
+    if let Some((outcome, _)) = &solved {
+        // Flow re-verification is a debugging aid, not a pipeline stage:
+        // it stays behind the HCA_TRACE gate (an enabled observer alone
+        // must not change what work the driver performs).
+        if obs.is_enabled() && std::env::var_os("HCA_TRACE").is_some() {
+            for err in outcome.assigned.check_flow(ddg, &sp.working_set) {
+                obs.log("driver", "flow_violation", || {
+                    format!("flow violation at {}: {err}", sp.id())
+                });
+            }
+        }
+    }
+
+    let Some((outcome, mapped)) = solved else {
+        obs.log("driver", "subproblem_failed", || {
+            let mut msg = format!("--- failing subproblem {} ---", sp.id());
+            for (i, w) in sp.ili.inputs.iter().enumerate() {
+                msg.push_str(&format!("\n  in[{i}]: {:?}", w.values));
+            }
+            for (i, w) in sp.ili.outputs.iter().enumerate() {
+                msg.push_str(&format!("\n  out[{i}]: {:?}", w.values));
+            }
+            for &n in &sp.working_set {
+                let preds: Vec<String> = ddg
+                    .pred_edges(n)
+                    .map(|(_, e)| format!("{}{}", e.src, if e.distance > 0 { "*" } else { "" }))
+                    .collect();
+                msg.push_str(&format!("\n  {n}: {} <- {:?}", ddg.node(n).op, preds));
+            }
+            msg
+        });
+        return Err(attempt_err.expect("at least one attempt ran"));
+    };
+    obs.histogram_merge("mapper.copies_per_wire", &mapped.stats.copy_hist);
+    obs.counter_add("mapper.member_wires", mapped.stats.member_wires as u64);
+    obs.counter_add("mapper.glue_in_wires", mapped.stats.glue_in_wires as u64);
+    res.stats.routed_nodes += outcome.stats.routed_nodes;
+    if d == 0 {
+        res.ini_mii = outcome.est_mii;
+    }
+    res.stats.wires += mapped.group.wires.len();
+    res.groups.push((sp.path.clone(), mapped.group));
+
+    if d + 1 == fabric.depth() {
+        // Leaf: members are single CNs.
+        for &n in &sp.working_set {
+            let c = outcome
+                .assigned
+                .cluster_of(n)
+                .expect("SEE assigns every working-set node");
+            let mut path = sp.path.clone();
+            path.push(outcome.assigned.pg.member_of(c));
+            res.placement.push((n, fabric.cn_of_path(&path)));
+        }
+        for &(v, c) in &outcome.assigned.forwards {
+            let mut path = sp.path.clone();
+            path.push(outcome.assigned.pg.member_of(c));
+            res.route_ops.push((v, fabric.cn_of_path(&path)));
+        }
+        // Relay hops: a CN that re-emits a value it neither produced nor
+        // forwarded upward still spends an issue slot moving it from its
+        // input buffer to its output register — materialise those too.
+        // Relay dedup is local: leaf paths are disjoint, so CNs never
+        // collide across sub-problems — seeding from this leaf's own
+        // route ops is equivalent to the historical global seed.
+        let mut relays: rustc_hash::FxHashSet<(NodeId, CnId)> =
+            res.route_ops.iter().copied().collect();
+        for (&(a, b), values) in outcome.assigned.copies.iter() {
+            if !outcome.assigned.pg.node(a).kind.is_cluster() || values.is_empty() {
+                continue;
+            }
+            let _ = b;
+            for &v in values {
+                if outcome.assigned.cluster_of(v) != Some(a) {
+                    let mut path = sp.path.clone();
+                    path.push(outcome.assigned.pg.member_of(a));
+                    let cn = fabric.cn_of_path(&path);
+                    if relays.insert((v, cn)) {
+                        res.route_ops.push((v, cn));
+                    }
+                }
+            }
+        }
+    } else {
+        let children: Vec<Subproblem> = {
+            let _decompose_span = obs.span("driver", "decompose");
+            let wss = child_working_sets(&outcome.assigned, &sp.working_set, spec.arity);
+            let mut children = Vec::new();
+            for (member, ws) in wss.into_iter().enumerate() {
+                let ili = mapped.child_ilis[member].clone();
+                if ws.is_empty() && ili.is_empty() {
+                    continue; // nothing to do in this subtree
+                }
+                let mut path = sp.path.clone();
+                path.push(member);
+                children.push(Subproblem {
+                    path,
+                    working_set: ws,
+                    ili,
+                });
+            }
+            children
+        };
+        // Sibling sub-problems are independent (disjoint working sets,
+        // private ILIs): solve the subtrees on the worker pool. hca-par
+        // returns results in input order; merging in *reverse* member
+        // order reproduces the historical explicit-stack DFS traversal
+        // bit for bit, whatever the thread count.
+        let solved_children = hca_par::par_map(&children, |child| solve_subproblem(cx, child));
+        for child in solved_children.into_iter().rev() {
+            let child = child?;
+            res.placement.extend(child.placement);
+            res.route_ops.extend(child.route_ops);
+            res.groups.extend(child.groups);
+            merge_stats(&mut res.stats, &child.stats);
+        }
+    }
+    Ok(res)
 }
 
 /// Run HCA under a small portfolio of base configurations and keep the

@@ -1,0 +1,279 @@
+//! Deterministic data parallelism for the HCA workspace.
+//!
+//! A tiny scoped worker pool over `std::thread` exposing exactly the
+//! patterns the compiler uses — `par_map` (shared input, collected in index
+//! order), `par_map_mut` (contiguous chunks of a mutable slice) and `join`.
+//! The design contract is **determinism**: every function returns results
+//! in input order, so callers that merge sequentially afterwards produce
+//! bit-identical output whatever the thread count. Thread scheduling only
+//! decides *who* computes an element, never *where* its result lands.
+//!
+//! Thread count resolution, in precedence order:
+//!
+//! 1. the `sequential` cargo feature (compile-time kill switch),
+//! 2. [`set_thread_override`] (programmatic, used by determinism tests),
+//! 3. the `HCA_THREADS` environment variable (read once per process),
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! Nested calls run inline: a worker thread that itself calls `par_map`
+//! executes sequentially instead of spawning threads-under-threads. The
+//! HCA driver parallelises sibling sub-problems at the top and each SEE
+//! beam expansion below it — without this rule the fan-out would be
+//! multiplicative.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Programmatic thread-count override; 0 = unset.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// `HCA_THREADS`, parsed once per process.
+static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+
+thread_local! {
+    /// Set inside pool workers so nested calls degrade to inline execution.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Force the pool width programmatically (`None` restores the environment
+/// default). Takes precedence over `HCA_THREADS`; the `sequential` feature
+/// still wins. Used by determinism tests to compare 1-thread and N-thread
+/// runs inside one process.
+pub fn set_thread_override(threads: Option<usize>) {
+    OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// The configured pool width (≥ 1).
+pub fn configured_threads() -> usize {
+    if cfg!(feature = "sequential") {
+        return 1;
+    }
+    let o = OVERRIDE.load(Ordering::SeqCst);
+    if o > 0 {
+        return o;
+    }
+    let env = *ENV_THREADS.get_or_init(|| {
+        std::env::var("HCA_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+    });
+    env.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Is the current thread already inside a pool worker?
+pub fn in_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// Threads that would actually be spawned for `len` items right now.
+fn effective_threads(len: usize) -> usize {
+    if len < 2 || in_worker() {
+        1
+    } else {
+        configured_threads().min(len)
+    }
+}
+
+/// Map `f` over `items` and collect the results **in input order**.
+///
+/// Work is distributed by an atomic cursor (good balance for items of
+/// uneven cost, like beam states of different maturity); each worker tags
+/// results with their index, and the merge places them positionally, so the
+/// output is independent of scheduling. Runs inline when the pool width is
+/// 1, the input is trivial, or the caller is itself a pool worker. A panic
+/// in `f` propagates to the caller.
+pub fn par_map<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let threads = effective_threads(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_WORKER.with(|w| w.set(true));
+                    let mut produced: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        produced.push((i, f(&items[i])));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("par_map worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced"))
+        .collect()
+}
+
+/// Map `f` over exclusive references into `items`, collecting results in
+/// input order. The slice is split into contiguous chunks, one per worker,
+/// so no synchronisation guards the mutable accesses; chunk results are
+/// concatenated positionally. Same inline/nesting/panic rules as
+/// [`par_map`].
+pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    let threads = effective_threads(items.len());
+    if threads <= 1 {
+        return items.iter_mut().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let f = &f;
+    let per_chunk: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    chunk.iter_mut().map(f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map_mut worker panicked"))
+            .collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB,
+    RA: Send,
+{
+    if effective_threads(2) <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let ha = scope.spawn(|| {
+            IN_WORKER.with(|w| w.set(true));
+            a()
+        });
+        let rb = b();
+        (ha.join().expect("join worker panicked"), rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises tests that touch the global override.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn par_map_preserves_order() {
+        let _g = LOCK.lock().unwrap();
+        set_thread_override(Some(4));
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn par_map_mut_mutates_and_preserves_order() {
+        let _g = LOCK.lock().unwrap();
+        set_thread_override(Some(3));
+        let mut items: Vec<u64> = (0..100).collect();
+        let out = par_map_mut(&mut items, |x| {
+            *x += 1;
+            *x * 10
+        });
+        assert_eq!(items, (1..=100).collect::<Vec<u64>>());
+        assert_eq!(out, (1..=100).map(|x| x * 10).collect::<Vec<u64>>());
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let _g = LOCK.lock().unwrap();
+        let items: Vec<u64> = (0..257).collect();
+        let mut runs = Vec::new();
+        for threads in [1, 2, 7] {
+            set_thread_override(Some(threads));
+            runs.push(par_map(&items, |&x| x.wrapping_mul(0x9E37_79B9) >> 3));
+        }
+        set_thread_override(None);
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        let _g = LOCK.lock().unwrap();
+        set_thread_override(Some(4));
+        let outer: Vec<usize> = (0..8).collect();
+        let out = par_map(&outer, |&i| {
+            assert!(in_worker());
+            let inner: Vec<usize> = (0..4).collect();
+            // Must not deadlock or explode the thread count.
+            par_map(&inner, move |&j| i * 10 + j)
+        });
+        assert_eq!(out[1], vec![10, 11, 12, 13]);
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let _g = LOCK.lock().unwrap();
+        set_thread_override(Some(2));
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+        set_thread_override(None);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panics_propagate() {
+        let _g = match LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        set_thread_override(Some(2));
+        let items = vec![1u32, 2, 3, 4];
+        let _ = par_map(&items, |&x| {
+            assert!(x != 3, "boom");
+            x
+        });
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[42u32], |&x| x + 1), vec![43]);
+    }
+}

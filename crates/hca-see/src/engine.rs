@@ -7,8 +7,8 @@ use crate::route::route_assign;
 use crate::state::{PartialState, SeeContext};
 use hca_ddg::{Ddg, DdgAnalysis, NodeId, PriorityOrder, PriorityPolicy};
 use hca_pg::{ArchConstraints, AssignedPg, Pg, PgNodeId};
-use rayon::prelude::*;
 use std::fmt;
+use std::time::Instant;
 
 /// Tunables of one SEE run.
 #[derive(Clone, Copy, Debug)]
@@ -100,6 +100,12 @@ pub struct SeeStats {
     pub routed_hops: u32,
     /// Frontier width after beam filtering, one entry per placement step.
     pub beam_occupancy: Vec<usize>,
+    /// Wall-clock nanoseconds per placement step (expansion + filtering +
+    /// materialisation), one entry per placement step.
+    pub step_time_ns: Vec<u64>,
+    /// Peak of Σ [`PartialState::approx_bytes`] over the post-filter
+    /// frontiers — the search's working-set high-water mark.
+    pub peak_frontier_bytes: usize,
 }
 
 /// Result of a successful SEE run.
@@ -179,63 +185,94 @@ impl<'a> See<'a> {
         node_filter.apply(&mut frontier);
 
         for &n in order.nodes() {
-            // Expand every frontier state: evaluate each cluster, filter
-            // candidates, fork. States are independent — evaluate in
-            // parallel (rayon) and merge deterministically afterwards.
-            let expansions: Vec<(Vec<PartialState>, CandidatePruning)> = frontier
-                .par_iter()
-                .map(|st| {
+            let step_t0 = Instant::now();
+            // Score every (state, cluster) candidate *in place*: apply the
+            // assignment, read the objective, undo — no clone per trial.
+            // Frontier states are independent; each hca-par worker owns a
+            // contiguous chunk and results come back in frontier order, so
+            // the merge below is scheduling-independent.
+            let scored: Vec<(Vec<(PgNodeId, f64)>, CandidatePruning)> =
+                hca_par::par_map_mut(&mut frontier, |st| {
                     let mut cands: Vec<(PgNodeId, f64)> = Vec::new();
                     for c in self.ctx.pg.cluster_ids() {
                         if !is_assignable(&self.ctx, st, n, c) {
                             continue;
                         }
-                        let mut trial = st.clone();
-                        trial.apply_assign(&self.ctx, n, c);
-                        cands.push((c, trial.cost));
+                        let undo = st.apply_assign_logged(&self.ctx, n, c);
+                        cands.push((c, st.cost));
+                        st.undo_assign(&self.ctx, undo);
                     }
                     let pruning = cand_filter.apply(&mut cands);
-                    let forks: Vec<PartialState> = cands
-                        .into_iter()
-                        .map(|(c, _)| {
-                            let mut next = st.clone();
-                            next.apply_assign(&self.ctx, n, c);
-                            next
-                        })
-                        .collect();
-                    (forks, pruning)
-                })
-                .collect();
+                    (cands, pruning)
+                });
 
-            let mut next_frontier: Vec<PartialState> = Vec::new();
-            for (forks, pruning) in expansions {
+            // Merge deterministically as (parent index, cluster, cost)
+            // tuples, in (frontier order, per-state candidate order) — the
+            // exact sequence the pre-delta code materialised forks in.
+            let mut merged: Vec<(usize, PgNodeId, f64)> = Vec::new();
+            for (pi, (cands, pruning)) in scored.into_iter().enumerate() {
                 stats.cand_rejected_margin += pruning.by_margin;
                 stats.cand_rejected_branch += pruning.by_branch;
-                next_frontier.extend(forks);
+                merged.extend(cands.into_iter().map(|(c, cost)| (pi, c, cost)));
             }
 
-            if next_frontier.is_empty() {
+            let next_frontier: Vec<PartialState> = if merged.is_empty() {
                 // No-candidates action (paper §3): route from the best states.
+                let mut rescued: Vec<PartialState> = Vec::new();
                 if self.config.enable_router {
-                    for st in &frontier {
-                        stats.route_attempts += 1;
-                        if let Some(routed) =
-                            route_assign(&self.ctx, st, n, self.config.max_route_hops)
-                        {
-                            stats.routed_nodes += 1;
-                            next_frontier.push(routed);
-                        }
-                    }
+                    stats.route_attempts += frontier.len();
+                    let routed = hca_par::par_map(&frontier, |st| {
+                        route_assign(&self.ctx, st, n, self.config.max_route_hops)
+                    });
+                    rescued.extend(routed.into_iter().flatten());
+                    stats.routed_nodes += rescued.len();
                 }
-                if next_frontier.is_empty() {
+                if rescued.is_empty() {
                     return Err(SeeError::NoCandidates { node: n });
                 }
-            }
+                stats.states_explored += rescued.len();
+                stats.states_pruned += node_filter.apply(&mut rescued);
+                rescued
+            } else {
+                // Beam-filter on the scored tuples (same stable sort the
+                // node filter uses), then materialise *only* the survivors.
+                stats.states_explored += merged.len();
+                merged.sort_by(|a, b| a.2.total_cmp(&b.2));
+                let kept = merged.len().min(node_filter.beam_width);
+                stats.states_pruned += merged.len() - kept;
+                merged.truncate(kept);
+                // The last survivor of each parent takes it by move; earlier
+                // survivors clone. Applying the logged assignment replays the
+                // scored trial bit-exactly (undo restores the parent state).
+                let mut uses = vec![0usize; frontier.len()];
+                for &(pi, _, _) in &merged {
+                    uses[pi] += 1;
+                }
+                let mut parents: Vec<Option<PartialState>> = frontier.drain(..).map(Some).collect();
+                let mut out = Vec::with_capacity(merged.len());
+                for (pi, c, _) in merged {
+                    uses[pi] -= 1;
+                    let mut child = if uses[pi] == 0 {
+                        parents[pi].take().expect("last use moves the parent")
+                    } else {
+                        parents[pi]
+                            .as_ref()
+                            .expect("parent live until last use")
+                            .clone()
+                    };
+                    child.apply_assign(&self.ctx, n, c);
+                    out.push(child);
+                }
+                out
+            };
 
-            stats.states_explored += next_frontier.len();
-            stats.states_pruned += node_filter.apply(&mut next_frontier);
             stats.beam_occupancy.push(next_frontier.len());
             frontier = next_frontier;
+            let frontier_bytes: usize = frontier.iter().map(PartialState::approx_bytes).sum();
+            stats.peak_frontier_bytes = stats.peak_frontier_bytes.max(frontier_bytes);
+            stats
+                .step_time_ns
+                .push(u64::try_from(step_t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
         }
 
         let best = frontier
@@ -420,14 +457,13 @@ impl<'a> See<'a> {
             let PgNodeKind::Output { values, .. } = &ctx.pg.node(o).kind else {
                 unreachable!()
             };
-            let values = values.clone();
             // Unary fan-in: one feeder — the latest chunk any value sits in.
             let feeder = values
                 .iter()
                 .filter_map(|v| avail.get(v).copied().or_else(|| chunk_of.get(v).copied()))
                 .max()
                 .unwrap_or(0);
-            for &v in &values {
+            for &v in values {
                 let known = avail.contains_key(&v) || chunk_of.contains_key(&v);
                 if !known {
                     continue; // value never arrives; constraints::check will flag it
@@ -436,7 +472,7 @@ impl<'a> See<'a> {
                 carry_forward(&mut st, &mut avail, v, feeder);
                 st.add_copy(ctx, v, chain[feeder], o, None, false);
                 if ctx.pg.input_carrying(v).is_some() && !chunk_of.contains_key(&v) {
-                    st.issue_load[chain[feeder].index()] += 1;
+                    st.charge_issue(ctx, chain[feeder], 1);
                     st.forwards.push((v, chain[feeder]));
                 }
             }
@@ -555,10 +591,10 @@ impl<'a> See<'a> {
         }
         for o in ctx.pg.output_ids() {
             if let PgNodeKind::Output { values, .. } = &ctx.pg.node(o).kind {
-                for &v in values.clone().iter() {
+                for &v in values {
                     if ctx.pg.input_carrying(v).is_some() && !ws_set.contains(&v) {
                         st.add_copy(ctx, v, host, o, None, false);
-                        st.issue_load[host.index()] += 1;
+                        st.charge_issue(ctx, host, 1);
                         st.forwards.push((v, host));
                     }
                 }
@@ -624,8 +660,9 @@ impl<'a> See<'a> {
             beam_width: self.config.beam_width,
         };
         for (o, values) in grouped {
-            let mut next: Vec<PartialState> = Vec::new();
-            for st in &frontier {
+            // Frontier states are independent; plan each one's forwarding in
+            // parallel and concatenate in frontier order (deterministic).
+            let planned: Vec<Vec<PartialState>> = hca_par::par_map(&frontier, |st| {
                 // Unary fan-in: if the wire already has a feeder, it is the
                 // only admissible forwarder; otherwise fork over the best
                 // few choices for beam diversity.
@@ -646,8 +683,9 @@ impl<'a> See<'a> {
                 }
                 trials.sort_by(|a, b| a.cost.total_cmp(&b.cost));
                 trials.truncate(self.config.branch_factor.max(1));
-                next.extend(trials);
-            }
+                trials
+            });
+            let mut next: Vec<PartialState> = planned.into_iter().flatten().collect();
             if next.is_empty() {
                 return Err(SeeError::NoCandidates { node: values[0] });
             }
@@ -709,7 +747,7 @@ impl<'a> See<'a> {
             }
             trial.add_copy(ctx, v, c, o, None, false);
             // The Route op itself costs an issue slot.
-            trial.issue_load[c.index()] += 1;
+            trial.charge_issue(ctx, c, 1);
             trial.forwards.push((v, c));
         }
         trial.cost = crate::cost::objective(ctx, &trial);

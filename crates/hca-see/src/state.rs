@@ -30,6 +30,20 @@ pub struct SeeContext<'a> {
 }
 
 /// A partial cluster assignment plus its incremental statistics.
+///
+/// Every mutation goes through [`place`], [`add_copy`] / [`charge_issue`] —
+/// they maintain the incremental aggregates (`mii_issue`, `mii_arc`,
+/// `util_sq_sum`) that make [`estimated_mii`] and the objective O(1)
+/// instead of an O(clusters + arcs) rebuild per candidate. Loads only ever
+/// grow, so the aggregates are running maxima/sums; [`undo_assign`] restores
+/// them from a snapshot taken by [`apply_assign_logged`].
+///
+/// [`place`]: PartialState::place
+/// [`add_copy`]: PartialState::add_copy
+/// [`charge_issue`]: PartialState::charge_issue
+/// [`estimated_mii`]: PartialState::estimated_mii
+/// [`undo_assign`]: PartialState::undo_assign
+/// [`apply_assign_logged`]: PartialState::apply_assign_logged
 #[derive(Clone, Debug)]
 pub struct PartialState {
     /// `DDG̅` so far (includes pre-assigned external producers on input nodes).
@@ -62,6 +76,51 @@ pub struct PartialState {
     pub forwards: Vec<(NodeId, PgNodeId)>,
     /// Cached objective value.
     pub cost: f64,
+    /// Running max of per-cluster resource-pressure ceilings (issue, ALU,
+    /// address-gen). `u32::MAX` poisons states that put AG work on an
+    /// AG-less cluster. Maintained by the mutators; never decreases.
+    pub(crate) mii_issue: u32,
+    /// Running max of per-arc value pressure (every value on one pattern
+    /// consumes a transport slot).
+    pub(crate) mii_arc: u32,
+    /// Running Σ (issue_load / issue_slots)² over issue-capable clusters.
+    pub(crate) util_sq_sum: f64,
+    /// Number of issue-capable clusters (constant per context; cached at
+    /// [`PartialState::initial`] so the mean stays O(1)).
+    pub(crate) util_clusters: u32,
+}
+
+/// Undo record of one copy created by [`PartialState::apply_assign_logged`].
+#[derive(Debug)]
+struct CopyUndo {
+    /// The arc the value was pushed onto.
+    arc: (PgNodeId, PgNodeId),
+    /// Did this copy open the `src → dst` in-neighbour entry?
+    new_in_neighbor: bool,
+    /// Did this copy open the `src → dst` out-neighbour entry?
+    new_out_neighbor: bool,
+    /// Did the destination (a real cluster) pay the receive issue slot?
+    charged_recv: bool,
+}
+
+/// Journal reverting one [`PartialState::apply_assign_logged`] call.
+///
+/// Collections are rolled back operation by operation (each copy pops the
+/// value it pushed); the scalar aggregates — including the floats, where
+/// `(a + x) - x` is not guaranteed to equal `a` — are restored from a
+/// snapshot, so an apply→undo round-trip is bit-exact.
+#[derive(Debug)]
+pub struct AssignUndo {
+    node: NodeId,
+    cluster: PgNodeId,
+    copies: SmallVec<[CopyUndo; 4]>,
+    total_copies: u32,
+    recurrence_copies: u32,
+    critical_penalty: f64,
+    mii_issue: u32,
+    mii_arc: u32,
+    util_sq_sum: f64,
+    cost: f64,
 }
 
 impl PartialState {
@@ -77,6 +136,11 @@ impl PartialState {
     /// content ultimately comes from this very group's emission).
     pub fn initial(ctx: &SeeContext<'_>, working_set: &[NodeId]) -> Self {
         let n = ctx.pg.num_nodes();
+        let util_clusters = ctx
+            .pg
+            .cluster_ids()
+            .filter(|&id| ctx.pg.node(id).rt.issue > 0)
+            .count() as u32;
         let mut st = PartialState {
             assignment: FxHashMap::default(),
             copies: FxHashMap::default(),
@@ -92,6 +156,10 @@ impl PartialState {
             routed_hops: 0,
             forwards: Vec::new(),
             cost: 0.0,
+            mii_issue: 0,
+            mii_arc: 0,
+            util_sq_sum: 0.0,
+            util_clusters,
         };
         let ws: FxHashSet<NodeId> = working_set.iter().copied().collect();
         for id in ctx.pg.input_ids() {
@@ -150,20 +218,37 @@ impl PartialState {
         via_edge_slack: Option<u32>,
         in_recurrence: bool,
     ) -> bool {
+        self.add_copy_logged(ctx, v, src, dst, via_edge_slack, in_recurrence)
+            .is_some()
+    }
+
+    /// [`add_copy`](PartialState::add_copy), returning the undo record the
+    /// delta-scoring engine journals (`None` when the copy already existed).
+    fn add_copy_logged(
+        &mut self,
+        ctx: &SeeContext<'_>,
+        v: NodeId,
+        src: PgNodeId,
+        dst: PgNodeId,
+        via_edge_slack: Option<u32>,
+        in_recurrence: bool,
+    ) -> Option<CopyUndo> {
         let entry = self.copies.entry((src, dst)).or_default();
         if entry.contains(&v) {
-            return false;
+            return None;
         }
         entry.push(v);
+        self.mii_arc = self.mii_arc.max(entry.len() as u32);
         self.total_copies += 1;
-        self.in_neighbors[dst.index()].insert(src);
-        self.out_neighbors[src.index()].insert(dst);
+        let new_in_neighbor = self.in_neighbors[dst.index()].insert(src);
+        let new_out_neighbor = self.out_neighbors[src.index()].insert(dst);
         // Receiving a value costs one issue slot on the destination cluster
         // (the rcv primitive, §2.2) — but only on real clusters: special
         // output nodes model the parent boundary and execute nothing.
-        if ctx.pg.node(dst).kind.is_cluster() {
+        let charged_recv = ctx.pg.node(dst).kind.is_cluster();
+        if charged_recv {
             self.recv_load[dst.index()] += 1;
-            self.issue_load[dst.index()] += 1;
+            self.charge_issue(ctx, dst, 1);
         }
         if in_recurrence {
             self.recurrence_copies += 1;
@@ -175,7 +260,30 @@ impl PartialState {
             let room = f64::from(slack);
             self.critical_penalty += (lat / (1.0 + room)).min(lat);
         }
-        true
+        Some(CopyUndo {
+            arc: (src, dst),
+            new_in_neighbor,
+            new_out_neighbor,
+            charged_recv,
+        })
+    }
+
+    /// Charge `slots` extra issue slots on cluster `c`, maintaining the
+    /// incremental MII and utilisation aggregates. Every issue-load mutation
+    /// outside [`place`](PartialState::place) must go through here.
+    pub fn charge_issue(&mut self, ctx: &SeeContext<'_>, c: PgNodeId, slots: u32) {
+        let i = c.index();
+        let rt = ctx.pg.node(c).rt;
+        let old = self.issue_load[i];
+        let new = old + slots;
+        self.issue_load[i] = new;
+        if rt.issue > 0 {
+            self.mii_issue = self.mii_issue.max(new.div_ceil(rt.issue));
+            let denom = f64::from(rt.issue);
+            let ou = f64::from(old) / denom;
+            let nu = f64::from(new) / denom;
+            self.util_sq_sum += nu * nu - ou * ou;
+        }
     }
 
     /// Book `n` onto cluster `c` and charge its resources — without creating
@@ -190,10 +298,25 @@ impl PartialState {
         );
         debug_assert!(!self.assignment.contains_key(&n), "{n} already assigned");
         self.assignment.insert(n, c);
-        self.issue_load[c.index()] += 1;
+        self.charge_issue(ctx, c, 1);
+        let i = c.index();
+        let rt = ctx.pg.node(c).rt;
         match ctx.ddg.node(n).op.resource_class() {
-            hca_ddg::ResourceClass::Alu => self.alu_ops[c.index()] += 1,
-            hca_ddg::ResourceClass::AddrGen => self.ag_ops[c.index()] += 1,
+            hca_ddg::ResourceClass::Alu => {
+                self.alu_ops[i] += 1;
+                if rt.alu > 0 {
+                    self.mii_issue = self.mii_issue.max(self.alu_ops[i].div_ceil(rt.alu));
+                }
+            }
+            hca_ddg::ResourceClass::AddrGen => {
+                self.ag_ops[i] += 1;
+                if rt.addr_gen > 0 {
+                    self.mii_issue = self.mii_issue.max(self.ag_ops[i].div_ceil(rt.addr_gen));
+                } else {
+                    // AG work on an AG-less cluster: infeasible, poison.
+                    self.mii_issue = u32::MAX;
+                }
+            }
             hca_ddg::ResourceClass::Receive => {}
         }
     }
@@ -204,6 +327,31 @@ impl PartialState {
     ///
     /// The caller must have verified assignability; this method only applies.
     pub fn apply_assign(&mut self, ctx: &SeeContext<'_>, n: NodeId, c: PgNodeId) {
+        let _ = self.apply_assign_logged(ctx, n, c);
+    }
+
+    /// [`apply_assign`](PartialState::apply_assign), returning the journal
+    /// that [`undo_assign`](PartialState::undo_assign) reverts. This is the
+    /// delta-scoring hot path: the engine applies a candidate to the live
+    /// frontier state, reads `cost`, and undoes — no clone per trial.
+    pub fn apply_assign_logged(
+        &mut self,
+        ctx: &SeeContext<'_>,
+        n: NodeId,
+        c: PgNodeId,
+    ) -> AssignUndo {
+        let mut undo = AssignUndo {
+            node: n,
+            cluster: c,
+            copies: SmallVec::new(),
+            total_copies: self.total_copies,
+            recurrence_copies: self.recurrence_copies,
+            critical_penalty: self.critical_penalty,
+            mii_issue: self.mii_issue,
+            mii_arc: self.mii_arc,
+            util_sq_sum: self.util_sq_sum,
+            cost: self.cost,
+        };
         self.place(ctx, n, c);
         let scc = &ctx.analysis.scc;
         // Operand flows into n. Constants never travel: the configuration
@@ -219,7 +367,8 @@ impl PartialState {
                     let slack = edge_slack(ctx, e);
                     let rec = scc[e.src.index()] == scc[e.dst.index()]
                         && ctx.pg.node(cp).kind.is_cluster();
-                    self.add_copy(ctx, e.src, cp, c, Some(slack), rec);
+                    undo.copies
+                        .extend(self.add_copy_logged(ctx, e.src, cp, c, Some(slack), rec));
                 }
             }
         }
@@ -233,43 +382,79 @@ impl PartialState {
                     if cs != c && ctx.pg.node(cs).kind.is_cluster() {
                         let slack = edge_slack(ctx, e);
                         let rec = scc[e.src.index()] == scc[e.dst.index()];
-                        self.add_copy(ctx, n, c, cs, Some(slack), rec);
+                        undo.copies
+                            .extend(self.add_copy_logged(ctx, n, c, cs, Some(slack), rec));
                     }
                 }
             }
         }
         // n's value flows up through every output wire listing it.
         for o in ctx.pg.outputs_carrying(n) {
-            self.add_copy(ctx, n, c, o, None, false);
+            undo.copies
+                .extend(self.add_copy_logged(ctx, n, c, o, None, false));
         }
         self.cost = crate::cost::objective(ctx, self);
+        undo
+    }
+
+    /// Revert one [`apply_assign_logged`](PartialState::apply_assign_logged)
+    /// (the most recent — journals must unwind LIFO). Collections roll back
+    /// op by op; scalar aggregates restore from the snapshot, so the state
+    /// is bit-identical to before the apply.
+    pub fn undo_assign(&mut self, ctx: &SeeContext<'_>, undo: AssignUndo) {
+        for cu in undo.copies.iter().rev() {
+            let (src, dst) = cu.arc;
+            let vs = self.copies.get_mut(&cu.arc).expect("journalled arc exists");
+            vs.pop();
+            if vs.is_empty() {
+                // Never leave empty arcs behind: `into_assigned` and the
+                // copies-map invariants assume every present arc is live.
+                self.copies.remove(&cu.arc);
+            }
+            if cu.new_in_neighbor {
+                self.in_neighbors[dst.index()].remove(&src);
+            }
+            if cu.new_out_neighbor {
+                self.out_neighbors[src.index()].remove(&dst);
+            }
+            if cu.charged_recv {
+                self.recv_load[dst.index()] -= 1;
+                self.issue_load[dst.index()] -= 1;
+            }
+        }
+        self.assignment.remove(&undo.node);
+        let i = undo.cluster.index();
+        self.issue_load[i] -= 1;
+        match ctx.ddg.node(undo.node).op.resource_class() {
+            hca_ddg::ResourceClass::Alu => self.alu_ops[i] -= 1,
+            hca_ddg::ResourceClass::AddrGen => self.ag_ops[i] -= 1,
+            hca_ddg::ResourceClass::Receive => {}
+        }
+        self.total_copies = undo.total_copies;
+        self.recurrence_copies = undo.recurrence_copies;
+        self.critical_penalty = undo.critical_penalty;
+        self.mii_issue = undo.mii_issue;
+        self.mii_arc = undo.mii_arc;
+        self.util_sq_sum = undo.util_sq_sum;
+        self.cost = undo.cost;
     }
 
     /// Estimated final MII of the partial solution (§4.2): the max of the
     /// DDG's MIIRec, the per-cluster issue pressure (instructions plus
     /// receives over issue slots, and per-class pressure), and the worst arc
     /// pressure (every value on one pattern consumes a transport slot).
+    ///
+    /// O(1): reads the running aggregates the mutators maintain. Loads and
+    /// arc pressures only ever grow within one state's lifetime, so running
+    /// maxima are exact; AG work on an AG-less cluster poisons `mii_issue`
+    /// to `u32::MAX`.
+    #[inline]
     pub fn estimated_mii(&self, ctx: &SeeContext<'_>) -> u32 {
-        let mut mii = ctx.analysis.mii_rec;
-        for id in ctx.pg.cluster_ids() {
-            let rt = ctx.pg.node(id).rt;
-            let i = id.index();
-            if rt.issue > 0 {
-                mii = mii.max(self.issue_load[i].div_ceil(rt.issue));
-            }
-            if rt.alu > 0 {
-                mii = mii.max(self.alu_ops[i].div_ceil(rt.alu));
-            }
-            if rt.addr_gen > 0 {
-                mii = mii.max(self.ag_ops[i].div_ceil(rt.addr_gen));
-            } else if self.ag_ops[i] > 0 {
-                return u32::MAX;
-            }
-        }
-        for arcs in self.copies.values() {
-            mii = mii.max(arcs.len() as u32);
-        }
-        mii.max(1)
+        ctx.analysis
+            .mii_rec
+            .max(self.mii_issue)
+            .max(self.mii_arc)
+            .max(1)
     }
 
     /// Highest per-issue-slot utilisation across clusters.
@@ -290,22 +475,38 @@ impl PartialState {
     /// MIIRec), but concentrated placements explode into receive storms and
     /// port contention one hierarchy level down. The squared term keeps a
     /// spreading gradient alive everywhere.
-    pub fn utilization_sq_mean(&self, ctx: &SeeContext<'_>) -> f64 {
-        let mut sum = 0.0;
-        let mut count = 0u32;
-        for id in ctx.pg.cluster_ids() {
-            let rt = ctx.pg.node(id).rt;
-            if rt.issue > 0 {
-                let u = f64::from(self.issue_load[id.index()]) / f64::from(rt.issue);
-                sum += u * u;
-                count += 1;
-            }
-        }
-        if count == 0 {
+    #[inline]
+    pub fn utilization_sq_mean(&self, _ctx: &SeeContext<'_>) -> f64 {
+        // O(1): `util_sq_sum` is maintained incrementally by `charge_issue`.
+        if self.util_clusters == 0 {
             0.0
         } else {
-            sum / f64::from(count)
+            self.util_sq_sum / f64::from(self.util_clusters)
         }
+    }
+
+    /// Approximate heap footprint of this state in bytes — used by the
+    /// engine to track peak frontier memory for the throughput benches.
+    /// Counts element payloads plus a flat per-container overhead; exactness
+    /// is not the point, comparability across beam widths is.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let entry = size_of::<NodeId>() + size_of::<PgNodeId>() + size_of::<u64>();
+        let mut bytes = size_of::<Self>();
+        bytes += self.assignment.len() * entry;
+        for vs in self.copies.values() {
+            bytes += size_of::<(PgNodeId, PgNodeId)>()
+                + size_of::<u64>()
+                + vs.len() * size_of::<NodeId>();
+        }
+        bytes +=
+            (self.issue_load.len() + self.alu_ops.len() + self.ag_ops.len() + self.recv_load.len())
+                * size_of::<u32>();
+        for s in self.in_neighbors.iter().chain(&self.out_neighbors) {
+            bytes += size_of::<FxHashSet<PgNodeId>>() + s.len() * size_of::<PgNodeId>();
+        }
+        bytes += self.forwards.len() * size_of::<(NodeId, PgNodeId)>();
+        bytes
     }
 
     /// Freeze into the [`AssignedPg`] handed to the Mapper.
@@ -483,6 +684,74 @@ mod tests {
         }
         assert_eq!(st.estimated_mii(&ctx), 3); // 3 ops per single-issue CN
         assert!((st.max_utilization(&ctx) - 3.0).abs() < 1e-9);
+    }
+
+    /// Field-by-field equality, with floats compared bit-for-bit: undo
+    /// restores scalar snapshots, so even rounding noise must vanish.
+    fn assert_states_identical(a: &PartialState, b: &PartialState) {
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.copies, b.copies);
+        assert_eq!(a.issue_load, b.issue_load);
+        assert_eq!(a.alu_ops, b.alu_ops);
+        assert_eq!(a.ag_ops, b.ag_ops);
+        assert_eq!(a.recv_load, b.recv_load);
+        assert_eq!(a.in_neighbors, b.in_neighbors);
+        assert_eq!(a.out_neighbors, b.out_neighbors);
+        assert_eq!(a.total_copies, b.total_copies);
+        assert_eq!(a.recurrence_copies, b.recurrence_copies);
+        assert_eq!(a.critical_penalty.to_bits(), b.critical_penalty.to_bits());
+        assert_eq!(a.routed_hops, b.routed_hops);
+        assert_eq!(a.forwards, b.forwards);
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        assert_eq!(a.mii_issue, b.mii_issue);
+        assert_eq!(a.mii_arc, b.mii_arc);
+        assert_eq!(a.util_sq_sum.to_bits(), b.util_sq_sum.to_bits());
+        assert_eq!(a.util_clusters, b.util_clusters);
+    }
+
+    #[test]
+    fn apply_undo_round_trips_exactly() {
+        // A shape that exercises every journal entry: cross-cluster flows
+        // (copies + recv loads), a carried edge (recurrence copies), and a
+        // shared producer (copy dedup) — then trial-assign each remaining
+        // node on each cluster and undo, demanding the pre-trial state back
+        // bit-for-bit.
+        let mut b = DdgBuilder::default();
+        let p = b.node(Opcode::Add);
+        let q1 = b.node(Opcode::Add);
+        let q2 = b.node(Opcode::Add);
+        let r = b.node(Opcode::Add);
+        b.flow(p, q1);
+        b.flow(p, q2);
+        b.flow(q1, r);
+        b.carried(r, p, 1);
+        let ddg = b.finish();
+        let pg = Pg::complete(3, ResourceTable::of_cns(2));
+        let (an, cons) = ctx_fixture(&ddg, &pg);
+        let ctx = SeeContext {
+            ddg: &ddg,
+            analysis: &an,
+            pg: &pg,
+            constraints: cons,
+            weights: CostWeights::default(),
+            issue_cap: None,
+        };
+        let mut st = PartialState::initial(&ctx, &[]);
+        st.apply_assign(&ctx, p, PgNodeId(0));
+        st.apply_assign(&ctx, q1, PgNodeId(1));
+
+        for node in [q2, r] {
+            for cluster in 0..3u32 {
+                let before = st.clone();
+                let undo = st.apply_assign_logged(&ctx, node, PgNodeId(cluster));
+                assert!(st.assignment.contains_key(&node), "trial assignment landed");
+                st.undo_assign(&ctx, undo);
+                assert_states_identical(&before, &st);
+            }
+            // Commit one for real so the next node's trials see deeper state.
+            st.apply_assign(&ctx, node, PgNodeId(2));
+        }
+        assert_eq!(st.total_copies, 4);
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Thread-count invariance of the whole pipeline.
+//!
+//! The `hca-par` pool guarantees results are merged in input order, and the
+//! driver/SEE merge logic is written so scheduling decides only *who*
+//! computes, never *what* comes out. These tests pin that contract: a full
+//! `table1` run with 1 worker and with 4 workers must agree on every
+//! assignment, every copy primitive, the final MII, and the search
+//! statistics (timing excluded — wall-clock is the one thing allowed to
+//! differ).
+
+use hca_repro::arch::DspFabric;
+use hca_repro::hca::{run_hca, HcaConfig, HcaResult};
+use hca_repro::see::{See, SeeConfig, SeeStats};
+
+/// Serialises tests in this file: the thread override is process-global.
+static OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Run the full pipeline on every Table-1 kernel at a given pool width.
+fn run_table1(threads: usize) -> Vec<(&'static str, HcaResult)> {
+    hca_par::set_thread_override(Some(threads));
+    let fabric = DspFabric::standard(8, 8, 8);
+    let out = hca_repro::kernels::table1_kernels()
+        .into_iter()
+        .map(|kernel| {
+            let res = run_hca(&kernel.ddg, &fabric, &HcaConfig::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+            (kernel.name, res)
+        })
+        .collect();
+    hca_par::set_thread_override(None);
+    out
+}
+
+#[test]
+fn table1_pipeline_is_thread_count_invariant() {
+    let _g = OVERRIDE_LOCK.lock().unwrap();
+    let seq = run_table1(1);
+    let par = run_table1(4);
+    for ((name, a), (_, b)) in seq.iter().zip(par.iter()) {
+        assert_eq!(a.placement, b.placement, "{name}: placements diverge");
+        assert_eq!(a.mii, b.mii, "{name}: MII reports diverge");
+        assert_eq!(a.stats, b.stats, "{name}: run statistics diverge");
+        assert_eq!(
+            a.final_program.placement, b.final_program.placement,
+            "{name}: final-program placements diverge"
+        );
+        assert_eq!(
+            a.final_program.recv_nodes, b.final_program.recv_nodes,
+            "{name}: copy (recv) primitives diverge"
+        );
+        assert_eq!(
+            a.final_program.route_nodes, b.final_program.route_nodes,
+            "{name}: route primitives diverge"
+        );
+        assert!(a.is_legal(), "{name}: sequential run illegal");
+        assert!(b.is_legal(), "{name}: parallel run illegal");
+    }
+}
+
+/// Everything in [`SeeStats`] except per-step wall-clock must match.
+fn assert_stats_match(a: &SeeStats, b: &SeeStats, name: &str) {
+    assert_eq!(a.states_explored, b.states_explored, "{name}");
+    assert_eq!(a.states_pruned, b.states_pruned, "{name}");
+    assert_eq!(a.cand_rejected_margin, b.cand_rejected_margin, "{name}");
+    assert_eq!(a.cand_rejected_branch, b.cand_rejected_branch, "{name}");
+    assert_eq!(a.route_attempts, b.route_attempts, "{name}");
+    assert_eq!(a.routed_nodes, b.routed_nodes, "{name}");
+    assert_eq!(a.routed_hops, b.routed_hops, "{name}");
+    assert_eq!(a.beam_occupancy, b.beam_occupancy, "{name}");
+    assert_eq!(a.peak_frontier_bytes, b.peak_frontier_bytes, "{name}");
+    assert_eq!(a.step_time_ns.len(), b.step_time_ns.len(), "{name}");
+}
+
+#[test]
+fn see_stats_invariant_holds_at_every_thread_count() {
+    let _g = OVERRIDE_LOCK.lock().unwrap();
+    use hca_repro::arch::ResourceTable;
+    use hca_repro::ddg::analysis::DdgAnalysis;
+    use hca_repro::pg::{ArchConstraints, Pg};
+
+    let constraints = ArchConstraints {
+        max_in_neighbors: 4,
+        max_out_neighbors: None,
+        out_node_max_in: 1,
+        copy_latency: 1,
+    };
+    for kernel in hca_repro::kernels::table1_kernels() {
+        let analysis = DdgAnalysis::compute(&kernel.ddg).unwrap();
+        let pg = Pg::complete(8, ResourceTable::of_cns(8));
+        let mut runs = Vec::new();
+        for threads in [1usize, 4] {
+            hca_par::set_thread_override(Some(threads));
+            let see = See::new(
+                &kernel.ddg,
+                &analysis,
+                &pg,
+                constraints,
+                SeeConfig::default(),
+            );
+            let outcome = see
+                .run(None)
+                .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+            // Every scored candidate is either pruned or survives into a
+            // beam — the delta-state rework must not break this accounting.
+            let beam_total: usize = outcome.stats.beam_occupancy.iter().sum();
+            assert_eq!(
+                outcome.stats.states_explored,
+                outcome.stats.states_pruned + beam_total,
+                "{} @ {threads} threads: explored != pruned + Σ occupancy",
+                kernel.name
+            );
+            runs.push(outcome);
+        }
+        hca_par::set_thread_override(None);
+        assert_eq!(runs[0].cost, runs[1].cost, "{}: costs diverge", kernel.name);
+        assert_eq!(
+            runs[0].est_mii, runs[1].est_mii,
+            "{}: estimated MII diverges",
+            kernel.name
+        );
+        assert_stats_match(&runs[0].stats, &runs[1].stats, kernel.name);
+    }
+}

@@ -1,88 +1,163 @@
 //! Offline stand-in for the `rayon` crate (see `vendor/README.md`).
 //!
-//! Every "parallel" iterator here is the corresponding *sequential* std
-//! iterator: `par_iter()` et al. simply delegate to `iter()`. Results are
-//! bit-identical to real rayon for the deterministic merge patterns this
-//! workspace uses (`par_iter().map(..).collect()`); only wall-clock
-//! parallelism is lost.
+//! The subset of the `par_iter` API this workspace uses, executed on the
+//! [`hca_par`] scoped worker pool instead of a registry dependency. The pool
+//! collects results **in input order**, so `par_iter().map(..).collect()` is
+//! bit-identical to the sequential `iter().map(..).collect()` whatever the
+//! thread count (`HCA_THREADS`, or the `sequential` feature to pin it at 1).
+//!
+//! Unlike real rayon there is no lazy adaptor algebra: `par_iter()` borrows
+//! a slice, `map` stores the closure, and `collect`/`for_each` dispatch the
+//! whole batch to the pool. That covers every call site here; anything
+//! fancier should use `hca_par` directly.
 
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator};
 }
 
-/// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
-pub trait IntoParallelIterator {
-    /// Iterator produced.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Element type.
-    type Item;
-    /// "Parallel" (here: sequential) owned iterator.
-    fn into_par_iter(self) -> Self::Iter;
-}
-
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Iter = I::IntoIter;
-    type Item = I::Item;
-    #[inline]
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
-    }
-}
-
-/// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+/// Borrowing entry point: `collection.par_iter()`.
 pub trait IntoParallelRefIterator<'data> {
-    /// Iterator produced.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Element type (a shared reference).
-    type Item: 'data;
-    /// "Parallel" (here: sequential) borrowing iterator.
-    fn par_iter(&'data self) -> Self::Iter;
+    /// Element type behind the references handed to `map`.
+    type Elem: 'data;
+    /// A "parallel iterator" over shared references.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Elem>;
 }
 
-impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
-where
-    &'data C: IntoIterator,
-    <&'data C as IntoIterator>::Item: 'data,
-{
-    type Iter = <&'data C as IntoIterator>::IntoIter;
-    type Item = <&'data C as IntoIterator>::Item;
-    #[inline]
-    fn par_iter(&'data self) -> Self::Iter {
-        self.into_iter()
-    }
-}
-
-/// Sequential stand-in for `rayon::iter::IntoParallelRefMutIterator`.
+/// Mutably borrowing entry point: `collection.par_iter_mut()`.
 pub trait IntoParallelRefMutIterator<'data> {
-    /// Iterator produced.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Element type (an exclusive reference).
-    type Item: 'data;
-    /// "Parallel" (here: sequential) mutably-borrowing iterator.
-    fn par_iter_mut(&'data mut self) -> Self::Iter;
+    /// Element type behind the references handed to `map`/`for_each`.
+    type Elem: 'data;
+    /// A "parallel iterator" over exclusive references.
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, Self::Elem>;
 }
 
-impl<'data, C: ?Sized + 'data> IntoParallelRefMutIterator<'data> for C
-where
-    &'data mut C: IntoIterator,
-    <&'data mut C as IntoIterator>::Item: 'data,
-{
-    type Iter = <&'data mut C as IntoIterator>::IntoIter;
-    type Item = <&'data mut C as IntoIterator>::Item;
-    #[inline]
-    fn par_iter_mut(&'data mut self) -> Self::Iter {
-        self.into_iter()
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+    type Elem = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
     }
 }
 
-/// Sequential stand-in for `rayon::join`.
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Elem = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Elem = T;
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Elem = T;
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// Parallel iterator over shared references into a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Attach the per-element closure; executed by `collect`.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped batch awaiting `collect`.
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T, F> ParMap<'data, T, F>
+where
+    T: Sync,
+{
+    /// Run the batch on the pool and collect results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        hca_par::par_map(self.items, self.f).into_iter().collect()
+    }
+}
+
+/// Parallel iterator over exclusive references into a slice.
+pub struct ParIterMut<'data, T> {
+    items: &'data mut [T],
+}
+
+impl<'data, T: Send> ParIterMut<'data, T> {
+    /// Attach the per-element closure; executed by `collect`.
+    pub fn map<R, F>(self, f: F) -> ParMapMut<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&mut T) -> R + Sync,
+    {
+        ParMapMut {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Mutate every element on the pool (contiguous chunks, no overlap).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        hca_par::par_map_mut(self.items, |t| f(t));
+    }
+}
+
+/// A mutably-mapped batch awaiting `collect`.
+pub struct ParMapMut<'data, T, F> {
+    items: &'data mut [T],
+    f: F,
+}
+
+impl<'data, T, F> ParMapMut<'data, T, F>
+where
+    T: Send,
+{
+    /// Run the batch on the pool and collect results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(&mut T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        hca_par::par_map_mut(self.items, self.f)
+            .into_iter()
+            .collect()
+    }
+}
+
+/// `rayon::join`, backed by [`hca_par::join`].
 #[inline]
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
+    A: FnOnce() -> RA + Send,
     B: FnOnce() -> RB,
+    RA: Send,
 {
-    (a(), b())
+    hca_par::join(a, b)
 }
 
 /// Sequential stand-in for `rayon::scope` — runs the closure with a unit
@@ -104,7 +179,26 @@ mod tests {
         let v = vec![1u32, 2, 3];
         let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6]);
-        let owned: Vec<u32> = v.clone().into_par_iter().collect();
-        assert_eq!(owned, v);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v = vec![1u32, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13]);
+        let old: Vec<u32> = v
+            .par_iter_mut()
+            .map(|x| {
+                *x *= 2;
+                *x
+            })
+            .collect();
+        assert_eq!(old, vec![22, 24, 26]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "four");
+        assert_eq!((a, b), (4, "four"));
     }
 }
