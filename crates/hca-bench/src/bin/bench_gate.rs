@@ -102,7 +102,13 @@ fn main() {
         );
         std::process::exit(2);
     });
-    let baseline: Baseline = serde_json::from_str(&text).expect("well-formed baseline");
+    let baseline: Baseline = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!(
+            "malformed baseline {} ({e}); run with --record to recreate it",
+            baseline_path().display()
+        );
+        std::process::exit(2);
+    });
     let tolerance = tolerance_override.unwrap_or(baseline.tolerance_pct);
 
     println!(
@@ -118,6 +124,14 @@ fn main() {
             );
             continue;
         };
+        if !old.millis.is_finite() || old.millis <= 0.0 {
+            eprintln!(
+                "baseline entry {:?} has unusable wall-clock {} ms; \
+                 run with --record to rebaseline",
+                new.case, old.millis
+            );
+            std::process::exit(2);
+        }
         let delta_pct = (new.millis - old.millis) / old.millis * 100.0;
         let flag = if delta_pct > tolerance {
             regressed = true;

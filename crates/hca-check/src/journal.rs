@@ -1,0 +1,124 @@
+//! Apply/undo journal round-trip check for the SEE delta state.
+//!
+//! `PartialState::apply_assign_logged` journals one assignment;
+//! `undo_assign` promises a **bit-exact** rollback (floats restored from
+//! snapshots, collections popped operation by operation). This module
+//! drives a random assignment sequence forward, fingerprinting the state
+//! before every apply, then unwinds the whole journal and verifies each
+//! intermediate state matches its fingerprint bit for bit.
+
+use hca_arch::ResourceTable;
+use hca_ddg::{Ddg, DdgAnalysis, NodeId};
+use hca_pg::{ArchConstraints, Pg, PgNodeId};
+use hca_see::{CostWeights, PartialState, SeeContext};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Stable, bit-exact digest of every externally visible field of a
+/// [`PartialState`]. Floats are captured via `to_bits`, hash collections
+/// in sorted order.
+fn fingerprint(st: &PartialState) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let mut assignment: Vec<(NodeId, PgNodeId)> =
+        st.assignment.iter().map(|(&n, &c)| (n, c)).collect();
+    assignment.sort();
+    writeln!(s, "assignment {assignment:?}").unwrap();
+    let mut copies: Vec<(PgNodeId, PgNodeId, Vec<NodeId>)> = st
+        .copies
+        .iter()
+        .map(|(&(a, b), vs)| (a, b, vs.iter().copied().collect()))
+        .collect();
+    copies.sort();
+    writeln!(s, "copies {copies:?}").unwrap();
+    writeln!(s, "issue {:?}", st.issue_load).unwrap();
+    writeln!(s, "alu {:?}", st.alu_ops).unwrap();
+    writeln!(s, "ag {:?}", st.ag_ops).unwrap();
+    writeln!(s, "recv {:?}", st.recv_load).unwrap();
+    let neigh = |sets: &[rustc_hash::FxHashSet<PgNodeId>]| -> Vec<Vec<PgNodeId>> {
+        sets.iter()
+            .map(|set| {
+                let mut v: Vec<PgNodeId> = set.iter().copied().collect();
+                v.sort();
+                v
+            })
+            .collect()
+    };
+    writeln!(s, "in {:?}", neigh(&st.in_neighbors)).unwrap();
+    writeln!(s, "out {:?}", neigh(&st.out_neighbors)).unwrap();
+    writeln!(
+        s,
+        "scalars {} {} {:x} {} {:?} {:x}",
+        st.total_copies,
+        st.recurrence_copies,
+        st.critical_penalty.to_bits(),
+        st.routed_hops,
+        st.forwards,
+        st.cost.to_bits()
+    )
+    .unwrap();
+    s
+}
+
+/// Drive a full random assignment over a complete `clusters`-node PG and
+/// verify the journal unwinds bit-exactly. Returns the first mismatch as a
+/// human-readable diff context.
+pub fn journal_roundtrip_check(ddg: &Ddg, clusters: usize, rng: &mut StdRng) -> Result<(), String> {
+    let analysis = DdgAnalysis::compute(ddg).map_err(|e| format!("analysis failed: {e}"))?;
+    let pg = Pg::complete(clusters, ResourceTable::of_cns(clusters as u32));
+    let ctx = SeeContext {
+        ddg,
+        analysis: &analysis,
+        pg: &pg,
+        constraints: ArchConstraints {
+            max_in_neighbors: 2,
+            max_out_neighbors: None,
+            out_node_max_in: 1,
+            copy_latency: 1,
+        },
+        weights: CostWeights::default(),
+        issue_cap: None,
+    };
+    let working_set: Vec<NodeId> = ddg.node_ids().collect();
+    let mut st = PartialState::initial(&ctx, &working_set);
+
+    let mut journal = Vec::new();
+    let mut checkpoints = vec![fingerprint(&st)];
+    for &n in &working_set {
+        let c = PgNodeId(rng.gen_range(0..clusters as u32));
+        journal.push(st.apply_assign_logged(&ctx, n, c));
+        checkpoints.push(fingerprint(&st));
+    }
+
+    // Unwind: after undoing apply #i the state must equal checkpoint #i.
+    for i in (0..journal.len()).rev() {
+        let undo = journal.pop().expect("journal entry");
+        st.undo_assign(&ctx, undo);
+        let now = fingerprint(&st);
+        if now != checkpoints[i] {
+            return Err(format!(
+                "journal round-trip diverged after undoing step {i}:\n\
+                 --- expected ---\n{}\n--- actual ---\n{now}",
+                checkpoints[i]
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_kernel;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_is_bit_exact_on_random_kernels() {
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ddg = random_kernel(&mut rng, 16);
+            journal_roundtrip_check(&ddg, 4, &mut rng)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Delta-debugging shrinker: reduce a failing DDG to a minimal reproducer.
+//!
+//! Classic ddmin over node subsets (drop chunks of nodes, keep the induced
+//! subgraph, re-run the failure predicate), followed by single-edge removal
+//! until a fixpoint. The predicate sees each candidate graph with node ids
+//! remapped to a dense range, so reproducers stay loadable as ordinary DDGs.
+
+use hca_ddg::{Ddg, NodeId};
+
+/// Induced subgraph over `keep` (ids remapped densely, order preserved).
+/// Edges survive only when both endpoints survive.
+pub fn induced_subgraph(ddg: &Ddg, keep: &[NodeId]) -> Ddg {
+    let mut map = vec![None; ddg.num_nodes()];
+    let mut out = Ddg::new();
+    for &n in keep {
+        let node = ddg.node(n);
+        map[n.index()] = Some(out.add_node(node.op, node.name.clone()));
+    }
+    for e in ddg.edges() {
+        if let (Some(src), Some(dst)) = (map[e.src.index()], map[e.dst.index()]) {
+            out.add_edge(src, dst, e.latency, e.distance);
+        }
+    }
+    out
+}
+
+/// Rebuild `ddg` without the edge at position `skip` (by edge index).
+fn without_edge(ddg: &Ddg, skip: usize) -> Ddg {
+    let mut out = Ddg::new();
+    for n in ddg.node_ids() {
+        let node = ddg.node(n);
+        out.add_node(node.op, node.name.clone());
+    }
+    for (i, e) in ddg.edges().iter().enumerate() {
+        if i != skip {
+            out.add_edge(e.src, e.dst, e.latency, e.distance);
+        }
+    }
+    out
+}
+
+/// Shrink `ddg` to a (locally) minimal graph on which `fails` still returns
+/// `true`. `fails(&ddg)` itself must be `true` on entry, or the input is
+/// returned unchanged. The predicate is invoked at most a few hundred times
+/// for fuzz-sized graphs.
+pub fn shrink(ddg: &Ddg, fails: &dyn Fn(&Ddg) -> bool) -> Ddg {
+    if !fails(ddg) {
+        return ddg.clone();
+    }
+    let mut current = ddg.clone();
+
+    // Phase 1: ddmin over node subsets.
+    let mut chunk = (current.num_nodes() / 2).max(1);
+    while chunk >= 1 {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < current.num_nodes() {
+            let nodes_now: Vec<NodeId> = current.node_ids().collect();
+            if start >= nodes_now.len() {
+                break;
+            }
+            let end = (start + chunk).min(nodes_now.len());
+            let keep: Vec<NodeId> = nodes_now
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(i, _)| i < start || i >= end)
+                .map(|(_, n)| n)
+                .collect();
+            if keep.is_empty() {
+                start = end;
+                continue;
+            }
+            let candidate = induced_subgraph(&current, &keep);
+            if fails(&candidate) {
+                current = candidate;
+                progressed = true;
+                // Same `start`: the next chunk slid into this position.
+            } else {
+                start = end;
+            }
+        }
+        if !progressed {
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+    }
+
+    // Phase 2: drop redundant edges one at a time until stable.
+    loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < current.num_edges() {
+            let candidate = without_edge(&current, i);
+            if fails(&candidate) {
+                current = candidate;
+                progressed = true;
+                // Same index: the edge list shifted down.
+            } else {
+                i += 1;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hca_ddg::{DdgBuilder, Opcode};
+
+    #[test]
+    fn induced_subgraph_remaps_ids() {
+        let mut b = DdgBuilder::default();
+        let a = b.node(Opcode::Add);
+        let c = b.node(Opcode::Mul);
+        let d = b.op_with(Opcode::Sub, &[a, c]);
+        let _ = b.op_with(Opcode::Store, &[d]);
+        let g = b.finish();
+        let sub = induced_subgraph(&g, &[c, d]);
+        assert_eq!(sub.num_nodes(), 2);
+        assert_eq!(sub.num_edges(), 1); // only c→d survives
+        assert_eq!(sub.edges()[0].src, NodeId(0));
+        assert_eq!(sub.edges()[0].dst, NodeId(1));
+    }
+
+    #[test]
+    fn shrinks_to_the_failing_core() {
+        // Failure: "contains a Mul with an incoming edge". The minimal
+        // reproducer is 2 nodes and 1 edge.
+        let mut b = DdgBuilder::default();
+        for _ in 0..6 {
+            b.node(Opcode::Add);
+        }
+        let x = b.node(Opcode::Add);
+        let m = b.op_with(Opcode::Mul, &[x]);
+        let _ = b.op_with(Opcode::Store, &[m]);
+        let g = b.finish();
+        let fails = |d: &Ddg| d.edges().iter().any(|e| d.node(e.dst).op == Opcode::Mul);
+        let small = shrink(&g, &fails);
+        assert!(fails(&small));
+        assert_eq!(small.num_nodes(), 2);
+        assert_eq!(small.num_edges(), 1);
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let mut b = DdgBuilder::default();
+        b.node(Opcode::Add);
+        let g = b.finish();
+        let small = shrink(&g, &|_| false);
+        assert_eq!(small.num_nodes(), 1);
+    }
+}

@@ -288,6 +288,102 @@ pub(crate) fn cmd_rcp(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Seeded fuzz campaign through the validation gauntlet. Prints the
+/// summary; any failure (already shrunk and written to `--out`) makes the
+/// command exit non-zero.
+pub(crate) fn cmd_fuzz(opts: &Options) -> Result<(), String> {
+    use hca_check::CampaignConfig;
+    let fabric = opts.fabric();
+    let cfg = CampaignConfig {
+        count: opts.count,
+        base_seed: opts.seed,
+        max_nodes: opts.max_nodes,
+        out_dir: opts.out.as_deref().map(std::path::PathBuf::from),
+        ..CampaignConfig::default()
+    };
+    println!(
+        "fuzz: {} seeds from {} (kernels ≤ {} nodes) on a {}-CN machine",
+        cfg.count,
+        cfg.base_seed,
+        cfg.max_nodes,
+        fabric.num_cns()
+    );
+    let summary = hca_check::run_campaign(&fabric, &cfg);
+    println!(
+        "  {} runs: oracle exact on {}, budget-capped on {}, skipped on {}",
+        summary.runs,
+        summary.oracle_exact,
+        summary.oracle_upper,
+        summary.runs - summary.oracle_exact - summary.oracle_upper,
+    );
+    if let Some((mii, opt)) = summary.worst_ratio {
+        println!("  worst final_mii vs flat optimum: {mii} vs {opt}");
+    }
+    if summary.failures.is_empty() {
+        println!("  no failures ✓");
+        return Ok(());
+    }
+    for f in &summary.failures {
+        println!(
+            "  FAIL seed {} [{}] shrunk to {} nodes: {}{}",
+            f.seed,
+            f.kind,
+            f.shrunk_nodes,
+            f.detail,
+            f.path
+                .as_deref()
+                .map(|p| format!(" ({})", p.display()))
+                .unwrap_or_default(),
+        );
+    }
+    Err(format!(
+        "{} of {} seeds failed the gauntlet",
+        summary.failures.len(),
+        summary.runs
+    ))
+}
+
+/// Run the full validation gauntlet — Strict HCA run, differential
+/// coherency, flat-ICA oracle, journal round-trip, thread determinism — on
+/// one workload, or on all Table-1 kernels when no target is given.
+pub(crate) fn cmd_verify(opts: &Options) -> Result<(), String> {
+    use hca_check::{gauntlet, GauntletConfig, OracleVerdict};
+    let fabric = opts.fabric();
+    let cfg = GauntletConfig::default();
+    let workloads: Vec<(String, hca_ddg::Ddg)> = if opts.target.is_some() {
+        vec![opts.load_ddg()?]
+    } else {
+        hca_kernels::table1_kernels()
+            .into_iter()
+            .map(|k| (k.name.to_string(), k.ddg))
+            .collect()
+    };
+    let mut failures = 0usize;
+    for (name, ddg) in &workloads {
+        match gauntlet(ddg, &fabric, &cfg, opts.seed) {
+            Ok(report) => {
+                let oracle = match report.oracle {
+                    Some(OracleVerdict::Exact(o)) => format!("flat optimum {o}"),
+                    Some(OracleVerdict::Upper(o)) => format!("flat optimum ≤ {o}"),
+                    None => "oracle skipped (too large)".to_string(),
+                };
+                println!("{name}: final MII {} — {oracle} ✓", report.final_mii);
+            }
+            Err(f) => {
+                failures += 1;
+                println!("{name}: FAIL [{}] {}", f.kind, f.detail);
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!(
+            "{failures} of {} workloads failed verification",
+            workloads.len()
+        ));
+    }
+    Ok(())
+}
+
 pub(crate) fn cmd_export(opts: &Options) -> Result<(), String> {
     let (name, ddg) = opts.load_ddg()?;
     if opts.json {

@@ -77,6 +77,8 @@ fn run_cli() -> ExitCode {
         "sweep" => cmd_sweep(&opts),
         "rcp" => cmd_rcp(&opts),
         "export" => cmd_export(&opts),
+        "fuzz" => cmd_fuzz(&opts),
+        "verify" => cmd_verify(&opts),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -107,6 +109,10 @@ commands:
   sweep                        bandwidth sweep over the built-in kernels
   rcp        <kernel|file>     single-level ICA on the 8-cluster RCP ring
   export     <kernel|file>     emit --dot (graphviz) or --json (DDG)
+  fuzz                         seeded DDG fuzz campaign through the
+                               validation gauntlet (exit 1 on any failure)
+  verify     [kernel|file]     run the gauntlet on one workload, or on all
+                               Table-1 kernels under Strict validation
 
 options:
   --machine N,M,K    MUX capacities of the 64-CN machine (default 8,8,8),
@@ -117,6 +123,13 @@ options:
   --unroll F         unroll the loop body F times before everything else
   --trace            (simulate) print the first kernel passes' issue table
   --dot | --json     export format
+
+fuzz options:
+  --count N          seeds to run               (default 500)
+  --seed S           first seed                 (default 1)
+  --max-nodes N      largest generated kernel   (default 24)
+  --out DIR          shrunk-reproducer directory (default fuzz-failures;
+                     `--out -` disables writing)
 
 observability:
   --metrics-out F    write a RunMetrics JSON report (phase timings, SEE /
@@ -143,6 +156,10 @@ pub(crate) struct Options {
     pub metrics_out: Option<String>,
     pub trace_out: Option<String>,
     pub verbose: bool,
+    pub count: usize,
+    pub seed: u64,
+    pub max_nodes: usize,
+    pub out: Option<String>,
 }
 
 impl Options {
@@ -161,6 +178,10 @@ impl Options {
             metrics_out: None,
             trace_out: None,
             verbose: false,
+            count: 500,
+            seed: 1,
+            max_nodes: 24,
+            out: Some("fuzz-failures".into()),
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -207,6 +228,27 @@ impl Options {
                 "--trace-out" => {
                     let v = it.next().ok_or("--trace-out needs a path")?;
                     o.trace_out = Some(v.clone());
+                }
+                "--count" => {
+                    let v = it.next().ok_or("--count needs a number")?;
+                    o.count = v.parse().map_err(|_| format!("bad --count value `{v}`"))?;
+                }
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a number")?;
+                    o.seed = v.parse().map_err(|_| format!("bad --seed value `{v}`"))?;
+                }
+                "--max-nodes" => {
+                    let v = it.next().ok_or("--max-nodes needs a number")?;
+                    o.max_nodes = v
+                        .parse()
+                        .map_err(|_| format!("bad --max-nodes value `{v}`"))?;
+                    if o.max_nodes < 2 {
+                        return Err("--max-nodes must be at least 2".into());
+                    }
+                }
+                "--out" => {
+                    let v = it.next().ok_or("--out needs a directory (or `-`)")?;
+                    o.out = (v != "-").then(|| v.clone());
                 }
                 "-v" | "--verbose" => o.verbose = true,
                 "--dot" => o.dot = true,

@@ -20,6 +20,39 @@ use hca_see::{See, SeeConfig, SeeError};
 use rustc_hash::FxHashMap;
 use std::fmt;
 
+/// How much the driver trusts its own output (paper: "a coherency checker
+/// validates legality").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ValidationLevel {
+    /// Skip the coherency checker entirely. [`HcaResult::coherency`] is an
+    /// empty (vacuously legal) report; use only when the caller re-validates
+    /// or benchmarks the driver alone.
+    Off,
+    /// Run the checker and *report* its verdict in the result — the
+    /// historical behaviour, and the default.
+    #[default]
+    Report,
+    /// Run the checker as a hard gate: any undelivered value, illegal copy
+    /// route, or `outNode_MaxIn` fan-in violation turns into a typed
+    /// [`HcaError`] instead of reaching the scheduler.
+    Strict,
+}
+
+impl ValidationLevel {
+    /// Apply this policy to a checker verdict. Under [`Strict`] an illegal
+    /// report becomes [`HcaError::Incoherent`]; otherwise the report passes
+    /// through for the caller to record. This *is* the driver's gate —
+    /// negative tests feed corrupted reports through it directly.
+    ///
+    /// [`Strict`]: ValidationLevel::Strict
+    pub fn enforce(self, report: CoherencyReport) -> Result<CoherencyReport, HcaError> {
+        if self == ValidationLevel::Strict && !report.is_legal() {
+            return Err(HcaError::Incoherent { report });
+        }
+        Ok(report)
+    }
+}
+
 /// HCA tunables.
 #[derive(Clone, Copy, Debug)]
 pub struct HcaConfig {
@@ -31,6 +64,8 @@ pub struct HcaConfig {
     /// machine is built for; relaxed automatically on retry escalations.
     /// `None` disables the ceiling.
     pub issue_cap_slack: Option<u32>,
+    /// Post-pass validation policy (see [`ValidationLevel`]).
+    pub validation: ValidationLevel,
 }
 
 impl Default for HcaConfig {
@@ -38,6 +73,17 @@ impl Default for HcaConfig {
         HcaConfig {
             see: SeeConfig::default(),
             issue_cap_slack: Some(1),
+            validation: ValidationLevel::Report,
+        }
+    }
+}
+
+impl HcaConfig {
+    /// The default config with [`ValidationLevel::Strict`] validation.
+    pub fn strict() -> Self {
+        HcaConfig {
+            validation: ValidationLevel::Strict,
+            ..HcaConfig::default()
         }
     }
 }
@@ -61,6 +107,29 @@ pub enum HcaError {
         /// Underlying mapper error.
         source: MapError,
     },
+    /// A solved sub-problem left a working-set node without a cluster —
+    /// an engine invariant violation surfaced as an error instead of a
+    /// process abort.
+    Unassigned {
+        /// Sub-problem id.
+        problem: String,
+        /// The node SEE failed to place.
+        node: NodeId,
+    },
+    /// Under [`ValidationLevel::Strict`], a solved sub-problem's assignment
+    /// violates the architecture constraints (e.g. `outNode_MaxIn`).
+    Constraint {
+        /// Sub-problem id.
+        problem: String,
+        /// Human-readable constraint violation.
+        detail: String,
+    },
+    /// Under [`ValidationLevel::Strict`], the final clusterisation failed
+    /// the coherency checker.
+    Incoherent {
+        /// The full checker verdict (topology errors + per-edge violations).
+        report: CoherencyReport,
+    },
 }
 
 impl fmt::Display for HcaError {
@@ -72,6 +141,26 @@ impl fmt::Display for HcaError {
             }
             HcaError::Map { problem, source } => {
                 write!(f, "sub-problem {problem}: Mapper failed: {source}")
+            }
+            HcaError::Unassigned { problem, node } => {
+                write!(f, "sub-problem {problem}: node {node} left unassigned")
+            }
+            HcaError::Constraint { problem, detail } => {
+                write!(f, "sub-problem {problem}: constraint violated: {detail}")
+            }
+            HcaError::Incoherent { report } => {
+                write!(
+                    f,
+                    "strict validation failed: {} topology error(s), {} undelivered value(s)",
+                    report.topology_errors.len(),
+                    report.violations.len()
+                )?;
+                if let Some(err) = report.topology_errors.first() {
+                    write!(f, "; first: {err}")?;
+                } else if let Some(v) = report.violations.first() {
+                    write!(f, "; first: {v}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -277,10 +366,28 @@ pub fn run_hca_obs(
         ini_mii,
     );
     drop(mii_span);
-    let place = placement.clone();
-    let coherency_span = obs.span("driver", "coherency");
-    let coherency = check_coherency(fabric, &topology, ddg, &move |n| place[&n]);
-    drop(coherency_span);
+    let coherency = if config.validation == ValidationLevel::Off {
+        CoherencyReport::default()
+    } else {
+        let place = placement.clone();
+        let coherency_span = obs.span("driver", "coherency");
+        let report = check_coherency(fabric, &topology, ddg, &move |n| place[&n]);
+        drop(coherency_span);
+        report
+    };
+    let coherency = match config.validation.enforce(coherency) {
+        Ok(report) => report,
+        Err(e) => {
+            if let HcaError::Incoherent { report } = &e {
+                obs.counter_add("coherency.violations", report.violations.len() as u64);
+                obs.counter_add(
+                    "coherency.topology_errors",
+                    report.topology_errors.len() as u64,
+                );
+            }
+            return Err(e);
+        }
+    };
 
     if obs.is_enabled() {
         obs.counter_add("driver.subproblems", stats.subproblems as u64);
@@ -527,6 +634,18 @@ fn solve_subproblem(cx: &SolveCtx<'_>, sp: &Subproblem) -> Result<SubResult, Hca
         });
         return Err(attempt_err.expect("at least one attempt ran"));
     };
+    if config.validation == ValidationLevel::Strict {
+        // Defence in depth: SEE enforces the constraints incrementally, but
+        // under Strict the solved assignment is re-checked from scratch so
+        // a delta-state bug cannot smuggle an `outNode_MaxIn` (or port
+        // budget) violation past the gate.
+        if let Err(detail) = constraints.check(&outcome.assigned) {
+            return Err(HcaError::Constraint {
+                problem: sp.id(),
+                detail,
+            });
+        }
+    }
     obs.histogram_merge("mapper.copies_per_wire", &mapped.stats.copy_hist);
     obs.counter_add("mapper.member_wires", mapped.stats.member_wires as u64);
     obs.counter_add("mapper.glue_in_wires", mapped.stats.glue_in_wires as u64);
@@ -540,10 +659,14 @@ fn solve_subproblem(cx: &SolveCtx<'_>, sp: &Subproblem) -> Result<SubResult, Hca
     if d + 1 == fabric.depth() {
         // Leaf: members are single CNs.
         for &n in &sp.working_set {
-            let c = outcome
-                .assigned
-                .cluster_of(n)
-                .expect("SEE assigns every working-set node");
+            let Some(c) = outcome.assigned.cluster_of(n) else {
+                // An SEE dead-end on a pathological PG must surface as a
+                // typed error, not a process abort.
+                return Err(HcaError::Unassigned {
+                    problem: sp.id(),
+                    node: n,
+                });
+            };
             let mut path = sp.path.clone();
             path.push(outcome.assigned.pg.member_of(c));
             res.placement.push((n, fabric.cn_of_path(&path)));
@@ -740,6 +863,29 @@ mod tests {
         assert!(res.is_legal());
         assert_eq!(res.mii.final_mii, 1);
         assert_eq!(res.stats.wires, 0);
+    }
+
+    #[test]
+    fn strict_validation_accepts_legal_runs() {
+        let ddg = small_kernel();
+        let fabric = DspFabric::standard(8, 8, 8);
+        let res = run_hca(&ddg, &fabric, &HcaConfig::strict()).unwrap();
+        assert!(res.is_legal());
+        assert_eq!(res.placement.len(), ddg.num_nodes());
+    }
+
+    #[test]
+    fn validation_off_skips_the_checker() {
+        let ddg = small_kernel();
+        let fabric = DspFabric::standard(8, 8, 8);
+        let cfg = HcaConfig {
+            validation: ValidationLevel::Off,
+            ..HcaConfig::default()
+        };
+        let res = run_hca(&ddg, &fabric, &cfg).unwrap();
+        // The report is vacuously empty — Off means "trust me".
+        assert!(res.coherency.violations.is_empty());
+        assert!(res.coherency.topology_errors.is_empty());
     }
 
     #[test]

@@ -36,9 +36,10 @@ pub mod problem;
 pub mod rcp_flow;
 pub mod report;
 
+pub use coherency::{check_coherency, CoherencyReport, Violation};
 pub use driver::{
     run_hca, run_hca_obs, run_hca_portfolio, run_hca_portfolio_obs, HcaConfig, HcaError, HcaResult,
-    HcaStats,
+    HcaStats, ValidationLevel,
 };
 pub use flat::run_flat;
 pub use mii::MiiReport;

@@ -46,6 +46,21 @@ pub fn set_thread_override(threads: Option<usize>) {
     OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
 }
 
+/// Parse an `HCA_THREADS` value: `Ok(n)` for a usable width, `Err(reason)`
+/// for anything that must fall back to the default (empty, non-numeric, or
+/// zero — a zero-wide pool cannot make progress).
+fn parse_hca_threads(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Err("empty value".into());
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err("thread count must be at least 1".into()),
+        Ok(n) => Ok(n),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
 /// The configured pool width (≥ 1).
 pub fn configured_threads() -> usize {
     if cfg!(feature = "sequential") {
@@ -55,11 +70,20 @@ pub fn configured_threads() -> usize {
     if o > 0 {
         return o;
     }
-    let env = *ENV_THREADS.get_or_init(|| {
-        std::env::var("HCA_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
+    // Parsed once per process; an unusable value warns once on stderr (not
+    // silently swallowed) and the pool falls back to the default width.
+    let env = *ENV_THREADS.get_or_init(|| match std::env::var("HCA_THREADS") {
+        Ok(raw) => match parse_hca_threads(&raw) {
+            Ok(n) => Some(n),
+            Err(reason) => {
+                eprintln!(
+                    "warning: ignoring HCA_THREADS={raw:?} ({reason}); \
+                     using the default thread count"
+                );
+                None
+            }
+        },
+        Err(_) => None,
     });
     env.unwrap_or_else(|| {
         std::thread::available_parallelism()
@@ -268,6 +292,20 @@ mod tests {
             assert!(x != 3, "boom");
             x
         });
+    }
+
+    #[test]
+    fn hca_threads_parsing() {
+        assert_eq!(parse_hca_threads("4"), Ok(4));
+        assert_eq!(parse_hca_threads("  16 "), Ok(16));
+        assert_eq!(parse_hca_threads("1"), Ok(1));
+        // Zero, garbage, negatives, and empty all fall back with a reason.
+        assert!(parse_hca_threads("0").is_err());
+        assert!(parse_hca_threads("").is_err());
+        assert!(parse_hca_threads("   ").is_err());
+        assert!(parse_hca_threads("four").is_err());
+        assert!(parse_hca_threads("-2").is_err());
+        assert!(parse_hca_threads("2.5").is_err());
     }
 
     #[test]

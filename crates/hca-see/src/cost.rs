@@ -77,12 +77,22 @@ pub fn objective(ctx: &SeeContext<'_>, st: &PartialState) -> f64 {
         f64::from(mii)
     };
     let w = &ctx.weights;
-    w.copy * f64::from(st.total_copies)
+    let cost = w.copy * f64::from(st.total_copies)
         + w.pressure * mii_term
         + w.balance * st.utilization_sq_mean(ctx)
         + w.critical * st.critical_penalty
         + w.recurrence * f64::from(st.recurrence_copies)
-        + w.route * f64::from(st.routed_hops)
+        + w.route * f64::from(st.routed_hops);
+    // Degenerate weights (NaN or ±inf, e.g. from a sweep config) must not
+    // leak non-finite costs into the beam: `total_cmp` sorts NaN *above*
+    // +inf, but `best + margin` arithmetic and cost deltas would still turn
+    // nondeterministic. Clamp to the same poison value as infeasible MII so
+    // every state keeps a finite, totally ordered cost.
+    if cost.is_finite() {
+        cost
+    } else {
+        1e12
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +131,49 @@ mod tests {
         split.apply_assign(&ctx, p, PgNodeId(0));
         split.apply_assign(&ctx, q, PgNodeId(1));
         assert!(same.cost < split.cost, "{} vs {}", same.cost, split.cost);
+    }
+
+    #[test]
+    fn objective_is_finite_under_degenerate_weights() {
+        let mut b = DdgBuilder::default();
+        let p = b.node(Opcode::Add);
+        let q = b.node(Opcode::Add);
+        b.flow(p, q);
+        let ddg = b.finish();
+        let an = DdgAnalysis::compute(&ddg).unwrap();
+        let pg = Pg::complete(2, ResourceTable::of_cns(4));
+        for weights in [
+            CostWeights {
+                copy: f64::NAN,
+                ..CostWeights::default()
+            },
+            CostWeights {
+                pressure: f64::INFINITY,
+                ..CostWeights::default()
+            },
+            CostWeights {
+                balance: f64::NEG_INFINITY,
+                ..CostWeights::default()
+            },
+        ] {
+            let ctx = SeeContext {
+                ddg: &ddg,
+                analysis: &an,
+                pg: &pg,
+                constraints: ArchConstraints {
+                    max_in_neighbors: 4,
+                    max_out_neighbors: None,
+                    out_node_max_in: 1,
+                    copy_latency: 1,
+                },
+                weights,
+                issue_cap: None,
+            };
+            let mut st = crate::state::PartialState::initial(&ctx, &[]);
+            st.apply_assign(&ctx, p, PgNodeId(0));
+            st.apply_assign(&ctx, q, PgNodeId(1));
+            assert!(st.cost.is_finite(), "cost {} for {weights:?}", st.cost);
+        }
     }
 
     #[test]

@@ -46,7 +46,13 @@ impl CandidateFilter {
         let before = candidates.len();
         if let Some(&(_, best)) = candidates.first() {
             let cutoff = best + self.margin;
-            candidates.retain(|&(_, c)| c <= cutoff);
+            // A NaN margin (degenerate config) makes the cutoff NaN and
+            // `c <= NaN` false for every candidate — the filter would drop
+            // the whole list, including `best` itself. Treat a non-finite
+            // cutoff as "no margin pruning" instead.
+            if cutoff.is_finite() {
+                candidates.retain(|&(_, c)| c <= cutoff);
+            }
         }
         let by_margin = before - candidates.len();
         let after_margin = candidates.len();
@@ -118,6 +124,33 @@ mod tests {
         assert_eq!(
             cands.iter().map(|c| c.0).collect::<Vec<_>>(),
             vec![PgNodeId(0), PgNodeId(1), PgNodeId(2)]
+        );
+    }
+
+    #[test]
+    fn candidate_filter_nan_margin_keeps_candidates() {
+        let f = CandidateFilter {
+            branch_factor: 3,
+            margin: f64::NAN,
+        };
+        let mut cands = vec![
+            (PgNodeId(0), 10.0),
+            (PgNodeId(1), 3.0),
+            (PgNodeId(2), 7.0),
+            (PgNodeId(3), 4.0),
+        ];
+        let pruned = f.apply(&mut cands);
+        // Margin pruning is disabled; only the branch factor truncates.
+        assert_eq!(
+            cands,
+            vec![(PgNodeId(1), 3.0), (PgNodeId(3), 4.0), (PgNodeId(2), 7.0)]
+        );
+        assert_eq!(
+            pruned,
+            CandidatePruning {
+                by_margin: 0,
+                by_branch: 1
+            }
         );
     }
 

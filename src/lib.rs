@@ -9,6 +9,7 @@
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
 pub use hca_arch as arch;
+pub use hca_check as check;
 pub use hca_core as hca;
 pub use hca_ddg as ddg;
 pub use hca_kernels as kernels;
