@@ -1,0 +1,56 @@
+//! Criterion bench behind the routing-cache rework: SEE on a sparse RCP
+//! ring, where most cluster pairs are *not* potential neighbours and the
+//! Route Allocator carries the assignment. The checked-in `RouteTable`
+//! answers reachability and hop-distance queries ahead of the per-flow
+//! search, so this workload measures exactly the path the cache shortens.
+//! Besides the criterion wall-clock samples, each kernel prints the route
+//! counters (`route_attempts` / `routed_nodes` / `route_bfs_runs` /
+//! `route_cache_hits`) so cache effectiveness stays tracked over time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hca_arch::Rcp;
+use hca_ddg::DdgAnalysis;
+use hca_pg::{ArchConstraints, Pg};
+use hca_see::{See, SeeConfig};
+
+fn bench_route_throughput(c: &mut Criterion) {
+    // Figure-1 geometry (8 clusters, reach 2) with memory everywhere:
+    // opposite ring positions sit 2 routed hops apart, so long flows must
+    // go through the Route Allocator instead of a direct potential arc.
+    let rcp = Rcp::new(8, 2, 2, |_| true);
+    let pg = Pg::from_rcp(&rcp);
+    let constraints = ArchConstraints::for_rcp(&rcp);
+
+    let mut group = c.benchmark_group("route_throughput");
+    group.sample_size(10);
+    for kernel in hca_kernels::table1_kernels() {
+        let analysis = DdgAnalysis::compute(&kernel.ddg).expect("kernel analysable");
+        let see = See::new(
+            &kernel.ddg,
+            &analysis,
+            &pg,
+            constraints,
+            SeeConfig::default(),
+        );
+        let outcome = match see.run(None) {
+            Ok(o) => o,
+            Err(e) => {
+                println!("route_throughput/{}: skipped ({e})", kernel.name);
+                continue;
+            }
+        };
+        let s = &outcome.stats;
+        println!(
+            "route_throughput/{}: {} attempts, {} routed, {} BFS runs, \
+             {} cache hits",
+            kernel.name, s.route_attempts, s.routed_nodes, s.route_bfs_runs, s.route_cache_hits,
+        );
+        group.bench_function(BenchmarkId::from_parameter(kernel.name), |b| {
+            b.iter(|| see.run(std::hint::black_box(None)).map(|o| o.cost).ok())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_route_throughput);
+criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! **Bench regression gate** — diffs a fresh run of the fixed gate workload
-//! (full HCA over the four Table-1 kernels) against the checked-in
-//! `BENCH_baseline.json` and exits non-zero when any case regresses by more
-//! than the tolerance (default 25% wall-clock).
+//! (full HCA over the four Table-1 kernels plus a 512-node synthetic
+//! scaling case) against the checked-in `BENCH_baseline.json` and exits
+//! non-zero when any case regresses by more than the tolerance (default 25%
+//! wall-clock).
 //!
 //! Usage:
 //!
@@ -45,24 +46,30 @@ fn baseline_path() -> PathBuf {
 }
 
 /// Run the fixed gate workload: best-of-3 full-HCA wall-clock per kernel.
+/// Beyond the four paper kernels, a seeded 512-node synthetic DAG stresses
+/// the sub-problem memoization and frontier caches at a size where the
+/// Table-1 loops barely exercise them.
 fn measure() -> Vec<GateCase> {
     let fabric = hca_bench::paper_fabric();
+    let mut workload: Vec<(String, hca_ddg::Ddg)> = hca_kernels::table1_kernels()
+        .into_iter()
+        .map(|k| (k.name.to_string(), k.ddg))
+        .collect();
+    for (n, ddg) in hca_kernels::synthetic::scaling_family(&[512], 0xB5E7) {
+        workload.push((format!("synthetic{n}"), ddg));
+    }
     let mut cases = Vec::new();
-    for kernel in hca_kernels::table1_kernels() {
+    for (name, ddg) in &workload {
         let mut best = f64::INFINITY;
         for _ in 0..3 {
             let t0 = Instant::now();
-            let res = run_hca(&kernel.ddg, &fabric, &HcaConfig::default());
+            let res = run_hca(ddg, &fabric, &HcaConfig::default());
             let ms = t0.elapsed().as_secs_f64() * 1e3;
-            assert!(
-                res.is_ok(),
-                "{}: HCA failed in the gate workload",
-                kernel.name
-            );
+            assert!(res.is_ok(), "{name}: HCA failed in the gate workload");
             best = best.min(ms);
         }
         cases.push(GateCase {
-            case: kernel.name.to_string(),
+            case: name.clone(),
             millis: best,
         });
     }

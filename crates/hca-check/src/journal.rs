@@ -21,7 +21,11 @@ fn fingerprint(st: &PartialState) -> String {
     use std::fmt::Write;
     let mut s = String::new();
     let mut assignment: Vec<(NodeId, PgNodeId)> =
-        st.assignment.iter().map(|(&n, &c)| (n, c)).collect();
+        st.assignment
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &slot)| slot.map(|c| (hca_ddg::NodeId(i as u32), c)))
+        .collect();
     assignment.sort();
     writeln!(s, "assignment {assignment:?}").unwrap();
     let mut copies: Vec<(PgNodeId, PgNodeId, Vec<NodeId>)> = st
@@ -35,13 +39,9 @@ fn fingerprint(st: &PartialState) -> String {
     writeln!(s, "alu {:?}", st.alu_ops).unwrap();
     writeln!(s, "ag {:?}", st.ag_ops).unwrap();
     writeln!(s, "recv {:?}", st.recv_load).unwrap();
-    let neigh = |sets: &[rustc_hash::FxHashSet<PgNodeId>]| -> Vec<Vec<PgNodeId>> {
-        sets.iter()
-            .map(|set| {
-                let mut v: Vec<PgNodeId> = set.iter().copied().collect();
-                v.sort();
-                v
-            })
+    let neigh = |sets: &hca_see::neighbors::NeighborSets| -> Vec<Vec<PgNodeId>> {
+        (0..sets.num_rows())
+            .map(|i| sets.iter(i).collect()) // bit order is ascending id order
             .collect()
     };
     writeln!(s, "in {:?}", neigh(&st.in_neighbors)).unwrap();
@@ -78,6 +78,7 @@ pub fn journal_roundtrip_check(ddg: &Ddg, clusters: usize, rng: &mut StdRng) -> 
         },
         weights: CostWeights::default(),
         issue_cap: None,
+        statics: hca_see::statics::PgStatics::build(&pg),
     };
     let working_set: Vec<NodeId> = ddg.node_ids().collect();
     let mut st = PartialState::initial(&ctx, &working_set);

@@ -292,13 +292,17 @@ pub(crate) fn cmd_rcp(opts: &Options) -> Result<(), String> {
 /// summary; any failure (already shrunk and written to `--out`) makes the
 /// command exit non-zero.
 pub(crate) fn cmd_fuzz(opts: &Options) -> Result<(), String> {
-    use hca_check::CampaignConfig;
+    use hca_check::{CampaignConfig, GauntletConfig};
     let fabric = opts.fabric();
     let cfg = CampaignConfig {
         count: opts.count,
         base_seed: opts.seed,
         max_nodes: opts.max_nodes,
         out_dir: opts.out.as_deref().map(std::path::PathBuf::from),
+        gauntlet: GauntletConfig {
+            memo: opts.memo,
+            ..GauntletConfig::default()
+        },
         ..CampaignConfig::default()
     };
     println!(

@@ -130,6 +130,8 @@ fuzz options:
   --max-nodes N      largest generated kernel   (default 24)
   --out DIR          shrunk-reproducer directory (default fuzz-failures;
                      `--out -` disables writing)
+  --no-memo          disable the cross-sub-problem memo cache for the
+                     gauntlet runs (the cache is on by default)
 
 observability:
   --metrics-out F    write a RunMetrics JSON report (phase timings, SEE /
@@ -160,6 +162,7 @@ pub(crate) struct Options {
     pub seed: u64,
     pub max_nodes: usize,
     pub out: Option<String>,
+    pub memo: bool,
 }
 
 impl Options {
@@ -182,6 +185,7 @@ impl Options {
             seed: 1,
             max_nodes: 24,
             out: Some("fuzz-failures".into()),
+            memo: true,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -250,6 +254,7 @@ impl Options {
                     let v = it.next().ok_or("--out needs a directory (or `-`)")?;
                     o.out = (v != "-").then(|| v.clone());
                 }
+                "--no-memo" => o.memo = false,
                 "-v" | "--verbose" => o.verbose = true,
                 "--dot" => o.dot = true,
                 "--json" => o.json = true,

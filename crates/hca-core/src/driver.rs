@@ -66,6 +66,11 @@ pub struct HcaConfig {
     pub issue_cap_slack: Option<u32>,
     /// Post-pass validation policy (see [`ValidationLevel`]).
     pub validation: ValidationLevel,
+    /// Memoise solved sub-problems under a renumbering-equivariant
+    /// canonical key and reuse them for isomorphic sub-problems within the
+    /// run (and across portfolio variants). Cached results are bit-exact
+    /// replays; disable to compare.
+    pub memo: bool,
 }
 
 impl Default for HcaConfig {
@@ -74,6 +79,7 @@ impl Default for HcaConfig {
             see: SeeConfig::default(),
             issue_cap_slack: Some(1),
             validation: ValidationLevel::Report,
+            memo: true,
         }
     }
 }
@@ -267,6 +273,10 @@ fn record_see_stats(obs: &Obs, s: &hca_see::SeeStats) {
     obs.counter_add("see.route_attempts", s.route_attempts as u64);
     obs.counter_add("see.routed_nodes", s.routed_nodes as u64);
     obs.counter_add("see.routed_hops", u64::from(s.routed_hops));
+    obs.counter_add("see.route_bfs_runs", s.route_bfs_runs as u64);
+    obs.counter_add("see.route_cache_hits", s.route_cache_hits as u64);
+    obs.counter_add("see.frontier_deduped", s.frontier_deduped as u64);
+    obs.counter_add("see.dominance_pruned", s.dominance_pruned as u64);
     for &width in &s.beam_occupancy {
         obs.histogram_record("see.beam_occupancy", width);
     }
@@ -284,6 +294,8 @@ struct SolveCtx<'a> {
     obs: &'a Obs,
     analysis: &'a DdgAnalysis,
     theo_mii: u32,
+    /// Sub-problem cache ([`HcaConfig::memo`]); `None` when disabled.
+    memo: Option<&'a crate::memo::Memo>,
 }
 
 /// Everything one sub-problem subtree contributes to the final result.
@@ -295,13 +307,13 @@ struct SolveCtx<'a> {
 /// order, route-op order, topology groups) are bit-identical whatever the
 /// `HCA_THREADS` count.
 #[derive(Default)]
-struct SubResult {
-    placement: Vec<(NodeId, CnId)>,
-    route_ops: Vec<(NodeId, CnId)>,
-    groups: Vec<(Vec<usize>, GroupTopology)>,
-    stats: HcaStats,
+pub(crate) struct SubResult {
+    pub(crate) placement: Vec<(NodeId, CnId)>,
+    pub(crate) route_ops: Vec<(NodeId, CnId)>,
+    pub(crate) groups: Vec<(Vec<usize>, GroupTopology)>,
+    pub(crate) stats: HcaStats,
     /// `est_mii` of the level-0 outcome (1 everywhere below the root).
-    ini_mii: u32,
+    pub(crate) ini_mii: u32,
 }
 
 /// Fold a child subtree's statistics into the parent's.
@@ -324,11 +336,36 @@ pub fn run_hca_obs(
     config: &HcaConfig,
     obs: &Obs,
 ) -> Result<HcaResult, HcaError> {
+    run_hca_inner(ddg, fabric, config, obs, None)
+}
+
+/// [`run_hca_obs`] with an optional externally owned sub-problem cache, so
+/// a portfolio run can share one [`crate::memo::Memo`] across variants.
+/// With `None` (and [`HcaConfig::memo`] on) the run owns a private cache.
+fn run_hca_inner(
+    ddg: &Ddg,
+    fabric: &DspFabric,
+    config: &HcaConfig,
+    obs: &Obs,
+    shared_memo: Option<&crate::memo::Memo>,
+) -> Result<HcaResult, HcaError> {
     let analysis_span = obs.span("driver", "analysis");
     let analysis = DdgAnalysis::compute(ddg).map_err(HcaError::Analysis)?;
     let theo_mii = crate::mii::theoretical_mii(analysis.mii_rec, ddg, fabric);
     drop(analysis_span);
 
+    let own_memo;
+    let memo: Option<&crate::memo::Memo> = if config.memo {
+        match shared_memo {
+            Some(m) => Some(m),
+            None => {
+                own_memo = Some(crate::memo::Memo::new(ddg.num_nodes(), &analysis));
+                own_memo.as_ref()
+            }
+        }
+    } else {
+        None
+    };
     let cx = SolveCtx {
         ddg,
         fabric,
@@ -336,6 +373,7 @@ pub fn run_hca_obs(
         obs,
         analysis: &analysis,
         theo_mii,
+        memo,
     };
     let root = Subproblem::root(ddg.node_ids().collect());
     let sub = solve_subproblem(&cx, &root)?;
@@ -432,7 +470,22 @@ fn solve_subproblem(cx: &SolveCtx<'_>, sp: &Subproblem) -> Result<SubResult, Hca
         obs,
         analysis,
         theo_mii,
+        memo,
     } = *cx;
+    // Memoisation: answer isomorphic sub-problems from the cache. The key
+    // encodes the full solving context (see `memo` module docs), so a hit
+    // rehydrates to exactly what the solve below would have produced.
+    let memo_ctx = memo.map(|m| {
+        let (key, canon2raw) = crate::memo::canonicalise(m, ddg, analysis, config, theo_mii, sp);
+        (m, key, canon2raw)
+    });
+    if let Some((m, key, canon2raw)) = &memo_ctx {
+        if let Some(hit) = m.lookup(key) {
+            obs.counter_add("driver.memo_hits", 1);
+            return Ok(crate::memo::rehydrate(&hit, canon2raw, &sp.path, fabric));
+        }
+        obs.counter_add("driver.memo_misses", 1);
+    }
     let mut res = SubResult {
         ini_mii: 1,
         ..SubResult::default()
@@ -734,6 +787,14 @@ fn solve_subproblem(cx: &SolveCtx<'_>, sp: &Subproblem) -> Result<SubResult, Hca
             merge_stats(&mut res.stats, &child.stats);
         }
     }
+    if let Some((m, key, canon2raw)) = memo_ctx {
+        // Defensive: anything outside the canonical universe (which would
+        // make rehydration unsound) skips the cache instead of poisoning it.
+        match crate::memo::capture(&res, &canon2raw, &sp.path, fabric) {
+            Some(canon) => m.insert(key, canon),
+            None => obs.counter_add("driver.memo_uncachable", 1),
+        }
+    }
     Ok(res)
 }
 
@@ -773,13 +834,21 @@ pub fn run_hca_portfolio_obs(
     ext.see.priority = hca_ddg::PriorityPolicy::ExternalOperandsFirst;
     variants.push(ext);
 
+    // One sub-problem cache shared by every variant: the memo key encodes
+    // the solving configuration, so cross-variant reuse happens exactly
+    // when two variants would solve a sub-problem identically.
+    let shared_memo = DdgAnalysis::compute(ddg)
+        .ok()
+        .map(|an| crate::memo::Memo::new(ddg.num_nodes(), &an));
+
     let mut best: Option<HcaResult> = None;
     let mut last_err: Option<HcaError> = None;
     for (i, cfg) in variants.into_iter().enumerate() {
         let span = obs
             .span("driver", "portfolio_variant")
             .with_arg("variant", i);
-        let run = run_hca_obs(ddg, fabric, &cfg, obs);
+        let memo = if cfg.memo { shared_memo.as_ref() } else { None };
+        let run = run_hca_inner(ddg, fabric, &cfg, obs, memo);
         drop(span);
         match run {
             Ok(res) => {

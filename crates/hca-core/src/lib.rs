@@ -30,6 +30,7 @@ pub mod coherency;
 pub mod decompose;
 pub mod driver;
 pub mod flat;
+mod memo;
 pub mod mii;
 pub mod post;
 pub mod problem;

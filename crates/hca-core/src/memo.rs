@@ -1,0 +1,307 @@
+//! Cross-sub-problem memoisation of solved subtrees.
+//!
+//! The decomposition tree frequently contains *isomorphic* sub-problems:
+//! symmetric kernels split into structurally identical children, and a
+//! portfolio run re-solves whole subtrees whenever two variants agree on
+//! the solving context. This module caches each solved [`SubResult`] under
+//! a **renumbering-equivariant canonical key** so an isomorphic sub-problem
+//! is answered by rehydrating the cached subtree instead of re-searching.
+//!
+//! ## Soundness of the key
+//!
+//! A cache hit must imply that a fresh solve would produce the bit-identical
+//! result. The key therefore encodes *everything* the solver reads:
+//!
+//! * the full solving context — every [`SeeConfig`](hca_see::SeeConfig)
+//!   field (the escalation tiers are pure functions of it), the issue-cap
+//!   slack, validation level, the unified-machine theoretical MII,
+//!   `MIIRec`, the *effective* dominance flag (config AND environment), and
+//!   the hierarchy depth (the PG and constraints are functions of depth +
+//!   ILI for one fabric, and a [`Memo`] never outlives its fabric);
+//! * the working set in canonical numbering (nodes renumbered by sorted
+//!   `NodeId` rank; externals by first appearance), including the *given*
+//!   working-set order, per-node opcodes, and full pred/succ edge lists in
+//!   adjacency order with latencies and distances;
+//! * the ILI wire structure, wire by wire, value by value;
+//! * the per-node analysis scalars the engine consumes (ASAP, ALAP,
+//!   height, canonical SCC rank, relative topological rank) for every
+//!   referenced node — externals included, since edge slack reads both
+//!   endpoints;
+//! * the relative raw-`NodeId` order of all referenced nodes. Every
+//!   id-based tie-break in the pipeline (priority sorting, the mapper's
+//!   `sort_by_key(|f| f.value)`, working-set sorts) is an *order*
+//!   comparison, so it behaves identically on two sub-problems exactly
+//!   when this permutation matches.
+//!
+//! The key is the full encoding (a `Vec<u64>` compared by `Eq`), not a
+//! digest — hash collisions cannot produce false hits.
+//!
+//! Cached values store placements as (canonical node, CN-path *suffix*
+//! below the sub-problem) and group topologies with canonicalised wire
+//! values, so rehydration at a different tree position or under a value
+//! renaming is exact. The cached [`HcaStats`] merge precisely as a fresh
+//! solve's would, which keeps run statistics memo- and thread-invariant;
+//! only the observability counters (`driver.memo_hits`/`_misses`) reveal
+//! that a cache was involved.
+
+use crate::driver::{HcaConfig, SubResult};
+use crate::problem::Subproblem;
+use hca_arch::{DspFabric, GroupPath, GroupTopology};
+use hca_ddg::{Ddg, DdgAnalysis, NodeId};
+use rustc_hash::FxHashMap;
+use std::sync::Mutex;
+
+/// Renumbering-equivariant canonical key of a sub-problem (full encoding,
+/// collision-free by construction).
+#[derive(PartialEq, Eq, Hash)]
+pub(crate) struct MemoKey(Vec<u64>);
+
+/// A solved subtree in canonical form (see the module docs).
+#[derive(Clone)]
+pub(crate) struct CanonSub {
+    /// `(canonical node, CN-path suffix below the sub-problem)`.
+    placement: Vec<(u64, Vec<usize>)>,
+    /// Route ops, same encoding as `placement`.
+    route_ops: Vec<(u64, Vec<usize>)>,
+    /// Group topologies keyed by path suffix, wire values canonicalised.
+    groups: Vec<(Vec<usize>, GroupTopology)>,
+    stats: crate::driver::HcaStats,
+    ini_mii: u32,
+}
+
+/// The per-run (or per-portfolio) sub-problem cache. Shared by reference
+/// across `hca-par` workers; the map is behind a mutex, lookups clone out.
+pub(crate) struct Memo {
+    /// Topological position per DDG node, for relative-order encoding.
+    topo_pos: Vec<usize>,
+    map: Mutex<FxHashMap<MemoKey, CanonSub>>,
+}
+
+impl Memo {
+    /// Fresh cache for one DDG/fabric pairing.
+    pub(crate) fn new(num_nodes: usize, analysis: &DdgAnalysis) -> Self {
+        let mut topo_pos = vec![usize::MAX; num_nodes];
+        for (i, &n) in analysis.topo.iter().enumerate() {
+            topo_pos[n.index()] = i;
+        }
+        Memo {
+            topo_pos,
+            map: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    pub(crate) fn lookup(&self, key: &MemoKey) -> Option<CanonSub> {
+        self.map.lock().unwrap().get(key).cloned()
+    }
+
+    /// First writer wins; by the key contract any two writers hold
+    /// identical canonical content, so the race is benign.
+    pub(crate) fn insert(&self, key: MemoKey, sub: CanonSub) {
+        self.map.lock().unwrap().entry(key).or_insert(sub);
+    }
+}
+
+/// Intern `v` into the canonical numbering, appending new externals.
+fn intern(canon: &mut FxHashMap<NodeId, u64>, canon2raw: &mut Vec<NodeId>, v: NodeId) -> u64 {
+    *canon.entry(v).or_insert_with(|| {
+        canon2raw.push(v);
+        (canon2raw.len() - 1) as u64
+    })
+}
+
+/// Build the canonical key of `sp` plus the canonical→raw node table the
+/// capture/rehydrate pair shares.
+pub(crate) fn canonicalise(
+    memo: &Memo,
+    ddg: &Ddg,
+    analysis: &DdgAnalysis,
+    config: &HcaConfig,
+    theo_mii: u32,
+    sp: &Subproblem,
+) -> (MemoKey, Vec<NodeId>) {
+    let s = &config.see;
+    let mut enc: Vec<u64> = Vec::with_capacity(40 + sp.working_set.len() * 16);
+    enc.extend_from_slice(&[
+        s.beam_width as u64,
+        s.branch_factor as u64,
+        s.candidate_margin.to_bits(),
+        s.weights.copy.to_bits(),
+        s.weights.pressure.to_bits(),
+        s.weights.balance.to_bits(),
+        s.weights.critical.to_bits(),
+        s.weights.recurrence.to_bits(),
+        s.weights.route.to_bits(),
+        s.priority as u64,
+        u64::from(s.enable_router),
+        s.max_route_hops as u64,
+        s.issue_cap.map_or(u64::MAX, u64::from),
+        u64::from(s.dominance && std::env::var_os("HCA_NO_DOMINANCE").is_none()),
+        config.issue_cap_slack.map_or(u64::MAX, u64::from),
+        config.validation as u64,
+        u64::from(theo_mii),
+        u64::from(analysis.mii_rec),
+        sp.depth() as u64,
+        sp.working_set.len() as u64,
+        sp.ili.inputs.len() as u64,
+        sp.ili.outputs.len() as u64,
+    ]);
+
+    // Canonical numbering: working-set nodes by sorted-id rank …
+    let mut canon2raw: Vec<NodeId> = sp.working_set.clone();
+    canon2raw.sort_unstable();
+    let mut canon: FxHashMap<NodeId, u64> = canon2raw
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, i as u64))
+        .collect();
+    // … and the given working-set order on top of it (the search consumes
+    // the set in this order).
+    for &n in &sp.working_set {
+        enc.push(canon[&n]);
+    }
+
+    // Per-node structure in canonical order. Iterate by index: `canon2raw`
+    // only ever grows (interning appends externals), indices are stable.
+    for i in 0..sp.working_set.len() {
+        let n = canon2raw[i];
+        enc.push(ddg.node(n).op as u64);
+        let preds: Vec<_> = ddg.pred_edges(n).collect();
+        enc.push(preds.len() as u64);
+        for (_, e) in preds {
+            enc.push(intern(&mut canon, &mut canon2raw, e.src));
+            enc.push(u64::from(e.latency));
+            enc.push(u64::from(e.distance));
+        }
+        let succs: Vec<_> = ddg.succ_edges(n).collect();
+        enc.push(succs.len() as u64);
+        for (_, e) in succs {
+            enc.push(intern(&mut canon, &mut canon2raw, e.dst));
+            enc.push(u64::from(e.latency));
+            enc.push(u64::from(e.distance));
+        }
+    }
+    for wire in sp.ili.inputs.iter().chain(&sp.ili.outputs) {
+        enc.push(wire.values.len() as u64);
+        for &v in &wire.values {
+            enc.push(intern(&mut canon, &mut canon2raw, v));
+        }
+    }
+
+    // Analysis scalars for every referenced node, externals included.
+    let lv = &analysis.levels;
+    for &n in &canon2raw {
+        enc.push(u64::from(lv.asap[n.index()]));
+        enc.push(u64::from(lv.alap[n.index()]));
+        enc.push(u64::from(lv.height[n.index()]));
+    }
+    let mut scc_rank: FxHashMap<u32, u64> = FxHashMap::default();
+    for &n in &canon2raw {
+        let next = scc_rank.len() as u64;
+        enc.push(*scc_rank.entry(analysis.scc[n.index()]).or_insert(next));
+    }
+    let mut topo_rank = vec![0u64; canon2raw.len()];
+    let mut by_topo: Vec<usize> = (0..canon2raw.len()).collect();
+    by_topo.sort_by_key(|&i| memo.topo_pos[canon2raw[i].index()]);
+    for (r, &i) in by_topo.iter().enumerate() {
+        topo_rank[i] = r as u64;
+    }
+    enc.extend_from_slice(&topo_rank);
+    // Relative raw-id order (see module docs: id tie-breaks are order
+    // comparisons, so matching ranks ⇒ identical tie-break behaviour).
+    let mut id_rank = vec![0u64; canon2raw.len()];
+    let mut by_id: Vec<usize> = (0..canon2raw.len()).collect();
+    by_id.sort_by_key(|&i| canon2raw[i]);
+    for (r, &i) in by_id.iter().enumerate() {
+        id_rank[i] = r as u64;
+    }
+    enc.extend_from_slice(&id_rank);
+
+    (MemoKey(enc), canon2raw)
+}
+
+/// Convert a freshly solved subtree into canonical form. Returns `None`
+/// (don't cache) if anything falls outside the canonical universe — a
+/// value the key never saw, or a CN path outside this sub-problem's
+/// subtree; both would make rehydration unsound.
+pub(crate) fn capture(
+    res: &SubResult,
+    canon2raw: &[NodeId],
+    prefix: &GroupPath,
+    fabric: &DspFabric,
+) -> Option<CanonSub> {
+    let raw2canon: FxHashMap<NodeId, u64> = canon2raw
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, i as u64))
+        .collect();
+    let strip = |path: Vec<usize>| -> Option<Vec<usize>> {
+        path.strip_prefix(prefix.as_slice()).map(<[usize]>::to_vec)
+    };
+    let conv = |items: &[(NodeId, hca_arch::CnId)]| -> Option<Vec<(u64, Vec<usize>)>> {
+        items
+            .iter()
+            .map(|&(n, cn)| Some((*raw2canon.get(&n)?, strip(fabric.cn_path(cn))?)))
+            .collect()
+    };
+    Some(CanonSub {
+        placement: conv(&res.placement)?,
+        route_ops: conv(&res.route_ops)?,
+        groups: res
+            .groups
+            .iter()
+            .map(|(path, g)| {
+                let mut g = g.clone();
+                for w in &mut g.wires {
+                    for v in &mut w.values {
+                        *v = NodeId(u32::try_from(*raw2canon.get(v)?).ok()?);
+                    }
+                }
+                Some((strip(path.clone())?, g))
+            })
+            .collect::<Option<Vec<_>>>()?,
+        stats: res.stats,
+        ini_mii: res.ini_mii,
+    })
+}
+
+/// Instantiate a cached subtree at `prefix` under this sub-problem's
+/// canonical→raw table — the exact inverse of [`capture`] modulo renaming.
+pub(crate) fn rehydrate(
+    sub: &CanonSub,
+    canon2raw: &[NodeId],
+    prefix: &GroupPath,
+    fabric: &DspFabric,
+) -> SubResult {
+    let join = |suffix: &[usize]| {
+        let mut p = prefix.clone();
+        p.extend_from_slice(suffix);
+        p
+    };
+    SubResult {
+        placement: sub
+            .placement
+            .iter()
+            .map(|(c, sfx)| (canon2raw[*c as usize], fabric.cn_of_path(&join(sfx))))
+            .collect(),
+        route_ops: sub
+            .route_ops
+            .iter()
+            .map(|(c, sfx)| (canon2raw[*c as usize], fabric.cn_of_path(&join(sfx))))
+            .collect(),
+        groups: sub
+            .groups
+            .iter()
+            .map(|(sfx, g)| {
+                let mut g = g.clone();
+                for w in &mut g.wires {
+                    for v in &mut w.values {
+                        *v = canon2raw[v.index()];
+                    }
+                }
+                (join(sfx), g)
+            })
+            .collect(),
+        stats: sub.stats,
+        ini_mii: sub.ini_mii,
+    }
+}

@@ -13,11 +13,69 @@
 use crate::state::{PartialState, SeeContext};
 use hca_ddg::NodeId;
 use hca_pg::PgNodeId;
-use rustc_hash::FxHashSet;
+use smallvec::SmallVec;
+
+/// The parts of the `isAssignable` query that depend only on `(state, n)`,
+/// not on the candidate cluster. The engine probes every cluster of the PG
+/// against the same state, so walking the DDG's pred/succ edges and reading
+/// `cluster_of` once per state — instead of once per (state, candidate) —
+/// takes the O(clusters · degree) edge traffic out of the hottest loop.
+pub struct NodeView {
+    /// `(producer cluster, value)` for each assigned non-const operand edge,
+    /// in DDG edge order.
+    producers: SmallVec<[(PgNodeId, NodeId); 4]>,
+    /// Consumer cluster for each assigned real-cluster result edge (empty
+    /// for constants — they are replicated at configuration time), in DDG
+    /// edge order.
+    consumers: SmallVec<[PgNodeId; 4]>,
+}
+
+/// Collect the candidate-independent operand/result placements of `n` in
+/// `st` (see [`NodeView`]).
+pub fn node_view(ctx: &SeeContext<'_>, st: &PartialState, n: NodeId) -> NodeView {
+    let mut view = NodeView {
+        producers: SmallVec::new(),
+        consumers: SmallVec::new(),
+    };
+    for (_, e) in ctx.ddg.pred_edges(n) {
+        if ctx.ddg.node(e.src).op == hca_ddg::Opcode::Const {
+            continue; // constants are preloaded, not transported
+        }
+        if let Some(cp) = st.cluster_of(e.src) {
+            view.producers.push((cp, e.src));
+        }
+    }
+    if ctx.ddg.node(n).op != hca_ddg::Opcode::Const {
+        for (_, e) in ctx.ddg.succ_edges(n) {
+            if e.dst == n {
+                continue;
+            }
+            let Some(cs) = st.cluster_of(e.dst) else {
+                continue;
+            };
+            if ctx.pg.node(cs).kind.is_cluster() {
+                view.consumers.push(cs);
+            }
+        }
+    }
+    view
+}
 
 /// Can `n` be assigned to `c` in state `st` without breaking resources or
 /// reconfiguration constraints?
 pub fn is_assignable(ctx: &SeeContext<'_>, st: &PartialState, n: NodeId, c: PgNodeId) -> bool {
+    is_assignable_from(ctx, st, &node_view(ctx, st, n), n, c)
+}
+
+/// [`is_assignable`] against a prebuilt [`NodeView`] of the same `(st, n)` —
+/// the engine's per-candidate entry point.
+pub fn is_assignable_from(
+    ctx: &SeeContext<'_>,
+    st: &PartialState,
+    view: &NodeView,
+    n: NodeId,
+    c: PgNodeId,
+) -> bool {
     let pg = ctx.pg;
     let node = pg.node(c);
     // (i) The target must be a real cluster able to execute the opcode —
@@ -30,68 +88,56 @@ pub fn is_assignable(ctx: &SeeContext<'_>, st: &PartialState, n: NodeId, c: PgNo
 
     // (ii) Operand availability: every assigned producer must reach c
     // directly; count the *new* in-neighbours and values this would add.
-    let mut new_in_c: FxHashSet<PgNodeId> = FxHashSet::default();
+    let mut new_in_c: SmallVec<[PgNodeId; 4]> = SmallVec::new();
     let mut new_values_to_c = 0u32;
-    for (_, e) in ctx.ddg.pred_edges(n) {
-        if ctx.ddg.node(e.src).op == hca_ddg::Opcode::Const {
-            continue; // constants are preloaded, not transported
-        }
-        let Some(cp) = st.cluster_of(e.src) else {
-            continue;
-        };
+    for &(cp, src) in &view.producers {
         if cp == c {
             continue;
         }
-        if !pg.is_potential(cp, c) {
+        if !ctx.statics.is_potential(cp, c) {
             return false;
         }
-        if st.arc_pressure(cp, c) == 0 && !st.in_neighbors[c.index()].contains(&cp) {
-            new_in_c.insert(cp);
-        }
-        if !st
-            .copies
-            .get(&(cp, c))
-            .is_some_and(|vs| vs.contains(&e.src))
+        let on_arc = st.copies.get(&(cp, c));
+        if on_arc.map_or(true, |vs| vs.is_empty())
+            && !st.in_neighbors.contains(c.index(), cp)
+            && !new_in_c.contains(&cp)
         {
+            new_in_c.push(cp);
+        }
+        if !on_arc.is_some_and(|vs| vs.contains(&src)) {
             new_values_to_c += 1;
         }
     }
-    if st.in_neighbors[c.index()].len() + new_in_c.len() > max_in {
+    if st.in_neighbors.len(c.index()) + new_in_c.len() > max_in {
         return false;
     }
 
     // (iii) Result availability: every assigned consumer's cluster must be
     // reachable from c, with a spare input port where the arc is new.
-    // Constants impose nothing — they are replicated at configuration time.
-    let is_const = ctx.ddg.node(n).op == hca_ddg::Opcode::Const;
-    let mut new_out: FxHashSet<PgNodeId> = FxHashSet::default();
-    for (_, e) in ctx.ddg.succ_edges(n) {
-        if e.dst == n || is_const {
+    let mut new_out: SmallVec<[PgNodeId; 4]> = SmallVec::new();
+    for &cs in &view.consumers {
+        if cs == c {
             continue;
         }
-        let Some(cs) = st.cluster_of(e.dst) else {
-            continue;
-        };
-        if cs == c || !pg.node(cs).kind.is_cluster() {
-            continue;
-        }
-        if !pg.is_potential(c, cs) {
+        if !ctx.statics.is_potential(c, cs) {
             return false;
         }
-        if !st.in_neighbors[cs.index()].contains(&c) {
-            if st.in_neighbors[cs.index()].len() + 1 > max_in {
+        if !st.in_neighbors.contains(cs.index(), c) {
+            if st.in_neighbors.len(cs.index()) + 1 > max_in {
                 return false;
             }
-            new_out.insert(cs);
+            if !new_out.contains(&cs) {
+                new_out.push(cs);
+            }
         }
     }
 
     // (iv) Optional out-neighbour budget (unlimited on DSPFabric: broadcast).
     if let Some(limit) = ctx.constraints.max_out_neighbors {
-        let outs = st.out_neighbors[c.index()].len()
+        let outs = st.out_neighbors.len(c.index())
             + new_out
                 .iter()
-                .filter(|d| !st.out_neighbors[c.index()].contains(d))
+                .filter(|&&d| !st.out_neighbors.contains(c.index(), d))
                 .count();
         if outs > limit as usize {
             return false;
@@ -101,9 +147,9 @@ pub fn is_assignable(ctx: &SeeContext<'_>, st: &PartialState, n: NodeId, c: PgNo
     // (v) Output special nodes listing n's value: unary fan-in
     // (`outNode_MaxIn`) — the wire can be fed by c only if every value
     // already on it comes from c too (Figure 10c forces co-location).
-    for o in pg.outputs_carrying(n) {
-        let ins = &st.in_neighbors[o.index()];
-        let would_be = ins.len() + usize::from(!ins.contains(&c));
+    for &o in ctx.statics.outputs_carrying(n) {
+        let would_be = st.in_neighbors.len(o.index())
+            + usize::from(!st.in_neighbors.contains(o.index(), c));
         if would_be > ctx.constraints.out_node_max_in as usize {
             return false;
         }
@@ -142,6 +188,7 @@ mod tests {
             },
             weights: CostWeights::default(),
             issue_cap: None,
+            statics: crate::statics::PgStatics::build(pg),
         }
     }
 
@@ -186,7 +233,7 @@ mod tests {
         }
         // Each cluster now listens to exactly one source: its port is full.
         for k in 0..4 {
-            assert_eq!(st.in_neighbors[k].len(), 1);
+            assert_eq!(st.in_neighbors.len(k), 1);
         }
         for c in pg.cluster_ids() {
             assert!(!is_assignable(&ctx, &st, n, c), "cluster {c}");

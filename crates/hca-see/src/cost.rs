@@ -123,6 +123,7 @@ mod tests {
             },
             weights: CostWeights::default(),
             issue_cap: None,
+            statics: crate::statics::PgStatics::build(&pg),
         };
         let mut same = crate::state::PartialState::initial(&ctx, &[]);
         same.apply_assign(&ctx, p, PgNodeId(0));
@@ -168,6 +169,7 @@ mod tests {
                 },
                 weights,
                 issue_cap: None,
+                statics: crate::statics::PgStatics::build(&pg),
             };
             let mut st = crate::state::PartialState::initial(&ctx, &[]);
             st.apply_assign(&ctx, p, PgNodeId(0));

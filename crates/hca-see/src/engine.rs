@@ -1,9 +1,10 @@
 //! The SEE driver: beam search over partial assignments.
 
-use crate::assignable::is_assignable;
+use crate::assignable::is_assignable_from;
 use crate::cost::CostWeights;
 use crate::filters::{CandidateFilter, CandidatePruning, NodeFilter};
 use crate::route::route_assign;
+use crate::route_table::RouteTable;
 use crate::state::{PartialState, SeeContext};
 use hca_ddg::{Ddg, DdgAnalysis, NodeId, PriorityOrder, PriorityPolicy};
 use hca_pg::{ArchConstraints, AssignedPg, Pg, PgNodeId};
@@ -29,6 +30,11 @@ pub struct SeeConfig {
     pub max_route_hops: usize,
     /// Optional per-issue-slot load ceiling (see [`SeeContext::issue_cap`]).
     pub issue_cap: Option<u32>,
+    /// Prune frontier states that are strictly dominated by a sibling
+    /// (identical assignment and arc structure, componentwise no-better
+    /// scores). Heuristic — disable via this flag or the `HCA_NO_DOMINANCE`
+    /// environment variable to compare outcomes.
+    pub dominance: bool,
 }
 
 impl Default for SeeConfig {
@@ -42,6 +48,7 @@ impl Default for SeeConfig {
             enable_router: true,
             max_route_hops: 3,
             issue_cap: None,
+            dominance: true,
         }
     }
 }
@@ -106,6 +113,16 @@ pub struct SeeStats {
     /// Peak of Σ [`PartialState::approx_bytes`] over the post-filter
     /// frontiers — the search's working-set high-water mark.
     pub peak_frontier_bytes: usize,
+    /// Admissible-path searches actually executed by the Route Allocator.
+    pub route_bfs_runs: usize,
+    /// Routing queries answered (or candidates rejected) from the static
+    /// [`RouteTable`] without running a search.
+    pub route_cache_hits: usize,
+    /// Duplicate frontier states folded by content dedup (each counts the
+    /// scoring + materialisation work avoided for one redundant state).
+    pub frontier_deduped: usize,
+    /// Frontier states removed by dominance pruning.
+    pub dominance_pruned: usize,
 }
 
 /// Result of a successful SEE run.
@@ -125,6 +142,9 @@ pub struct SeeOutcome {
 pub struct See<'a> {
     ctx: SeeContext<'a>,
     config: SeeConfig,
+    /// Static all-pairs reachability of `ctx.pg`, shared by every routing
+    /// query of the run (also owns the run's routing counters).
+    rt: RouteTable,
 }
 
 impl<'a> See<'a> {
@@ -144,8 +164,10 @@ impl<'a> See<'a> {
             constraints,
             weights: config.weights,
             issue_cap: config.issue_cap,
+            statics: crate::statics::PgStatics::build(pg),
         };
-        See { ctx, config }
+        let rt = RouteTable::build(pg);
+        See { ctx, config, rt }
     }
 
     /// Assign the `working_set` (the whole DDG when `None`).
@@ -174,6 +196,9 @@ impl<'a> See<'a> {
         let ws_nodes: Vec<NodeId> = order.nodes().to_vec();
         let mut frontier = vec![PartialState::initial(&self.ctx, &ws_nodes)];
         let mut stats = SeeStats::default();
+        // Routing counters are per-run: clear whatever an earlier (possibly
+        // failed) run on this instance left behind.
+        let _ = self.rt.take_counters();
 
         // Pass-through values are resolved *first*: routing an external value
         // to its forwarding cluster while every port is still free always
@@ -184,18 +209,35 @@ impl<'a> See<'a> {
         frontier = self.resolve_forwards(frontier)?;
         node_filter.apply(&mut frontier);
 
+        // The frontier is held *virtually* from here on: `distinct` owns one
+        // copy of each distinct state, `slots` maps beam positions onto it.
+        // All filtering boundaries, per-slot statistics and the final
+        // arg-min run over beam positions in their original order, so the
+        // search outcome is bit-identical to the materialised beam while
+        // duplicate states are scored and expanded once.
+        let mut distinct = frontier;
+        let mut slots: Vec<usize> = (0..distinct.len()).collect();
+        stats.frontier_deduped += crate::frontier::content_merge(&mut distinct, &mut slots);
+        // Read the escape hatch once per run: a mid-run environment change
+        // must not make one search internally inconsistent.
+        let dominance_on =
+            self.config.dominance && std::env::var_os("HCA_NO_DOMINANCE").is_none();
+
         for &n in order.nodes() {
             let step_t0 = Instant::now();
             // Score every (state, cluster) candidate *in place*: apply the
             // assignment, read the objective, undo — no clone per trial.
-            // Frontier states are independent; each hca-par worker owns a
-            // contiguous chunk and results come back in frontier order, so
-            // the merge below is scheduling-independent.
+            // Distinct states are independent; each hca-par worker owns a
+            // contiguous chunk and results come back in input order, so the
+            // merge below is scheduling-independent.
             let scored: Vec<(Vec<(PgNodeId, f64)>, CandidatePruning)> =
-                hca_par::par_map_mut(&mut frontier, |st| {
+                hca_par::par_map_mut(&mut distinct, |st| {
+                    // Operand/result placements are candidate-independent:
+                    // read them once per state, not once per cluster probe.
+                    let view = crate::assignable::node_view(&self.ctx, st, n);
                     let mut cands: Vec<(PgNodeId, f64)> = Vec::new();
                     for c in self.ctx.pg.cluster_ids() {
-                        if !is_assignable(&self.ctx, st, n, c) {
+                        if !is_assignable_from(&self.ctx, st, &view, n, c) {
                             continue;
                         }
                         let undo = st.apply_assign_logged(&self.ctx, n, c);
@@ -206,33 +248,72 @@ impl<'a> See<'a> {
                     (cands, pruning)
                 });
 
-            // Merge deterministically as (parent index, cluster, cost)
-            // tuples, in (frontier order, per-state candidate order) — the
-            // exact sequence the pre-delta code materialised forks in.
+            // Merge deterministically as (beam slot, cluster, cost) tuples,
+            // in (beam order, per-state candidate order) — the exact
+            // sequence the materialised beam forked in. Candidate-filter
+            // rejections count once per *slot*: a deduplicated state prunes
+            // on behalf of each beam position it stands in for.
             let mut merged: Vec<(usize, PgNodeId, f64)> = Vec::new();
-            for (pi, (cands, pruning)) in scored.into_iter().enumerate() {
+            for (si, &di) in slots.iter().enumerate() {
+                let (cands, pruning) = &scored[di];
                 stats.cand_rejected_margin += pruning.by_margin;
                 stats.cand_rejected_branch += pruning.by_branch;
-                merged.extend(cands.into_iter().map(|(c, cost)| (pi, c, cost)));
+                merged.extend(cands.iter().map(|&(c, cost)| (si, c, cost)));
             }
 
-            let next_frontier: Vec<PartialState> = if merged.is_empty() {
+            if merged.is_empty() {
                 // No-candidates action (paper §3): route from the best states.
-                let mut rescued: Vec<PartialState> = Vec::new();
-                if self.config.enable_router {
-                    stats.route_attempts += frontier.len();
-                    let routed = hca_par::par_map(&frontier, |st| {
-                        route_assign(&self.ctx, st, n, self.config.max_route_hops)
-                    });
-                    rescued.extend(routed.into_iter().flatten());
-                    stats.routed_nodes += rescued.len();
-                }
-                if rescued.is_empty() {
+                if !self.config.enable_router {
                     return Err(SeeError::NoCandidates { node: n });
                 }
-                stats.states_explored += rescued.len();
-                stats.states_pruned += node_filter.apply(&mut rescued);
-                rescued
+                stats.route_attempts += slots.len();
+                // Trials run in place (journalled + rolled back); only the
+                // winning candidate per distinct state is materialised, then
+                // fanned back out to that state's beam slots.
+                let routed = hca_par::par_map_mut(&mut distinct, |st| {
+                    route_assign(&self.ctx, &self.rt, st, n, self.config.max_route_hops)
+                });
+                let mut rescued: Vec<PartialState> = Vec::new();
+                let mut child_of: Vec<Option<usize>> = Vec::with_capacity(routed.len());
+                for r in routed {
+                    child_of.push(r.map(|st| {
+                        rescued.push(st);
+                        rescued.len() - 1
+                    }));
+                }
+                let mut new_slots: Vec<usize> =
+                    slots.iter().filter_map(|&di| child_of[di]).collect();
+                if new_slots.is_empty() {
+                    return Err(SeeError::NoCandidates { node: n });
+                }
+                stats.routed_nodes += new_slots.len();
+                stats.states_explored += new_slots.len();
+                // The node filter, virtually: the same stable sort over beam
+                // positions, then beam-width truncation.
+                new_slots.sort_by(|&a, &b| rescued[a].cost.total_cmp(&rescued[b].cost));
+                let kept = new_slots.len().min(node_filter.beam_width);
+                stats.states_pruned += new_slots.len() - kept;
+                new_slots.truncate(kept);
+                // Drop rescued states that lost all their slots.
+                let mut used = vec![false; rescued.len()];
+                for &ci in &new_slots {
+                    used[ci] = true;
+                }
+                let mut new_idx = vec![usize::MAX; rescued.len()];
+                distinct.clear();
+                for (i, st) in rescued.into_iter().enumerate() {
+                    if used[i] {
+                        new_idx[i] = distinct.len();
+                        distinct.push(st);
+                    }
+                }
+                for s in new_slots.iter_mut() {
+                    *s = new_idx[*s];
+                }
+                slots = new_slots;
+                // Rescues from different parents can converge on identical
+                // states — fold them.
+                stats.frontier_deduped += crate::frontier::content_merge(&mut distinct, &mut slots);
             } else {
                 // Beam-filter on the scored tuples (same stable sort the
                 // node filter uses), then materialise *only* the survivors.
@@ -241,45 +322,93 @@ impl<'a> See<'a> {
                 let kept = merged.len().min(node_filter.beam_width);
                 stats.states_pruned += merged.len() - kept;
                 merged.truncate(kept);
-                // The last survivor of each parent takes it by move; earlier
-                // survivors clone. Applying the logged assignment replays the
-                // scored trial bit-exactly (undo restores the parent state).
-                let mut uses = vec![0usize; frontier.len()];
-                for &(pi, _, _) in &merged {
-                    uses[pi] += 1;
+                // Fold surviving forks that share a (parent, cluster) pair:
+                // their children are bit-identical by construction, so each
+                // pair is materialised once and its beam slots share it.
+                let mut pairs: Vec<(usize, PgNodeId)> = Vec::new();
+                let mut new_slots: Vec<usize> = Vec::with_capacity(merged.len());
+                for &(si, c, _) in &merged {
+                    let key = (slots[si], c);
+                    let idx = match pairs.iter().position(|&p| p == key) {
+                        Some(i) => i,
+                        None => {
+                            pairs.push(key);
+                            pairs.len() - 1
+                        }
+                    };
+                    new_slots.push(idx);
                 }
-                let mut parents: Vec<Option<PartialState>> = frontier.drain(..).map(Some).collect();
-                let mut out = Vec::with_capacity(merged.len());
-                for (pi, c, _) in merged {
-                    uses[pi] -= 1;
-                    let mut child = if uses[pi] == 0 {
-                        parents[pi].take().expect("last use moves the parent")
+                stats.frontier_deduped += merged.len() - pairs.len();
+                // The last child of each parent takes it by move; earlier
+                // children clone. Applying the logged assignment replays the
+                // scored trial bit-exactly (undo restored the parent state).
+                let mut uses = vec![0usize; distinct.len()];
+                for &(di, _) in &pairs {
+                    uses[di] += 1;
+                }
+                let mut parents: Vec<Option<PartialState>> =
+                    distinct.drain(..).map(Some).collect();
+                for (di, c) in pairs {
+                    uses[di] -= 1;
+                    let mut child = if uses[di] == 0 {
+                        parents[di].take().expect("last use moves the parent")
                     } else {
-                        parents[pi]
+                        parents[di]
                             .as_ref()
                             .expect("parent live until last use")
                             .clone()
                     };
                     child.apply_assign(&self.ctx, n, c);
-                    out.push(child);
+                    distinct.push(child);
                 }
-                out
-            };
+                slots = new_slots;
+                // Children of *different* parents can also converge on
+                // identical states — fold those too.
+                stats.frontier_deduped += crate::frontier::content_merge(&mut distinct, &mut slots);
+            }
 
-            stats.beam_occupancy.push(next_frontier.len());
-            frontier = next_frontier;
-            let frontier_bytes: usize = frontier.iter().map(PartialState::approx_bytes).sum();
+            if dominance_on {
+                let removed = crate::frontier::prune_dominated(&mut distinct, &mut slots);
+                stats.dominance_pruned += removed;
+                // Dominance removals count as pruned states so the
+                // explored == pruned + Σ occupancy invariant keeps holding.
+                stats.states_pruned += removed;
+            }
+
+            stats.beam_occupancy.push(slots.len());
+            // Memory accounting stays in beam terms: each slot charges its
+            // state's footprint, as the materialised beam would have.
+            let sizes: Vec<usize> = distinct.iter().map(PartialState::approx_bytes).collect();
+            let frontier_bytes: usize = slots.iter().map(|&di| sizes[di]).sum();
             stats.peak_frontier_bytes = stats.peak_frontier_bytes.max(frontier_bytes);
             stats
                 .step_time_ns
                 .push(u64::try_from(step_t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
         }
 
-        let best = frontier
-            .into_iter()
-            .min_by(|a, b| a.cost.total_cmp(&b.cost))
-            .expect("frontier never empties after a successful loop");
+        // First beam slot with minimal cost, exactly as `min_by` picked the
+        // first minimum of the materialised frontier.
+        let best_di = {
+            let mut best: Option<usize> = None;
+            for &di in &slots {
+                let better = match best {
+                    None => true,
+                    Some(b) => distinct[di].cost.total_cmp(&distinct[b].cost).is_lt(),
+                };
+                if better {
+                    best = Some(di);
+                }
+            }
+            best.expect("frontier never empties after a successful loop")
+        };
+        let best = distinct.swap_remove(best_di);
         stats.routed_hops = best.routed_hops;
+        // Fold the run's routing counters in. Each skip/search event happens
+        // deterministically per candidate regardless of which worker
+        // evaluates it, so these sums are thread-count invariant.
+        let (bfs_runs, cache_hits) = self.rt.take_counters();
+        stats.route_bfs_runs = bfs_runs;
+        stats.route_cache_hits = cache_hits;
         let cost = best.cost;
         let est_mii = best.estimated_mii(&self.ctx);
         Ok(SeeOutcome {
@@ -309,7 +438,7 @@ impl<'a> See<'a> {
         };
         let chain: Vec<PgNodeId> = ctx.pg.cluster_ids().collect();
         let arity = chain.len();
-        if arity == 0 || chain.windows(2).any(|w| !ctx.pg.is_potential(w[0], w[1])) {
+        if arity == 0 || chain.windows(2).any(|w| !ctx.statics.is_potential(w[0], w[1])) {
             return None;
         }
 
@@ -378,7 +507,7 @@ impl<'a> See<'a> {
                     .filter(|(_, e)| ws_set.contains(&e.dst))
                     .map(|(_, e)| chunk_of[&e.dst])
                     .collect();
-                let pass = !ctx.pg.outputs_carrying(v).is_empty();
+                let pass = !ctx.statics.outputs_carrying(v).is_empty();
                 if consumed.is_empty() && !pass {
                     continue;
                 }
@@ -473,7 +602,7 @@ impl<'a> See<'a> {
                 st.add_copy(ctx, v, chain[feeder], o, None, false);
                 if ctx.pg.input_carrying(v).is_some() && !chunk_of.contains_key(&v) {
                     st.charge_issue(ctx, chain[feeder], 1);
-                    st.forwards.push((v, chain[feeder]));
+                    st.push_forward(v, chain[feeder]);
                 }
             }
         }
@@ -524,7 +653,7 @@ impl<'a> See<'a> {
         })?;
         let mut chain: Vec<PgNodeId> = clusters.iter().copied().filter(|&c| c != host).collect();
         chain.push(host);
-        if chain.windows(2).any(|w| !ctx.pg.is_potential(w[0], w[1])) {
+        if chain.windows(2).any(|w| !ctx.statics.is_potential(w[0], w[1])) {
             return None;
         }
 
@@ -543,7 +672,7 @@ impl<'a> See<'a> {
                         return false; // produced here — never sourced from a wire
                     }
                     let consumed = ctx.ddg.succ_edges(v).any(|(_, e)| ws_set.contains(&e.dst));
-                    let pass_through = !ctx.pg.outputs_carrying(v).is_empty();
+                    let pass_through = !ctx.statics.outputs_carrying(v).is_empty();
                     consumed || pass_through
                 })
                 .collect();
@@ -584,7 +713,7 @@ impl<'a> See<'a> {
         for &n in &ws {
             st.place(ctx, n, host);
             if ctx.ddg.node(n).op != hca_ddg::Opcode::Const {
-                for o in ctx.pg.outputs_carrying(n) {
+                for &o in ctx.statics.outputs_carrying(n) {
                     st.add_copy(ctx, n, host, o, None, false);
                 }
             }
@@ -595,7 +724,7 @@ impl<'a> See<'a> {
                     if ctx.pg.input_carrying(v).is_some() && !ws_set.contains(&v) {
                         st.add_copy(ctx, v, host, o, None, false);
                         st.charge_issue(ctx, host, 1);
-                        st.forwards.push((v, host));
+                        st.push_forward(v, host);
                     }
                 }
             }
@@ -666,11 +795,10 @@ impl<'a> See<'a> {
                 // Unary fan-in: if the wire already has a feeder, it is the
                 // only admissible forwarder; otherwise fork over the best
                 // few choices for beam diversity.
-                let feeders = &st.in_neighbors[o.index()];
-                let candidates: Vec<PgNodeId> = if feeders.is_empty() {
+                let candidates: Vec<PgNodeId> = if st.in_neighbors.is_empty(o.index()) {
                     self.ctx.pg.cluster_ids().collect()
                 } else {
-                    feeders.iter().copied().collect()
+                    st.in_neighbors.iter(o.index()).collect()
                 };
                 let mut trials: Vec<PartialState> = Vec::new();
                 for c in candidates {
@@ -709,6 +837,9 @@ impl<'a> See<'a> {
         let ctx = &self.ctx;
         let max_in = ctx.constraints.max_in_neighbors as usize;
         let mut trial = st.clone();
+        // The trial is a private clone that is kept or dropped wholesale, so
+        // the journal is write-only here — route_value just needs one.
+        let mut txn = trial.txn_begin();
         let mut relay: Option<PgNodeId> = None;
         for &v in values {
             let Some(inp) = trial.cluster_of(v) else {
@@ -717,13 +848,22 @@ impl<'a> See<'a> {
             if ctx.pg.node(inp).kind.is_cluster() {
                 continue; // internal producer feeds o itself
             }
-            let ports_left = max_in.saturating_sub(trial.in_neighbors[c.index()].len());
+            let ports_left = max_in.saturating_sub(trial.in_neighbors.len(c.index()));
             let more_after_this = values.iter().skip_while(|&&x| x != v).count() > 1;
-            let direct_ok = trial.in_neighbors[c.index()].contains(&inp)
+            let direct_ok = trial.in_neighbors.contains(c.index(), inp)
                 || ports_left > usize::from(more_after_this && relay.is_none());
             if direct_ok
-                && crate::route::route_value(ctx, &mut trial, v, inp, c, self.config.max_route_hops)
-                    .is_some()
+                && crate::route::route_value(
+                    ctx,
+                    &self.rt,
+                    &mut trial,
+                    v,
+                    inp,
+                    c,
+                    self.config.max_route_hops,
+                    &mut txn,
+                )
+                .is_some()
             {
                 // delivered directly (or over an already-open path)
             } else {
@@ -733,22 +873,31 @@ impl<'a> See<'a> {
                     None => {
                         let r = ctx.pg.cluster_ids().find(|&r| {
                             r != c
-                                && ctx.pg.is_potential(r, c)
-                                && (trial.in_neighbors[c.index()].contains(&r)
-                                    || trial.in_neighbors[c.index()].len() < max_in)
+                                && ctx.statics.is_potential(r, c)
+                                && (trial.in_neighbors.contains(c.index(), r)
+                                    || trial.in_neighbors.len(c.index()) < max_in)
                         })?;
                         relay = Some(r);
                         r
                     }
                 };
-                crate::route::route_value(ctx, &mut trial, v, inp, r, self.config.max_route_hops)?;
+                crate::route::route_value(
+                    ctx,
+                    &self.rt,
+                    &mut trial,
+                    v,
+                    inp,
+                    r,
+                    self.config.max_route_hops,
+                    &mut txn,
+                )?;
                 trial.add_copy(ctx, v, r, c, None, false);
                 trial.routed_hops += 1;
             }
             trial.add_copy(ctx, v, c, o, None, false);
             // The Route op itself costs an issue slot.
             trial.charge_issue(ctx, c, 1);
-            trial.forwards.push((v, c));
+            trial.push_forward(v, c);
         }
         trial.cost = crate::cost::objective(ctx, &trial);
         Some(trial)

@@ -30,9 +30,14 @@ pub mod assignable;
 pub mod cost;
 pub mod engine;
 pub mod filters;
+mod frontier;
+pub mod neighbors;
 pub mod route;
+pub mod route_table;
 pub mod state;
+pub mod statics;
 
 pub use cost::CostWeights;
 pub use engine::{See, SeeConfig, SeeError, SeeOutcome, SeeStats};
+pub use route_table::RouteTable;
 pub use state::{PartialState, SeeContext};

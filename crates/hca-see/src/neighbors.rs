@@ -1,0 +1,157 @@
+//! Flat bit-matrix adjacency rows for [`PartialState`].
+//!
+//! The state tracks, per PG node, the set of distinct real neighbours its
+//! copy flow has opened. PG sub-problems are small (a handful of clusters
+//! plus glue nodes), but the beam engine clones and compares states in its
+//! innermost loop — a `Vec<FxHashSet<_>>` representation pays one heap
+//! allocation per node per clone and a hash-set walk per equality check,
+//! which profiles as an allocator storm. One flat `Vec<u64>` bit matrix
+//! (row = PG node, bit = neighbour id) makes a clone one `memcpy`, equality
+//! one slice compare, and membership one shift-and-mask.
+//!
+//! [`PartialState`]: crate::state::PartialState
+
+use hca_pg::PgNodeId;
+
+/// Per-PG-node neighbour sets as one flat bit matrix.
+///
+/// Row `i` holds the neighbour set of PG node `i`; bit `j` of the row marks
+/// `PgNodeId(j)` as a member. Rows are `stride` words wide, sized for the
+/// sub-problem's PG node count at construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NeighborSets {
+    words: Vec<u64>,
+    stride: usize,
+}
+
+impl NeighborSets {
+    /// Empty sets for a PG with `n` nodes (both row count and id range).
+    pub fn new(n: usize) -> Self {
+        let stride = n.div_ceil(64).max(1);
+        NeighborSets {
+            words: vec![0; n * stride],
+            stride,
+        }
+    }
+
+    /// Number of rows (PG nodes) the matrix was sized for.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.words.len() / self.stride
+    }
+
+    #[inline]
+    fn slot(&self, row: usize, id: PgNodeId) -> (usize, u64) {
+        let bit = id.index();
+        debug_assert!(row < self.num_rows() && bit < self.stride * 64);
+        (row * self.stride + bit / 64, 1u64 << (bit % 64))
+    }
+
+    /// Add `id` to row `row`; `true` if it was not already a member.
+    #[inline]
+    pub fn insert(&mut self, row: usize, id: PgNodeId) -> bool {
+        let (w, mask) = self.slot(row, id);
+        let fresh = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        fresh
+    }
+
+    /// Remove `id` from row `row`.
+    #[inline]
+    pub fn remove(&mut self, row: usize, id: PgNodeId) {
+        let (w, mask) = self.slot(row, id);
+        self.words[w] &= !mask;
+    }
+
+    /// Is `id` a member of row `row`?
+    #[inline]
+    pub fn contains(&self, row: usize, id: PgNodeId) -> bool {
+        let (w, mask) = self.slot(row, id);
+        self.words[w] & mask != 0
+    }
+
+    /// Cardinality of row `row`.
+    #[inline]
+    pub fn len(&self, row: usize) -> usize {
+        self.words[row * self.stride..(row + 1) * self.stride]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Is row `row` empty?
+    #[inline]
+    pub fn is_empty(&self, row: usize) -> bool {
+        self.words[row * self.stride..(row + 1) * self.stride]
+            .iter()
+            .all(|&w| w == 0)
+    }
+
+    /// Members of row `row`, in ascending id order.
+    pub fn iter(&self, row: usize) -> impl Iterator<Item = PgNodeId> + '_ {
+        self.words[row * self.stride..(row + 1) * self.stride]
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &w)| {
+                let base = (wi * 64) as u32;
+                BitIter(w).map(move |b| PgNodeId(base + b))
+            })
+    }
+
+    /// Heap bytes held (for the engine's frontier-memory accounting).
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Iterator over the set bit positions of one word.
+struct BitIter(u64);
+
+impl Iterator for BitIter {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.0 == 0 {
+            return None;
+        }
+        let b = self.0.trailing_zeros();
+        self.0 &= self.0 - 1;
+        Some(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains_len() {
+        let mut s = NeighborSets::new(70); // two words per row
+        assert_eq!(s.num_rows(), 70);
+        assert!(s.is_empty(3));
+        assert!(s.insert(3, PgNodeId(5)));
+        assert!(!s.insert(3, PgNodeId(5)), "re-insert reports non-fresh");
+        assert!(s.insert(3, PgNodeId(69)));
+        assert!(s.contains(3, PgNodeId(5)));
+        assert!(s.contains(3, PgNodeId(69)));
+        assert!(!s.contains(3, PgNodeId(6)));
+        assert!(!s.contains(4, PgNodeId(5)), "rows are independent");
+        assert_eq!(s.len(3), 2);
+        assert_eq!(s.iter(3).collect::<Vec<_>>(), vec![PgNodeId(5), PgNodeId(69)]);
+        s.remove(3, PgNodeId(5));
+        assert!(!s.contains(3, PgNodeId(5)));
+        assert_eq!(s.len(3), 1);
+    }
+
+    #[test]
+    fn equality_is_content_based() {
+        let mut a = NeighborSets::new(10);
+        let mut b = NeighborSets::new(10);
+        a.insert(1, PgNodeId(2));
+        assert_ne!(a, b);
+        b.insert(1, PgNodeId(2));
+        assert_eq!(a, b);
+    }
+}

@@ -7,10 +7,32 @@
 //! evaluating one more assignment is O(degree), not O(graph).
 
 use crate::cost::CostWeights;
+use crate::neighbors::NeighborSets;
 use hca_ddg::{Ddg, DdgAnalysis, NodeId};
 use hca_pg::{ArchConstraints, AssignedPg, Pg, PgNodeId, PgNodeKind};
 use rustc_hash::{FxHashMap, FxHashSet};
 use smallvec::SmallVec;
+
+/// Site tags for [`sig_entry`]: each structural container hashes its entries
+/// under its own tag so an `(n, c)` assignment can never cancel against a
+/// same-bits neighbour entry.
+const SIG_ASSIGN: u8 = 0;
+const SIG_COPY: u8 = 1;
+const SIG_IN: u8 = 2;
+const SIG_OUT: u8 = 3;
+const SIG_FORWARD: u8 = 4;
+
+/// Hash of one structural entry for the XOR-multiset signature. Ordered
+/// containers (`copies` value lists, `forwards`) include the entry's
+/// position, so the signature distinguishes orderings; unordered maps/sets
+/// rely on XOR commutativity alone.
+#[inline]
+fn sig_entry<T: std::hash::Hash>(tag: u8, entry: T) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = rustc_hash::FxHasher::default();
+    (tag, entry).hash(&mut h);
+    h.finish()
+}
 
 /// Immutable context shared by every state of one SEE run.
 pub struct SeeContext<'a> {
@@ -27,6 +49,8 @@ pub struct SeeContext<'a> {
     /// Optional hard cap on per-issue-slot load (a target-II ceiling); used
     /// by `isAssignable` to reject pathological imbalance early.
     pub issue_cap: Option<u32>,
+    /// O(1) lookups (arc potential, output wires) over the immutable `pg`.
+    pub statics: crate::statics::PgStatics,
 }
 
 /// A partial cluster assignment plus its incremental statistics.
@@ -46,8 +70,14 @@ pub struct SeeContext<'a> {
 /// [`apply_assign_logged`]: PartialState::apply_assign_logged
 #[derive(Clone, Debug)]
 pub struct PartialState {
-    /// `DDG̅` so far (includes pre-assigned external producers on input nodes).
-    pub assignment: FxHashMap<NodeId, PgNodeId>,
+    /// `DDG̅` so far (includes pre-assigned external producers on input
+    /// nodes), dense over the DDG's node ids: `assignment[n]` is the cluster
+    /// holding `n`. A flat vector keeps [`cluster_of`] — the single hottest
+    /// read in `is_assignable` — one array load, and makes a state clone a
+    /// `memcpy` instead of a hash-table rebuild.
+    ///
+    /// [`cluster_of`]: PartialState::cluster_of
+    pub assignment: Vec<Option<PgNodeId>>,
     /// Values on each real arc.
     pub copies: FxHashMap<(PgNodeId, PgNodeId), SmallVec<[NodeId; 2]>>,
     /// Issue-slot load per PG node (instructions + receives).
@@ -58,10 +88,11 @@ pub struct PartialState {
     pub ag_ops: Vec<u32>,
     /// Receive primitives per PG node.
     pub recv_load: Vec<u32>,
-    /// Distinct real in-neighbours per PG node.
-    pub in_neighbors: Vec<FxHashSet<PgNodeId>>,
+    /// Distinct real in-neighbours per PG node (flat bit matrix: one
+    /// allocation, memcpy clone, O(1) membership).
+    pub in_neighbors: NeighborSets,
     /// Distinct real out-neighbours per PG node.
-    pub out_neighbors: Vec<FxHashSet<PgNodeId>>,
+    pub out_neighbors: NeighborSets,
     /// Total (value, destination) copy pairs.
     pub total_copies: u32,
     /// Copies whose endpoints sit in one SCC (they stretch a recurrence).
@@ -72,10 +103,21 @@ pub struct PartialState {
     pub routed_hops: u32,
     /// Pass-through forwards performed at this level: an external value
     /// entering on a glue-in wire and leaving on a glue-out wire is re-emitted
-    /// by the named cluster (one issue slot for the `Route` op).
+    /// by the named cluster (one issue slot for the `Route` op). Mutate only
+    /// through [`push_forward`](PartialState::push_forward) (and the txn
+    /// rollback), which maintain [`struct_sig`](PartialState::struct_sig).
     pub forwards: Vec<(NodeId, PgNodeId)>,
     /// Cached objective value.
     pub cost: f64,
+    /// XOR-multiset hash of the structural content (assignment, copies,
+    /// neighbour sets, forwards), maintained in O(1) by every mutator.
+    /// Identical content implies identical signature regardless of mutation
+    /// history: XOR is order-independent, and every mutation path adds or
+    /// removes the same site-tagged entry hash for the same entry. The
+    /// frontier uses it as a reject-only prefilter for its structural
+    /// comparisons — full equality is always verified behind a signature
+    /// match, so hash collisions stay harmless.
+    pub(crate) struct_sig: u64,
     /// Running max of per-cluster resource-pressure ceilings (issue, ALU,
     /// address-gen). `u32::MAX` poisons states that put AG work on an
     /// AG-less cluster. Maintained by the mutators; never decreases.
@@ -101,6 +143,41 @@ struct CopyUndo {
     new_out_neighbor: bool,
     /// Did the destination (a real cluster) pay the receive issue slot?
     charged_recv: bool,
+}
+
+/// One reversible mutation recorded by a [`StateTxn`].
+#[derive(Debug)]
+enum TxnOp {
+    /// A [`PartialState::place`] call (node, cluster).
+    Place(NodeId, PgNodeId),
+    /// A copy creation ([`PartialState::add_copy_logged`] returned `Some`).
+    Copy(CopyUndo),
+    /// A bare [`PartialState::charge_issue`] call (cluster, slots).
+    Charge(PgNodeId, u32),
+}
+
+/// Open-ended transaction journal for the Route Allocator's trial mutations.
+///
+/// [`AssignUndo`] reverts exactly one `apply_assign_logged`; routing instead
+/// performs an arbitrary interleaving of placements, copies and issue
+/// charges while probing a candidate cluster, then either keeps or discards
+/// the whole attempt. The journal records each mutation plus a snapshot of
+/// every scalar aggregate (including `routed_hops` and the floats, where
+/// `(a + x) - x` is not guaranteed to equal `a`), so
+/// [`PartialState::txn_rollback`] restores the pre-trial state bit-exactly —
+/// this is what replaces the per-candidate `st.clone()` in the route paths.
+#[derive(Debug)]
+pub struct StateTxn {
+    ops: Vec<TxnOp>,
+    forwards_len: usize,
+    total_copies: u32,
+    recurrence_copies: u32,
+    critical_penalty: f64,
+    routed_hops: u32,
+    mii_issue: u32,
+    mii_arc: u32,
+    util_sq_sum: f64,
+    cost: f64,
 }
 
 /// Journal reverting one [`PartialState::apply_assign_logged`] call.
@@ -136,26 +213,40 @@ impl PartialState {
     /// content ultimately comes from this very group's emission).
     pub fn initial(ctx: &SeeContext<'_>, working_set: &[NodeId]) -> Self {
         let n = ctx.pg.num_nodes();
+        // Dense assignment capacity: every DDG node, plus any id carried on
+        // a glue wire (defensive — wire values normally are DDG nodes).
+        let mut ddg_cap = ctx.ddg.num_nodes();
+        for id in ctx.pg.input_ids().chain(ctx.pg.output_ids()) {
+            match &ctx.pg.node(id).kind {
+                PgNodeKind::Input { values, .. } | PgNodeKind::Output { values, .. } => {
+                    for &v in values {
+                        ddg_cap = ddg_cap.max(v.index() + 1);
+                    }
+                }
+                _ => {}
+            }
+        }
         let util_clusters = ctx
             .pg
             .cluster_ids()
             .filter(|&id| ctx.pg.node(id).rt.issue > 0)
             .count() as u32;
         let mut st = PartialState {
-            assignment: FxHashMap::default(),
+            assignment: vec![None; ddg_cap],
             copies: FxHashMap::default(),
             issue_load: vec![0; n],
             alu_ops: vec![0; n],
             ag_ops: vec![0; n],
             recv_load: vec![0; n],
-            in_neighbors: vec![FxHashSet::default(); n],
-            out_neighbors: vec![FxHashSet::default(); n],
+            in_neighbors: NeighborSets::new(n),
+            out_neighbors: NeighborSets::new(n),
             total_copies: 0,
             recurrence_copies: 0,
             critical_penalty: 0.0,
             routed_hops: 0,
             forwards: Vec::new(),
             cost: 0.0,
+            struct_sig: 0,
             mii_issue: 0,
             mii_arc: 0,
             util_sq_sum: 0.0,
@@ -166,18 +257,60 @@ impl PartialState {
             if let PgNodeKind::Input { values, .. } = &ctx.pg.node(id).kind {
                 for &v in values {
                     if !ws.contains(&v) {
-                        st.assignment.insert(v, id);
+                        st.assignment[v.index()] = Some(id);
+                        st.struct_sig ^= sig_entry(SIG_ASSIGN, (v, id));
                     }
                 }
             }
         }
+        debug_assert_eq!(st.struct_sig, st.compute_struct_sig());
         st
+    }
+
+    /// Recompute [`struct_sig`](Self) from scratch by walking every
+    /// structural container. Used once per state family (`initial`) and by
+    /// the frontier's debug assertions that validate the incremental
+    /// maintenance; the hot path never calls this.
+    pub(crate) fn compute_struct_sig(&self) -> u64 {
+        let mut sig = 0u64;
+        for (i, &slot) in self.assignment.iter().enumerate() {
+            if let Some(c) = slot {
+                sig ^= sig_entry(SIG_ASSIGN, (NodeId(i as u32), c));
+            }
+        }
+        for (&(src, dst), vs) in &self.copies {
+            for (pos, &v) in vs.iter().enumerate() {
+                sig ^= sig_entry(SIG_COPY, (src, dst, pos as u32, v));
+            }
+        }
+        for i in 0..self.in_neighbors.num_rows() {
+            for src in self.in_neighbors.iter(i) {
+                sig ^= sig_entry(SIG_IN, (i as u32, src));
+            }
+        }
+        for i in 0..self.out_neighbors.num_rows() {
+            for dst in self.out_neighbors.iter(i) {
+                sig ^= sig_entry(SIG_OUT, (i as u32, dst));
+            }
+        }
+        for (pos, &(v, c)) in self.forwards.iter().enumerate() {
+            sig ^= sig_entry(SIG_FORWARD, (pos as u32, v, c));
+        }
+        sig
+    }
+
+    /// Append a pass-through forward, maintaining the structure signature.
+    /// `forwards` is ordered and only ever grows at the tail (the txn
+    /// rollback truncates from the tail), so entries sign by position.
+    pub fn push_forward(&mut self, v: NodeId, c: PgNodeId) {
+        self.struct_sig ^= sig_entry(SIG_FORWARD, (self.forwards.len() as u32, v, c));
+        self.forwards.push((v, c));
     }
 
     /// Cluster currently holding `n`, if assigned.
     #[inline]
     pub fn cluster_of(&self, n: NodeId) -> Option<PgNodeId> {
-        self.assignment.get(&n).copied()
+        self.assignment.get(n.index()).copied().flatten()
     }
 
     /// Pressure (value count) of the real arc `src → dst`.
@@ -188,9 +321,9 @@ impl PartialState {
 
     /// How many of `c`'s in-neighbours are glue-in (special input) nodes.
     pub fn glue_in_neighbors(&self, ctx: &SeeContext<'_>, c: PgNodeId) -> usize {
-        self.in_neighbors[c.index()]
-            .iter()
-            .filter(|&&s| !ctx.pg.node(s).kind.is_cluster())
+        self.in_neighbors
+            .iter(c.index())
+            .filter(|&s| !ctx.pg.node(s).kind.is_cluster())
             .count()
     }
 
@@ -237,11 +370,19 @@ impl PartialState {
         if entry.contains(&v) {
             return None;
         }
+        let pos = entry.len() as u32;
         entry.push(v);
         self.mii_arc = self.mii_arc.max(entry.len() as u32);
+        self.struct_sig ^= sig_entry(SIG_COPY, (src, dst, pos, v));
         self.total_copies += 1;
-        let new_in_neighbor = self.in_neighbors[dst.index()].insert(src);
-        let new_out_neighbor = self.out_neighbors[src.index()].insert(dst);
+        let new_in_neighbor = self.in_neighbors.insert(dst.index(), src);
+        if new_in_neighbor {
+            self.struct_sig ^= sig_entry(SIG_IN, (dst.index() as u32, src));
+        }
+        let new_out_neighbor = self.out_neighbors.insert(src.index(), dst);
+        if new_out_neighbor {
+            self.struct_sig ^= sig_entry(SIG_OUT, (src.index() as u32, dst));
+        }
         // Receiving a value costs one issue slot on the destination cluster
         // (the rcv primitive, §2.2) — but only on real clusters: special
         // output nodes model the parent boundary and execute nothing.
@@ -296,8 +437,9 @@ impl PartialState {
             ctx.pg.node(c).kind.is_cluster(),
             "assigning to special node"
         );
-        debug_assert!(!self.assignment.contains_key(&n), "{n} already assigned");
-        self.assignment.insert(n, c);
+        debug_assert!(self.assignment[n.index()].is_none(), "{n} already assigned");
+        self.assignment[n.index()] = Some(c);
+        self.struct_sig ^= sig_entry(SIG_ASSIGN, (n, c));
         self.charge_issue(ctx, c, 1);
         let i = c.index();
         let rt = ctx.pg.node(c).rt;
@@ -389,7 +531,7 @@ impl PartialState {
             }
         }
         // n's value flows up through every output wire listing it.
-        for o in ctx.pg.outputs_carrying(n) {
+        for &o in ctx.statics.outputs_carrying(n) {
             undo.copies
                 .extend(self.add_copy_logged(ctx, n, c, o, None, false));
         }
@@ -405,24 +547,29 @@ impl PartialState {
         for cu in undo.copies.iter().rev() {
             let (src, dst) = cu.arc;
             let vs = self.copies.get_mut(&cu.arc).expect("journalled arc exists");
-            vs.pop();
-            if vs.is_empty() {
+            let v = vs.pop().expect("journalled copy exists");
+            let empty = vs.is_empty();
+            self.struct_sig ^= sig_entry(SIG_COPY, (src, dst, vs.len() as u32, v));
+            if empty {
                 // Never leave empty arcs behind: `into_assigned` and the
                 // copies-map invariants assume every present arc is live.
                 self.copies.remove(&cu.arc);
             }
             if cu.new_in_neighbor {
-                self.in_neighbors[dst.index()].remove(&src);
+                self.in_neighbors.remove(dst.index(), src);
+                self.struct_sig ^= sig_entry(SIG_IN, (dst.index() as u32, src));
             }
             if cu.new_out_neighbor {
-                self.out_neighbors[src.index()].remove(&dst);
+                self.out_neighbors.remove(src.index(), dst);
+                self.struct_sig ^= sig_entry(SIG_OUT, (src.index() as u32, dst));
             }
             if cu.charged_recv {
                 self.recv_load[dst.index()] -= 1;
                 self.issue_load[dst.index()] -= 1;
             }
         }
-        self.assignment.remove(&undo.node);
+        self.assignment[undo.node.index()] = None;
+        self.struct_sig ^= sig_entry(SIG_ASSIGN, (undo.node, undo.cluster));
         let i = undo.cluster.index();
         self.issue_load[i] -= 1;
         match ctx.ddg.node(undo.node).op.resource_class() {
@@ -437,6 +584,133 @@ impl PartialState {
         self.mii_arc = undo.mii_arc;
         self.util_sq_sum = undo.util_sq_sum;
         self.cost = undo.cost;
+    }
+
+    /// Open a routing transaction: snapshot every scalar aggregate of the
+    /// current state. Mutations made through the `*_txn` methods are
+    /// journalled into it; [`txn_rollback`](PartialState::txn_rollback)
+    /// reverts them LIFO and restores the snapshot bit-exactly.
+    pub fn txn_begin(&self) -> StateTxn {
+        StateTxn {
+            ops: Vec::new(),
+            forwards_len: self.forwards.len(),
+            total_copies: self.total_copies,
+            recurrence_copies: self.recurrence_copies,
+            critical_penalty: self.critical_penalty,
+            routed_hops: self.routed_hops,
+            mii_issue: self.mii_issue,
+            mii_arc: self.mii_arc,
+            util_sq_sum: self.util_sq_sum,
+            cost: self.cost,
+        }
+    }
+
+    /// Journalled [`place`](PartialState::place).
+    pub fn place_txn(
+        &mut self,
+        ctx: &SeeContext<'_>,
+        n: NodeId,
+        c: PgNodeId,
+        txn: &mut StateTxn,
+    ) {
+        self.place(ctx, n, c);
+        txn.ops.push(TxnOp::Place(n, c));
+    }
+
+    /// Journalled [`add_copy`](PartialState::add_copy). Returns `true` when
+    /// a new copy was created (`false` = the value was already on the arc).
+    pub fn add_copy_txn(
+        &mut self,
+        ctx: &SeeContext<'_>,
+        v: NodeId,
+        src: PgNodeId,
+        dst: PgNodeId,
+        via_edge_slack: Option<u32>,
+        in_recurrence: bool,
+        txn: &mut StateTxn,
+    ) -> bool {
+        match self.add_copy_logged(ctx, v, src, dst, via_edge_slack, in_recurrence) {
+            Some(cu) => {
+                txn.ops.push(TxnOp::Copy(cu));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Journalled [`charge_issue`](PartialState::charge_issue).
+    pub fn charge_issue_txn(
+        &mut self,
+        ctx: &SeeContext<'_>,
+        c: PgNodeId,
+        slots: u32,
+        txn: &mut StateTxn,
+    ) {
+        self.charge_issue(ctx, c, slots);
+        txn.ops.push(TxnOp::Charge(c, slots));
+    }
+
+    /// Revert every mutation journalled since
+    /// [`txn_begin`](PartialState::txn_begin) (LIFO) and restore the scalar
+    /// snapshot. The state is bit-identical to before the transaction.
+    ///
+    /// Direct scalar mutations made during the trial (`routed_hops`, `cost`)
+    /// need no journal entries — they are covered by the snapshot.
+    pub fn txn_rollback(&mut self, ctx: &SeeContext<'_>, txn: StateTxn) {
+        for op in txn.ops.into_iter().rev() {
+            match op {
+                TxnOp::Place(n, c) => {
+                    self.assignment[n.index()] = None;
+                    self.struct_sig ^= sig_entry(SIG_ASSIGN, (n, c));
+                    let i = c.index();
+                    self.issue_load[i] -= 1;
+                    match ctx.ddg.node(n).op.resource_class() {
+                        hca_ddg::ResourceClass::Alu => self.alu_ops[i] -= 1,
+                        hca_ddg::ResourceClass::AddrGen => self.ag_ops[i] -= 1,
+                        hca_ddg::ResourceClass::Receive => {}
+                    }
+                }
+                TxnOp::Copy(cu) => {
+                    let (src, dst) = cu.arc;
+                    let vs = self.copies.get_mut(&cu.arc).expect("journalled arc exists");
+                    let v = vs.pop().expect("journalled copy exists");
+                    let empty = vs.is_empty();
+                    self.struct_sig ^= sig_entry(SIG_COPY, (src, dst, vs.len() as u32, v));
+                    if empty {
+                        self.copies.remove(&cu.arc);
+                    }
+                    if cu.new_in_neighbor {
+                        self.in_neighbors.remove(dst.index(), src);
+                        self.struct_sig ^= sig_entry(SIG_IN, (dst.index() as u32, src));
+                    }
+                    if cu.new_out_neighbor {
+                        self.out_neighbors.remove(src.index(), dst);
+                        self.struct_sig ^= sig_entry(SIG_OUT, (src.index() as u32, dst));
+                    }
+                    if cu.charged_recv {
+                        self.recv_load[dst.index()] -= 1;
+                        self.issue_load[dst.index()] -= 1;
+                    }
+                }
+                TxnOp::Charge(c, slots) => {
+                    self.issue_load[c.index()] -= slots;
+                }
+            }
+        }
+        let mut fwd_delta = 0u64;
+        for (pos, &(v, c)) in self.forwards.iter().enumerate().skip(txn.forwards_len) {
+            fwd_delta ^= sig_entry(SIG_FORWARD, (pos as u32, v, c));
+        }
+        self.struct_sig ^= fwd_delta;
+        self.forwards.truncate(txn.forwards_len);
+        self.total_copies = txn.total_copies;
+        self.recurrence_copies = txn.recurrence_copies;
+        self.critical_penalty = txn.critical_penalty;
+        self.routed_hops = txn.routed_hops;
+        self.mii_issue = txn.mii_issue;
+        self.mii_arc = txn.mii_arc;
+        self.util_sq_sum = txn.util_sq_sum;
+        self.cost = txn.cost;
     }
 
     /// Estimated final MII of the partial solution (§4.2): the max of the
@@ -491,9 +765,8 @@ impl PartialState {
     /// is not the point, comparability across beam widths is.
     pub fn approx_bytes(&self) -> usize {
         use std::mem::size_of;
-        let entry = size_of::<NodeId>() + size_of::<PgNodeId>() + size_of::<u64>();
         let mut bytes = size_of::<Self>();
-        bytes += self.assignment.len() * entry;
+        bytes += self.assignment.len() * size_of::<Option<PgNodeId>>();
         for vs in self.copies.values() {
             bytes += size_of::<(PgNodeId, PgNodeId)>()
                 + size_of::<u64>()
@@ -502,9 +775,7 @@ impl PartialState {
         bytes +=
             (self.issue_load.len() + self.alu_ops.len() + self.ag_ops.len() + self.recv_load.len())
                 * size_of::<u32>();
-        for s in self.in_neighbors.iter().chain(&self.out_neighbors) {
-            bytes += size_of::<FxHashSet<PgNodeId>>() + s.len() * size_of::<PgNodeId>();
-        }
+        bytes += self.in_neighbors.heap_bytes() + self.out_neighbors.heap_bytes();
         bytes += self.forwards.len() * size_of::<(NodeId, PgNodeId)>();
         bytes
     }
@@ -515,9 +786,15 @@ impl PartialState {
         for ((s, d), vs) in self.copies {
             copies.insert((s, d), vs.into_vec());
         }
+        let assignment = self
+            .assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &slot)| slot.map(|c| (NodeId(i as u32), c)))
+            .collect();
         AssignedPg {
             pg: pg.clone(),
-            assignment: self.assignment,
+            assignment,
             copies,
             forwards: self.forwards,
         }
@@ -574,6 +851,7 @@ mod tests {
             constraints: cons,
             weights: CostWeights::default(),
             issue_cap: None,
+            statics: crate::statics::PgStatics::build(&pg),
         };
         let st = PartialState::initial(&ctx, &[]);
         let inp = pg.input_ids().next().unwrap();
@@ -596,6 +874,7 @@ mod tests {
             constraints: cons,
             weights: CostWeights::default(),
             issue_cap: None,
+            statics: crate::statics::PgStatics::build(&pg),
         };
         let mut st = PartialState::initial(&ctx, &[]);
         st.apply_assign(&ctx, p, PgNodeId(0));
@@ -606,7 +885,7 @@ mod tests {
         // q's cluster pays the receive issue slot on top of its own op.
         assert_eq!(st.issue_load[1], 2);
         assert_eq!(st.recv_load[1], 1);
-        assert!(st.in_neighbors[1].contains(&PgNodeId(0)));
+        assert!(st.in_neighbors.contains(1, PgNodeId(0)));
     }
 
     #[test]
@@ -628,6 +907,7 @@ mod tests {
             constraints: cons,
             weights: CostWeights::default(),
             issue_cap: None,
+            statics: crate::statics::PgStatics::build(&pg),
         };
         let mut st = PartialState::initial(&ctx, &[]);
         st.apply_assign(&ctx, p, PgNodeId(0));
@@ -654,6 +934,7 @@ mod tests {
             constraints: cons,
             weights: CostWeights::default(),
             issue_cap: None,
+            statics: crate::statics::PgStatics::build(&pg),
         };
         let mut st = PartialState::initial(&ctx, &[]);
         st.apply_assign(&ctx, a, PgNodeId(0));
@@ -677,6 +958,7 @@ mod tests {
             constraints: cons,
             weights: CostWeights::default(),
             issue_cap: None,
+            statics: crate::statics::PgStatics::build(&pg),
         };
         let mut st = PartialState::initial(&ctx, &[]);
         for (i, &n) in nodes.iter().enumerate() {
@@ -707,6 +989,10 @@ mod tests {
         assert_eq!(a.mii_arc, b.mii_arc);
         assert_eq!(a.util_sq_sum.to_bits(), b.util_sq_sum.to_bits());
         assert_eq!(a.util_clusters, b.util_clusters);
+        // The structure signature must both round-trip and agree with a
+        // from-scratch recomputation — the incremental maintenance is exact.
+        assert_eq!(a.struct_sig, b.struct_sig);
+        assert_eq!(b.struct_sig, b.compute_struct_sig());
     }
 
     #[test]
@@ -735,6 +1021,7 @@ mod tests {
             constraints: cons,
             weights: CostWeights::default(),
             issue_cap: None,
+            statics: crate::statics::PgStatics::build(&pg),
         };
         let mut st = PartialState::initial(&ctx, &[]);
         st.apply_assign(&ctx, p, PgNodeId(0));
@@ -744,7 +1031,7 @@ mod tests {
             for cluster in 0..3u32 {
                 let before = st.clone();
                 let undo = st.apply_assign_logged(&ctx, node, PgNodeId(cluster));
-                assert!(st.assignment.contains_key(&node), "trial assignment landed");
+                assert!(st.cluster_of(node).is_some(), "trial assignment landed");
                 st.undo_assign(&ctx, undo);
                 assert_states_identical(&before, &st);
             }
@@ -752,6 +1039,48 @@ mod tests {
             st.apply_assign(&ctx, node, PgNodeId(2));
         }
         assert_eq!(st.total_copies, 4);
+    }
+
+    #[test]
+    fn txn_rollback_round_trips_exactly() {
+        // A routing-flavoured trial: place a node, thread a value through an
+        // intermediate hop (two copies), charge a forward slot, bump the
+        // scalar hop counter and overwrite the cached cost — then roll back
+        // and demand the pre-trial state bit-for-bit.
+        let mut b = DdgBuilder::default();
+        let p = b.node(Opcode::Add);
+        let q = b.node(Opcode::Add);
+        b.flow(p, q);
+        let ddg = b.finish();
+        let pg = Pg::complete(3, ResourceTable::of_cns(2));
+        let (an, cons) = ctx_fixture(&ddg, &pg);
+        let ctx = SeeContext {
+            ddg: &ddg,
+            analysis: &an,
+            pg: &pg,
+            constraints: cons,
+            weights: CostWeights::default(),
+            issue_cap: None,
+            statics: crate::statics::PgStatics::build(&pg),
+        };
+        let mut st = PartialState::initial(&ctx, &[]);
+        st.apply_assign(&ctx, p, PgNodeId(0));
+        let before = st.clone();
+
+        let mut txn = st.txn_begin();
+        st.place_txn(&ctx, q, PgNodeId(2), &mut txn);
+        assert!(st.add_copy_txn(&ctx, p, PgNodeId(0), PgNodeId(1), None, false, &mut txn));
+        assert!(st.add_copy_txn(&ctx, p, PgNodeId(1), PgNodeId(2), None, false, &mut txn));
+        // Re-adding the same value on the same arc is a no-op …
+        assert!(!st.add_copy_txn(&ctx, p, PgNodeId(0), PgNodeId(1), None, false, &mut txn));
+        st.charge_issue_txn(&ctx, PgNodeId(1), 1, &mut txn);
+        st.push_forward(p, PgNodeId(1));
+        st.routed_hops += 1;
+        st.cost = crate::cost::objective(&ctx, &st);
+        assert_ne!(st.total_copies, before.total_copies);
+
+        st.txn_rollback(&ctx, txn);
+        assert_states_identical(&before, &st);
     }
 
     #[test]
@@ -772,6 +1101,7 @@ mod tests {
             constraints: cons,
             weights: CostWeights::default(),
             issue_cap: None,
+            statics: crate::statics::PgStatics::build(&pg),
         };
         let out = pg.output_ids().next().unwrap();
         let mut st = PartialState::initial(&ctx, &[]);

@@ -1,0 +1,97 @@
+//! Precomputed static lookups over one sub-problem's Pattern Graph.
+//!
+//! `Pg` answers `is_potential` by scanning a small adjacency list and
+//! `outputs_carrying` by walking every output node's value list into a
+//! fresh `Vec` — fine for construction-time queries, but both sit on the
+//! `isAssignable` / route-admissibility hot path, where they run once per
+//! (state, candidate, edge). The PG is immutable for the whole SEE run, so
+//! one build pass turns both into O(1) reads: a flat bit matrix for arc
+//! potential and a dense per-value row table for output wires.
+
+use crate::neighbors::NeighborSets;
+use hca_ddg::NodeId;
+use hca_pg::{Pg, PgNodeId, PgNodeKind};
+use smallvec::SmallVec;
+
+/// O(1) views of the immutable PG topology, built once per SEE run and
+/// shared (read-only) by every state of the search.
+pub struct PgStatics {
+    /// Potential-arc bit matrix: row = src, bit = dst.
+    potential: NeighborSets,
+    /// Output special nodes whose wire carries value `v`, indexed by
+    /// `v.index()`; values past the table (never on any wire) read as empty.
+    outputs_of: Vec<SmallVec<[PgNodeId; 2]>>,
+}
+
+impl PgStatics {
+    /// Build the lookup tables from `pg`'s potential arcs and output wires.
+    pub fn build(pg: &Pg) -> Self {
+        let n = pg.num_nodes();
+        let mut potential = NeighborSets::new(n);
+        for src in pg.node_ids() {
+            for &dst in pg.potential_succs(src) {
+                potential.insert(src.index(), dst);
+            }
+        }
+        let mut outputs_of: Vec<SmallVec<[PgNodeId; 2]>> = Vec::new();
+        for id in pg.output_ids() {
+            if let PgNodeKind::Output { values, .. } = &pg.node(id).kind {
+                for &v in values {
+                    if outputs_of.len() <= v.index() {
+                        outputs_of.resize(v.index() + 1, SmallVec::new());
+                    }
+                    outputs_of[v.index()].push(id);
+                }
+            }
+        }
+        PgStatics {
+            potential,
+            outputs_of,
+        }
+    }
+
+    /// Is `src → dst` a potential pattern? (Bit test; equals
+    /// [`Pg::is_potential`].)
+    #[inline]
+    pub fn is_potential(&self, src: PgNodeId, dst: PgNodeId) -> bool {
+        self.potential.contains(src.index(), dst)
+    }
+
+    /// Output nodes whose wire must carry value `v`, in ascending node-id
+    /// order (the same order [`Pg::outputs_carrying`] yields).
+    #[inline]
+    pub fn outputs_carrying(&self, v: NodeId) -> &[PgNodeId] {
+        self.outputs_of.get(v.index()).map_or(&[], |row| row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hca_arch::ResourceTable;
+    use hca_pg::{Ili, IliWire};
+
+    #[test]
+    fn matches_pg_queries() {
+        let mut pg = Pg::complete(4, ResourceTable::of_cns(2));
+        pg.attach_ili(&Ili {
+            inputs: vec![IliWire::new(vec![NodeId(9)])],
+            outputs: vec![
+                IliWire::new(vec![NodeId(3), NodeId(7)]),
+                IliWire::new(vec![NodeId(7)]),
+            ],
+        });
+        let st = PgStatics::build(&pg);
+        for a in pg.node_ids() {
+            for b in pg.node_ids() {
+                assert_eq!(st.is_potential(a, b), pg.is_potential(a, b), "{a}->{b}");
+            }
+        }
+        for v in 0..12u32 {
+            let v = NodeId(v);
+            assert_eq!(st.outputs_carrying(v), &pg.outputs_carrying(v)[..], "{v:?}");
+        }
+        // Out-of-table values read as empty instead of panicking.
+        assert!(st.outputs_carrying(NodeId(1000)).is_empty());
+    }
+}

@@ -68,7 +68,53 @@ fn assert_stats_match(a: &SeeStats, b: &SeeStats, name: &str) {
     assert_eq!(a.routed_hops, b.routed_hops, "{name}");
     assert_eq!(a.beam_occupancy, b.beam_occupancy, "{name}");
     assert_eq!(a.peak_frontier_bytes, b.peak_frontier_bytes, "{name}");
+    assert_eq!(a.route_bfs_runs, b.route_bfs_runs, "{name}");
+    assert_eq!(a.route_cache_hits, b.route_cache_hits, "{name}");
+    assert_eq!(a.frontier_deduped, b.frontier_deduped, "{name}");
+    assert_eq!(a.dominance_pruned, b.dominance_pruned, "{name}");
     assert_eq!(a.step_time_ns.len(), b.step_time_ns.len(), "{name}");
+}
+
+/// Dominance pruning is a heuristic; this is its empirical safety gate.
+/// With pruning on vs. off, every Table-1 kernel must reach the identical
+/// final MII, placement and program.
+#[test]
+fn dominance_pruning_preserves_table1_results() {
+    let _g = OVERRIDE_LOCK.lock().unwrap();
+    let fabric = DspFabric::standard(8, 8, 8);
+    for kernel in hca_repro::kernels::table1_kernels() {
+        let mut results = Vec::new();
+        for dominance in [true, false] {
+            let config = HcaConfig {
+                see: SeeConfig {
+                    dominance,
+                    ..SeeConfig::default()
+                },
+                ..HcaConfig::default()
+            };
+            results.push(
+                run_hca(&kernel.ddg, &fabric, &config)
+                    .unwrap_or_else(|e| panic!("{}: {e}", kernel.name)),
+            );
+        }
+        let (on, off) = (&results[0], &results[1]);
+        assert_eq!(on.mii, off.mii, "{}: MII diverges under dominance", kernel.name);
+        assert_eq!(
+            on.placement, off.placement,
+            "{}: placement diverges under dominance",
+            kernel.name
+        );
+        assert_eq!(
+            on.final_program.placement, off.final_program.placement,
+            "{}: final program diverges under dominance",
+            kernel.name
+        );
+        assert_eq!(
+            on.final_program.recv_nodes, off.final_program.recv_nodes,
+            "{}: copy primitives diverge under dominance",
+            kernel.name
+        );
+    }
 }
 
 #[test]

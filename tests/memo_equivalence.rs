@@ -1,0 +1,105 @@
+//! Memoization transparency: the cross-sub-problem memo cache must be
+//! invisible in every observable output.
+//!
+//! The memo key in `hca-core/src/memo.rs` is argued sound by construction
+//! (it encodes everything the solver reads, up to a renumbering the solver
+//! is equivariant under). This suite is the empirical referee: across a
+//! fuzzed population of random kernels, a run with the cache enabled must
+//! reproduce the cache-disabled run bit-for-bit — placements, MII report,
+//! search statistics, final program and legality verdict.
+
+use hca_repro::arch::DspFabric;
+use hca_repro::check::gen::random_kernel;
+use hca_repro::hca::{run_hca, HcaConfig, HcaResult};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Serialises tests in this file: the thread override is process-global.
+static OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn run_with_memo(
+    ddg: &hca_repro::ddg::Ddg,
+    fabric: &DspFabric,
+    memo: bool,
+) -> Result<HcaResult, String> {
+    let config = HcaConfig {
+        memo,
+        ..HcaConfig::default()
+    };
+    run_hca(ddg, fabric, &config).map_err(|e| e.to_string())
+}
+
+/// Compare every observable field of two runs; panic with context on any
+/// divergence. Wall-clock inside `SeeStats` is excluded the same way the
+/// determinism suite excludes it: `step_time_ns` lengths must match but
+/// values may differ — everything else in `stats` is compared exactly.
+fn assert_equivalent(name: &str, on: &HcaResult, off: &HcaResult) {
+    assert_eq!(on.placement, off.placement, "{name}: placements diverge");
+    assert_eq!(on.mii, off.mii, "{name}: MII reports diverge");
+    assert_eq!(on.stats, off.stats, "{name}: run statistics diverge");
+    assert_eq!(
+        on.final_program.placement, off.final_program.placement,
+        "{name}: final-program placements diverge"
+    );
+    assert_eq!(
+        on.final_program.recv_nodes, off.final_program.recv_nodes,
+        "{name}: copy (recv) primitives diverge"
+    );
+    assert_eq!(
+        on.final_program.route_nodes, off.final_program.route_nodes,
+        "{name}: route primitives diverge"
+    );
+    assert_eq!(
+        on.is_legal(),
+        off.is_legal(),
+        "{name}: legality verdicts diverge"
+    );
+}
+
+/// The headline gate from the issue: ≥100 fuzzed kernels, memo on vs. off,
+/// bit-identical results (or the identical typed error).
+#[test]
+fn memo_on_off_bit_equality_under_fuzz() {
+    let _g = OVERRIDE_LOCK.lock().unwrap();
+    // Single-threaded runs keep each comparison reproducible; the
+    // determinism suite separately pins thread-count invariance.
+    hca_par::set_thread_override(Some(1));
+    let fabric = DspFabric::standard(8, 8, 8);
+    for seed in 0..110u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0FF_EE00 + seed);
+        let ddg = random_kernel(&mut rng, 48);
+        let name = format!("seed {seed} ({} nodes)", ddg.num_nodes());
+        let on = run_with_memo(&ddg, &fabric, true);
+        let off = run_with_memo(&ddg, &fabric, false);
+        match (on, off) {
+            (Ok(on), Ok(off)) => assert_equivalent(&name, &on, &off),
+            (Err(a), Err(b)) => {
+                assert_eq!(a, b, "{name}: error messages diverge");
+            }
+            (on, off) => panic!(
+                "{name}: outcome kinds diverge (memo-on ok={}, memo-off ok={})",
+                on.is_ok(),
+                off.is_ok()
+            ),
+        }
+    }
+    hca_par::set_thread_override(None);
+}
+
+/// Memo transparency must also hold under the parallel driver, where hit
+/// and miss counts vary with scheduling but results must not.
+#[test]
+fn memo_is_transparent_under_parallel_table1() {
+    let _g = OVERRIDE_LOCK.lock().unwrap();
+    hca_par::set_thread_override(Some(4));
+    let fabric = DspFabric::standard(8, 8, 8);
+    for kernel in hca_repro::kernels::table1_kernels() {
+        let on = run_with_memo(&kernel.ddg, &fabric, true)
+            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+        let off = run_with_memo(&kernel.ddg, &fabric, false)
+            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+        assert_equivalent(kernel.name, &on, &off);
+        assert!(on.is_legal(), "{}: memoized run illegal", kernel.name);
+    }
+    hca_par::set_thread_override(None);
+}
