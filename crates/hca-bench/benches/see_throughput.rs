@@ -38,7 +38,7 @@ fn bench_see_throughput(c: &mut Criterion) {
         let outcome = see
             .run(None)
             .expect("largest kernel assigns on the complete Pg");
-        let step_secs = outcome.stats.step_time_ns.iter().sum::<u64>() as f64 * 1e-9;
+        let step_secs = outcome.stats.step_time_total_ns as f64 * 1e-9;
         println!(
             "see_throughput/{}/beam{beam_width}: {:.0} placements/s, \
              peak frontier {:.1} KiB",

@@ -17,8 +17,10 @@
 //! baseline documents the reference machine's trajectory rather than a
 //! portable truth.
 
-use hca_core::{run_hca, HcaConfig};
+use hca_core::{run_hca, run_hca_obs, HcaConfig};
+use hca_obs::Obs;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -29,6 +31,44 @@ struct GateCase {
     case: String,
     /// Best-of-three wall-clock, milliseconds.
     millis: f64,
+    /// Key pipeline counters from one additional *observed* run (the three
+    /// timed runs stay unobserved). Absent in baselines recorded before
+    /// this field existed.
+    #[serde(default)]
+    counters: BTreeMap<String, u64>,
+}
+
+/// The counters each history record keeps: enough to attribute a
+/// wall-clock trend shift without storing a full `RunMetrics`.
+const HISTORY_COUNTERS: &[&str] = &[
+    "see.states_explored",
+    "see.states_pruned",
+    "see.steps",
+    "see.frontier_deduped",
+    "see.dominance_pruned",
+    "see.route_bfs_runs",
+    "see.route_cache_hits",
+    "see.route_table_bytes",
+    "see.peak_frontier_bytes",
+    "driver.subproblems",
+    "driver.memo_hits",
+    "driver.memo_misses",
+    "driver.memo_bytes",
+    "driver.memo_entries",
+    "driver.fallbacks",
+];
+
+/// One appended line of `BENCH_history.jsonl` — the bench trajectory.
+#[derive(Serialize)]
+struct HistoryRecord {
+    /// `git rev-parse --short HEAD`, or `"unknown"` outside a checkout.
+    commit: String,
+    /// Wall-clock timestamp, milliseconds since the Unix epoch.
+    unix_ms: u64,
+    /// Was this invocation a `--record` rebaseline?
+    record: bool,
+    /// The fresh measurements of this invocation.
+    cases: Vec<GateCase>,
 }
 
 /// The checked-in baseline file.
@@ -68,12 +108,75 @@ fn measure() -> Vec<GateCase> {
             assert!(res.is_ok(), "{name}: HCA failed in the gate workload");
             best = best.min(ms);
         }
+        // One extra observed run (outside the timing loop, so the observer
+        // cannot skew `millis`) supplies the history counters.
+        let obs = Obs::enabled();
+        let res = run_hca_obs(ddg, &fabric, &HcaConfig::default(), &obs);
+        assert!(res.is_ok(), "{name}: observed HCA run failed");
+        let metrics = obs.finish().unwrap_or_default();
+        let counters = HISTORY_COUNTERS
+            .iter()
+            .filter_map(|&n| Some((n.to_string(), metrics.counter(n)?)))
+            .collect();
         cases.push(GateCase {
             case: name.clone(),
             millis: best,
+            counters,
         });
     }
     cases
+}
+
+/// `BENCH_history.jsonl` at the repository root: one line per `bench_gate`
+/// invocation, appended — the machine's performance trajectory over time.
+fn history_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_history.jsonl")
+}
+
+/// Append this invocation's measurements to the bench trajectory. Failures
+/// are warnings: the gate verdict must not depend on the history file.
+fn append_history(cases: &[GateCase], record: bool) {
+    let commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0);
+    let rec = HistoryRecord {
+        commit,
+        unix_ms,
+        record,
+        cases: cases
+            .iter()
+            .map(|c| GateCase {
+                case: c.case.clone(),
+                millis: c.millis,
+                counters: c.counters.clone(),
+            })
+            .collect(),
+    };
+    let line = match serde_json::to_string(&rec) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("warning: cannot serialise history record: {e}");
+            return;
+        }
+    };
+    use std::io::Write;
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(history_path())
+        .and_then(|mut f| writeln!(f, "{line}"));
+    match appended {
+        Ok(()) => eprintln!("(appended to {})", history_path().display()),
+        Err(e) => eprintln!("warning: cannot append {}: {e}", history_path().display()),
+    }
 }
 
 fn main() {
@@ -86,6 +189,7 @@ fn main() {
         .and_then(|v| v.parse::<f64>().ok());
 
     let fresh = measure();
+    append_history(&fresh, record);
 
     if record {
         let baseline = Baseline {

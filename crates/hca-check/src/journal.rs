@@ -20,8 +20,8 @@ use rand::Rng;
 fn fingerprint(st: &PartialState) -> String {
     use std::fmt::Write;
     let mut s = String::new();
-    let mut assignment: Vec<(NodeId, PgNodeId)> =
-        st.assignment
+    let mut assignment: Vec<(NodeId, PgNodeId)> = st
+        .assignment
         .iter()
         .enumerate()
         .filter_map(|(i, &slot)| slot.map(|c| (hca_ddg::NodeId(i as u32), c)))

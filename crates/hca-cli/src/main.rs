@@ -25,8 +25,10 @@ use hca_obs::{ChromeTraceSink, JsonlSink, Obs, StderrSink};
 use std::process::ExitCode;
 
 mod commands;
+mod introspect;
 
 use commands::*;
+use introspect::{cmd_diff_metrics, cmd_explain};
 
 fn main() -> ExitCode {
     // `hca export … --dot | head` closes stdout early and the std print
@@ -79,6 +81,8 @@ fn run_cli() -> ExitCode {
         "export" => cmd_export(&opts),
         "fuzz" => cmd_fuzz(&opts),
         "verify" => cmd_verify(&opts),
+        "explain" => cmd_explain(&opts),
+        "diff-metrics" => cmd_diff_metrics(&opts),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -113,6 +117,17 @@ commands:
                                validation gauntlet (exit 1 on any failure)
   verify     [kernel|file]     run the gauntlet on one workload, or on all
                                Table-1 kernels under Strict validation
+  explain    <kernel|trace.jsonl|fuzz>
+                               replay a search trace into a per-sub-problem
+                               report: MII attribution, pruning histograms,
+                               cache efficiency, per-depth wall-clock.
+                               `fuzz` explains the --seed fuzz kernel;
+                               --trace-out saves the raw trace for replay
+  diff-metrics <A.json> <B.json>
+                               attribute the wall-clock delta between two
+                               metrics dumps (RunMetrics, table1 rows,
+                               BenchCase arrays, bench_gate dumps or
+                               BENCH_baseline.json) to phases and counters
 
 options:
   --machine N,M,K    MUX capacities of the 64-CN machine (default 8,8,8),
@@ -139,13 +154,18 @@ observability:
                      entry per kernel
   --trace-out F      write a structured event trace to F: `.jsonl` gets one
                      JSON event per line, anything else gets Chrome
-                     trace_event JSON (load in chrome://tracing)
+                     trace_event JSON (load in chrome://tracing); for
+                     `explain` this is the raw search-trace JSONL instead
+  --flame-out F      write hierarchical span stacks in collapsed-stack
+                     (flamegraph.pl / inferno) format to F
   -v, --verbose      log pipeline events and phase timings to stderr
 ";
 
 /// Parsed command-line options.
 pub(crate) struct Options {
     pub target: Option<String>,
+    /// Second positional argument (`diff-metrics A B`).
+    pub target2: Option<String>,
     pub machine: (usize, usize, usize),
     pub machine_spec: Option<String>,
     pub portfolio: bool,
@@ -157,6 +177,7 @@ pub(crate) struct Options {
     pub json: bool,
     pub metrics_out: Option<String>,
     pub trace_out: Option<String>,
+    pub flame_out: Option<String>,
     pub verbose: bool,
     pub count: usize,
     pub seed: u64,
@@ -169,6 +190,7 @@ impl Options {
     fn parse(args: &[String]) -> Result<Options, String> {
         let mut o = Options {
             target: None,
+            target2: None,
             machine: (8, 8, 8),
             machine_spec: None,
             portfolio: false,
@@ -180,6 +202,7 @@ impl Options {
             json: false,
             metrics_out: None,
             trace_out: None,
+            flame_out: None,
             verbose: false,
             count: 500,
             seed: 1,
@@ -233,6 +256,11 @@ impl Options {
                     let v = it.next().ok_or("--trace-out needs a path")?;
                     o.trace_out = Some(v.clone());
                 }
+                "--flame-out" => {
+                    let v = it.next().ok_or("--flame-out needs a path")?;
+                    std::fs::File::create(v).map_err(|e| format!("--flame-out {v}: {e}"))?;
+                    o.flame_out = Some(v.clone());
+                }
                 "--count" => {
                     let v = it.next().ok_or("--count needs a number")?;
                     o.count = v.parse().map_err(|_| format!("bad --count value `{v}`"))?;
@@ -260,6 +288,9 @@ impl Options {
                 "--json" => o.json = true,
                 other if !other.starts_with('-') && o.target.is_none() => {
                     o.target = Some(other.to_string());
+                }
+                other if !other.starts_with('-') && o.target2.is_none() => {
+                    o.target2 = Some(other.to_string());
                 }
                 other => return Err(format!("unknown option `{other}`")),
             }
@@ -342,7 +373,11 @@ impl Options {
     }
 
     fn build_obs(&self, trace_out: Option<&str>) -> Result<Obs, String> {
-        if !self.verbose && trace_out.is_none() && self.metrics_out.is_none() {
+        if !self.verbose
+            && trace_out.is_none()
+            && self.metrics_out.is_none()
+            && self.flame_out.is_none()
+        {
             return Ok(Obs::disabled());
         }
         let obs = Obs::enabled();
@@ -363,12 +398,22 @@ impl Options {
         Ok(obs)
     }
 
-    /// Flush sinks and write the `--metrics-out` report, if requested.
+    /// Flush sinks and write the `--metrics-out` / `--flame-out` reports,
+    /// if requested.
     pub fn finish_obs(&self, obs: &Obs) -> Result<(), String> {
         let metrics = obs.finish();
         if let Some(path) = &self.metrics_out {
-            let m = metrics.ok_or("internal: --metrics-out without an enabled observer")?;
-            write_json(path, &m)?;
+            let m = metrics
+                .as_ref()
+                .ok_or("internal: --metrics-out without an enabled observer")?;
+            write_json(path, m)?;
+        }
+        if let Some(path) = &self.flame_out {
+            let m = metrics
+                .as_ref()
+                .ok_or("internal: --flame-out without an enabled observer")?;
+            std::fs::write(path, m.collapsed_stacks())
+                .map_err(|e| format!("--flame-out {path}: {e}"))?;
         }
         Ok(())
     }

@@ -191,6 +191,92 @@ fn closed_stdout_is_a_quiet_success() {
 }
 
 #[test]
+fn explain_reports_mii_attribution_for_a_table1_kernel() {
+    let (ok, stdout, stderr) = hca(&["explain", "fir2dim"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("final MII"), "{stdout}");
+    assert!(stdout.contains("bound by"), "{stdout}");
+    assert!(stdout.contains("sub-problems"), "{stdout}");
+    assert!(stdout.contains("pruning reasons"), "{stdout}");
+    assert!(stdout.contains("memo:"), "{stdout}");
+}
+
+#[test]
+fn explain_replays_identically_from_a_recorded_trace() {
+    let dir = std::env::temp_dir().join(format!("hca-cli-explain-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("idcthor.jsonl");
+    let (ok, live, stderr) = hca(&["explain", "idcthor", "--trace-out", trace.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    let (ok2, replayed, stderr2) = hca(&["explain", trace.to_str().unwrap()]);
+    assert!(ok2, "{stderr2}");
+    // Same report body after the title line (titles name the source).
+    let body = |s: &str| s.split_once('\n').map(|(_, b)| b.to_string()).unwrap();
+    assert_eq!(body(&live), body(&replayed));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn explain_works_on_a_fuzz_seed() {
+    let (ok, stdout, stderr) = hca(&["explain", "fuzz", "--seed", "7"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("final MII"), "{stdout}");
+}
+
+#[test]
+fn diff_metrics_attributes_deltas_between_two_runs() {
+    let dir = std::env::temp_dir().join(format!("hca-cli-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.json");
+    let b = dir.join("b.json");
+    let (ok, _, stderr) = hca(&[
+        "clusterize",
+        "fir2dim",
+        "--metrics-out",
+        a.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    let (ok2, _, stderr2) = hca(&[
+        "clusterize",
+        "idcthor",
+        "--metrics-out",
+        b.to_str().unwrap(),
+    ]);
+    assert!(ok2, "{stderr2}");
+    let (ok3, stdout, stderr3) = hca(&["diff-metrics", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(ok3, "{stderr3}");
+    assert!(stdout.contains("diff-metrics"), "{stdout}");
+    assert!(stdout.contains("phase "), "{stdout}");
+    assert!(stdout.contains("counter "), "{stdout}");
+    assert!(stdout.contains(" us "), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flame_out_writes_collapsed_stacks() {
+    let dir = std::env::temp_dir().join(format!("hca-cli-flame-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let flame = dir.join("f.txt");
+    let (ok, _, stderr) = hca(&[
+        "clusterize",
+        "dot_product",
+        "--flame-out",
+        flame.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    let body = std::fs::read_to_string(&flame).unwrap();
+    assert!(!body.is_empty());
+    // Collapsed-stack format: `frame[;frame…] <count>` per line.
+    for line in body.lines() {
+        let (stack, n) = line.rsplit_once(' ').expect("stack + count");
+        assert!(!stack.is_empty(), "{line}");
+        assert!(n.parse::<u64>().is_ok(), "{line}");
+    }
+    assert!(body.contains("driver."), "{body}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unroll_flag_scales_the_body() {
     let (ok, stdout, _) = hca(&["analyze", "dot_product", "--unroll", "3"]);
     assert!(ok);

@@ -15,7 +15,8 @@ use crate::problem::Subproblem;
 use hca_arch::{CnId, DspFabric, GroupTopology, Topology};
 use hca_ddg::{analysis::DdgError, Ddg, DdgAnalysis, NodeId};
 use hca_mapper::{map_level_obs, MapError, MapOptions, MapperOutput};
-use hca_obs::{Obs, RunMetrics};
+use hca_obs::trace::{kind, FALLBACK_TIER};
+use hca_obs::{Obs, RunMetrics, SearchTracer, TraceRecord};
 use hca_see::{See, SeeConfig, SeeError};
 use rustc_hash::FxHashMap;
 use std::fmt;
@@ -277,11 +278,18 @@ fn record_see_stats(obs: &Obs, s: &hca_see::SeeStats) {
     obs.counter_add("see.route_cache_hits", s.route_cache_hits as u64);
     obs.counter_add("see.frontier_deduped", s.frontier_deduped as u64);
     obs.counter_add("see.dominance_pruned", s.dominance_pruned as u64);
+    obs.counter_add("see.steps", s.steps as u64);
+    // The occupancy vector is a bounded *sample* (STEP_SAMPLE_CAP); the
+    // histogram over it stays representative, the exact totals live in
+    // `beam_occupancy_sum` / `step_time_total_ns`.
     for &width in &s.beam_occupancy {
         obs.histogram_record("see.beam_occupancy", width);
     }
-    let step_ns: u64 = s.step_time_ns.iter().sum();
-    obs.counter_add("see.step_time_us", step_ns / 1_000);
+    obs.counter_add("see.step_time_us", s.step_time_total_ns / 1_000);
+    // Byte footprints are high-water marks, never histograms (histogram
+    // buckets are dense, indexed by magnitude).
+    obs.counter_max("see.route_table_bytes", s.route_table_bytes as u64);
+    obs.counter_max("see.peak_frontier_bytes", s.peak_frontier_bytes as u64);
 }
 
 /// Shared immutable context of one HCA run, threaded through the recursive
@@ -296,6 +304,8 @@ struct SolveCtx<'a> {
     theo_mii: u32,
     /// Sub-problem cache ([`HcaConfig::memo`]); `None` when disabled.
     memo: Option<&'a crate::memo::Memo>,
+    /// Search-trace recorder ([`run_hca_traced`]); disabled elsewhere.
+    tracer: &'a SearchTracer,
 }
 
 /// Everything one sub-problem subtree contributes to the final result.
@@ -336,7 +346,23 @@ pub fn run_hca_obs(
     config: &HcaConfig,
     obs: &Obs,
 ) -> Result<HcaResult, HcaError> {
-    run_hca_inner(ddg, fabric, config, obs, None)
+    run_hca_inner(ddg, fabric, config, obs, None, &SearchTracer::disabled())
+}
+
+/// [`run_hca_obs`] with a search-trace recorder: every sub-problem emits
+/// `sub` / `memo` / `tier` / `solved` records and every SEE run streams
+/// per-step `step` records through the tracer (see
+/// [`hca_obs::trace`] for the schema). One run-level `mii` record closes
+/// the trace. With a disabled tracer this is exactly [`run_hca_obs`] —
+/// the trace hooks are no-op branches on the hot path.
+pub fn run_hca_traced(
+    ddg: &Ddg,
+    fabric: &DspFabric,
+    config: &HcaConfig,
+    obs: &Obs,
+    tracer: &SearchTracer,
+) -> Result<HcaResult, HcaError> {
+    run_hca_inner(ddg, fabric, config, obs, None, tracer)
 }
 
 /// [`run_hca_obs`] with an optional externally owned sub-problem cache, so
@@ -348,6 +374,7 @@ fn run_hca_inner(
     config: &HcaConfig,
     obs: &Obs,
     shared_memo: Option<&crate::memo::Memo>,
+    tracer: &SearchTracer,
 ) -> Result<HcaResult, HcaError> {
     let analysis_span = obs.span("driver", "analysis");
     let analysis = DdgAnalysis::compute(ddg).map_err(HcaError::Analysis)?;
@@ -374,6 +401,7 @@ fn run_hca_inner(
         analysis: &analysis,
         theo_mii,
         memo,
+        tracer,
     };
     let root = Subproblem::root(ddg.node_ids().collect());
     let sub = solve_subproblem(&cx, &root)?;
@@ -404,6 +432,32 @@ fn run_hca_inner(
         ini_mii,
     );
     drop(mii_span);
+    // Run-level MII attribution: which §4.2 cost-model component the final
+    // MII is bound by. `final_mii = max(ini_mii, max_cls_mii, wire_mii,
+    // dma_mii, final_mii_rec)`; the binder is the first component reaching
+    // it (dma is the only one the report does not carry explicitly).
+    tracer.record(|| {
+        let why = if mii.final_mii == mii.final_mii_rec {
+            "recurrence"
+        } else if mii.final_mii == mii.max_cls_mii {
+            "cluster"
+        } else if mii.final_mii == mii.wire_mii {
+            "wire"
+        } else if mii.final_mii == mii.ini_mii {
+            "estimate"
+        } else {
+            "dma"
+        };
+        TraceRecord {
+            kind: kind::MII.to_string(),
+            est_mii: mii.final_mii,
+            mii_rec: mii.final_mii_rec,
+            mii_issue: mii.max_cls_mii,
+            mii_arc: mii.wire_mii,
+            why: why.to_string(),
+            ..TraceRecord::default()
+        }
+    });
     let coherency = if config.validation == ValidationLevel::Off {
         CoherencyReport::default()
     } else {
@@ -428,6 +482,12 @@ fn run_hca_inner(
     };
 
     if obs.is_enabled() {
+        if let Some(m) = memo {
+            // High-water marks, not sums: a shared portfolio cache reports
+            // its largest observed footprint.
+            obs.counter_max("driver.memo_bytes", m.approx_bytes() as u64);
+            obs.counter_max("driver.memo_entries", m.entries() as u64);
+        }
         obs.counter_add("driver.subproblems", stats.subproblems as u64);
         obs.counter_add("driver.forwards", stats.forwards as u64);
         obs.counter_add("driver.wires", stats.wires as u64);
@@ -471,7 +531,20 @@ fn solve_subproblem(cx: &SolveCtx<'_>, sp: &Subproblem) -> Result<SubResult, Hca
         analysis,
         theo_mii,
         memo,
+        tracer,
     } = *cx;
+    let trace_on = tracer.is_enabled();
+    if trace_on {
+        tracer.record(|| TraceRecord {
+            kind: kind::SUB.to_string(),
+            problem: sp.id(),
+            depth: sp.depth() as u32,
+            ws: sp.working_set.len() as u32,
+            ili_in: sp.ili.inputs.len() as u32,
+            ili_out: sp.ili.outputs.len() as u32,
+            ..TraceRecord::default()
+        });
+    }
     // Memoisation: answer isomorphic sub-problems from the cache. The key
     // encodes the full solving context (see `memo` module docs), so a hit
     // rehydrates to exactly what the solve below would have produced.
@@ -480,7 +553,19 @@ fn solve_subproblem(cx: &SolveCtx<'_>, sp: &Subproblem) -> Result<SubResult, Hca
         (m, key, canon2raw)
     });
     if let Some((m, key, canon2raw)) = &memo_ctx {
-        if let Some(hit) = m.lookup(key) {
+        let hit = m.lookup(key);
+        if trace_on {
+            let was_hit = hit.is_some();
+            tracer.record(|| TraceRecord {
+                kind: kind::MEMO.to_string(),
+                problem: sp.id(),
+                depth: sp.depth() as u32,
+                ok: was_hit,
+                why: if was_hit { "hit" } else { "miss" }.to_string(),
+                ..TraceRecord::default()
+            });
+        }
+        if let Some(hit) = hit {
             obs.counter_add("driver.memo_hits", 1);
             return Ok(crate::memo::rehydrate(&hit, canon2raw, &sp.path, fabric));
         }
@@ -559,12 +644,35 @@ fn solve_subproblem(cx: &SolveCtx<'_>, sp: &Subproblem) -> Result<SubResult, Hca
     // Run every tier and keep the best mapped result — tiers are cheap
     // (sub-problems are tiny) and which strategy wins varies per
     // sub-problem.
+    let mut winner_tier: u32 = FALLBACK_TIER;
     let see_span = obs.span("see", level_phase(d));
     for (tier, see_cfg) in tiers.into_iter().enumerate() {
-        let see = See::new(ddg, analysis, &pg, constraints, see_cfg);
+        let tier_t0 = trace_on.then(std::time::Instant::now);
+        let elapsed_ns = |t0: Option<std::time::Instant>| {
+            t0.map_or(0, |t| {
+                u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            })
+        };
+        let mut see = See::new(ddg, analysis, &pg, constraints, see_cfg);
+        if trace_on {
+            see = see.with_tracer(tracer.scoped(&sp.id(), d as u32, tier as u32));
+        }
         let outcome = match see.run(Some(&sp.working_set)) {
             Ok(o) => o,
             Err(source) => {
+                if trace_on {
+                    let (ns, msg) = (elapsed_ns(tier_t0), source.to_string());
+                    tracer.record(|| TraceRecord {
+                        kind: kind::TIER.to_string(),
+                        problem: sp.id(),
+                        depth: d as u32,
+                        tier: tier as u32,
+                        ok: false,
+                        ns,
+                        why: msg,
+                        ..TraceRecord::default()
+                    });
+                }
                 obs.log("see", "tier_failed", || {
                     format!("{} tier {tier}: {source}", sp.id())
                 });
@@ -586,6 +694,37 @@ fn solve_subproblem(cx: &SolveCtx<'_>, sp: &Subproblem) -> Result<SubResult, Hca
         record_see_stats(obs, &outcome.stats);
         match map_level_obs(&outcome.assigned, spec, opts, obs) {
             Ok(mapped) => {
+                if trace_on {
+                    let ns = elapsed_ns(tier_t0);
+                    let (bfs, hits) = (
+                        outcome.stats.route_bfs_runs as u64,
+                        outcome.stats.route_cache_hits as u64,
+                    );
+                    let copies = outcome.assigned.total_copies() as u32;
+                    let (est, mi, ma, cost) = (
+                        outcome.est_mii,
+                        outcome.mii_issue,
+                        outcome.mii_arc,
+                        outcome.cost,
+                    );
+                    tracer.record(|| TraceRecord {
+                        kind: kind::TIER.to_string(),
+                        problem: sp.id(),
+                        depth: d as u32,
+                        tier: tier as u32,
+                        ok: true,
+                        ns,
+                        est_mii: est,
+                        mii_rec: analysis.mii_rec,
+                        mii_issue: mi,
+                        mii_arc: ma,
+                        cost,
+                        copies,
+                        route_bfs: bfs,
+                        route_hits: hits,
+                        ..TraceRecord::default()
+                    });
+                }
                 // Copies dominate downstream cost (each becomes receives,
                 // ports and wires one level down), so weigh them against
                 // the local MII estimate rather than tie-breaking on it.
@@ -596,10 +735,24 @@ fn solve_subproblem(cx: &SolveCtx<'_>, sp: &Subproblem) -> Result<SubResult, Hca
                     Some((best, _)) => score(&outcome) < score(best),
                 };
                 if better {
+                    winner_tier = tier as u32;
                     solved = Some((outcome, mapped));
                 }
             }
             Err(source) => {
+                if trace_on {
+                    let (ns, msg) = (elapsed_ns(tier_t0), format!("map: {source}"));
+                    tracer.record(|| TraceRecord {
+                        kind: kind::TIER.to_string(),
+                        problem: sp.id(),
+                        depth: d as u32,
+                        tier: tier as u32,
+                        ok: false,
+                        ns,
+                        why: msg,
+                        ..TraceRecord::default()
+                    });
+                }
                 attempt_err = Some(HcaError::Map {
                     problem: sp.id(),
                     source,
@@ -638,15 +791,38 @@ fn solve_subproblem(cx: &SolveCtx<'_>, sp: &Subproblem) -> Result<SubResult, Hca
         let see = See::new(ddg, analysis, &pg, constraints, config.see);
         // Layered (work-spreading) fallback first; the single-host chain
         // only for the cases it cannot express.
-        for outcome in [
-            see.layered_fallback(Some(&sp.working_set)),
-            see.chain_fallback(Some(&sp.working_set)),
-        ]
-        .into_iter()
-        .flatten()
-        {
+        for (label, outcome) in [
+            ("layered", see.layered_fallback(Some(&sp.working_set))),
+            ("chain", see.chain_fallback(Some(&sp.working_set))),
+        ] {
+            let Some(outcome) = outcome else { continue };
             if let Ok(mapped) = map_level_obs(&outcome.assigned, spec, opts, obs) {
                 record_see_stats(obs, &outcome.stats);
+                if trace_on {
+                    let copies = outcome.assigned.total_copies() as u32;
+                    let (est, mi, ma, cost) = (
+                        outcome.est_mii,
+                        outcome.mii_issue,
+                        outcome.mii_arc,
+                        outcome.cost,
+                    );
+                    tracer.record(|| TraceRecord {
+                        kind: kind::TIER.to_string(),
+                        problem: sp.id(),
+                        depth: d as u32,
+                        tier: FALLBACK_TIER,
+                        ok: true,
+                        est_mii: est,
+                        mii_rec: analysis.mii_rec,
+                        mii_issue: mi,
+                        mii_arc: ma,
+                        cost,
+                        copies,
+                        why: label.to_string(),
+                        ..TraceRecord::default()
+                    });
+                }
+                winner_tier = FALLBACK_TIER;
                 solved = Some((outcome, mapped));
                 break;
             }
@@ -687,6 +863,37 @@ fn solve_subproblem(cx: &SolveCtx<'_>, sp: &Subproblem) -> Result<SubResult, Hca
         });
         return Err(attempt_err.expect("at least one attempt ran"));
     };
+    if trace_on {
+        // Per-sub-problem MII attribution: `est_mii` is
+        // `max(mii_rec, mii_issue, mii_arc, 1)` — the binder is the first
+        // component reaching it ("floor" when only the ≥1 clamp holds).
+        let est = outcome.est_mii;
+        let why = if analysis.mii_rec == est {
+            "recurrence"
+        } else if outcome.mii_issue == est {
+            "issue"
+        } else if outcome.mii_arc == est {
+            "arc"
+        } else {
+            "floor"
+        };
+        let copies = outcome.assigned.total_copies() as u32;
+        let (mi, ma, cost) = (outcome.mii_issue, outcome.mii_arc, outcome.cost);
+        tracer.record(|| TraceRecord {
+            kind: kind::SOLVED.to_string(),
+            problem: sp.id(),
+            depth: d as u32,
+            tier: winner_tier,
+            est_mii: est,
+            mii_rec: analysis.mii_rec,
+            mii_issue: mi,
+            mii_arc: ma,
+            cost,
+            copies,
+            why: why.to_string(),
+            ..TraceRecord::default()
+        });
+    }
     if config.validation == ValidationLevel::Strict {
         // Defence in depth: SEE enforces the constraints incrementally, but
         // under Strict the solved assignment is re-checked from scratch so
@@ -848,7 +1055,7 @@ pub fn run_hca_portfolio_obs(
             .span("driver", "portfolio_variant")
             .with_arg("variant", i);
         let memo = if cfg.memo { shared_memo.as_ref() } else { None };
-        let run = run_hca_inner(ddg, fabric, &cfg, obs, memo);
+        let run = run_hca_inner(ddg, fabric, &cfg, obs, memo, &SearchTracer::disabled());
         drop(span);
         match run {
             Ok(res) => {

@@ -99,6 +99,34 @@ impl Memo {
     pub(crate) fn insert(&self, key: MemoKey, sub: CanonSub) {
         self.map.lock().unwrap().entry(key).or_insert(sub);
     }
+
+    /// Number of cached canonical sub-problems.
+    pub(crate) fn entries(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Approximate heap footprint of the cache: the full `u64` key
+    /// encodings plus canonical placements, route ops and group
+    /// topologies. Feeds the `driver.memo_bytes` high-water counter.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        use std::mem::{size_of, size_of_val};
+        let map = self.map.lock().unwrap();
+        let mut bytes = size_of::<Self>() + self.topo_pos.len() * size_of::<usize>();
+        for (k, v) in map.iter() {
+            bytes += size_of::<MemoKey>() + k.0.len() * size_of::<u64>();
+            bytes += size_of::<CanonSub>();
+            for (_, p) in v.placement.iter().chain(&v.route_ops) {
+                bytes += size_of::<(u64, Vec<usize>)>() + p.len() * size_of::<usize>();
+            }
+            for (sfx, g) in &v.groups {
+                bytes += size_of::<(Vec<usize>, GroupTopology)>() + sfx.len() * size_of::<usize>();
+                for w in &g.wires {
+                    bytes += size_of_val(w) + w.values.len() * size_of::<NodeId>();
+                }
+            }
+        }
+        bytes
+    }
 }
 
 /// Intern `v` into the canonical numbering, appending new externals.

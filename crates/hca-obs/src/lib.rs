@@ -37,14 +37,24 @@
 mod event;
 mod metrics;
 mod sink;
+pub mod trace;
 
 pub use event::{ArgValue, Event};
-pub use metrics::{Counter, Histogram, PhaseTiming, RunMetrics};
+pub use metrics::{Counter, Histogram, PhaseTiming, RunMetrics, StackTiming};
 pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, PipelineObserver, StderrSink};
+pub use trace::{SearchTracer, TraceRecord};
 
 use metrics::Registry;
+use std::cell::RefCell;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+thread_local! {
+    /// Paths of the enabled spans currently open on this thread, outermost
+    /// first — the source of the hierarchical [`StackTiming`] rows. Worker
+    /// threads root their own stacks at whatever span they open first.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
 
 struct Inner {
     epoch: Instant,
@@ -104,19 +114,32 @@ impl Obs {
         }
     }
 
-    /// Open a timed span; the phase timing is recorded and a completion
-    /// event emitted when the guard drops.
+    /// Open a timed span; the phase timing (flat and per span stack) is
+    /// recorded and a completion event emitted when the guard drops.
     #[inline]
     pub fn span(&self, phase: &'static str, name: &'static str) -> Span {
         match &self.inner {
-            Some(_) => Span {
-                obs: self.clone(),
-                phase,
-                name,
-                start_us: self.now_us(),
-                t0: Instant::now(),
-                args: Vec::new(),
-            },
+            Some(_) => {
+                let (path, depth) = SPAN_STACK.with(|s| {
+                    let mut s = s.borrow_mut();
+                    let path = match s.last() {
+                        Some(parent) => format!("{parent};{phase}.{name}"),
+                        None => format!("{phase}.{name}"),
+                    };
+                    s.push(path.clone());
+                    (path, s.len() - 1)
+                });
+                Span {
+                    obs: self.clone(),
+                    phase,
+                    name,
+                    start_us: self.now_us(),
+                    t0: Instant::now(),
+                    args: Vec::new(),
+                    path,
+                    depth,
+                }
+            }
             None => Span {
                 obs: Obs::disabled(),
                 phase,
@@ -124,6 +147,8 @@ impl Obs {
                 start_us: 0,
                 t0: Instant::now(),
                 args: Vec::new(),
+                path: String::new(),
+                depth: 0,
             },
         }
     }
@@ -153,6 +178,16 @@ impl Obs {
     pub fn counter_add(&self, name: &str, delta: u64) {
         if let Some(inner) = &self.inner {
             inner.registry.lock().unwrap().counter_add(name, delta);
+        }
+    }
+
+    /// Raise the counter `name` to at least `value` — for high-water marks
+    /// (byte footprints, peak sizes) where summing across records would
+    /// overstate the figure.
+    #[inline]
+    pub fn counter_max(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.lock().unwrap().counter_max(name, value);
         }
     }
 
@@ -210,6 +245,10 @@ pub struct Span {
     start_us: u64,
     t0: Instant,
     args: Vec<(String, ArgValue)>,
+    /// `;`-joined chain of enclosing span keys (empty when disabled).
+    path: String,
+    /// This span's index in the thread-local stack at creation time.
+    depth: usize,
 }
 
 impl Span {
@@ -234,9 +273,17 @@ impl Drop for Span {
         let Some(inner) = &self.obs.inner else {
             return;
         };
+        // Unwind the thread-local stack to where this span entered it; the
+        // path itself was captured at creation, so out-of-order drops can
+        // at worst shorten a sibling's recorded children, never corrupt.
+        SPAN_STACK.with(|s| s.borrow_mut().truncate(self.depth));
         let wall_us = self.t0.elapsed().as_micros() as u64;
         let key = format!("{}.{}", self.phase, self.name);
-        inner.registry.lock().unwrap().record_span(&key, wall_us);
+        {
+            let mut reg = inner.registry.lock().unwrap();
+            reg.record_span(&key, wall_us);
+            reg.record_stack(&self.path, wall_us);
+        }
         let ev = Event {
             ts_us: self.start_us,
             phase: self.phase.to_string(),
@@ -329,6 +376,40 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].msg.as_deref(), Some("II 4: empty window"));
         assert_eq!(events[0].dur_us, None);
+    }
+
+    #[test]
+    fn nested_spans_record_hierarchical_stacks() {
+        let obs = Obs::enabled();
+        {
+            let _outer = obs.span("driver", "run");
+            {
+                let _mid = obs.span("driver", "see");
+                let _leaf = obs.span("see", "tier");
+            }
+            let _sibling = obs.span("driver", "mapper");
+        }
+        let m = obs.snapshot().unwrap();
+        let stacks: Vec<&str> = m.stacks.iter().map(|s| s.stack.as_str()).collect();
+        assert!(stacks.contains(&"driver.run"), "{stacks:?}");
+        assert!(stacks.contains(&"driver.run;driver.see"), "{stacks:?}");
+        assert!(
+            stacks.contains(&"driver.run;driver.see;see.tier"),
+            "{stacks:?}"
+        );
+        assert!(stacks.contains(&"driver.run;driver.mapper"), "{stacks:?}");
+        // The collapsed export contains only leaf/self frames.
+        let collapsed = m.collapsed_stacks();
+        assert!(collapsed.contains("driver.run;driver.see;see.tier "));
+    }
+
+    #[test]
+    fn counter_max_is_a_high_water_mark_across_clones() {
+        let obs = Obs::enabled();
+        obs.counter_max("memo.bytes", 10);
+        obs.clone().counter_max("memo.bytes", 512);
+        obs.counter_max("memo.bytes", 44);
+        assert_eq!(obs.snapshot().unwrap().counter("memo.bytes"), Some(512));
     }
 
     #[test]

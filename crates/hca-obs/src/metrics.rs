@@ -38,6 +38,21 @@ pub struct Histogram {
     pub buckets: Vec<u64>,
 }
 
+/// Accumulated wall-clock time for one *span stack* — the `;`-joined chain
+/// of enclosing spans on the recording thread, e.g.
+/// `"driver.run;driver.level0;see.tier"`. This is the hierarchical view the
+/// flat [`PhaseTiming`] rows cannot express, and the input to
+/// [`RunMetrics::collapsed_stacks`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StackTiming {
+    /// `;`-separated span path, outermost first.
+    pub stack: String,
+    /// Number of spans recorded at this path.
+    pub calls: u64,
+    /// Total wall time, microseconds.
+    pub wall_us: u64,
+}
+
 /// Machine-readable snapshot of everything an observer collected.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunMetrics {
@@ -47,6 +62,11 @@ pub struct RunMetrics {
     pub counters: Vec<Counter>,
     /// Histograms, sorted by name.
     pub histograms: Vec<Histogram>,
+    /// Hierarchical span-stack totals, sorted by stack path. Absent in
+    /// metrics files written before this field existed — deserialises to
+    /// empty.
+    #[serde(default)]
+    pub stacks: Vec<StackTiming>,
 }
 
 impl RunMetrics {
@@ -73,6 +93,44 @@ impl RunMetrics {
             .find(|h| h.name == name)
             .map(|h| h.buckets.as_slice())
     }
+
+    /// Total wall time recorded at a span-stack path, or `None`.
+    pub fn stack_wall_us(&self, stack: &str) -> Option<u64> {
+        self.stacks
+            .iter()
+            .find(|s| s.stack == stack)
+            .map(|s| s.wall_us)
+    }
+
+    /// Render the span-stack totals in the *collapsed stack* format consumed
+    /// by flamegraph tools: one line per stack with **self time** in
+    /// microseconds (total minus the totals of its direct children). Leaf
+    /// stacks are always emitted; interior stacks whose time is fully
+    /// accounted to children are omitted.
+    pub fn collapsed_stacks(&self) -> String {
+        let mut out = String::new();
+        for st in &self.stacks {
+            let prefix = format!("{};", st.stack);
+            let mut has_children = false;
+            let mut child_sum: u64 = 0;
+            for c in &self.stacks {
+                if c.stack.starts_with(prefix.as_str()) {
+                    has_children = true;
+                    if !c.stack[prefix.len()..].contains(';') {
+                        child_sum += c.wall_us;
+                    }
+                }
+            }
+            let self_us = st.wall_us.saturating_sub(child_sum);
+            if self_us > 0 || !has_children {
+                out.push_str(&st.stack);
+                out.push(' ');
+                out.push_str(&self_us.to_string());
+                out.push('\n');
+            }
+        }
+        out
+    }
 }
 
 /// Mutable accumulation state behind the observer's mutex.
@@ -81,6 +139,7 @@ pub(crate) struct Registry {
     phases: BTreeMap<String, (u64, u64)>,
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Vec<u64>>,
+    stacks: BTreeMap<String, (u64, u64)>,
 }
 
 impl Registry {
@@ -90,8 +149,21 @@ impl Registry {
         slot.1 += wall_us;
     }
 
+    pub(crate) fn record_stack(&mut self, stack: &str, wall_us: u64) {
+        let slot = self.stacks.entry(stack.to_string()).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 += wall_us;
+    }
+
     pub(crate) fn counter_add(&mut self, name: &str, delta: u64) {
         *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Raise counter `name` to at least `value` (high-water marks: byte
+    /// footprints, peak sizes — values that must not be summed).
+    pub(crate) fn counter_max(&mut self, name: &str, value: u64) {
+        let slot = self.counters.entry(name.to_string()).or_insert(0);
+        *slot = (*slot).max(value);
     }
 
     /// Add one observation of magnitude `value` to `name`.
@@ -141,6 +213,15 @@ impl Registry {
                     buckets: buckets.clone(),
                 })
                 .collect(),
+            stacks: self
+                .stacks
+                .iter()
+                .map(|(stack, &(calls, wall_us))| StackTiming {
+                    stack: stack.clone(),
+                    calls,
+                    wall_us,
+                })
+                .collect(),
         }
     }
 }
@@ -173,9 +254,46 @@ mod tests {
         r.record_span("driver.see", 12);
         r.counter_add("coherency.violations", 0);
         r.histogram_record("mapper.copies_per_wire", 3);
+        r.record_stack("driver.run;driver.see", 12);
         let m = r.snapshot();
         let text = serde_json::to_string_pretty(&m).unwrap();
         let back: RunMetrics = serde_json::from_str(&text).unwrap();
         assert_eq!(m, back);
+    }
+
+    #[test]
+    fn metrics_without_stacks_field_still_parse() {
+        // Files written before `stacks` existed must keep deserialising.
+        let text = r#"{"phases":[],"counters":[{"name":"c","value":1}],"histograms":[]}"#;
+        let m: RunMetrics = serde_json::from_str(text).unwrap();
+        assert_eq!(m.counter("c"), Some(1));
+        assert!(m.stacks.is_empty());
+    }
+
+    #[test]
+    fn counter_max_keeps_the_high_water_mark() {
+        let mut r = Registry::default();
+        r.counter_max("see.route_table_bytes", 100);
+        r.counter_max("see.route_table_bytes", 40);
+        r.counter_max("see.route_table_bytes", 250);
+        assert_eq!(r.snapshot().counter("see.route_table_bytes"), Some(250));
+    }
+
+    #[test]
+    fn collapsed_stacks_subtract_child_self_time() {
+        let mut r = Registry::default();
+        r.record_stack("a", 100);
+        r.record_stack("a;b", 60);
+        r.record_stack("a;b;c", 25);
+        r.record_stack("a;d", 40);
+        let m = r.snapshot();
+        let collapsed = m.collapsed_stacks();
+        let lines: Vec<&str> = collapsed.lines().collect();
+        // a self = 100 - (60 + 40) = 0 → omitted; a;b self = 60 - 25 = 35.
+        assert!(!lines.iter().any(|l| l.starts_with("a ")), "{collapsed}");
+        assert!(lines.contains(&"a;b 35"), "{collapsed}");
+        assert!(lines.contains(&"a;b;c 25"), "{collapsed}");
+        assert!(lines.contains(&"a;d 40"), "{collapsed}");
+        assert_eq!(m.stack_wall_us("a;b"), Some(60));
     }
 }

@@ -1,0 +1,148 @@
+//! File-level sink coverage and the zero-overhead contract.
+//!
+//! The in-crate unit tests exercise the sinks against in-memory buffers;
+//! these tests go through the real file paths the CLI uses (`--trace-out`,
+//! `--events-out`) and pin down the two external guarantees:
+//!
+//! 1. every sink's file output parses back (Chrome `trace_event` as one
+//!    JSON document, JSONL and search traces line by line);
+//! 2. a disabled observer/tracer never runs user closures and collects
+//!    nothing — the "zero-cost when disabled" contract hot paths rely on.
+
+use hca_obs::trace::{self, kind, SearchTracer, TraceRecord};
+use hca_obs::{ChromeTraceSink, JsonlSink, Obs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("hca_obs_sink_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{}_{name}", std::process::id()))
+}
+
+#[test]
+fn chrome_trace_file_is_valid_json_with_trace_events() {
+    let path = temp_path("chrome.json");
+    let obs = Obs::enabled();
+    obs.add_sink(Box::new(ChromeTraceSink::create(&path).unwrap()));
+    {
+        let _span = obs.span("driver", "run").with_arg("nodes", 42u64);
+        let _inner = obs.span("see", "tier").with_arg("level", 1u64);
+    }
+    obs.log("driver", "note", || {
+        "quoted \"text\" and \\ slash".to_string()
+    });
+    obs.finish();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let v = serde_json::from_str_value(&text).expect("chrome trace must be valid JSON");
+    let events = v.field("traceEvents").as_seq().expect("traceEvents array");
+    assert_eq!(events.len(), 3);
+    // Two complete slices and one instant, all with the mandatory fields.
+    let complete = events
+        .iter()
+        .filter(|e| e.field("ph").as_str() == Some("X"))
+        .count();
+    assert_eq!(complete, 2);
+    for e in events {
+        assert!(e.field("name").as_str().is_some());
+        assert!(e.field("ts").as_u64().is_some());
+        assert!(e.field("pid").as_u64().is_some());
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn jsonl_sink_file_parses_line_by_line() {
+    let path = temp_path("events.jsonl");
+    let obs = Obs::enabled();
+    obs.add_sink(Box::new(JsonlSink::create(&path).unwrap()));
+    {
+        let _span = obs.span("mapper", "distribute");
+    }
+    obs.log("mapper", "wire", || "w3 split".to_string());
+    obs.finish();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert_eq!(lines.len(), 2);
+    for line in lines {
+        let v = serde_json::from_str_value(line).expect("each JSONL line must parse");
+        assert_eq!(v.field("phase").as_str(), Some("mapper"));
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn search_trace_streams_to_file_and_round_trips_through_reader() {
+    let path = temp_path("search.jsonl");
+    let tracer = SearchTracer::to_file(&path).unwrap();
+    let scoped = tracer.scoped("0.3", 1, 2);
+    scoped.record(|| TraceRecord {
+        kind: kind::STEP.to_string(),
+        step: 0,
+        node: 5,
+        beam: 4,
+        explored: 12,
+        pruned_beam: 8,
+        cands: vec![(0, 0.5), (2, 1.25)],
+        ns: 987,
+        ..TraceRecord::default()
+    });
+    tracer.record(|| TraceRecord {
+        kind: kind::SOLVED.to_string(),
+        problem: "0.3".to_string(),
+        tier: 1,
+        est_mii: 3,
+        mii_rec: 3,
+        mii_issue: 2,
+        mii_arc: 1,
+        why: "recurrence".to_string(),
+        ..TraceRecord::default()
+    });
+    tracer.flush().unwrap();
+
+    let back = trace::read_jsonl_file(&path).unwrap();
+    assert_eq!(back, tracer.records());
+    assert_eq!(back[0].problem, "0.3");
+    assert_eq!(back[0].cands, vec![(0, 0.5), (2, 1.25)]);
+    assert_eq!(back[1].why, "recurrence");
+
+    // And the independent in-memory dump produces an identical trace.
+    let dump = temp_path("search_dump.jsonl");
+    tracer.write_jsonl(&dump).unwrap();
+    assert_eq!(trace::read_jsonl_file(&dump).unwrap(), back);
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&dump).ok();
+}
+
+#[test]
+fn disabled_observer_and_tracer_never_run_closures() {
+    let ran = AtomicUsize::new(0);
+    let obs = Obs::disabled();
+    let tracer = SearchTracer::disabled();
+    for _ in 0..10_000 {
+        let _span = obs.span("see", "step");
+        obs.log("see", "x", || {
+            ran.fetch_add(1, Ordering::Relaxed);
+            String::new()
+        });
+        tracer.record(|| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            TraceRecord::default()
+        });
+        // Scoped handles derived from a disabled tracer stay free too.
+        tracer.scoped("p", 0, 0).record(|| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            TraceRecord::default()
+        });
+    }
+    assert_eq!(
+        ran.load(Ordering::Relaxed),
+        0,
+        "disabled paths ran closures"
+    );
+    assert!(obs.snapshot().is_none());
+    assert!(obs.finish().is_none());
+    assert!(tracer.records().is_empty());
+}

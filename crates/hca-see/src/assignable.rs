@@ -148,8 +148,8 @@ pub fn is_assignable_from(
     // (`outNode_MaxIn`) — the wire can be fed by c only if every value
     // already on it comes from c too (Figure 10c forces co-location).
     for &o in ctx.statics.outputs_carrying(n) {
-        let would_be = st.in_neighbors.len(o.index())
-            + usize::from(!st.in_neighbors.contains(o.index(), c));
+        let would_be =
+            st.in_neighbors.len(o.index()) + usize::from(!st.in_neighbors.contains(o.index(), c));
         if would_be > ctx.constraints.out_node_max_in as usize {
             return false;
         }

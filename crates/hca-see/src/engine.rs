@@ -82,12 +82,20 @@ impl fmt::Display for SeeError {
 
 impl std::error::Error for SeeError {}
 
+/// Cap on the per-step sample vectors kept in [`SeeStats`]
+/// (`beam_occupancy`, `step_time_ns`): the first `STEP_SAMPLE_CAP`
+/// placement steps are sampled, everything is *always* folded into the
+/// exact running totals (`steps`, `beam_occupancy_sum`,
+/// `step_time_total_ns`), so statistics stay bounded on arbitrarily large
+/// DDGs without losing the aggregate invariants.
+pub const STEP_SAMPLE_CAP: usize = 4096;
+
 /// Run statistics, for the scaling/ablation experiments and the
 /// observability layer (`hca-obs` run reports).
 ///
 /// Counter invariant, checked by tests: every state materialised in the
 /// main loop is either pruned by the node filter or survives into a
-/// frontier, so `states_explored == states_pruned + Σ beam_occupancy`.
+/// frontier, so `states_explored == states_pruned + beam_occupancy_sum`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SeeStats {
     /// Partial solutions materialised across the whole run.
@@ -105,14 +113,27 @@ pub struct SeeStats {
     pub routed_nodes: usize,
     /// Total extra hops those placements cost.
     pub routed_hops: u32,
-    /// Frontier width after beam filtering, one entry per placement step.
+    /// Placement steps executed (exact, never truncated).
+    pub steps: usize,
+    /// Σ frontier width over *all* placement steps (exact; the right-hand
+    /// side of the `explored == pruned + occupancy` invariant).
+    pub beam_occupancy_sum: usize,
+    /// Total wall-clock nanoseconds across all placement steps (exact).
+    pub step_time_total_ns: u64,
+    /// Frontier width after beam filtering — a *sample* of the first
+    /// [`STEP_SAMPLE_CAP`] placement steps (one entry per step up to the
+    /// cap). Use [`SeeStats::beam_occupancy_sum`] for exact totals.
     pub beam_occupancy: Vec<usize>,
     /// Wall-clock nanoseconds per placement step (expansion + filtering +
-    /// materialisation), one entry per placement step.
+    /// materialisation) — a sample of the first [`STEP_SAMPLE_CAP`] steps.
+    /// Use [`SeeStats::step_time_total_ns`] for the exact total.
     pub step_time_ns: Vec<u64>,
     /// Peak of Σ [`PartialState::approx_bytes`] over the post-filter
     /// frontiers — the search's working-set high-water mark.
     pub peak_frontier_bytes: usize,
+    /// Approximate heap footprint of the run's static [`RouteTable`]
+    /// (all-pairs distance matrix + counters).
+    pub route_table_bytes: usize,
     /// Admissible-path searches actually executed by the Route Allocator.
     pub route_bfs_runs: usize,
     /// Routing queries answered (or candidates rejected) from the static
@@ -125,6 +146,20 @@ pub struct SeeStats {
     pub dominance_pruned: usize,
 }
 
+impl SeeStats {
+    /// Fold one placement step into the stats: exact totals always, the
+    /// per-step sample vectors only up to [`STEP_SAMPLE_CAP`] entries.
+    pub fn record_step(&mut self, occupancy: usize, ns: u64) {
+        self.steps += 1;
+        self.beam_occupancy_sum += occupancy;
+        self.step_time_total_ns += ns;
+        if self.beam_occupancy.len() < STEP_SAMPLE_CAP {
+            self.beam_occupancy.push(occupancy);
+            self.step_time_ns.push(ns);
+        }
+    }
+}
+
 /// Result of a successful SEE run.
 #[derive(Clone, Debug)]
 pub struct SeeOutcome {
@@ -132,8 +167,15 @@ pub struct SeeOutcome {
     pub assigned: AssignedPg,
     /// Final objective value.
     pub cost: f64,
-    /// Estimated MII of the clusterised working set (§4.2).
+    /// Estimated MII of the clusterised working set (§4.2):
+    /// `max(mii_rec, mii_issue, mii_arc, 1)`. The component fields below
+    /// say which constraint bound it — the basis of `hca explain`'s MII
+    /// attribution.
     pub est_mii: u32,
+    /// Issue-pressure component of the estimate (peak cluster issue load).
+    pub mii_issue: u32,
+    /// Arc/wire-pressure component of the estimate.
+    pub mii_arc: u32,
     /// Search statistics.
     pub stats: SeeStats,
 }
@@ -145,6 +187,8 @@ pub struct See<'a> {
     /// Static all-pairs reachability of `ctx.pg`, shared by every routing
     /// query of the run (also owns the run's routing counters).
     rt: RouteTable,
+    /// Search-trace recorder; disabled by default (one branch per step).
+    tracer: hca_obs::SearchTracer,
 }
 
 impl<'a> See<'a> {
@@ -167,7 +211,21 @@ impl<'a> See<'a> {
             statics: crate::statics::PgStatics::build(pg),
         };
         let rt = RouteTable::build(pg);
-        See { ctx, config, rt }
+        See {
+            ctx,
+            config,
+            rt,
+            tracer: hca_obs::SearchTracer::disabled(),
+        }
+    }
+
+    /// Attach a search-trace recorder (builder style). Every placement step
+    /// of subsequent [`run`](See::run)s emits one
+    /// [`TraceRecord`](hca_obs::TraceRecord); a disabled tracer keeps the
+    /// hot loop at a single branch.
+    pub fn with_tracer(mut self, tracer: hca_obs::SearchTracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Assign the `working_set` (the whole DDG when `None`).
@@ -220,11 +278,27 @@ impl<'a> See<'a> {
         stats.frontier_deduped += crate::frontier::content_merge(&mut distinct, &mut slots);
         // Read the escape hatch once per run: a mid-run environment change
         // must not make one search internally inconsistent.
-        let dominance_on =
-            self.config.dominance && std::env::var_os("HCA_NO_DOMINANCE").is_none();
+        let dominance_on = self.config.dominance && std::env::var_os("HCA_NO_DOMINANCE").is_none();
+        let trace_on = self.tracer.is_enabled();
 
-        for &n in order.nodes() {
+        for (step_idx, &n) in (0u32..).zip(order.nodes()) {
             let step_t0 = Instant::now();
+            // Pre-step counter snapshot so the trace can report per-step
+            // deltas; only taken when a tracer is attached.
+            let pre = if trace_on {
+                Some((
+                    stats.states_explored,
+                    stats.states_pruned,
+                    stats.cand_rejected_margin,
+                    stats.cand_rejected_branch,
+                    stats.frontier_deduped,
+                    stats.dominance_pruned,
+                ))
+            } else {
+                None
+            };
+            let mut top_cands: Vec<(u32, f64)> = Vec::new();
+            let mut rescued_step = false;
             // Score every (state, cluster) candidate *in place*: apply the
             // assignment, read the objective, undo — no clone per trial.
             // Distinct states are independent; each hca-par worker owns a
@@ -291,6 +365,17 @@ impl<'a> See<'a> {
                 // The node filter, virtually: the same stable sort over beam
                 // positions, then beam-width truncation.
                 new_slots.sort_by(|&a, &b| rescued[a].cost.total_cmp(&rescued[b].cost));
+                if trace_on {
+                    rescued_step = true;
+                    top_cands = new_slots
+                        .iter()
+                        .take(hca_obs::trace::TOP_K)
+                        .map(|&ci| {
+                            let c = rescued[ci].cluster_of(n).map_or(u32::MAX, |c| c.0);
+                            (c, rescued[ci].cost)
+                        })
+                        .collect();
+                }
                 let kept = new_slots.len().min(node_filter.beam_width);
                 stats.states_pruned += new_slots.len() - kept;
                 new_slots.truncate(kept);
@@ -319,6 +404,13 @@ impl<'a> See<'a> {
                 // node filter uses), then materialise *only* the survivors.
                 stats.states_explored += merged.len();
                 merged.sort_by(|a, b| a.2.total_cmp(&b.2));
+                if trace_on {
+                    top_cands = merged
+                        .iter()
+                        .take(hca_obs::trace::TOP_K)
+                        .map(|&(_, c, cost)| (c.0, cost))
+                        .collect();
+                }
                 let kept = merged.len().min(node_filter.beam_width);
                 stats.states_pruned += merged.len() - kept;
                 merged.truncate(kept);
@@ -346,8 +438,7 @@ impl<'a> See<'a> {
                 for &(di, _) in &pairs {
                     uses[di] += 1;
                 }
-                let mut parents: Vec<Option<PartialState>> =
-                    distinct.drain(..).map(Some).collect();
+                let mut parents: Vec<Option<PartialState>> = distinct.drain(..).map(Some).collect();
                 for (di, c) in pairs {
                     uses[di] -= 1;
                     let mut child = if uses[di] == 0 {
@@ -375,15 +466,32 @@ impl<'a> See<'a> {
                 stats.states_pruned += removed;
             }
 
-            stats.beam_occupancy.push(slots.len());
             // Memory accounting stays in beam terms: each slot charges its
             // state's footprint, as the materialised beam would have.
             let sizes: Vec<usize> = distinct.iter().map(PartialState::approx_bytes).collect();
             let frontier_bytes: usize = slots.iter().map(|&di| sizes[di]).sum();
             stats.peak_frontier_bytes = stats.peak_frontier_bytes.max(frontier_bytes);
-            stats
-                .step_time_ns
-                .push(u64::try_from(step_t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            let step_ns = u64::try_from(step_t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            stats.record_step(slots.len(), step_ns);
+            if trace_on {
+                let (e0, p0, m0, b0, d0, dom0) = pre.expect("snapshot taken when tracing");
+                self.tracer.record(|| hca_obs::TraceRecord {
+                    kind: hca_obs::trace::kind::STEP.to_string(),
+                    step: step_idx,
+                    node: n.0,
+                    beam: slots.len() as u32,
+                    explored: (stats.states_explored - e0) as u64,
+                    pruned_beam: (stats.states_pruned - p0) as u64,
+                    rej_margin: (stats.cand_rejected_margin - m0) as u64,
+                    rej_branch: (stats.cand_rejected_branch - b0) as u64,
+                    deduped: (stats.frontier_deduped - d0) as u64,
+                    dominated: (stats.dominance_pruned - dom0) as u64,
+                    rescued: rescued_step,
+                    ns: step_ns,
+                    cands: std::mem::take(&mut top_cands),
+                    ..hca_obs::TraceRecord::default()
+                });
+            }
         }
 
         // First beam slot with minimal cost, exactly as `min_by` picked the
@@ -409,12 +517,16 @@ impl<'a> See<'a> {
         let (bfs_runs, cache_hits) = self.rt.take_counters();
         stats.route_bfs_runs = bfs_runs;
         stats.route_cache_hits = cache_hits;
+        stats.route_table_bytes = self.rt.approx_bytes();
         let cost = best.cost;
         let est_mii = best.estimated_mii(&self.ctx);
+        let (mii_issue, mii_arc) = (best.mii_issue, best.mii_arc);
         Ok(SeeOutcome {
             assigned: best.into_assigned(self.ctx.pg),
             cost,
             est_mii,
+            mii_issue,
+            mii_arc,
             stats,
         })
     }
@@ -438,7 +550,11 @@ impl<'a> See<'a> {
         };
         let chain: Vec<PgNodeId> = ctx.pg.cluster_ids().collect();
         let arity = chain.len();
-        if arity == 0 || chain.windows(2).any(|w| !ctx.statics.is_potential(w[0], w[1])) {
+        if arity == 0
+            || chain
+                .windows(2)
+                .any(|w| !ctx.statics.is_potential(w[0], w[1]))
+        {
             return None;
         }
 
@@ -610,19 +726,25 @@ impl<'a> See<'a> {
         st.cost = crate::cost::objective(&self.ctx, &st);
         let cost = st.cost;
         let est_mii = st.estimated_mii(&self.ctx);
+        let (mii_issue, mii_arc) = (st.mii_issue, st.mii_arc);
         let routed_hops = st.routed_hops;
         Some(SeeOutcome {
             assigned: st.into_assigned(ctx.pg),
             cost,
             est_mii,
+            mii_issue,
+            mii_arc,
             stats: SeeStats {
                 states_explored: 1,
                 // One state built, one state kept: keeps the documented
-                // `explored == pruned + Σ occupancy` split exact for
+                // `explored == pruned + occupancy` split exact for
                 // fallback outcomes too.
+                steps: 1,
+                beam_occupancy_sum: 1,
                 beam_occupancy: vec![1],
                 routed_nodes: ws.len(),
                 routed_hops,
+                route_table_bytes: self.rt.approx_bytes(),
                 ..SeeStats::default()
             },
         })
@@ -653,7 +775,10 @@ impl<'a> See<'a> {
         })?;
         let mut chain: Vec<PgNodeId> = clusters.iter().copied().filter(|&c| c != host).collect();
         chain.push(host);
-        if chain.windows(2).any(|w| !ctx.statics.is_potential(w[0], w[1])) {
+        if chain
+            .windows(2)
+            .any(|w| !ctx.statics.is_potential(w[0], w[1]))
+        {
             return None;
         }
 
@@ -732,19 +857,25 @@ impl<'a> See<'a> {
         st.cost = crate::cost::objective(&self.ctx, &st);
         let cost = st.cost;
         let est_mii = st.estimated_mii(&self.ctx);
+        let (mii_issue, mii_arc) = (st.mii_issue, st.mii_arc);
         let routed_hops = st.routed_hops;
         Some(SeeOutcome {
             assigned: st.into_assigned(ctx.pg),
             cost,
             est_mii,
+            mii_issue,
+            mii_arc,
             stats: SeeStats {
                 states_explored: 1,
                 // One state built, one state kept: keeps the documented
-                // `explored == pruned + Σ occupancy` split exact for
+                // `explored == pruned + occupancy` split exact for
                 // fallback outcomes too.
+                steps: 1,
+                beam_occupancy_sum: 1,
                 beam_occupancy: vec![1],
                 routed_nodes: ws.len(),
                 routed_hops,
+                route_table_bytes: self.rt.approx_bytes(),
                 ..SeeStats::default()
             },
         })

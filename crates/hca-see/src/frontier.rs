@@ -78,7 +78,9 @@ pub(crate) fn content_merge(states: &mut Vec<PartialState>, slots: &mut [usize])
     // forgot to maintain `struct_sig` trips here long before a missed merge
     // or prune could silently cost performance.
     debug_assert!(
-        states.iter().all(|st| st.struct_sig == st.compute_struct_sig()),
+        states
+            .iter()
+            .all(|st| st.struct_sig == st.compute_struct_sig()),
         "struct_sig out of sync with state content"
     );
     // Bucket kept states by scalar key so each new state is verified only
@@ -184,10 +186,7 @@ pub(crate) fn dominates(a: &PartialState, b: &PartialState) -> bool {
 /// exactly the pairwise one: `dominates(j, i)` ⟺ same class ∧ scalar
 /// no-worse — which state ends up in which run position cannot change it.
 
-pub(crate) fn prune_dominated(
-    states: &mut Vec<PartialState>,
-    slots: &mut Vec<usize>,
-) -> usize {
+pub(crate) fn prune_dominated(states: &mut Vec<PartialState>, slots: &mut Vec<usize>) -> usize {
     let n = states.len();
     if n < 2 {
         return 0;

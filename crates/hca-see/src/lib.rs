@@ -38,6 +38,6 @@ pub mod state;
 pub mod statics;
 
 pub use cost::CostWeights;
-pub use engine::{See, SeeConfig, SeeError, SeeOutcome, SeeStats};
+pub use engine::{See, SeeConfig, SeeError, SeeOutcome, SeeStats, STEP_SAMPLE_CAP};
 pub use route_table::RouteTable;
 pub use state::{PartialState, SeeContext};

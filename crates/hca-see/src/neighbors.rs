@@ -139,7 +139,10 @@ mod tests {
         assert!(!s.contains(3, PgNodeId(6)));
         assert!(!s.contains(4, PgNodeId(5)), "rows are independent");
         assert_eq!(s.len(3), 2);
-        assert_eq!(s.iter(3).collect::<Vec<_>>(), vec![PgNodeId(5), PgNodeId(69)]);
+        assert_eq!(
+            s.iter(3).collect::<Vec<_>>(),
+            vec![PgNodeId(5), PgNodeId(69)]
+        );
         s.remove(3, PgNodeId(5));
         assert!(!s.contains(3, PgNodeId(5)));
         assert_eq!(s.len(3), 1);

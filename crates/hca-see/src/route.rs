@@ -91,7 +91,10 @@ fn statically_routable(
         if cp == c {
             continue;
         }
-        if !rt.hop_dist(cp, c).is_some_and(|d| d as usize <= max_hops + 2) {
+        if !rt
+            .hop_dist(cp, c)
+            .is_some_and(|d| d as usize <= max_hops + 2)
+        {
             return false;
         }
     }
@@ -105,7 +108,10 @@ fn statically_routable(
         if cs == c || !ctx.pg.node(cs).kind.is_cluster() {
             continue;
         }
-        if !rt.hop_dist(c, cs).is_some_and(|d| d as usize <= max_hops + 1) {
+        if !rt
+            .hop_dist(c, cs)
+            .is_some_and(|d| d as usize <= max_hops + 1)
+        {
             return false;
         }
     }
@@ -113,8 +119,8 @@ fn statically_routable(
     // known from the current in-neighbour sets, which operand routing cannot
     // touch (it only opens arcs into clusters).
     for &o in ctx.statics.outputs_carrying(n) {
-        let would_be = st.in_neighbors.len(o.index())
-            + usize::from(!st.in_neighbors.contains(o.index(), c));
+        let would_be =
+            st.in_neighbors.len(o.index()) + usize::from(!st.in_neighbors.contains(o.index(), c));
         if would_be > ctx.constraints.out_node_max_in as usize {
             return false;
         }
@@ -163,8 +169,8 @@ fn try_route_to(
     // Output special nodes: direct arcs only (they model the glue wire); the
     // unary fan-in must hold.
     for &o in ctx.statics.outputs_carrying(n) {
-        let would_be = st.in_neighbors.len(o.index())
-            + usize::from(!st.in_neighbors.contains(o.index(), c));
+        let would_be =
+            st.in_neighbors.len(o.index()) + usize::from(!st.in_neighbors.contains(o.index(), c));
         if would_be > ctx.constraints.out_node_max_in as usize {
             st.txn_rollback(ctx, txn);
             return None;

@@ -135,6 +135,13 @@ impl RouteTable {
             self.cache_hits.swap(0, Ordering::Relaxed),
         )
     }
+
+    /// Approximate heap footprint of the table: the packed `n × n`
+    /// distance matrix plus the struct itself. Feeds the
+    /// `see.route_table_bytes` size accounting.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.dist.len() * std::mem::size_of::<u16>()
+    }
 }
 
 #[cfg(test)]
@@ -241,9 +248,7 @@ mod tests {
             let n_in = (rng.next() % 3) as usize;
             let n_out = (rng.next() % 3) as usize;
             let ili = Ili {
-                inputs: (0..n_in)
-                    .map(|i| IliWire::new(vec![vals[i]]))
-                    .collect(),
+                inputs: (0..n_in).map(|i| IliWire::new(vec![vals[i]])).collect(),
                 outputs: (0..n_out)
                     .map(|i| IliWire::new(vec![vals[3 + i]]))
                     .collect(),

@@ -606,13 +606,7 @@ impl PartialState {
     }
 
     /// Journalled [`place`](PartialState::place).
-    pub fn place_txn(
-        &mut self,
-        ctx: &SeeContext<'_>,
-        n: NodeId,
-        c: PgNodeId,
-        txn: &mut StateTxn,
-    ) {
+    pub fn place_txn(&mut self, ctx: &SeeContext<'_>, n: NodeId, c: PgNodeId, txn: &mut StateTxn) {
         self.place(ctx, n, c);
         txn.ops.push(TxnOp::Place(n, c));
     }

@@ -43,14 +43,18 @@ fn explored_splits_into_pruned_plus_occupancy() {
             ..SeeConfig::default()
         });
         let s = &out.stats;
-        let occupancy: usize = s.beam_occupancy.iter().sum();
+        // The exact running total is the invariant's right-hand side; the
+        // sampled vector must agree while the run is under the sample cap.
         assert_eq!(
             s.states_explored,
-            s.states_pruned + occupancy,
-            "beam {beam_width}: explored {} != pruned {} + occupancy {occupancy}",
+            s.states_pruned + s.beam_occupancy_sum,
+            "beam {beam_width}: explored {} != pruned {} + occupancy {}",
             s.states_explored,
             s.states_pruned,
+            s.beam_occupancy_sum,
         );
+        assert_eq!(s.beam_occupancy.iter().sum::<usize>(), s.beam_occupancy_sum);
+        assert_eq!(s.step_time_ns.iter().sum::<u64>(), s.step_time_total_ns);
     }
 }
 
@@ -62,8 +66,40 @@ fn beam_occupancy_tracks_every_placement_step_within_width() {
     });
     let s = &out.stats;
     // One entry per placed node, each within the beam width and non-empty.
+    assert_eq!(s.steps, wide_ddg().num_nodes());
     assert_eq!(s.beam_occupancy.len(), wide_ddg().num_nodes());
     assert!(s.beam_occupancy.iter().all(|&w| (1..=4).contains(&w)));
+}
+
+#[test]
+fn step_samples_are_bounded_but_totals_stay_exact() {
+    use hca_see::{SeeStats, STEP_SAMPLE_CAP};
+    let mut s = SeeStats::default();
+    let n = STEP_SAMPLE_CAP + 1500;
+    for i in 0..n {
+        s.record_step(2, (i % 7) as u64);
+    }
+    assert_eq!(s.steps, n);
+    assert_eq!(s.beam_occupancy_sum, 2 * n);
+    assert_eq!(
+        s.step_time_total_ns,
+        (0..n as u64).map(|i| i % 7).sum::<u64>()
+    );
+    // Sample vectors stop growing at the cap — statistics stay bounded on
+    // arbitrarily large DDGs.
+    assert_eq!(s.beam_occupancy.len(), STEP_SAMPLE_CAP);
+    assert_eq!(s.step_time_ns.len(), STEP_SAMPLE_CAP);
+}
+
+#[test]
+fn route_table_bytes_accounted_on_every_outcome() {
+    let out = run(SeeConfig::default());
+    // Pg::complete(4, ..) has 4 nodes → at least 4*4 u16 distances.
+    assert!(
+        out.stats.route_table_bytes >= 32,
+        "route_table_bytes {} too small",
+        out.stats.route_table_bytes
+    );
 }
 
 #[test]

@@ -72,6 +72,9 @@ fn assert_stats_match(a: &SeeStats, b: &SeeStats, name: &str) {
     assert_eq!(a.route_cache_hits, b.route_cache_hits, "{name}");
     assert_eq!(a.frontier_deduped, b.frontier_deduped, "{name}");
     assert_eq!(a.dominance_pruned, b.dominance_pruned, "{name}");
+    assert_eq!(a.steps, b.steps, "{name}");
+    assert_eq!(a.beam_occupancy_sum, b.beam_occupancy_sum, "{name}");
+    assert_eq!(a.route_table_bytes, b.route_table_bytes, "{name}");
     assert_eq!(a.step_time_ns.len(), b.step_time_ns.len(), "{name}");
 }
 
@@ -98,7 +101,11 @@ fn dominance_pruning_preserves_table1_results() {
             );
         }
         let (on, off) = (&results[0], &results[1]);
-        assert_eq!(on.mii, off.mii, "{}: MII diverges under dominance", kernel.name);
+        assert_eq!(
+            on.mii, off.mii,
+            "{}: MII diverges under dominance",
+            kernel.name
+        );
         assert_eq!(
             on.placement, off.placement,
             "{}: placement diverges under dominance",
@@ -148,10 +155,11 @@ fn see_stats_invariant_holds_at_every_thread_count() {
                 .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
             // Every scored candidate is either pruned or survives into a
             // beam — the delta-state rework must not break this accounting.
-            let beam_total: usize = outcome.stats.beam_occupancy.iter().sum();
+            // (`beam_occupancy_sum` is the exact running total; the vector
+            // is a bounded sample of it.)
             assert_eq!(
                 outcome.stats.states_explored,
-                outcome.stats.states_pruned + beam_total,
+                outcome.stats.states_pruned + outcome.stats.beam_occupancy_sum,
                 "{} @ {threads} threads: explored != pruned + Σ occupancy",
                 kernel.name
             );
