@@ -50,6 +50,9 @@ const HISTORY_COUNTERS: &[&str] = &[
     "see.route_cache_hits",
     "see.route_table_bytes",
     "see.peak_frontier_bytes",
+    "see.arc_table_bytes",
+    "see.state_arena_bytes",
+    "see.state_clones",
     "driver.subproblems",
     "driver.memo_hits",
     "driver.memo_misses",

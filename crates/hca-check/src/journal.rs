@@ -28,17 +28,15 @@ fn fingerprint(st: &PartialState) -> String {
         .collect();
     assignment.sort();
     writeln!(s, "assignment {assignment:?}").unwrap();
-    let mut copies: Vec<(PgNodeId, PgNodeId, Vec<NodeId>)> = st
-        .copies
-        .iter()
-        .map(|(&(a, b), vs)| (a, b, vs.iter().copied().collect()))
-        .collect();
+    let mut copies: Vec<(PgNodeId, PgNodeId, Vec<NodeId>)> = Vec::new();
+    st.copies
+        .for_each_arc(|a, b, vs| copies.push((a, b, vs.to_vec())));
     copies.sort();
     writeln!(s, "copies {copies:?}").unwrap();
-    writeln!(s, "issue {:?}", st.issue_load).unwrap();
-    writeln!(s, "alu {:?}", st.alu_ops).unwrap();
-    writeln!(s, "ag {:?}", st.ag_ops).unwrap();
-    writeln!(s, "recv {:?}", st.recv_load).unwrap();
+    writeln!(s, "issue {:?}", st.loads.issue_all()).unwrap();
+    writeln!(s, "alu {:?}", st.loads.alu_all()).unwrap();
+    writeln!(s, "ag {:?}", st.loads.ag_all()).unwrap();
+    writeln!(s, "recv {:?}", st.loads.recv_all()).unwrap();
     let neigh = |sets: &hca_see::neighbors::NeighborSets| -> Vec<Vec<PgNodeId>> {
         (0..sets.num_rows())
             .map(|i| sets.iter(i).collect()) // bit order is ascending id order
@@ -115,7 +113,7 @@ mod tests {
 
     #[test]
     fn roundtrip_is_bit_exact_on_random_kernels() {
-        for seed in 0..30u64 {
+        for seed in 0..120u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let ddg = random_kernel(&mut rng, 16);
             journal_roundtrip_check(&ddg, 4, &mut rng)

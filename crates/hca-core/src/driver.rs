@@ -286,10 +286,16 @@ fn record_see_stats(obs: &Obs, s: &hca_see::SeeStats) {
         obs.histogram_record("see.beam_occupancy", width);
     }
     obs.counter_add("see.step_time_us", s.step_time_total_ns / 1_000);
+    // Trial clones made while scoring candidates. The mutation-free scorer
+    // keeps this at zero; a non-zero value means a per-candidate state copy
+    // crept back into the hot loop (`tests/determinism.rs` hard-fails on it).
+    obs.counter_add("see.state_clones", s.state_clones as u64);
     // Byte footprints are high-water marks, never histograms (histogram
     // buckets are dense, indexed by magnitude).
     obs.counter_max("see.route_table_bytes", s.route_table_bytes as u64);
     obs.counter_max("see.peak_frontier_bytes", s.peak_frontier_bytes as u64);
+    obs.counter_max("see.arc_table_bytes", s.arc_table_bytes as u64);
+    obs.counter_max("see.state_arena_bytes", s.state_arena_bytes as u64);
 }
 
 /// Shared immutable context of one HCA run, threaded through the recursive

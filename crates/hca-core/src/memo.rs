@@ -36,6 +36,13 @@
 //! The key is the full encoding (a `Vec<u64>` compared by `Eq`), not a
 //! digest — hash collisions cannot produce false hits.
 //!
+//! The key deliberately encodes no `PartialState` internals: it is built
+//! from the sub-problem *inputs* (DDG slice, ILI, context), never from the
+//! engine's in-flight search state, so representation changes inside
+//! `hca-see` — e.g. the arc-indexed copy table and lane-major load block
+//! replacing the original hash maps — cannot drift the key. Determinism of
+//! the cached *values* is covered by `tests/memo_equivalence.rs`.
+//!
 //! Cached values store placements as (canonical node, CN-path *suffix*
 //! below the sub-problem) and group topologies with canonicalised wire
 //! values, so rehydration at a different tree position or under a value

@@ -67,22 +67,45 @@ impl CostWeights {
     }
 }
 
-/// Evaluate the weighted objective of a partial state.
-pub fn objective(ctx: &SeeContext<'_>, st: &PartialState) -> f64 {
-    let mii = st.estimated_mii(ctx);
+/// The aggregate inputs of [`objective`], decoupled from [`PartialState`]
+/// so the mutation-free candidate scorer ([`crate::assignable::score_assign`])
+/// can evaluate the *same* formula over trial-local aggregates. Keeping one
+/// arithmetic path is what makes the scorer bit-exact against the
+/// apply-read-undo route.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct CostInputs {
+    pub total_copies: u32,
+    pub recurrence_copies: u32,
+    pub critical_penalty: f64,
+    pub routed_hops: u32,
+    pub mii_issue: u32,
+    pub mii_arc: u32,
+    pub util_sq_sum: f64,
+    pub util_clusters: u32,
+}
+
+/// Evaluate the weighted objective from raw aggregates — the single
+/// arithmetic path behind both [`objective`] and the mutation-free scorer.
+pub(crate) fn objective_from_parts(ctx: &SeeContext<'_>, p: &CostInputs) -> f64 {
+    let mii = ctx.analysis.mii_rec.max(p.mii_issue).max(p.mii_arc).max(1);
     let mii_term = if mii == u32::MAX {
         // Infeasible resource usage: poison the state without NaNs.
         1e12
     } else {
         f64::from(mii)
     };
+    let balance = if p.util_clusters == 0 {
+        0.0
+    } else {
+        p.util_sq_sum / f64::from(p.util_clusters)
+    };
     let w = &ctx.weights;
-    let cost = w.copy * f64::from(st.total_copies)
+    let cost = w.copy * f64::from(p.total_copies)
         + w.pressure * mii_term
-        + w.balance * st.utilization_sq_mean(ctx)
-        + w.critical * st.critical_penalty
-        + w.recurrence * f64::from(st.recurrence_copies)
-        + w.route * f64::from(st.routed_hops);
+        + w.balance * balance
+        + w.critical * p.critical_penalty
+        + w.recurrence * f64::from(p.recurrence_copies)
+        + w.route * f64::from(p.routed_hops);
     // Degenerate weights (NaN or ±inf, e.g. from a sweep config) must not
     // leak non-finite costs into the beam: `total_cmp` sorts NaN *above*
     // +inf, but `best + margin` arithmetic and cost deltas would still turn
@@ -93,6 +116,11 @@ pub fn objective(ctx: &SeeContext<'_>, st: &PartialState) -> f64 {
     } else {
         1e12
     }
+}
+
+/// Evaluate the weighted objective of a partial state.
+pub fn objective(ctx: &SeeContext<'_>, st: &PartialState) -> f64 {
+    objective_from_parts(ctx, &st.cost_inputs())
 }
 
 #[cfg(test)]

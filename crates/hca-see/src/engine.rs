@@ -1,9 +1,8 @@
 //! The SEE driver: beam search over partial assignments.
 
-use crate::assignable::is_assignable_from;
 use crate::cost::CostWeights;
-use crate::filters::{CandidateFilter, CandidatePruning, NodeFilter};
-use crate::route::route_assign;
+use crate::filters::{CandList, CandidateFilter, CandidatePruning, NodeFilter};
+use crate::route::route_assign_commit;
 use crate::route_table::RouteTable;
 use crate::state::{PartialState, SeeContext};
 use hca_ddg::{Ddg, DdgAnalysis, NodeId, PriorityOrder, PriorityPolicy};
@@ -82,6 +81,59 @@ impl fmt::Display for SeeError {
 
 impl std::error::Error for SeeError {}
 
+/// Arena of retired [`PartialState`]s, recycled into survivor
+/// materialisation. Beam search retires states in bulk every step (beam
+/// truncation, dedup folds, dominance prunes, moved-from parents) and
+/// immediately allocates near-identical ones; `take_clone_of` turns that
+/// churn into `clone_from` onto a retired state's buffers, so the steady
+/// state of the main loop performs no state-sized allocations at all.
+///
+/// All arena traffic runs in the sequential sections of the engine, so the
+/// high-water footprint (reported as `see.state_arena_bytes`) is
+/// deterministic and thread-count invariant.
+#[derive(Default)]
+struct StatePool {
+    free: Vec<PartialState>,
+    /// `approx_bytes` of each pooled state, parallel to `free`.
+    sizes: Vec<usize>,
+    /// Current pooled footprint in bytes.
+    bytes: usize,
+    /// Peak pooled footprint over the run.
+    high_water: usize,
+}
+
+impl StatePool {
+    /// Retire `st` into the arena.
+    fn put(&mut self, st: PartialState) {
+        let b = st.approx_bytes();
+        self.bytes += b;
+        self.high_water = self.high_water.max(self.bytes);
+        self.sizes.push(b);
+        self.free.push(st);
+    }
+
+    /// Retire every state in `batch` (drained in place).
+    fn put_all(&mut self, batch: &mut Vec<PartialState>) {
+        for st in batch.drain(..) {
+            self.put(st);
+        }
+    }
+
+    /// A state bit-identical to `src`: recycled buffers when the arena has
+    /// a retiree (`clone_from` — no fresh allocation when capacities fit),
+    /// a plain deep clone otherwise.
+    fn take_clone_of(&mut self, src: &PartialState) -> PartialState {
+        match (self.free.pop(), self.sizes.pop()) {
+            (Some(mut st), Some(b)) => {
+                self.bytes -= b;
+                st.clone_from(src);
+                st
+            }
+            _ => src.clone(),
+        }
+    }
+}
+
 /// Cap on the per-step sample vectors kept in [`SeeStats`]
 /// (`beam_occupancy`, `step_time_ns`): the first `STEP_SAMPLE_CAP`
 /// placement steps are sampled, everything is *always* folded into the
@@ -144,6 +196,19 @@ pub struct SeeStats {
     pub frontier_deduped: usize,
     /// Frontier states removed by dominance pruning.
     pub dominance_pruned: usize,
+    /// Deep [`PartialState`] clones taken on *trial* paths (candidate
+    /// scoring, rescue routing, forward planning). The journalled in-place
+    /// trial machinery replaced every one of them, so this is structurally
+    /// zero — tests assert it, making a reintroduced per-trial clone fail
+    /// loudly. Arena misses during survivor materialisation are not trial
+    /// clones and are excluded.
+    pub state_clones: usize,
+    /// Heap bytes of the run's static arc numbering and candidate-mask
+    /// tables ([`PgStatics::arc_table_bytes`](crate::statics::PgStatics)).
+    pub arc_table_bytes: usize,
+    /// High-water heap footprint of the state arena (retired `PartialState`
+    /// buffers awaiting reuse by survivor materialisation).
+    pub state_arena_bytes: usize,
 }
 
 impl SeeStats {
@@ -258,13 +323,18 @@ impl<'a> See<'a> {
         // failed) run on this instance left behind.
         let _ = self.rt.take_counters();
 
+        // Arena of retired states, recycled into materialisation; `freed` is
+        // the reusable hand-off buffer the filter passes fill for it.
+        let mut pool = StatePool::default();
+        let mut freed: Vec<PartialState> = Vec::new();
+
         // Pass-through values are resolved *first*: routing an external value
         // to its forwarding cluster while every port is still free always
         // succeeds, and the unary fan-in constraint then steers the wire's
         // remaining (internal) values onto the same feeder during the main
         // loop. Resolving them last instead would find the feeder cluster
         // already walled in by unrelated port usage.
-        frontier = self.resolve_forwards(frontier)?;
+        frontier = self.resolve_forwards(frontier, &mut pool)?;
         node_filter.apply(&mut frontier);
 
         // The frontier is held *virtually* from here on: `distinct` owns one
@@ -275,7 +345,9 @@ impl<'a> See<'a> {
         // duplicate states are scored and expanded once.
         let mut distinct = frontier;
         let mut slots: Vec<usize> = (0..distinct.len()).collect();
-        stats.frontier_deduped += crate::frontier::content_merge(&mut distinct, &mut slots);
+        stats.frontier_deduped +=
+            crate::frontier::content_merge(&mut distinct, &mut slots, &mut freed);
+        pool.put_all(&mut freed);
         // Read the escape hatch once per run: a mid-run environment change
         // must not make one search internally inconsistent.
         let dominance_on = self.config.dominance && std::env::var_os("HCA_NO_DOMINANCE").is_none();
@@ -304,19 +376,44 @@ impl<'a> See<'a> {
             // Distinct states are independent; each hca-par worker owns a
             // contiguous chunk and results come back in input order, so the
             // merge below is scheduling-independent.
-            let scored: Vec<(Vec<(PgNodeId, f64)>, CandidatePruning)> =
+            let scored: Vec<(CandList, CandidatePruning)> =
                 hca_par::par_map_mut(&mut distinct, |st| {
                     // Operand/result placements are candidate-independent:
                     // read them once per state, not once per cluster probe.
+                    // The view's bitmask AND already folded every static
+                    // screen (executability, producer/consumer potential,
+                    // output fan-in), so the loop below touches only the
+                    // clusters that survive it — in the same ascending id
+                    // order the full probe scanned — and re-checks just the
+                    // port/budget conditions that depend on mutable state.
                     let view = crate::assignable::node_view(&self.ctx, st, n);
-                    let mut cands: Vec<(PgNodeId, f64)> = Vec::new();
-                    for c in self.ctx.pg.cluster_ids() {
-                        if !is_assignable_from(&self.ctx, st, &view, n, c) {
-                            continue;
+                    let mut cands: CandList = CandList::new();
+                    for c in view.candidates() {
+                        // Mutation-free trial: one pass re-checks the
+                        // dynamic screens and replays apply's aggregate
+                        // arithmetic against locals, bit-exact with the
+                        // journalled apply-read-undo path (asserted below).
+                        let scored =
+                            crate::assignable::score_if_assignable(&self.ctx, st, &view, n, c);
+                        #[cfg(debug_assertions)]
+                        {
+                            debug_assert_eq!(
+                                scored.is_some(),
+                                crate::assignable::assignable_dynamic(&self.ctx, st, &view, n, c),
+                                "fused screen disagrees with assignable_dynamic for {n:?} @ {c:?}"
+                            );
+                            if let Some(cost) = scored {
+                                let undo = st.apply_assign_logged(&self.ctx, n, c);
+                                debug_assert_eq!(
+                                    cost.to_bits(),
+                                    st.cost.to_bits(),
+                                    "score_if_assignable diverged from apply for {n:?} @ {c:?}"
+                                );
+                                st.undo_assign(&self.ctx, undo);
+                            }
                         }
-                        let undo = st.apply_assign_logged(&self.ctx, n, c);
-                        cands.push((c, st.cost));
-                        st.undo_assign(&self.ctx, undo);
+                        let Some(cost) = scored else { continue };
+                        cands.push((c, cost));
                     }
                     let pruning = cand_filter.apply(&mut cands);
                     (cands, pruning)
@@ -341,22 +438,17 @@ impl<'a> See<'a> {
                     return Err(SeeError::NoCandidates { node: n });
                 }
                 stats.route_attempts += slots.len();
-                // Trials run in place (journalled + rolled back); only the
-                // winning candidate per distinct state is materialised, then
-                // fanned back out to that state's beam slots.
-                let routed = hca_par::par_map_mut(&mut distinct, |st| {
-                    route_assign(&self.ctx, &self.rt, st, n, self.config.max_route_hops)
+                // Trials run in place (journalled + rolled back) and the
+                // winning candidate per distinct state is *committed* in
+                // place — the parent was about to be discarded anyway, so
+                // the rescue path performs zero state clones. A state the
+                // router cannot rescue comes back bit-identical (rolled
+                // back) and retires to the arena below.
+                let ok: Vec<bool> = hca_par::par_map_mut(&mut distinct, |st| {
+                    route_assign_commit(&self.ctx, &self.rt, st, n, self.config.max_route_hops)
                 });
-                let mut rescued: Vec<PartialState> = Vec::new();
-                let mut child_of: Vec<Option<usize>> = Vec::with_capacity(routed.len());
-                for r in routed {
-                    child_of.push(r.map(|st| {
-                        rescued.push(st);
-                        rescued.len() - 1
-                    }));
-                }
                 let mut new_slots: Vec<usize> =
-                    slots.iter().filter_map(|&di| child_of[di]).collect();
+                    slots.iter().copied().filter(|&di| ok[di]).collect();
                 if new_slots.is_empty() {
                     return Err(SeeError::NoCandidates { node: n });
                 }
@@ -364,32 +456,34 @@ impl<'a> See<'a> {
                 stats.states_explored += new_slots.len();
                 // The node filter, virtually: the same stable sort over beam
                 // positions, then beam-width truncation.
-                new_slots.sort_by(|&a, &b| rescued[a].cost.total_cmp(&rescued[b].cost));
+                new_slots.sort_by(|&a, &b| distinct[a].cost.total_cmp(&distinct[b].cost));
                 if trace_on {
                     rescued_step = true;
                     top_cands = new_slots
                         .iter()
                         .take(hca_obs::trace::TOP_K)
                         .map(|&ci| {
-                            let c = rescued[ci].cluster_of(n).map_or(u32::MAX, |c| c.0);
-                            (c, rescued[ci].cost)
+                            let c = distinct[ci].cluster_of(n).map_or(u32::MAX, |c| c.0);
+                            (c, distinct[ci].cost)
                         })
                         .collect();
                 }
                 let kept = new_slots.len().min(node_filter.beam_width);
                 stats.states_pruned += new_slots.len() - kept;
                 new_slots.truncate(kept);
-                // Drop rescued states that lost all their slots.
-                let mut used = vec![false; rescued.len()];
+                // Retire failed rescues and states that lost all their slots.
+                let mut used = vec![false; distinct.len()];
                 for &ci in &new_slots {
                     used[ci] = true;
                 }
-                let mut new_idx = vec![usize::MAX; rescued.len()];
-                distinct.clear();
-                for (i, st) in rescued.into_iter().enumerate() {
+                let mut new_idx = vec![usize::MAX; distinct.len()];
+                let old = std::mem::take(&mut distinct);
+                for (i, st) in old.into_iter().enumerate() {
                     if used[i] {
                         new_idx[i] = distinct.len();
                         distinct.push(st);
+                    } else {
+                        pool.put(st);
                     }
                 }
                 for s in new_slots.iter_mut() {
@@ -398,7 +492,9 @@ impl<'a> See<'a> {
                 slots = new_slots;
                 // Rescues from different parents can converge on identical
                 // states — fold them.
-                stats.frontier_deduped += crate::frontier::content_merge(&mut distinct, &mut slots);
+                stats.frontier_deduped +=
+                    crate::frontier::content_merge(&mut distinct, &mut slots, &mut freed);
+                pool.put_all(&mut freed);
             } else {
                 // Beam-filter on the scored tuples (same stable sort the
                 // node filter uses), then materialise *only* the survivors.
@@ -432,8 +528,9 @@ impl<'a> See<'a> {
                 }
                 stats.frontier_deduped += merged.len() - pairs.len();
                 // The last child of each parent takes it by move; earlier
-                // children clone. Applying the logged assignment replays the
-                // scored trial bit-exactly (undo restored the parent state).
+                // children copy onto recycled arena states. Applying the
+                // logged assignment replays the scored trial bit-exactly
+                // (undo restored the parent state).
                 let mut uses = vec![0usize; distinct.len()];
                 for &(di, _) in &pairs {
                     uses[di] += 1;
@@ -444,22 +541,29 @@ impl<'a> See<'a> {
                     let mut child = if uses[di] == 0 {
                         parents[di].take().expect("last use moves the parent")
                     } else {
-                        parents[di]
-                            .as_ref()
-                            .expect("parent live until last use")
-                            .clone()
+                        pool.take_clone_of(
+                            parents[di].as_ref().expect("parent live until last use"),
+                        )
                     };
                     child.apply_assign(&self.ctx, n, c);
                     distinct.push(child);
                 }
+                // Parents whose every child was beam-pruned retire.
+                for p in parents.into_iter().flatten() {
+                    pool.put(p);
+                }
                 slots = new_slots;
                 // Children of *different* parents can also converge on
                 // identical states — fold those too.
-                stats.frontier_deduped += crate::frontier::content_merge(&mut distinct, &mut slots);
+                stats.frontier_deduped +=
+                    crate::frontier::content_merge(&mut distinct, &mut slots, &mut freed);
+                pool.put_all(&mut freed);
             }
 
             if dominance_on {
-                let removed = crate::frontier::prune_dominated(&mut distinct, &mut slots);
+                let removed =
+                    crate::frontier::prune_dominated(&mut distinct, &mut slots, &mut freed);
+                pool.put_all(&mut freed);
                 stats.dominance_pruned += removed;
                 // Dominance removals count as pruned states so the
                 // explored == pruned + Σ occupancy invariant keeps holding.
@@ -518,6 +622,8 @@ impl<'a> See<'a> {
         stats.route_bfs_runs = bfs_runs;
         stats.route_cache_hits = cache_hits;
         stats.route_table_bytes = self.rt.approx_bytes();
+        stats.arc_table_bytes = self.ctx.statics.arc_table_bytes();
+        stats.state_arena_bytes = pool.high_water;
         let cost = best.cost;
         let est_mii = best.estimated_mii(&self.ctx);
         let (mii_issue, mii_arc) = (best.mii_issue, best.mii_arc);
@@ -745,6 +851,7 @@ impl<'a> See<'a> {
                 routed_nodes: ws.len(),
                 routed_hops,
                 route_table_bytes: self.rt.approx_bytes(),
+                arc_table_bytes: ctx.statics.arc_table_bytes(),
                 ..SeeStats::default()
             },
         })
@@ -876,6 +983,7 @@ impl<'a> See<'a> {
                 routed_nodes: ws.len(),
                 routed_hops,
                 route_table_bytes: self.rt.approx_bytes(),
+                arc_table_bytes: ctx.statics.arc_table_bytes(),
                 ..SeeStats::default()
             },
         })
@@ -890,6 +998,7 @@ impl<'a> See<'a> {
     fn resolve_forwards(
         &self,
         mut frontier: Vec<PartialState>,
+        pool: &mut StatePool,
     ) -> Result<Vec<PartialState>, SeeError> {
         // Collect (output node, value) tasks whose producer is external.
         let mut tasks: Vec<(PgNodeId, NodeId)> = Vec::new();
@@ -920,9 +1029,10 @@ impl<'a> See<'a> {
             beam_width: self.config.beam_width,
         };
         for (o, values) in grouped {
-            // Frontier states are independent; plan each one's forwarding in
-            // parallel and concatenate in frontier order (deterministic).
-            let planned: Vec<Vec<PartialState>> = hca_par::par_map(&frontier, |st| {
+            // Frontier states are independent; trial each one's candidate
+            // feeders *in place* (journalled + rolled back — no clone per
+            // trial) in parallel, keeping only the winning feeder ids.
+            let kept: Vec<Vec<PgNodeId>> = hca_par::par_map_mut(&mut frontier, |st| {
                 // Unary fan-in: if the wire already has a feeder, it is the
                 // only admissible forwarder; otherwise fork over the best
                 // few choices for beam diversity.
@@ -931,20 +1041,41 @@ impl<'a> See<'a> {
                 } else {
                     st.in_neighbors.iter(o.index()).collect()
                 };
-                let mut trials: Vec<PartialState> = Vec::new();
+                let mut trials: Vec<(PgNodeId, f64)> = Vec::new();
                 for c in candidates {
                     if !self.ctx.pg.node(c).kind.is_cluster() {
                         continue;
                     }
-                    if let Some(trial) = self.forward_values_via(st, o, &values, c) {
-                        trials.push(trial);
+                    if let Some(cost) = self.forward_values_via(st, o, &values, c, true) {
+                        trials.push((c, cost));
                     }
                 }
-                trials.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+                trials.sort_by(|a, b| a.1.total_cmp(&b.1));
                 trials.truncate(self.config.branch_factor.max(1));
-                trials
+                trials.into_iter().map(|(c, _)| c).collect()
             });
-            let mut next: Vec<PartialState> = planned.into_iter().flatten().collect();
+            // Materialise in (frontier order, per-state cost order) — the
+            // exact concatenation order the cloned trials arrived in. The
+            // last kept feeder takes the parent by move; earlier ones copy
+            // onto recycled arena states and replay their trial (the trial
+            // logic is deterministic, so the replay is bit-exact).
+            let mut next: Vec<PartialState> = Vec::new();
+            let old = std::mem::take(&mut frontier);
+            for (mut st, ks) in old.into_iter().zip(kept) {
+                let Some((&last, rest)) = ks.split_last() else {
+                    pool.put(st); // no admissible feeder in this state
+                    continue;
+                };
+                for &c in rest {
+                    let mut child = pool.take_clone_of(&st);
+                    self.forward_values_via(&mut child, o, &values, c, false)
+                        .expect("kept feeder replays deterministically");
+                    next.push(child);
+                }
+                self.forward_values_via(&mut st, o, &values, last, false)
+                    .expect("kept feeder replays deterministically");
+                next.push(st);
+            }
             if next.is_empty() {
                 return Err(SeeError::NoCandidates { node: values[0] });
             }
@@ -958,36 +1089,44 @@ impl<'a> See<'a> {
     /// emit them on the glue wire. Direct routes first; once `c` is down to
     /// its last input port the remaining values share one relay cluster
     /// (whose single output wire carries them all into `c`).
+    ///
+    /// Runs in place on `st` under one journal. With `evaluate` set the
+    /// whole attempt is rolled back and only its objective value returned
+    /// (the caller re-applies the winners); otherwise the mutations stay
+    /// committed. `None` means no admissible forwarding exists — `st` is
+    /// rolled back either way. Within one attempt the journal is
+    /// deliberately *not* rolled back when a direct route fails and the
+    /// relay branch takes over: the failed route's partial copies stay, as
+    /// they always have (the cost function prices them, and the historical
+    /// search trajectory depends on it).
     fn forward_values_via(
         &self,
-        st: &PartialState,
+        st: &mut PartialState,
         o: PgNodeId,
         values: &[NodeId],
         c: PgNodeId,
-    ) -> Option<PartialState> {
+        evaluate: bool,
+    ) -> Option<f64> {
         let ctx = &self.ctx;
         let max_in = ctx.constraints.max_in_neighbors as usize;
-        let mut trial = st.clone();
-        // The trial is a private clone that is kept or dropped wholesale, so
-        // the journal is write-only here — route_value just needs one.
-        let mut txn = trial.txn_begin();
+        let mut txn = st.txn_begin();
         let mut relay: Option<PgNodeId> = None;
         for &v in values {
-            let Some(inp) = trial.cluster_of(v) else {
+            let Some(inp) = st.cluster_of(v) else {
                 continue; // produced internally after all
             };
             if ctx.pg.node(inp).kind.is_cluster() {
                 continue; // internal producer feeds o itself
             }
-            let ports_left = max_in.saturating_sub(trial.in_neighbors.len(c.index()));
+            let ports_left = max_in.saturating_sub(st.in_neighbors.len(c.index()));
             let more_after_this = values.iter().skip_while(|&&x| x != v).count() > 1;
-            let direct_ok = trial.in_neighbors.contains(c.index(), inp)
+            let direct_ok = st.in_neighbors.contains(c.index(), inp)
                 || ports_left > usize::from(more_after_this && relay.is_none());
             if direct_ok
                 && crate::route::route_value(
                     ctx,
                     &self.rt,
-                    &mut trial,
+                    st,
                     v,
                     inp,
                     c,
@@ -1002,36 +1141,49 @@ impl<'a> See<'a> {
                 let r = match relay {
                     Some(r) => r,
                     None => {
-                        let r = ctx.pg.cluster_ids().find(|&r| {
+                        let found = ctx.pg.cluster_ids().find(|&r| {
                             r != c
                                 && ctx.statics.is_potential(r, c)
-                                && (trial.in_neighbors.contains(c.index(), r)
-                                    || trial.in_neighbors.len(c.index()) < max_in)
-                        })?;
+                                && (st.in_neighbors.contains(c.index(), r)
+                                    || st.in_neighbors.len(c.index()) < max_in)
+                        });
+                        let Some(r) = found else {
+                            st.txn_rollback(ctx, txn);
+                            return None;
+                        };
                         relay = Some(r);
                         r
                     }
                 };
-                crate::route::route_value(
+                if crate::route::route_value(
                     ctx,
                     &self.rt,
-                    &mut trial,
+                    st,
                     v,
                     inp,
                     r,
                     self.config.max_route_hops,
                     &mut txn,
-                )?;
-                trial.add_copy(ctx, v, r, c, None, false);
-                trial.routed_hops += 1;
+                )
+                .is_none()
+                {
+                    st.txn_rollback(ctx, txn);
+                    return None;
+                }
+                st.add_copy_txn(ctx, v, r, c, None, false, &mut txn);
+                st.routed_hops += 1;
             }
-            trial.add_copy(ctx, v, c, o, None, false);
+            st.add_copy_txn(ctx, v, c, o, None, false, &mut txn);
             // The Route op itself costs an issue slot.
-            trial.charge_issue(ctx, c, 1);
-            trial.push_forward(v, c);
+            st.charge_issue_txn(ctx, c, 1, &mut txn);
+            st.push_forward(v, c);
         }
-        trial.cost = crate::cost::objective(ctx, &trial);
-        Some(trial)
+        st.cost = crate::cost::objective(ctx, st);
+        let cost = st.cost;
+        if evaluate {
+            st.txn_rollback(ctx, txn);
+        }
+        Some(cost)
     }
 }
 

@@ -7,6 +7,11 @@
 
 use crate::state::PartialState;
 use hca_pg::PgNodeId;
+use smallvec::SmallVec;
+
+/// Scored candidates of one (state, node) pair. Inline capacity covers the
+/// common fan-out so the per-state scoring loop performs no heap allocation.
+pub type CandList = SmallVec<[(PgNodeId, f64); 8]>;
 
 /// Reduces the list of scored candidates for one DDG node.
 #[derive(Clone, Copy, Debug)]
@@ -41,7 +46,7 @@ impl CandidateFilter {
     /// Filter `candidates` (cluster, objective) in place: sort ascending by
     /// cost (ties by cluster id for determinism), apply the margin, truncate
     /// to the branch factor. Returns how many candidates each rule dropped.
-    pub fn apply(&self, candidates: &mut Vec<(PgNodeId, f64)>) -> CandidatePruning {
+    pub fn apply(&self, candidates: &mut CandList) -> CandidatePruning {
         candidates.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         let before = candidates.len();
         if let Some(&(_, best)) = candidates.first() {
@@ -98,7 +103,7 @@ mod tests {
             branch_factor: 2,
             margin: 5.0,
         };
-        let mut cands = vec![
+        let mut cands: CandList = smallvec::smallvec![
             (PgNodeId(0), 10.0),
             (PgNodeId(1), 3.0),
             (PgNodeId(2), 7.0),
@@ -106,7 +111,7 @@ mod tests {
         ];
         let pruned = f.apply(&mut cands);
         // 10.0 dropped by margin (3+5=8), then truncation to 2.
-        assert_eq!(cands, vec![(PgNodeId(1), 3.0), (PgNodeId(3), 4.0)]);
+        assert_eq!(cands.as_slice(), [(PgNodeId(1), 3.0), (PgNodeId(3), 4.0)]);
         assert_eq!(
             pruned,
             CandidatePruning {
@@ -119,7 +124,8 @@ mod tests {
     #[test]
     fn candidate_filter_tie_break_is_deterministic() {
         let f = CandidateFilter::default();
-        let mut cands = vec![(PgNodeId(2), 1.0), (PgNodeId(0), 1.0), (PgNodeId(1), 1.0)];
+        let mut cands: CandList =
+            smallvec::smallvec![(PgNodeId(2), 1.0), (PgNodeId(0), 1.0), (PgNodeId(1), 1.0)];
         f.apply(&mut cands);
         assert_eq!(
             cands.iter().map(|c| c.0).collect::<Vec<_>>(),
@@ -133,7 +139,7 @@ mod tests {
             branch_factor: 3,
             margin: f64::NAN,
         };
-        let mut cands = vec![
+        let mut cands: CandList = smallvec::smallvec![
             (PgNodeId(0), 10.0),
             (PgNodeId(1), 3.0),
             (PgNodeId(2), 7.0),
@@ -142,8 +148,8 @@ mod tests {
         let pruned = f.apply(&mut cands);
         // Margin pruning is disabled; only the branch factor truncates.
         assert_eq!(
-            cands,
-            vec![(PgNodeId(1), 3.0), (PgNodeId(3), 4.0), (PgNodeId(2), 7.0)]
+            cands.as_slice(),
+            [(PgNodeId(1), 3.0), (PgNodeId(3), 4.0), (PgNodeId(2), 7.0)]
         );
         assert_eq!(
             pruned,
@@ -157,7 +163,7 @@ mod tests {
     #[test]
     fn candidate_filter_empty_ok() {
         let f = CandidateFilter::default();
-        let mut cands: Vec<(PgNodeId, f64)> = vec![];
+        let mut cands = CandList::new();
         f.apply(&mut cands);
         assert!(cands.is_empty());
     }

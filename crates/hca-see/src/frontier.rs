@@ -23,8 +23,13 @@
 //!   states that differ in scoring history alone. It is still a heuristic
 //!   (the pruned state's descendants vanish from the beam), which is why
 //!   the engine keeps it behind `SeeConfig::dominance`/`HCA_NO_DOMINANCE`.
+//!
+//! Both passes run on signature-sorted dense index slices (no hashing of
+//! state content), and both hand every folded/pruned state back through a
+//! `recycle` vector so the engine's state arena can reuse its buffers.
 
 use crate::state::PartialState;
+use smallvec::SmallVec;
 
 /// Free-to-read per-state key that is necessarily equal for bit-identical
 /// states — the [`content_merge`] prefilter. Walking a state's maps to
@@ -55,10 +60,7 @@ pub(crate) fn states_identical(a: &PartialState, b: &PartialState) -> bool {
         && a.routed_hops == b.routed_hops
         && a.recurrence_copies == b.recurrence_copies
         && a.critical_penalty.to_bits() == b.critical_penalty.to_bits()
-        && a.issue_load == b.issue_load
-        && a.alu_ops == b.alu_ops
-        && a.ag_ops == b.ag_ops
-        && a.recv_load == b.recv_load
+        && a.loads == b.loads
         && a.forwards == b.forwards
         && a.assignment == b.assignment
         && a.copies == b.copies
@@ -68,10 +70,16 @@ pub(crate) fn states_identical(a: &PartialState, b: &PartialState) -> bool {
 
 /// Fold bit-identical entries of `states`, remapping `slots` (each entry an
 /// index into `states`) onto the surviving representatives — always the
-/// first occurrence, so the result is deterministic. Returns how many
+/// first occurrence, so the result is deterministic. Folded states are
+/// pushed onto `recycle` for the arena instead of dropped. Returns how many
 /// states were folded away.
-pub(crate) fn content_merge(states: &mut Vec<PartialState>, slots: &mut [usize]) -> usize {
-    if states.len() < 2 {
+pub(crate) fn content_merge(
+    states: &mut Vec<PartialState>,
+    slots: &mut [usize],
+    recycle: &mut Vec<PartialState>,
+) -> usize {
+    let n = states.len();
+    if n < 2 {
         return 0;
     }
     // Debug builds re-derive every signature from scratch: any mutator that
@@ -83,46 +91,63 @@ pub(crate) fn content_merge(states: &mut Vec<PartialState>, slots: &mut [usize])
             .all(|st| st.struct_sig == st.compute_struct_sig()),
         "struct_sig out of sync with state content"
     );
-    // Bucket kept states by scalar key so each new state is verified only
-    // against earlier keeps with the *same* key (bucket order = first
-    // occurrence, preserving the deterministic first-wins fold) instead of
-    // scanning every keep — O(n) expected instead of the O(n²) key scan
-    // that dominates wide portfolio beams.
+    // Sort indices by (scalar key, original index): possible duplicates now
+    // sit in contiguous equal-key runs, in first-occurrence order — a dense
+    // slice scan instead of hash-map bucketing. Each state is verified only
+    // against the earlier keeps of its own run, and the earliest identical
+    // state always wins, exactly as the bucketed fold did.
     let keys: Vec<_> = states.iter().map(scalar_key).collect();
-    let mut remap: Vec<usize> = (0..states.len()).collect();
-    let mut keep: Vec<usize> = Vec::new();
-    let mut buckets: rustc_hash::FxHashMap<
-        (u64, u64, u32, u32, u32, u64),
-        smallvec::SmallVec<[usize; 2]>,
-    > = rustc_hash::FxHashMap::default();
-    for i in 0..states.len() {
-        let bucket = buckets.entry(keys[i]).or_default();
-        let dup = bucket
-            .iter()
-            .copied()
-            .find(|&k| states_identical(&states[k], &states[i]));
-        match dup {
-            Some(k) => remap[i] = k,
-            None => {
-                bucket.push(i);
-                keep.push(i);
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_unstable_by(|&a, &b| keys[a].cmp(&keys[b]).then(a.cmp(&b)));
+    let mut remap: Vec<usize> = (0..n).collect();
+    let mut folded = 0usize;
+    let mut run_start = 0;
+    while run_start < n {
+        let key = &keys[idx[run_start]];
+        let mut run_end = run_start + 1;
+        while run_end < n && keys[idx[run_end]] == *key {
+            run_end += 1;
+        }
+        let run = &idx[run_start..run_end];
+        run_start = run_end;
+        if run.len() < 2 {
+            continue;
+        }
+        let mut kept_in_run: SmallVec<[usize; 2]> = SmallVec::new();
+        kept_in_run.push(run[0]);
+        for &i in &run[1..] {
+            let dup = kept_in_run
+                .iter()
+                .copied()
+                .find(|&k| states_identical(&states[k], &states[i]));
+            match dup {
+                Some(k) => {
+                    remap[i] = k;
+                    folded += 1;
+                }
+                None => kept_in_run.push(i),
             }
         }
     }
-    let folded = states.len() - keep.len();
     if folded == 0 {
         return 0;
     }
-    let mut new_idx = vec![usize::MAX; states.len()];
-    for (ni, &k) in keep.iter().enumerate() {
-        new_idx[k] = ni;
+    let mut new_idx = vec![usize::MAX; n];
+    let mut kept = 0usize;
+    for (i, &r) in remap.iter().enumerate() {
+        if r == i {
+            new_idx[i] = kept;
+            kept += 1;
+        }
     }
     let old = std::mem::take(states);
-    states.extend(
-        old.into_iter()
-            .enumerate()
-            .filter_map(|(i, st)| (new_idx[i] != usize::MAX).then_some(st)),
-    );
+    for (i, st) in old.into_iter().enumerate() {
+        if new_idx[i] != usize::MAX {
+            states.push(st);
+        } else {
+            recycle.push(st);
+        }
+    }
     for s in slots.iter_mut() {
         *s = new_idx[remap[*s]];
     }
@@ -138,10 +163,7 @@ pub(crate) fn content_merge(states: &mut Vec<PartialState>, slots: &mut [usize])
 fn same_structure(a: &PartialState, b: &PartialState) -> bool {
     a.struct_sig == b.struct_sig
         && a.total_copies == b.total_copies
-        && a.issue_load == b.issue_load
-        && a.alu_ops == b.alu_ops
-        && a.ag_ops == b.ag_ops
-        && a.recv_load == b.recv_load
+        && a.loads == b.loads
         && a.forwards == b.forwards
         && a.assignment == b.assignment
         && a.copies == b.copies
@@ -172,7 +194,8 @@ pub(crate) fn dominates(a: &PartialState, b: &PartialState) -> bool {
 }
 
 /// Remove every state dominated by some sibling, dropping its beam slots.
-/// Returns the number of *slots* removed (the engine's virtual accounting).
+/// Pruned states are pushed onto `recycle` for the arena. Returns the
+/// number of *slots* removed (the engine's virtual accounting).
 ///
 /// Dominance needs identical structure, and identical structure implies an
 /// identical structure signature — so candidate pairs only ever live inside
@@ -185,8 +208,11 @@ pub(crate) fn dominates(a: &PartialState, b: &PartialState) -> bool {
 /// then runs only among class members. The computed dominated set is
 /// exactly the pairwise one: `dominates(j, i)` ⟺ same class ∧ scalar
 /// no-worse — which state ends up in which run position cannot change it.
-
-pub(crate) fn prune_dominated(states: &mut Vec<PartialState>, slots: &mut Vec<usize>) -> usize {
+pub(crate) fn prune_dominated(
+    states: &mut Vec<PartialState>,
+    slots: &mut Vec<usize>,
+    recycle: &mut Vec<PartialState>,
+) -> usize {
     let n = states.len();
     if n < 2 {
         return 0;
@@ -254,11 +280,13 @@ pub(crate) fn prune_dominated(states: &mut Vec<PartialState>, slots: &mut Vec<us
         *s = new_idx[*s];
     }
     let old = std::mem::take(states);
-    states.extend(
-        old.into_iter()
-            .enumerate()
-            .filter_map(|(i, st)| (!dominated[i]).then_some(st)),
-    );
+    for (i, st) in old.into_iter().enumerate() {
+        if !dominated[i] {
+            states.push(st);
+        } else {
+            recycle.push(st);
+        }
+    }
     removed
 }
 
@@ -313,10 +341,12 @@ mod tests {
 
         let mut states = vec![a, b, c];
         let mut slots = vec![0usize, 1, 2];
-        let folded = content_merge(&mut states, &mut slots);
+        let mut recycle = Vec::new();
+        let folded = content_merge(&mut states, &mut slots, &mut recycle);
         assert_eq!(folded, 1);
         assert_eq!(states.len(), 2);
         assert_eq!(slots, vec![0, 0, 1]);
+        assert_eq!(recycle.len(), 1, "folded state handed to the arena");
     }
 
     #[test]
@@ -341,7 +371,8 @@ mod tests {
             assert_eq!(scalar_key(&a), scalar_key(&b));
             let mut states = vec![a, b];
             let mut slots = vec![0usize, 1];
-            assert_eq!(content_merge(&mut states, &mut slots), 1);
+            let mut recycle = Vec::new();
+            assert_eq!(content_merge(&mut states, &mut slots, &mut recycle), 1);
         }
     }
 
@@ -367,10 +398,12 @@ mod tests {
 
         let mut states = vec![a.clone(), b, c];
         let mut slots = vec![0usize, 1, 2, 1];
-        let removed = prune_dominated(&mut states, &mut slots);
+        let mut recycle = Vec::new();
+        let removed = prune_dominated(&mut states, &mut slots, &mut recycle);
         assert_eq!(removed, 2, "both slots of the dominated state go");
         assert_eq!(states.len(), 2);
         assert_eq!(slots, vec![0, 1]);
         assert!(states_identical(&states[0], &a));
+        assert_eq!(recycle.len(), 1, "pruned state handed to the arena");
     }
 }

@@ -18,10 +18,26 @@ use hca_pg::PgNodeId;
 /// Row `i` holds the neighbour set of PG node `i`; bit `j` of the row marks
 /// `PgNodeId(j)` as a member. Rows are `stride` words wide, sized for the
 /// sub-problem's PG node count at construction.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct NeighborSets {
     words: Vec<u64>,
     stride: usize,
+}
+
+impl Clone for NeighborSets {
+    fn clone(&self) -> Self {
+        NeighborSets {
+            words: self.words.clone(),
+            stride: self.stride,
+        }
+    }
+
+    /// Reuse the existing word buffer (the state arena recycles frontier
+    /// states, so `clone_from` must not reallocate when shapes match).
+    fn clone_from(&mut self, src: &Self) {
+        self.words.clone_from(&src.words);
+        self.stride = src.stride;
+    }
 }
 
 impl NeighborSets {
@@ -96,6 +112,19 @@ impl NeighborSets {
                 let base = (wi * 64) as u32;
                 BitIter(w).map(move |b| PgNodeId(base + b))
             })
+    }
+
+    /// Words per row (shared by every bitmask over this PG's node ids).
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Raw bit words of row `row` — the candidate-mask machinery ANDs these
+    /// in bulk against per-node masks of the same stride.
+    #[inline]
+    pub fn row_words(&self, row: usize) -> &[u64] {
+        &self.words[row * self.stride..(row + 1) * self.stride]
     }
 
     /// Heap bytes held (for the engine's frontier-memory accounting).

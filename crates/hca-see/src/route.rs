@@ -18,8 +18,9 @@
 //! endpoints are statically too far can never be routed, whatever the port
 //! state), each trial mutates the live state through a [`StateTxn`] journal
 //! instead of cloning it, and the path search runs on thread-local
-//! epoch-stamped scratch arrays instead of fresh hash maps per query. Only
-//! the single winning candidate is materialised with one clone.
+//! epoch-stamped scratch arrays instead of fresh hash maps per query. The
+//! winning candidate is committed in place ([`route_assign_commit`]) — the
+//! engine's rescue path performs zero state clones.
 
 use crate::route_table::RouteTable;
 use crate::state::{PartialState, SeeContext, StateTxn};
@@ -31,17 +32,34 @@ use std::collections::VecDeque;
 /// Find the cheapest cluster for `n`, routing all its operand/result flows
 /// through intermediate clusters where direct patterns are unavailable.
 ///
-/// Trials run in place on `st` (journalled and rolled back — `st` is
-/// bit-identical on return); the winning candidate is re-applied onto one
-/// clone. Returns that state, or `None` when no cluster admits a complete
-/// routing within `max_hops` intermediate hops.
+/// Clone-then-commit wrapper over [`route_assign_commit`] for callers that
+/// need the input state kept; the engine's rescue path commits directly into
+/// frontier states it is about to discard anyway and never clones.
 pub fn route_assign(
+    ctx: &SeeContext<'_>,
+    rt: &RouteTable,
+    st: &PartialState,
+    n: NodeId,
+    max_hops: usize,
+) -> Option<PartialState> {
+    let mut out = st.clone();
+    route_assign_commit(ctx, rt, &mut out, n, max_hops).then_some(out)
+}
+
+/// [`route_assign`], committing the winning routing into `st` in place.
+///
+/// Trials run on the live state (journalled and rolled back bit-exactly);
+/// the winning candidate is then re-routed deterministically and *kept
+/// applied*. Returns `true` on success; on `false` (no cluster admits a
+/// complete routing within `max_hops` intermediate hops) `st` is
+/// bit-identical to on entry.
+pub(crate) fn route_assign_commit(
     ctx: &SeeContext<'_>,
     rt: &RouteTable,
     st: &mut PartialState,
     n: NodeId,
     max_hops: usize,
-) -> Option<PartialState> {
+) -> bool {
     let mut best: Option<(f64, PgNodeId)> = None;
     for c in ctx.pg.cluster_ids() {
         if !ctx.pg.node(c).rt.can_execute(ctx.ddg.node(n).op) {
@@ -59,11 +77,12 @@ pub fn route_assign(
             }
         }
     }
-    let (_, c) = best?;
-    let mut out = st.clone();
-    try_route_to(ctx, rt, &mut out, n, c, max_hops)
+    let Some((_, c)) = best else {
+        return false;
+    };
+    try_route_to(ctx, rt, st, n, c, max_hops)
         .expect("winning candidate re-routes deterministically");
-    Some(out)
+    true
 }
 
 /// Static feasibility screen for placing `n` on `c`, answered entirely from
@@ -338,7 +357,7 @@ fn arc_admissible(
     if !ctx.statics.is_potential(a, b) {
         return false;
     }
-    if st.copies.get(&(a, b)).is_some_and(|vs| vs.contains(&v)) {
+    if st.copies.contains(a, b, v) {
         return true; // already there — free
     }
     if st.in_neighbors.contains(b.index(), a) {
@@ -525,8 +544,7 @@ mod tests {
     fn assert_logically_equal(a: &PartialState, b: &PartialState) {
         assert_eq!(a.assignment, b.assignment);
         assert_eq!(a.copies, b.copies);
-        assert_eq!(a.issue_load, b.issue_load);
-        assert_eq!(a.recv_load, b.recv_load);
+        assert_eq!(a.loads, b.loads);
         assert_eq!(a.in_neighbors, b.in_neighbors);
         assert_eq!(a.out_neighbors, b.out_neighbors);
         assert_eq!(a.total_copies, b.total_copies);
@@ -577,7 +595,7 @@ mod tests {
         let ctx = mk_ctx(&ddg, &an, &pg, 2);
         let mut st = PartialState::initial(&ctx, &[]);
         st.apply_assign(&ctx, i, PgNodeId(0));
-        let out = route_assign(&ctx, &rt, &mut st, n, 3).unwrap();
+        let out = route_assign(&ctx, &rt, &st, n, 3).unwrap();
         // Same cluster as the operand: zero copies, zero hops.
         assert_eq!(out.cluster_of(n), Some(PgNodeId(0)));
         assert_eq!(out.total_copies, 0);
@@ -606,7 +624,7 @@ mod tests {
         st.apply_assign(&ctx, i2, PgNodeId(1));
         st.apply_assign(&ctx, s, PgNodeId(3));
         let before = st.clone();
-        let routed = route_assign(&ctx, &rt, &mut st, n, 3);
+        let routed = route_assign(&ctx, &rt, &st, n, 3);
         assert!(routed.is_some());
         assert_logically_equal(&before, &st);
     }
@@ -627,7 +645,7 @@ mod tests {
         st.apply_assign(&ctx, i, PgNodeId(0));
         // Only co-location works; any cross-cluster route fails.
         assert!(try_route_clone(&ctx, &rt, &st, n, PgNodeId(1), 3).is_none());
-        let out = route_assign(&ctx, &rt, &mut st, n, 3).unwrap();
+        let out = route_assign(&ctx, &rt, &st, n, 3).unwrap();
         assert_eq!(out.cluster_of(n), Some(PgNodeId(0)));
     }
 

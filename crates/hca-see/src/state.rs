@@ -5,13 +5,22 @@
 //! flow it induces. The state keeps incremental statistics (per-cluster
 //! resource usage, receive counts, arc pressures, in-neighbour sets) so that
 //! evaluating one more assignment is O(degree), not O(graph).
+//!
+//! The containers are struct-of-arrays over dense ids: the copy table is an
+//! arc-indexed slot array ([`ArcVals`]), the per-node resource counters one
+//! contiguous lane-major block ([`Loads`]), and the neighbour sets flat bit
+//! matrices. A state clone is therefore a handful of `memcpy`s, equality a
+//! handful of slice compares, and the engine's arena can recycle a freed
+//! state's buffers via `clone_from` without reallocating.
 
 use crate::cost::CostWeights;
 use crate::neighbors::NeighborSets;
+use crate::statics::ArcIndex;
 use hca_ddg::{Ddg, DdgAnalysis, NodeId};
 use hca_pg::{ArchConstraints, AssignedPg, Pg, PgNodeId, PgNodeKind};
-use rustc_hash::{FxHashMap, FxHashSet};
+use rustc_hash::FxHashSet;
 use smallvec::SmallVec;
+use std::sync::Arc;
 
 /// Site tags for [`sig_entry`]: each structural container hashes its entries
 /// under its own tag so an `(n, c)` assignment can never cancel against a
@@ -53,6 +62,317 @@ pub struct SeeContext<'a> {
     pub statics: crate::statics::PgStatics,
 }
 
+/// Inline value slots per arc. Real copy flows almost never put more than
+/// two distinct values on one pattern before the arc-pressure cost term
+/// dominates; deeper lists overflow into the sorted [`ArcVals`] spill.
+pub const ARC_CAP: usize = 2;
+
+/// Sentinel filling unused inline slots, so two tables with the same logical
+/// content are bytewise equal regardless of push/pop history.
+const EMPTY_SLOT: NodeId = NodeId(u32::MAX);
+
+/// Spill/sort key of an arc: `src` in the high word, `dst` in the low.
+#[inline]
+fn arc_key(src: PgNodeId, dst: PgNodeId) -> u64 {
+    (u64::from(src.0) << 32) | u64::from(dst.0)
+}
+
+/// Values on each real arc, as a flat arc-indexed slot table.
+///
+/// The PG's potential arcs are numbered once per run ([`ArcIndex`], shared
+/// behind an [`Arc`]); arc `id` owns `ARC_CAP` inline slots in `slots` and a
+/// length in `lens`. The rare deeper lists — and the defensive case of a
+/// copy on a *non*-potential arc — live in `spill`, a small vec sorted by
+/// [`arc_key`]. The representation is canonical: unused inline slots hold
+/// [`EMPTY_SLOT`], and a spill entry exists iff the arc's values exceed its
+/// inline capacity — so `PartialEq` is three slice/vec compares and no
+/// mutation-history noise can leak into frontier dedup.
+///
+/// Value lists are LIFO: the journals only ever pop the most recent push,
+/// which is what keeps the canonical form O(1) to maintain.
+#[derive(Debug)]
+pub struct ArcVals {
+    index: Arc<ArcIndex>,
+    slots: Vec<NodeId>,
+    lens: Vec<u16>,
+    spill: Vec<(u64, Vec<NodeId>)>,
+}
+
+impl Clone for ArcVals {
+    fn clone(&self) -> Self {
+        ArcVals {
+            index: Arc::clone(&self.index),
+            slots: self.slots.clone(),
+            lens: self.lens.clone(),
+            spill: self.spill.clone(),
+        }
+    }
+
+    /// Reuse the existing buffers (the engine's state arena recycles freed
+    /// states, so same-shape clones must not reallocate).
+    fn clone_from(&mut self, src: &Self) {
+        self.index = Arc::clone(&src.index);
+        self.slots.clone_from(&src.slots);
+        self.lens.clone_from(&src.lens);
+        self.spill.clone_from(&src.spill);
+    }
+}
+
+impl PartialEq for ArcVals {
+    /// Content equality; states of one run share one `ArcIndex`, so the
+    /// numbering never differs and only the value payload is compared.
+    fn eq(&self, other: &Self) -> bool {
+        self.lens == other.lens && self.slots == other.slots && self.spill == other.spill
+    }
+}
+impl Eq for ArcVals {}
+
+impl ArcVals {
+    /// Empty table over `index`'s arc numbering.
+    pub fn new(index: Arc<ArcIndex>) -> Self {
+        let n = index.num_arcs();
+        ArcVals {
+            slots: vec![EMPTY_SLOT; n * ARC_CAP],
+            lens: vec![0; n],
+            spill: Vec::new(),
+            index,
+        }
+    }
+
+    #[inline]
+    fn spill_pos(&self, key: u64) -> Result<usize, usize> {
+        self.spill.binary_search_by_key(&key, |e| e.0)
+    }
+
+    /// Number of values on arc `src → dst`.
+    #[inline]
+    pub fn len(&self, src: PgNodeId, dst: PgNodeId) -> usize {
+        match self.index.arc_id(src, dst) {
+            Some(id) => usize::from(self.lens[id as usize]),
+            None => self
+                .spill_pos(arc_key(src, dst))
+                .map_or(0, |i| self.spill[i].1.len()),
+        }
+    }
+
+    /// Is arc `src → dst` empty?
+    #[inline]
+    pub fn is_empty(&self, src: PgNodeId, dst: PgNodeId) -> bool {
+        self.len(src, dst) == 0
+    }
+
+    /// Does arc `src → dst` carry value `v`?
+    #[inline]
+    pub fn contains(&self, src: PgNodeId, dst: PgNodeId, v: NodeId) -> bool {
+        match self.index.arc_id(src, dst) {
+            Some(id) => {
+                let idx = id as usize;
+                let len = usize::from(self.lens[idx]);
+                let inline = &self.slots[idx * ARC_CAP..idx * ARC_CAP + len.min(ARC_CAP)];
+                if inline.contains(&v) {
+                    return true;
+                }
+                len > ARC_CAP
+                    && self
+                        .spill_pos(arc_key(src, dst))
+                        .is_ok_and(|i| self.spill[i].1.contains(&v))
+            }
+            None => self
+                .spill_pos(arc_key(src, dst))
+                .is_ok_and(|i| self.spill[i].1.contains(&v)),
+        }
+    }
+
+    /// Append `v` to arc `src → dst` (caller guarantees it is not already
+    /// present) and return its position — the arc's length before the push,
+    /// which is what the structure signature signs.
+    fn push(&mut self, src: PgNodeId, dst: PgNodeId, v: NodeId) -> u32 {
+        match self.index.arc_id(src, dst) {
+            Some(id) => {
+                let idx = id as usize;
+                let len = usize::from(self.lens[idx]);
+                if len < ARC_CAP {
+                    self.slots[idx * ARC_CAP + len] = v;
+                } else {
+                    let key = arc_key(src, dst);
+                    match self.spill_pos(key) {
+                        Ok(i) => self.spill[i].1.push(v),
+                        Err(i) => self.spill.insert(i, (key, vec![v])),
+                    }
+                }
+                self.lens[idx] = (len + 1) as u16;
+                len as u32
+            }
+            None => {
+                let key = arc_key(src, dst);
+                match self.spill_pos(key) {
+                    Ok(i) => {
+                        let vs = &mut self.spill[i].1;
+                        vs.push(v);
+                        (vs.len() - 1) as u32
+                    }
+                    Err(i) => {
+                        self.spill.insert(i, (key, vec![v]));
+                        0
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pop the most recent value of arc `src → dst` (journals unwind LIFO),
+    /// returning `(value, new_len)` — `new_len` is the popped value's
+    /// position, which the structure signature un-signs.
+    fn pop_last(&mut self, src: PgNodeId, dst: PgNodeId) -> (NodeId, u32) {
+        match self.index.arc_id(src, dst) {
+            Some(id) => {
+                let idx = id as usize;
+                let len = usize::from(self.lens[idx]);
+                debug_assert!(len > 0, "pop from empty arc {src}->{dst}");
+                let v = if len > ARC_CAP {
+                    let i = self
+                        .spill_pos(arc_key(src, dst))
+                        .expect("overflowing arc has a spill entry");
+                    let v = self.spill[i].1.pop().expect("spill entry is non-empty");
+                    if self.spill[i].1.is_empty() {
+                        self.spill.remove(i);
+                    }
+                    v
+                } else {
+                    std::mem::replace(&mut self.slots[idx * ARC_CAP + len - 1], EMPTY_SLOT)
+                };
+                self.lens[idx] = (len - 1) as u16;
+                (v, (len - 1) as u32)
+            }
+            None => {
+                let i = self
+                    .spill_pos(arc_key(src, dst))
+                    .expect("journalled arc exists");
+                let v = self.spill[i].1.pop().expect("journalled copy exists");
+                let new_len = self.spill[i].1.len();
+                if new_len == 0 {
+                    self.spill.remove(i);
+                }
+                (v, new_len as u32)
+            }
+        }
+    }
+
+    /// Visit every non-empty arc with its values in insertion order. Arc
+    /// visiting order is unspecified (indexed arcs first, then off-index
+    /// spill arcs) — the cold-path callers sort or XOR. The slice passed for
+    /// an overflowing arc is assembled in a scratch buffer.
+    pub fn for_each_arc<F: FnMut(PgNodeId, PgNodeId, &[NodeId])>(&self, mut f: F) {
+        let mut buf: SmallVec<[NodeId; 8]> = SmallVec::new();
+        for id in 0..self.index.num_arcs() {
+            let len = usize::from(self.lens[id]);
+            if len == 0 {
+                continue;
+            }
+            let (src, dst) = self.index.pair(id as u32);
+            let inline = &self.slots[id * ARC_CAP..id * ARC_CAP + len.min(ARC_CAP)];
+            if len <= ARC_CAP {
+                f(src, dst, inline);
+            } else {
+                buf.clear();
+                buf.extend_from_slice(inline);
+                let i = self
+                    .spill_pos(arc_key(src, dst))
+                    .expect("overflowing arc has a spill entry");
+                buf.extend_from_slice(&self.spill[i].1);
+                f(src, dst, &buf);
+            }
+        }
+        for (key, vs) in &self.spill {
+            let (src, dst) = (PgNodeId((key >> 32) as u32), PgNodeId(*key as u32));
+            if self.index.arc_id(src, dst).is_none() {
+                f(src, dst, vs);
+            }
+        }
+    }
+
+    /// Heap bytes held by this state's table (the shared `ArcIndex` is
+    /// accounted once per run as `see.arc_table_bytes`, not per state).
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.slots.len() * size_of::<NodeId>()
+            + self.lens.len() * size_of::<u16>()
+            + self
+                .spill
+                .iter()
+                .map(|(_, vs)| size_of::<(u64, Vec<NodeId>)>() + vs.len() * size_of::<NodeId>())
+                .sum::<usize>()
+    }
+}
+
+/// Per-PG-node resource counters as one lane-major contiguous block:
+/// `[issue | alu | ag | recv]`, `n` words per lane. One allocation, so a
+/// state clone copies all four former `Vec<u32>` columns in a single
+/// `memcpy` and `clone_from` into an arena-recycled state reallocates
+/// nothing.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Loads {
+    words: Vec<u32>,
+    n: usize,
+}
+
+impl Clone for Loads {
+    fn clone(&self) -> Self {
+        Loads {
+            words: self.words.clone(),
+            n: self.n,
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.words.clone_from(&src.words);
+        self.n = src.n;
+    }
+}
+
+macro_rules! loads_lane {
+    ($lane:expr, $get:ident, $get_mut:ident, $all:ident) => {
+        #[doc = concat!("Lane `", stringify!($get), "` of PG node `i`.")]
+        #[inline]
+        pub fn $get(&self, i: usize) -> u32 {
+            self.words[$lane * self.n + i]
+        }
+
+        #[doc = concat!("Mutable lane `", stringify!($get), "` of PG node `i`.")]
+        #[inline]
+        pub fn $get_mut(&mut self, i: usize) -> &mut u32 {
+            &mut self.words[$lane * self.n + i]
+        }
+
+        #[doc = concat!("The whole `", stringify!($get), "` lane, dense over PG node ids.")]
+        #[inline]
+        pub fn $all(&self) -> &[u32] {
+            &self.words[$lane * self.n..($lane + 1) * self.n]
+        }
+    };
+}
+
+impl Loads {
+    /// Zeroed counters for a PG with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Loads {
+            words: vec![0; 4 * n],
+            n,
+        }
+    }
+
+    loads_lane!(0, issue, issue_mut, issue_all);
+    loads_lane!(1, alu, alu_mut, alu_all);
+    loads_lane!(2, ag, ag_mut, ag_all);
+    loads_lane!(3, recv, recv_mut, recv_all);
+
+    /// Heap bytes held by the counter block.
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u32>()
+    }
+}
+
 /// A partial cluster assignment plus its incremental statistics.
 ///
 /// Every mutation goes through [`place`], [`add_copy`] / [`charge_issue`] —
@@ -68,7 +388,7 @@ pub struct SeeContext<'a> {
 /// [`estimated_mii`]: PartialState::estimated_mii
 /// [`undo_assign`]: PartialState::undo_assign
 /// [`apply_assign_logged`]: PartialState::apply_assign_logged
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct PartialState {
     /// `DDG̅` so far (includes pre-assigned external producers on input
     /// nodes), dense over the DDG's node ids: `assignment[n]` is the cluster
@@ -78,16 +398,11 @@ pub struct PartialState {
     ///
     /// [`cluster_of`]: PartialState::cluster_of
     pub assignment: Vec<Option<PgNodeId>>,
-    /// Values on each real arc.
-    pub copies: FxHashMap<(PgNodeId, PgNodeId), SmallVec<[NodeId; 2]>>,
-    /// Issue-slot load per PG node (instructions + receives).
-    pub issue_load: Vec<u32>,
-    /// ALU ops per PG node.
-    pub alu_ops: Vec<u32>,
-    /// Address-generator ops per PG node.
-    pub ag_ops: Vec<u32>,
-    /// Receive primitives per PG node.
-    pub recv_load: Vec<u32>,
+    /// Values on each real arc (flat arc-indexed slot table).
+    pub copies: ArcVals,
+    /// Per-node resource counters (issue slots incl. receives, ALU ops,
+    /// address-generator ops, receive primitives) in one contiguous block.
+    pub loads: Loads,
     /// Distinct real in-neighbours per PG node (flat bit matrix: one
     /// allocation, memcpy clone, O(1) membership).
     pub in_neighbors: NeighborSets,
@@ -130,6 +445,51 @@ pub struct PartialState {
     /// Number of issue-capable clusters (constant per context; cached at
     /// [`PartialState::initial`] so the mean stays O(1)).
     pub(crate) util_clusters: u32,
+}
+
+impl Clone for PartialState {
+    fn clone(&self) -> Self {
+        PartialState {
+            assignment: self.assignment.clone(),
+            copies: self.copies.clone(),
+            loads: self.loads.clone(),
+            in_neighbors: self.in_neighbors.clone(),
+            out_neighbors: self.out_neighbors.clone(),
+            total_copies: self.total_copies,
+            recurrence_copies: self.recurrence_copies,
+            critical_penalty: self.critical_penalty,
+            routed_hops: self.routed_hops,
+            forwards: self.forwards.clone(),
+            cost: self.cost,
+            struct_sig: self.struct_sig,
+            mii_issue: self.mii_issue,
+            mii_arc: self.mii_arc,
+            util_sq_sum: self.util_sq_sum,
+            util_clusters: self.util_clusters,
+        }
+    }
+
+    /// Overwrite an arena-recycled state in place: every container
+    /// `clone_from`s into its existing buffer (same-shape states of one run
+    /// reallocate nothing).
+    fn clone_from(&mut self, src: &Self) {
+        self.assignment.clone_from(&src.assignment);
+        self.copies.clone_from(&src.copies);
+        self.loads.clone_from(&src.loads);
+        self.in_neighbors.clone_from(&src.in_neighbors);
+        self.out_neighbors.clone_from(&src.out_neighbors);
+        self.total_copies = src.total_copies;
+        self.recurrence_copies = src.recurrence_copies;
+        self.critical_penalty = src.critical_penalty;
+        self.routed_hops = src.routed_hops;
+        self.forwards.clone_from(&src.forwards);
+        self.cost = src.cost;
+        self.struct_sig = src.struct_sig;
+        self.mii_issue = src.mii_issue;
+        self.mii_arc = src.mii_arc;
+        self.util_sq_sum = src.util_sq_sum;
+        self.util_clusters = src.util_clusters;
+    }
 }
 
 /// Undo record of one copy created by [`PartialState::apply_assign_logged`].
@@ -233,11 +593,8 @@ impl PartialState {
             .count() as u32;
         let mut st = PartialState {
             assignment: vec![None; ddg_cap],
-            copies: FxHashMap::default(),
-            issue_load: vec![0; n],
-            alu_ops: vec![0; n],
-            ag_ops: vec![0; n],
-            recv_load: vec![0; n],
+            copies: ArcVals::new(Arc::clone(ctx.statics.arc_index())),
+            loads: Loads::new(n),
             in_neighbors: NeighborSets::new(n),
             out_neighbors: NeighborSets::new(n),
             total_copies: 0,
@@ -278,11 +635,11 @@ impl PartialState {
                 sig ^= sig_entry(SIG_ASSIGN, (NodeId(i as u32), c));
             }
         }
-        for (&(src, dst), vs) in &self.copies {
+        self.copies.for_each_arc(|src, dst, vs| {
             for (pos, &v) in vs.iter().enumerate() {
                 sig ^= sig_entry(SIG_COPY, (src, dst, pos as u32, v));
             }
-        }
+        });
         for i in 0..self.in_neighbors.num_rows() {
             for src in self.in_neighbors.iter(i) {
                 sig ^= sig_entry(SIG_IN, (i as u32, src));
@@ -316,7 +673,7 @@ impl PartialState {
     /// Pressure (value count) of the real arc `src → dst`.
     #[inline]
     pub fn arc_pressure(&self, src: PgNodeId, dst: PgNodeId) -> u32 {
-        self.copies.get(&(src, dst)).map_or(0, |v| v.len() as u32)
+        self.copies.len(src, dst) as u32
     }
 
     /// How many of `c`'s in-neighbours are glue-in (special input) nodes.
@@ -366,13 +723,11 @@ impl PartialState {
         via_edge_slack: Option<u32>,
         in_recurrence: bool,
     ) -> Option<CopyUndo> {
-        let entry = self.copies.entry((src, dst)).or_default();
-        if entry.contains(&v) {
+        if self.copies.contains(src, dst, v) {
             return None;
         }
-        let pos = entry.len() as u32;
-        entry.push(v);
-        self.mii_arc = self.mii_arc.max(entry.len() as u32);
+        let pos = self.copies.push(src, dst, v);
+        self.mii_arc = self.mii_arc.max(pos + 1);
         self.struct_sig ^= sig_entry(SIG_COPY, (src, dst, pos, v));
         self.total_copies += 1;
         let new_in_neighbor = self.in_neighbors.insert(dst.index(), src);
@@ -388,7 +743,7 @@ impl PartialState {
         // output nodes model the parent boundary and execute nothing.
         let charged_recv = ctx.pg.node(dst).kind.is_cluster();
         if charged_recv {
-            self.recv_load[dst.index()] += 1;
+            *self.loads.recv_mut(dst.index()) += 1;
             self.charge_issue(ctx, dst, 1);
         }
         if in_recurrence {
@@ -409,15 +764,52 @@ impl PartialState {
         })
     }
 
+    /// Pop the journalled copy `cu` (shared by [`undo_assign`] and
+    /// [`txn_rollback`]): pop the arc's last value, un-sign it, close any
+    /// neighbour entries the copy opened and refund the receive charge.
+    ///
+    /// [`undo_assign`]: PartialState::undo_assign
+    /// [`txn_rollback`]: PartialState::txn_rollback
+    fn undo_copy(&mut self, cu: &CopyUndo) {
+        let (src, dst) = cu.arc;
+        let (v, new_len) = self.copies.pop_last(src, dst);
+        self.struct_sig ^= sig_entry(SIG_COPY, (src, dst, new_len, v));
+        if cu.new_in_neighbor {
+            self.in_neighbors.remove(dst.index(), src);
+            self.struct_sig ^= sig_entry(SIG_IN, (dst.index() as u32, src));
+        }
+        if cu.new_out_neighbor {
+            self.out_neighbors.remove(src.index(), dst);
+            self.struct_sig ^= sig_entry(SIG_OUT, (src.index() as u32, dst));
+        }
+        if cu.charged_recv {
+            *self.loads.recv_mut(dst.index()) -= 1;
+            *self.loads.issue_mut(dst.index()) -= 1;
+        }
+    }
+
+    /// Reverse one [`place`](PartialState::place) (shared by the journals).
+    fn undo_place(&mut self, ctx: &SeeContext<'_>, n: NodeId, c: PgNodeId) {
+        self.assignment[n.index()] = None;
+        self.struct_sig ^= sig_entry(SIG_ASSIGN, (n, c));
+        let i = c.index();
+        *self.loads.issue_mut(i) -= 1;
+        match ctx.ddg.node(n).op.resource_class() {
+            hca_ddg::ResourceClass::Alu => *self.loads.alu_mut(i) -= 1,
+            hca_ddg::ResourceClass::AddrGen => *self.loads.ag_mut(i) -= 1,
+            hca_ddg::ResourceClass::Receive => {}
+        }
+    }
+
     /// Charge `slots` extra issue slots on cluster `c`, maintaining the
     /// incremental MII and utilisation aggregates. Every issue-load mutation
     /// outside [`place`](PartialState::place) must go through here.
     pub fn charge_issue(&mut self, ctx: &SeeContext<'_>, c: PgNodeId, slots: u32) {
         let i = c.index();
         let rt = ctx.pg.node(c).rt;
-        let old = self.issue_load[i];
+        let old = self.loads.issue(i);
         let new = old + slots;
-        self.issue_load[i] = new;
+        *self.loads.issue_mut(i) = new;
         if rt.issue > 0 {
             self.mii_issue = self.mii_issue.max(new.div_ceil(rt.issue));
             let denom = f64::from(rt.issue);
@@ -445,15 +837,19 @@ impl PartialState {
         let rt = ctx.pg.node(c).rt;
         match ctx.ddg.node(n).op.resource_class() {
             hca_ddg::ResourceClass::Alu => {
-                self.alu_ops[i] += 1;
+                let ops = self.loads.alu_mut(i);
+                *ops += 1;
+                let ops = *ops;
                 if rt.alu > 0 {
-                    self.mii_issue = self.mii_issue.max(self.alu_ops[i].div_ceil(rt.alu));
+                    self.mii_issue = self.mii_issue.max(ops.div_ceil(rt.alu));
                 }
             }
             hca_ddg::ResourceClass::AddrGen => {
-                self.ag_ops[i] += 1;
+                let ops = self.loads.ag_mut(i);
+                *ops += 1;
+                let ops = *ops;
                 if rt.addr_gen > 0 {
-                    self.mii_issue = self.mii_issue.max(self.ag_ops[i].div_ceil(rt.addr_gen));
+                    self.mii_issue = self.mii_issue.max(ops.div_ceil(rt.addr_gen));
                 } else {
                     // AG work on an AG-less cluster: infeasible, poison.
                     self.mii_issue = u32::MAX;
@@ -545,38 +941,9 @@ impl PartialState {
     /// is bit-identical to before the apply.
     pub fn undo_assign(&mut self, ctx: &SeeContext<'_>, undo: AssignUndo) {
         for cu in undo.copies.iter().rev() {
-            let (src, dst) = cu.arc;
-            let vs = self.copies.get_mut(&cu.arc).expect("journalled arc exists");
-            let v = vs.pop().expect("journalled copy exists");
-            let empty = vs.is_empty();
-            self.struct_sig ^= sig_entry(SIG_COPY, (src, dst, vs.len() as u32, v));
-            if empty {
-                // Never leave empty arcs behind: `into_assigned` and the
-                // copies-map invariants assume every present arc is live.
-                self.copies.remove(&cu.arc);
-            }
-            if cu.new_in_neighbor {
-                self.in_neighbors.remove(dst.index(), src);
-                self.struct_sig ^= sig_entry(SIG_IN, (dst.index() as u32, src));
-            }
-            if cu.new_out_neighbor {
-                self.out_neighbors.remove(src.index(), dst);
-                self.struct_sig ^= sig_entry(SIG_OUT, (src.index() as u32, dst));
-            }
-            if cu.charged_recv {
-                self.recv_load[dst.index()] -= 1;
-                self.issue_load[dst.index()] -= 1;
-            }
+            self.undo_copy(cu);
         }
-        self.assignment[undo.node.index()] = None;
-        self.struct_sig ^= sig_entry(SIG_ASSIGN, (undo.node, undo.cluster));
-        let i = undo.cluster.index();
-        self.issue_load[i] -= 1;
-        match ctx.ddg.node(undo.node).op.resource_class() {
-            hca_ddg::ResourceClass::Alu => self.alu_ops[i] -= 1,
-            hca_ddg::ResourceClass::AddrGen => self.ag_ops[i] -= 1,
-            hca_ddg::ResourceClass::Receive => {}
-        }
+        self.undo_place(ctx, undo.node, undo.cluster);
         self.total_copies = undo.total_copies;
         self.recurrence_copies = undo.recurrence_copies;
         self.critical_penalty = undo.critical_penalty;
@@ -653,41 +1020,10 @@ impl PartialState {
     pub fn txn_rollback(&mut self, ctx: &SeeContext<'_>, txn: StateTxn) {
         for op in txn.ops.into_iter().rev() {
             match op {
-                TxnOp::Place(n, c) => {
-                    self.assignment[n.index()] = None;
-                    self.struct_sig ^= sig_entry(SIG_ASSIGN, (n, c));
-                    let i = c.index();
-                    self.issue_load[i] -= 1;
-                    match ctx.ddg.node(n).op.resource_class() {
-                        hca_ddg::ResourceClass::Alu => self.alu_ops[i] -= 1,
-                        hca_ddg::ResourceClass::AddrGen => self.ag_ops[i] -= 1,
-                        hca_ddg::ResourceClass::Receive => {}
-                    }
-                }
-                TxnOp::Copy(cu) => {
-                    let (src, dst) = cu.arc;
-                    let vs = self.copies.get_mut(&cu.arc).expect("journalled arc exists");
-                    let v = vs.pop().expect("journalled copy exists");
-                    let empty = vs.is_empty();
-                    self.struct_sig ^= sig_entry(SIG_COPY, (src, dst, vs.len() as u32, v));
-                    if empty {
-                        self.copies.remove(&cu.arc);
-                    }
-                    if cu.new_in_neighbor {
-                        self.in_neighbors.remove(dst.index(), src);
-                        self.struct_sig ^= sig_entry(SIG_IN, (dst.index() as u32, src));
-                    }
-                    if cu.new_out_neighbor {
-                        self.out_neighbors.remove(src.index(), dst);
-                        self.struct_sig ^= sig_entry(SIG_OUT, (src.index() as u32, dst));
-                    }
-                    if cu.charged_recv {
-                        self.recv_load[dst.index()] -= 1;
-                        self.issue_load[dst.index()] -= 1;
-                    }
-                }
+                TxnOp::Place(n, c) => self.undo_place(ctx, n, c),
+                TxnOp::Copy(cu) => self.undo_copy(&cu),
                 TxnOp::Charge(c, slots) => {
-                    self.issue_load[c.index()] -= slots;
+                    *self.loads.issue_mut(c.index()) -= slots;
                 }
             }
         }
@@ -707,6 +1043,22 @@ impl PartialState {
         self.cost = txn.cost;
     }
 
+    /// The objective's aggregate inputs as currently accumulated — the
+    /// bridge between this state and [`crate::cost::objective_from_parts`].
+    #[inline]
+    pub(crate) fn cost_inputs(&self) -> crate::cost::CostInputs {
+        crate::cost::CostInputs {
+            total_copies: self.total_copies,
+            recurrence_copies: self.recurrence_copies,
+            critical_penalty: self.critical_penalty,
+            routed_hops: self.routed_hops,
+            mii_issue: self.mii_issue,
+            mii_arc: self.mii_arc,
+            util_sq_sum: self.util_sq_sum,
+            util_clusters: self.util_clusters,
+        }
+    }
+
     /// Estimated final MII of the partial solution (§4.2): the max of the
     /// DDG's MIIRec, the per-cluster issue pressure (instructions plus
     /// receives over issue slots, and per-class pressure), and the worst arc
@@ -716,7 +1068,6 @@ impl PartialState {
     /// arc pressures only ever grow within one state's lifetime, so running
     /// maxima are exact; AG work on an AG-less cluster poisons `mii_issue`
     /// to `u32::MAX`.
-    #[inline]
     pub fn estimated_mii(&self, ctx: &SeeContext<'_>) -> u32 {
         ctx.analysis
             .mii_rec
@@ -731,7 +1082,7 @@ impl PartialState {
         for id in ctx.pg.cluster_ids() {
             let rt = ctx.pg.node(id).rt;
             if rt.issue > 0 {
-                worst = worst.max(f64::from(self.issue_load[id.index()]) / f64::from(rt.issue));
+                worst = worst.max(f64::from(self.loads.issue(id.index())) / f64::from(rt.issue));
             }
         }
         worst
@@ -761,14 +1112,8 @@ impl PartialState {
         use std::mem::size_of;
         let mut bytes = size_of::<Self>();
         bytes += self.assignment.len() * size_of::<Option<PgNodeId>>();
-        for vs in self.copies.values() {
-            bytes += size_of::<(PgNodeId, PgNodeId)>()
-                + size_of::<u64>()
-                + vs.len() * size_of::<NodeId>();
-        }
-        bytes +=
-            (self.issue_load.len() + self.alu_ops.len() + self.ag_ops.len() + self.recv_load.len())
-                * size_of::<u32>();
+        bytes += self.copies.heap_bytes();
+        bytes += self.loads.heap_bytes();
         bytes += self.in_neighbors.heap_bytes() + self.out_neighbors.heap_bytes();
         bytes += self.forwards.len() * size_of::<(NodeId, PgNodeId)>();
         bytes
@@ -777,9 +1122,9 @@ impl PartialState {
     /// Freeze into the [`AssignedPg`] handed to the Mapper.
     pub fn into_assigned(self, pg: &Pg) -> AssignedPg {
         let mut copies = hca_pg::CopyMap::default();
-        for ((s, d), vs) in self.copies {
-            copies.insert((s, d), vs.into_vec());
-        }
+        self.copies.for_each_arc(|s, d, vs| {
+            copies.insert((s, d), vs.to_vec());
+        });
         let assignment = self
             .assignment
             .iter()
@@ -799,7 +1144,7 @@ impl PartialState {
 /// can absorb without stretching the schedule. Intra-iteration edges use the
 /// ALAP/ASAP slack of the consumer; loop-carried edges get slack
 /// proportional to `II · distance` headroom (approximated with MIIRec).
-fn edge_slack(ctx: &SeeContext<'_>, e: hca_ddg::DdgEdge) -> u32 {
+pub(crate) fn edge_slack(ctx: &SeeContext<'_>, e: hca_ddg::DdgEdge) -> u32 {
     if e.distance == 0 {
         let lv = &ctx.analysis.levels;
         lv.alap[e.dst.index()].saturating_sub(lv.asap[e.src.index()] + e.latency)
@@ -877,8 +1222,8 @@ mod tests {
         assert_eq!(st.total_copies, 1);
         assert_eq!(st.arc_pressure(PgNodeId(0), PgNodeId(1)), 1);
         // q's cluster pays the receive issue slot on top of its own op.
-        assert_eq!(st.issue_load[1], 2);
-        assert_eq!(st.recv_load[1], 1);
+        assert_eq!(st.loads.issue(1), 2);
+        assert_eq!(st.loads.recv(1), 1);
         assert!(st.in_neighbors.contains(1, PgNodeId(0)));
     }
 
@@ -908,7 +1253,7 @@ mod tests {
         st.apply_assign(&ctx, q1, PgNodeId(1));
         st.apply_assign(&ctx, q2, PgNodeId(1));
         assert_eq!(st.total_copies, 1);
-        assert_eq!(st.recv_load[1], 1);
+        assert_eq!(st.loads.recv(1), 1);
     }
 
     #[test]
@@ -967,10 +1312,7 @@ mod tests {
     fn assert_states_identical(a: &PartialState, b: &PartialState) {
         assert_eq!(a.assignment, b.assignment);
         assert_eq!(a.copies, b.copies);
-        assert_eq!(a.issue_load, b.issue_load);
-        assert_eq!(a.alu_ops, b.alu_ops);
-        assert_eq!(a.ag_ops, b.ag_ops);
-        assert_eq!(a.recv_load, b.recv_load);
+        assert_eq!(a.loads, b.loads);
         assert_eq!(a.in_neighbors, b.in_neighbors);
         assert_eq!(a.out_neighbors, b.out_neighbors);
         assert_eq!(a.total_copies, b.total_copies);
@@ -1036,6 +1378,54 @@ mod tests {
     }
 
     #[test]
+    fn arc_overflow_spills_and_round_trips() {
+        // Push one value past the inline arc capacity so the spill path runs,
+        // then unwind back through it: the canonical form (sentinel slots,
+        // spill entry iff len > cap) must make the round-trip bit-exact.
+        let mut b = DdgBuilder::default();
+        let producers: Vec<NodeId> = (0..ARC_CAP as u32 + 1)
+            .map(|_| b.node(Opcode::Add))
+            .collect();
+        let q = b.node(Opcode::Add);
+        for &p in &producers {
+            b.flow(p, q);
+        }
+        let ddg = b.finish();
+        let pg = Pg::complete(2, ResourceTable::of_cns(4));
+        let (an, cons) = ctx_fixture(&ddg, &pg);
+        let ctx = SeeContext {
+            ddg: &ddg,
+            analysis: &an,
+            pg: &pg,
+            constraints: cons,
+            weights: CostWeights::default(),
+            issue_cap: None,
+            statics: crate::statics::PgStatics::build(&pg),
+        };
+        let mut st = PartialState::initial(&ctx, &[]);
+        for &p in &producers {
+            st.apply_assign(&ctx, p, PgNodeId(0));
+        }
+        let before = st.clone();
+        let undo = st.apply_assign_logged(&ctx, q, PgNodeId(1));
+        // All producers copy onto the single 0→1 arc: one value deep in spill.
+        let arc = (PgNodeId(0), PgNodeId(1));
+        assert_eq!(st.arc_pressure(arc.0, arc.1), ARC_CAP as u32 + 1);
+        for &p in &producers {
+            assert!(st.copies.contains(arc.0, arc.1, p), "{p} on the arc");
+        }
+        assert_eq!(st.mii_arc, ARC_CAP as u32 + 1);
+        let mut seen = Vec::new();
+        st.copies.for_each_arc(|s, d, vs| {
+            assert_eq!((s, d), arc);
+            seen = vs.to_vec();
+        });
+        assert_eq!(seen, producers, "insertion order preserved across spill");
+        st.undo_assign(&ctx, undo);
+        assert_states_identical(&before, &st);
+    }
+
+    #[test]
     fn txn_rollback_round_trips_exactly() {
         // A routing-flavoured trial: place a node, thread a value through an
         // intermediate hop (two copies), charge a forward slot, bump the
@@ -1078,6 +1468,39 @@ mod tests {
     }
 
     #[test]
+    fn clone_from_reuses_and_matches() {
+        // The arena overwrites recycled states with `clone_from`; the result
+        // must be indistinguishable from a fresh clone, whatever divergent
+        // content the recycled state accumulated.
+        let mut b = DdgBuilder::default();
+        let p = b.node(Opcode::Add);
+        let q = b.node(Opcode::Add);
+        let r = b.node(Opcode::Add);
+        b.flow(p, q);
+        b.flow(q, r);
+        let ddg = b.finish();
+        let pg = Pg::complete(3, ResourceTable::of_cns(2));
+        let (an, cons) = ctx_fixture(&ddg, &pg);
+        let ctx = SeeContext {
+            ddg: &ddg,
+            analysis: &an,
+            pg: &pg,
+            constraints: cons,
+            weights: CostWeights::default(),
+            issue_cap: None,
+            statics: crate::statics::PgStatics::build(&pg),
+        };
+        let mut a = PartialState::initial(&ctx, &[]);
+        a.apply_assign(&ctx, p, PgNodeId(0));
+        a.apply_assign(&ctx, q, PgNodeId(1));
+        let mut recycled = PartialState::initial(&ctx, &[]);
+        recycled.apply_assign(&ctx, p, PgNodeId(2));
+        recycled.apply_assign(&ctx, r, PgNodeId(0));
+        recycled.clone_from(&a);
+        assert_states_identical(&a, &recycled);
+    }
+
+    #[test]
     fn output_node_copy_has_no_recv_cost() {
         let mut b = DdgBuilder::default();
         let k = b.node(Opcode::Add);
@@ -1101,7 +1524,7 @@ mod tests {
         let mut st = PartialState::initial(&ctx, &[]);
         st.apply_assign(&ctx, k, PgNodeId(0));
         assert_eq!(st.arc_pressure(PgNodeId(0), out), 1);
-        assert_eq!(st.recv_load[out.index()], 0);
-        assert_eq!(st.issue_load[out.index()], 0);
+        assert_eq!(st.loads.recv(out.index()), 0);
+        assert_eq!(st.loads.issue(out.index()), 0);
     }
 }

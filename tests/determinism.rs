@@ -75,7 +75,12 @@ fn assert_stats_match(a: &SeeStats, b: &SeeStats, name: &str) {
     assert_eq!(a.steps, b.steps, "{name}");
     assert_eq!(a.beam_occupancy_sum, b.beam_occupancy_sum, "{name}");
     assert_eq!(a.route_table_bytes, b.route_table_bytes, "{name}");
+    assert_eq!(a.arc_table_bytes, b.arc_table_bytes, "{name}");
+    assert_eq!(a.state_arena_bytes, b.state_arena_bytes, "{name}");
     assert_eq!(a.step_time_ns.len(), b.step_time_ns.len(), "{name}");
+    // The scorer is mutation-free: reintroducing a per-candidate state
+    // clone in the hot loop must fail here, not show up as a perf cliff.
+    assert_eq!(a.state_clones, 0, "{name}: trial clones in the hot loop");
 }
 
 /// Dominance pruning is a heuristic; this is its empirical safety gate.
