@@ -56,6 +56,7 @@ const HISTORY_COUNTERS: &[&str] = &[
     "driver.subproblems",
     "driver.memo_hits",
     "driver.memo_misses",
+    "driver.memo_evictions",
     "driver.memo_bytes",
     "driver.memo_entries",
     "driver.fallbacks",

@@ -409,3 +409,42 @@ pub(crate) fn cmd_export(opts: &Options) -> Result<(), String> {
     }
     Err(format!("export {name}: pass --dot or --json"))
 }
+
+pub(crate) fn cmd_serve(opts: &Options) -> Result<(), String> {
+    use hca_serve::{Bind, Server, ServerConfig};
+    if opts.bind.is_some() && opts.socket.is_some() {
+        return Err("pass --bind or --socket, not both".into());
+    }
+    let bind = match &opts.socket {
+        Some(path) => Bind::Unix(path.into()),
+        None => Bind::Tcp(
+            opts.bind
+                .clone()
+                .unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+        ),
+    };
+    let cfg = ServerConfig {
+        bind,
+        snapshot: opts.snapshot.as_ref().map(std::path::PathBuf::from),
+        memo_budget: opts.memo_budget.unwrap_or(hca_core::Memo::DEFAULT_BUDGET),
+        hca: hca_core::HcaConfig::default(),
+    };
+    let server = Server::bind(cfg).map_err(|e| format!("serve: {e}"))?;
+    // The address goes to stdout (and is flushed) so scripts driving
+    // `--bind 127.0.0.1:0` can read the picked port.
+    println!("hca-serve listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let stats = server.run().map_err(|e| format!("serve: {e}"))?;
+    eprintln!(
+        "hca-serve: {} requests ({} errors), cache {} hits / {} misses / {} evictions, {} entries ({} bytes) at exit",
+        stats.requests,
+        stats.errors,
+        stats.memo_hits,
+        stats.memo_misses,
+        stats.memo_evictions,
+        stats.memo_entries,
+        stats.memo_bytes,
+    );
+    Ok(())
+}

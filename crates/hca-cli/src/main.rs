@@ -83,6 +83,7 @@ fn run_cli() -> ExitCode {
         "verify" => cmd_verify(&opts),
         "explain" => cmd_explain(&opts),
         "diff-metrics" => cmd_diff_metrics(&opts),
+        "serve" => cmd_serve(&opts),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -128,6 +129,15 @@ commands:
                                metrics dumps (RunMetrics, table1 rows,
                                BenchCase arrays, bench_gate dumps or
                                BENCH_baseline.json) to phases and counters
+  serve                        long-running compile daemon: JSON-lines
+                               requests over TCP (--bind, default
+                               127.0.0.1:7878) or a Unix socket (--socket),
+                               all connections sharing one byte-budgeted
+                               sub-problem cache; --snapshot F persists the
+                               cache across restarts (versioned; a stale
+                               snapshot starts cold). Ops: ping, compile,
+                               compile_batch, stats, crash, shutdown —
+                               e.g. {\"id\":1,\"op\":\"compile\",\"kernel\":\"fir2dim\"}
 
 options:
   --machine N,M,K    MUX capacities of the 64-CN machine (default 8,8,8),
@@ -147,6 +157,15 @@ fuzz options:
                      `--out -` disables writing)
   --no-memo          disable the cross-sub-problem memo cache for the
                      gauntlet runs (the cache is on by default)
+
+serve options:
+  --bind ADDR        TCP listen address (default 127.0.0.1:7878; :0 picks
+                     a free port, printed on stdout)
+  --socket PATH      listen on a Unix-domain socket instead of TCP
+  --snapshot F       load the cache snapshot from F on start (when valid)
+                     and write it back on clean shutdown
+  --memo-budget B    cache byte budget, with optional k/m/g suffix
+                     (default 64m)
 
 observability:
   --metrics-out F    write a RunMetrics JSON report (phase timings, SEE /
@@ -184,6 +203,10 @@ pub(crate) struct Options {
     pub max_nodes: usize,
     pub out: Option<String>,
     pub memo: bool,
+    pub bind: Option<String>,
+    pub socket: Option<String>,
+    pub snapshot: Option<String>,
+    pub memo_budget: Option<usize>,
 }
 
 impl Options {
@@ -209,6 +232,10 @@ impl Options {
             max_nodes: 24,
             out: Some("fuzz-failures".into()),
             memo: true,
+            bind: None,
+            socket: None,
+            snapshot: None,
+            memo_budget: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -283,6 +310,22 @@ impl Options {
                     o.out = (v != "-").then(|| v.clone());
                 }
                 "--no-memo" => o.memo = false,
+                "--bind" => {
+                    let v = it.next().ok_or("--bind needs an ip:port address")?;
+                    o.bind = Some(v.clone());
+                }
+                "--socket" => {
+                    let v = it.next().ok_or("--socket needs a path")?;
+                    o.socket = Some(v.clone());
+                }
+                "--snapshot" => {
+                    let v = it.next().ok_or("--snapshot needs a path")?;
+                    o.snapshot = Some(v.clone());
+                }
+                "--memo-budget" => {
+                    let v = it.next().ok_or("--memo-budget needs bytes (k/m/g ok)")?;
+                    o.memo_budget = Some(parse_bytes(v)?);
+                }
                 "-v" | "--verbose" => o.verbose = true,
                 "--dot" => o.dot = true,
                 "--json" => o.json = true,
@@ -442,6 +485,24 @@ pub(crate) fn write_json(path: &str, value: &impl serde::Serialize) -> Result<()
     let mut body = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
     body.push('\n');
     std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// Parse a byte count with an optional `k`/`m`/`g` suffix: `64m` → 64 MiB.
+fn parse_bytes(v: &str) -> Result<usize, String> {
+    let v = v.trim();
+    let (digits, shift) = match v.as_bytes().last() {
+        Some(b'k' | b'K') => (&v[..v.len() - 1], 10),
+        Some(b'm' | b'M') => (&v[..v.len() - 1], 20),
+        Some(b'g' | b'G') => (&v[..v.len() - 1], 30),
+        _ => (v, 0),
+    };
+    let n: usize = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad byte count `{v}`"))?;
+    n.checked_shl(shift)
+        .filter(|scaled| scaled >> shift == n)
+        .ok_or_else(|| format!("byte count `{v}` overflows"))
 }
 
 /// Insert `tag` before the file extension: `trace.json` → `trace.fir2dim.json`.

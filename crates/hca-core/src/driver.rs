@@ -72,6 +72,14 @@ pub struct HcaConfig {
     /// run (and across portfolio variants). Cached results are bit-exact
     /// replays; disable to compare.
     pub memo: bool,
+    /// Byte budget of the run-private memo cache (when [`memo`] is on and
+    /// no shared cache is supplied). Least-recently-used entries are
+    /// evicted past the budget; eviction can only turn hits into misses,
+    /// never change results. `0` caches nothing. Shared caches
+    /// ([`run_hca_shared`]) carry their own budget and ignore this knob.
+    ///
+    /// [`memo`]: HcaConfig::memo
+    pub memo_budget: usize,
 }
 
 impl Default for HcaConfig {
@@ -81,6 +89,7 @@ impl Default for HcaConfig {
             issue_cap_slack: Some(1),
             validation: ValidationLevel::Report,
             memo: true,
+            memo_budget: crate::memo::Memo::DEFAULT_BUDGET,
         }
     }
 }
@@ -175,8 +184,9 @@ impl fmt::Display for HcaError {
 
 impl std::error::Error for HcaError {}
 
-/// Aggregate run statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Aggregate run statistics. Serialisable because solved subtrees carry
+/// their stats through the memo cache's on-disk snapshots.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct HcaStats {
     /// Sub-problems solved (tree nodes visited).
     pub subproblems: usize,
@@ -308,6 +318,9 @@ struct SolveCtx<'a> {
     obs: &'a Obs,
     analysis: &'a DdgAnalysis,
     theo_mii: u32,
+    /// Topological position per DDG node (the memo cache is DDG-independent,
+    /// so the run supplies this table to the key canonicaliser).
+    topo_pos: &'a [usize],
     /// Sub-problem cache ([`HcaConfig::memo`]); `None` when disabled.
     memo: Option<&'a crate::memo::Memo>,
     /// Search-trace recorder ([`run_hca_traced`]); disabled elsewhere.
@@ -371,6 +384,31 @@ pub fn run_hca_traced(
     run_hca_inner(ddg, fabric, config, obs, None, tracer)
 }
 
+/// [`run_hca_obs`] with an externally owned sub-problem cache. The cache
+/// outlives the run: a portfolio shares one across variants, and a serving
+/// daemon shares one across every request it ever handles. The memo key
+/// encodes the fabric and the full solving context, so one cache is sound
+/// across different kernels, machines and configurations — a hit happens
+/// exactly when a fresh solve would reproduce the cached bits. The shared
+/// cache is used regardless of [`HcaConfig::memo`] (passing it *is* the
+/// opt-in) and carries its own byte budget.
+pub fn run_hca_shared(
+    ddg: &Ddg,
+    fabric: &DspFabric,
+    config: &HcaConfig,
+    obs: &Obs,
+    memo: &crate::memo::Memo,
+) -> Result<HcaResult, HcaError> {
+    run_hca_inner(
+        ddg,
+        fabric,
+        config,
+        obs,
+        Some(memo),
+        &SearchTracer::disabled(),
+    )
+}
+
 /// [`run_hca_obs`] with an optional externally owned sub-problem cache, so
 /// a portfolio run can share one [`crate::memo::Memo`] across variants.
 /// With `None` (and [`HcaConfig::memo`] on) the run owns a private cache.
@@ -388,17 +426,22 @@ fn run_hca_inner(
     drop(analysis_span);
 
     let own_memo;
-    let memo: Option<&crate::memo::Memo> = if config.memo {
-        match shared_memo {
-            Some(m) => Some(m),
-            None => {
-                own_memo = Some(crate::memo::Memo::new(ddg.num_nodes(), &analysis));
-                own_memo.as_ref()
-            }
+    let memo: Option<&crate::memo::Memo> = match shared_memo {
+        // An explicit shared cache is the opt-in, whatever `config.memo`
+        // says — its owner decided the budget and lifetime.
+        Some(m) => Some(m),
+        None if config.memo => {
+            own_memo = Some(crate::memo::Memo::new(config.memo_budget));
+            own_memo.as_ref()
         }
-    } else {
-        None
+        None => None,
     };
+    // Topological position per node, for the memo key's relative-order
+    // encoding (the cache itself is DDG-independent).
+    let mut topo_pos = vec![usize::MAX; ddg.num_nodes()];
+    for (i, &n) in analysis.topo.iter().enumerate() {
+        topo_pos[n.index()] = i;
+    }
     let cx = SolveCtx {
         ddg,
         fabric,
@@ -406,6 +449,7 @@ fn run_hca_inner(
         obs,
         analysis: &analysis,
         theo_mii,
+        topo_pos: &topo_pos,
         memo,
         tracer,
     };
@@ -489,10 +533,12 @@ fn run_hca_inner(
 
     if obs.is_enabled() {
         if let Some(m) = memo {
-            // High-water marks, not sums: a shared portfolio cache reports
-            // its largest observed footprint.
+            // High-water marks, not sums: a shared portfolio (or daemon)
+            // cache reports its largest observed footprint, and evictions
+            // are a lifetime count over the cache, not this run.
             obs.counter_max("driver.memo_bytes", m.approx_bytes() as u64);
             obs.counter_max("driver.memo_entries", m.entries() as u64);
+            obs.counter_max("driver.memo_evictions", m.evictions());
         }
         obs.counter_add("driver.subproblems", stats.subproblems as u64);
         obs.counter_add("driver.forwards", stats.forwards as u64);
@@ -536,6 +582,7 @@ fn solve_subproblem(cx: &SolveCtx<'_>, sp: &Subproblem) -> Result<SubResult, Hca
         obs,
         analysis,
         theo_mii,
+        topo_pos,
         memo,
         tracer,
     } = *cx;
@@ -555,7 +602,8 @@ fn solve_subproblem(cx: &SolveCtx<'_>, sp: &Subproblem) -> Result<SubResult, Hca
     // encodes the full solving context (see `memo` module docs), so a hit
     // rehydrates to exactly what the solve below would have produced.
     let memo_ctx = memo.map(|m| {
-        let (key, canon2raw) = crate::memo::canonicalise(m, ddg, analysis, config, theo_mii, sp);
+        let (key, canon2raw) =
+            crate::memo::canonicalise(topo_pos, ddg, analysis, config, theo_mii, fabric, sp);
         (m, key, canon2raw)
     });
     if let Some((m, key, canon2raw)) = &memo_ctx {
@@ -1050,9 +1098,7 @@ pub fn run_hca_portfolio_obs(
     // One sub-problem cache shared by every variant: the memo key encodes
     // the solving configuration, so cross-variant reuse happens exactly
     // when two variants would solve a sub-problem identically.
-    let shared_memo = DdgAnalysis::compute(ddg)
-        .ok()
-        .map(|an| crate::memo::Memo::new(ddg.num_nodes(), &an));
+    let shared_memo = crate::memo::Memo::new(crate::memo::Memo::DEFAULT_BUDGET);
 
     let mut best: Option<HcaResult> = None;
     let mut last_err: Option<HcaError> = None;
@@ -1060,7 +1106,7 @@ pub fn run_hca_portfolio_obs(
         let span = obs
             .span("driver", "portfolio_variant")
             .with_arg("variant", i);
-        let memo = if cfg.memo { shared_memo.as_ref() } else { None };
+        let memo = if cfg.memo { Some(&shared_memo) } else { None };
         let run = run_hca_inner(ddg, fabric, &cfg, obs, memo, &SearchTracer::disabled());
         drop(span);
         match run {

@@ -150,6 +150,15 @@ struct TracerInner {
     writer: Mutex<Option<BufWriter<File>>>,
 }
 
+/// Recover a tracer guard even when a previous holder panicked. Both
+/// mutexes only guard append-only state (a record vector, a buffered
+/// writer) whose invariants hold at every await point, so a panicking
+/// traced request must not disable tracing for every later request of a
+/// long-running process.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Scope pre-filled onto records by a [`SearchTracer::scoped`] handle.
 #[derive(Debug)]
 struct TraceScope {
@@ -233,18 +242,18 @@ impl SearchTracer {
             rec.depth = scope.depth;
             rec.tier = scope.tier;
         }
-        if let Some(w) = inner.writer.lock().unwrap().as_mut() {
+        if let Some(w) = lock_recover(&inner.writer).as_mut() {
             if let Ok(line) = serde_json::to_string(&rec) {
                 let _ = writeln!(w, "{line}");
             }
         }
-        inner.records.lock().unwrap().push(rec);
+        lock_recover(&inner.records).push(rec);
     }
 
     /// Snapshot of every record so far, in emission order.
     pub fn records(&self) -> Vec<TraceRecord> {
         match &self.inner {
-            Some(inner) => inner.records.lock().unwrap().clone(),
+            Some(inner) => lock_recover(&inner.records).clone(),
             None => Vec::new(),
         }
     }
@@ -252,11 +261,28 @@ impl SearchTracer {
     /// Flush the streaming writer (no-op for in-memory tracers).
     pub fn flush(&self) -> io::Result<()> {
         if let Some(inner) = &self.inner {
-            if let Some(w) = inner.writer.lock().unwrap().as_mut() {
+            if let Some(w) = lock_recover(&inner.writer).as_mut() {
                 w.flush()?;
             }
         }
         Ok(())
+    }
+
+    /// Deliberately poison both tracer mutexes (a panic while each guard is
+    /// held), for tests pinning the poison-recovery behaviour.
+    #[doc(hidden)]
+    pub fn poison_for_test(&self) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = inner.records.lock().unwrap();
+            panic!("poison records");
+        }));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = inner.writer.lock().unwrap();
+            panic!("poison writer");
+        }));
     }
 
     /// Write every in-memory record to `path` as JSONL (independent of the
@@ -387,6 +413,34 @@ mod tests {
         t.flush().unwrap();
         let back = read_jsonl_file(&path).unwrap();
         assert_eq!(back, t.records());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn poisoned_tracer_keeps_recording() {
+        let dir = std::env::temp_dir().join("hca_obs_trace_poison_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("poisoned.jsonl");
+        let t = SearchTracer::to_file(&path).unwrap();
+        t.record(|| TraceRecord {
+            kind: kind::SUB.to_string(),
+            problem: "before".to_string(),
+            ..TraceRecord::default()
+        });
+        // A traced request panicked while holding both tracer locks: every
+        // later record/records/flush must recover, not cascade the panic.
+        t.poison_for_test();
+        t.record(|| TraceRecord {
+            kind: kind::SUB.to_string(),
+            problem: "after".to_string(),
+            ..TraceRecord::default()
+        });
+        let recs = t.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].problem, "after");
+        t.flush().unwrap();
+        let back = read_jsonl_file(&path).unwrap();
+        assert_eq!(back.len(), 2, "writer lost records after poisoning");
         std::fs::remove_file(&path).ok();
     }
 }

@@ -23,9 +23,50 @@
 
 #![forbid(unsafe_code)]
 
+use std::any::Any;
 use std::cell::Cell;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+
+/// A worker closure panicked while processing one item.
+///
+/// [`try_par_map`] turns each panic into one of these instead of aborting
+/// the whole map: a long-running service can fail the one affected request
+/// and keep serving the rest. The original payload is reduced to its
+/// message (panic payloads are `Box<dyn Any>` and rarely more structured
+/// than a string).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Input index of the item whose closure panicked.
+    pub index: usize,
+    /// The panic message, if the payload carried one.
+    pub message: String,
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "worker panicked on item {}: {}",
+            self.index, self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Extract the human-readable message from a panic payload.
+fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Programmatic thread-count override; 0 = unset.
 static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -106,45 +147,47 @@ fn effective_threads(len: usize) -> usize {
     }
 }
 
-/// Map `f` over `items` and collect the results **in input order**.
-///
-/// Work is distributed by an atomic cursor (good balance for items of
-/// uneven cost, like beam states of different maturity); each worker tags
-/// results with their index, and the merge places them positionally, so the
-/// output is independent of scheduling. Runs inline when the pool width is
-/// 1, the input is trivial, or the caller is itself a pool worker. A panic
-/// in `f` propagates to the caller.
-pub fn par_map<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+/// A caught panic payload, as `std::thread` reports it.
+type Payload = Box<dyn Any + Send>;
+
+/// Shared engine of [`par_map`] / [`try_par_map`]: map `f` over `items`
+/// with every panic caught per item, results (or payloads) collected in
+/// input order. Workers keep draining the cursor after a panic, so every
+/// item is attempted exactly once whatever its neighbours did.
+fn par_map_catch<'a, T, R, F>(items: &'a [T], f: F) -> Vec<Result<R, Payload>>
 where
     T: Sync,
     R: Send,
     F: Fn(&'a T) -> R + Sync,
 {
     let threads = effective_threads(items.len());
+    let run_one = |item: &'a T| catch_unwind(AssertUnwindSafe(|| f(item)));
     if threads <= 1 {
-        return items.iter().map(f).collect();
+        return items.iter().map(run_one).collect();
     }
     let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let mut slots: Vec<Option<Result<R, Payload>>> = (0..items.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
                     IN_WORKER.with(|w| w.set(true));
-                    let mut produced: Vec<(usize, R)> = Vec::new();
+                    let mut produced: Vec<(usize, Result<R, Payload>)> = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
-                        produced.push((i, f(&items[i])));
+                        produced.push((i, run_one(&items[i])));
                     }
                     produced
                 })
             })
             .collect();
         for handle in handles {
-            for (i, r) in handle.join().expect("par_map worker panicked") {
+            // The worker closure cannot panic (f is inside catch_unwind),
+            // so a join error would be a bug in this module itself.
+            for (i, r) in handle.join().expect("pool worker cannot panic") {
                 slots[i] = Some(r);
             }
         }
@@ -152,6 +195,57 @@ where
     slots
         .into_iter()
         .map(|s| s.expect("every index produced"))
+        .collect()
+}
+
+/// Map `f` over `items` and collect the results **in input order**.
+///
+/// Work is distributed by an atomic cursor (good balance for items of
+/// uneven cost, like beam states of different maturity); each worker tags
+/// results with their index, and the merge places them positionally, so the
+/// output is independent of scheduling. Runs inline when the pool width is
+/// 1, the input is trivial, or the caller is itself a pool worker.
+///
+/// A panic in `f` propagates to the caller with its original payload —
+/// deterministically the panic of the **lowest input index**, whatever the
+/// thread interleaving (use [`try_par_map`] to keep the survivors instead).
+pub fn par_map<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for r in par_map_catch(items, f) {
+        match r {
+            Ok(v) => out.push(v),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+    out
+}
+
+/// [`par_map`] with per-item panic isolation: each item maps to
+/// `Ok(result)` or `Err(WorkerPanic)`, in input order. A panicking closure
+/// fails only its own item — every other item still runs to completion and
+/// keeps its deterministic slot. This is the dispatch primitive for
+/// long-running services, where one poisoned request must not take down
+/// the batch (or the process).
+pub fn try_par_map<'a, T, R, F>(items: &'a [T], f: F) -> Vec<Result<R, WorkerPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    par_map_catch(items, f)
+        .into_iter()
+        .enumerate()
+        .map(|(index, r)| {
+            r.map_err(|payload| WorkerPanic {
+                index,
+                message: payload_message(payload.as_ref()),
+            })
+        })
         .collect()
 }
 
@@ -172,22 +266,33 @@ where
     }
     let chunk_len = items.len().div_ceil(threads);
     let f = &f;
-    let per_chunk: Vec<Vec<R>> = std::thread::scope(|scope| {
+    let per_chunk: Vec<Result<Vec<R>, Payload>> = std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks_mut(chunk_len)
             .map(|chunk| {
                 scope.spawn(move || {
                     IN_WORKER.with(|w| w.set(true));
-                    chunk.iter_mut().map(f).collect::<Vec<R>>()
+                    catch_unwind(AssertUnwindSafe(|| {
+                        chunk.iter_mut().map(f).collect::<Vec<R>>()
+                    }))
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("par_map_mut worker panicked"))
+            .map(|h| h.join().expect("pool worker cannot panic"))
             .collect()
     });
-    per_chunk.into_iter().flatten().collect()
+    // Chunks are contiguous, so the first erring chunk holds the panic of
+    // the lowest input index — propagate that one deterministically.
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in per_chunk {
+        match chunk {
+            Ok(rs) => out.extend(rs),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+    out
 }
 
 /// Run two closures, potentially in parallel, returning both results.
@@ -203,10 +308,16 @@ where
     std::thread::scope(|scope| {
         let ha = scope.spawn(|| {
             IN_WORKER.with(|w| w.set(true));
-            a()
+            catch_unwind(AssertUnwindSafe(a))
         });
-        let rb = b();
-        (ha.join().expect("join worker panicked"), rb)
+        let rb = catch_unwind(AssertUnwindSafe(b));
+        let ra = ha.join().unwrap_or_else(|payload| Err(payload));
+        // `a` first, matching the inline `(a(), b())` evaluation order, so
+        // which payload propagates is independent of the thread count.
+        match (ra, rb) {
+            (Ok(ra), Ok(rb)) => (ra, rb),
+            (Err(payload), _) | (_, Err(payload)) => resume_unwind(payload),
+        }
     })
 }
 
@@ -280,8 +391,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "worker panicked")]
-    fn worker_panics_propagate() {
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate_original_payload() {
         let _g = match LOCK.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
@@ -292,6 +403,74 @@ mod tests {
             assert!(x != 3, "boom");
             x
         });
+    }
+
+    #[test]
+    fn par_map_propagates_lowest_index_panic() {
+        let _g = match LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        set_thread_override(Some(4));
+        let items: Vec<u32> = (0..64).collect();
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            let _ = par_map(&items, |&x| {
+                if x == 7 || x == 40 {
+                    panic!("item {x} failed");
+                }
+                x
+            });
+        }))
+        .unwrap_err();
+        // Whatever thread hit which item first, index 7's payload wins.
+        assert_eq!(payload_message(payload.as_ref()), "item 7 failed");
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn try_par_map_isolates_panics_to_their_item() {
+        let _g = match LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for threads in [1, 4] {
+            set_thread_override(Some(threads));
+            let items: Vec<u32> = (0..32).collect();
+            let out = try_par_map(&items, |&x| {
+                if x % 10 == 3 {
+                    panic!("poisoned item {x}");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, r) in out.iter().enumerate() {
+                if i % 10 == 3 {
+                    let err = r.as_ref().unwrap_err();
+                    assert_eq!(err.index, i);
+                    assert_eq!(err.message, format!("poisoned item {i}"));
+                } else {
+                    // Survivors keep their deterministic slot and value.
+                    assert_eq!(*r.as_ref().unwrap(), (i as u32) * 2);
+                }
+            }
+        }
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn try_par_map_all_ok_roundtrip() {
+        let _g = match LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        set_thread_override(Some(3));
+        let items: Vec<u64> = (0..100).collect();
+        let out: Vec<u64> = try_par_map(&items, |&x| x + 1)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(out, (1..=100).collect::<Vec<u64>>());
+        set_thread_override(None);
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! End-to-end daemon smoke test: boot on a loopback port, exercise every
+//! op over a real TCP connection, shut down cleanly, and verify the cache
+//! snapshot survives a restart.
+
+use hca_serve::{Client, CompileSpec, Request, Server, ServerConfig};
+use std::path::PathBuf;
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("hca_serve_smoke_{}_{name}", std::process::id()));
+    p
+}
+
+fn spec(kernel: &str) -> CompileSpec {
+    CompileSpec {
+        kernel: Some(kernel.to_string()),
+        ..CompileSpec::default()
+    }
+}
+
+#[test]
+fn daemon_round_trip_and_snapshot_reload() {
+    let snap = temp_path("snapshot.json");
+    let _ = std::fs::remove_file(&snap);
+
+    // --- first life: cold cache ---
+    let server = Server::bind(ServerConfig {
+        snapshot: Some(snap.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.run().expect("server run"));
+
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    client.ping().expect("ping");
+
+    // Cold compile: all misses.
+    let first = client.compile(spec("fir2dim")).expect("cold compile");
+    assert!(first.legal, "served fir2dim must be legal");
+    assert!(first.subproblems > 0);
+
+    // Hot compile of the same kernel: the shared memo must hit.
+    let second = client.compile(spec("fir2dim")).expect("hot compile");
+    assert_eq!(first, second, "same job must serve identical bits");
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.memo_hits > 0,
+        "second compile of the same kernel must hit the cache: {stats:?}"
+    );
+    assert_eq!(stats.snapshot_entries, 0, "first life starts cold");
+
+    // Batch: good jobs succeed in order, a bad job fails only itself.
+    let items = client
+        .compile_batch(vec![spec("biquad"), spec("no_such_kernel"), spec("fir8")])
+        .expect("batch");
+    assert_eq!(items.len(), 3);
+    assert!(items[0].ok && items[2].ok);
+    assert!(!items[1].ok, "unknown kernel must fail its own item");
+    assert!(items[1]
+        .error
+        .as_deref()
+        .unwrap()
+        .contains("unknown kernel"));
+
+    // A deliberately panicking worker degrades only its request.
+    let msg = client.crash().expect("crash op must report the panic");
+    assert!(
+        msg.contains("deliberate crash"),
+        "panic message served: {msg}"
+    );
+    client
+        .ping()
+        .expect("daemon must keep serving after a worker panic");
+
+    // Unknown op and malformed line both get answers, not silence.
+    let resp = client
+        .call(Request {
+            op: "frobnicate".into(),
+            ..Request::default()
+        })
+        .expect("unknown op still answered");
+    assert!(!resp.ok);
+
+    client.shutdown().expect("shutdown");
+    let final_stats = daemon.join().expect("daemon thread");
+    assert!(
+        final_stats.memo_entries > 0,
+        "cache must hold entries at exit"
+    );
+    assert!(snap.exists(), "shutdown must write the snapshot");
+
+    // --- second life: warm cache from the snapshot ---
+    let server = Server::bind(ServerConfig {
+        snapshot: Some(snap.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("re-bind");
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.run().expect("server re-run"));
+
+    let mut client = Client::connect_tcp(&addr).expect("re-connect");
+    let stats = client.stats().expect("stats after reload");
+    assert!(
+        stats.snapshot_entries > 0,
+        "restart must restore snapshot entries: {stats:?}"
+    );
+    let served = client.compile(spec("fir2dim")).expect("warm compile");
+    assert_eq!(
+        served, first,
+        "a snapshot-warmed result must be bit-identical to the cold one"
+    );
+    let stats = client.stats().expect("stats after warm compile");
+    assert!(
+        stats.memo_hits > 0,
+        "warm compile must hit restored entries: {stats:?}"
+    );
+
+    client.shutdown().expect("second shutdown");
+    daemon.join().expect("daemon thread 2");
+    let _ = std::fs::remove_file(&snap);
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_round_trip() {
+    let sock = temp_path("sock");
+    let _ = std::fs::remove_file(&sock);
+    let server = Server::bind(ServerConfig {
+        bind: hca_serve::Bind::Unix(sock.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("bind unix");
+    let stop = server.stop_handle();
+    let daemon = std::thread::spawn(move || server.run().expect("unix run"));
+
+    let mut client = Client::connect_unix(&sock).expect("connect unix");
+    client.ping().expect("unix ping");
+    let served = client.compile(spec("dot_product")).expect("unix compile");
+    assert!(served.legal);
+
+    stop.stop();
+    daemon.join().expect("daemon thread");
+    assert!(!sock.exists(), "socket file must be removed on shutdown");
+}

@@ -180,3 +180,141 @@ fn see_stats_invariant_holds_at_every_thread_count() {
         assert_stats_match(&runs[0].stats, &runs[1].stats, kernel.name);
     }
 }
+
+/// A result served by the `hca serve` daemon must be bit-identical to a
+/// direct `run_hca` call — cache cold *and* cache hot. The protocol digest
+/// covers the sorted placement, the final program's placement, the full MII
+/// report and the search statistics, so matching digests pin matching bits.
+#[test]
+fn served_results_match_direct_runs_cold_and_hot() {
+    use hca_serve::{Client, CompileSpec, Server, ServerConfig};
+
+    let _g = OVERRIDE_LOCK.lock().unwrap();
+    let fabric = DspFabric::standard(8, 8, 8);
+
+    // Direct reference digests, no daemon involved.
+    let direct: Vec<(&'static str, String)> = hca_repro::kernels::table1_kernels()
+        .into_iter()
+        .map(|kernel| {
+            let res = run_hca(&kernel.ddg, &fabric, &HcaConfig::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+            let summary = hca_serve::summarise(kernel.name, &kernel.ddg, &res);
+            (kernel.name, summary.digest)
+        })
+        .collect();
+
+    let server = Server::bind(ServerConfig::default()).expect("bind serve daemon");
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.run().expect("serve daemon run"));
+    let mut client = Client::connect_tcp(&addr).expect("connect to serve daemon");
+
+    // Two passes: the first populates the shared cache (all misses), the
+    // second must be served from it — and both must equal the direct run.
+    for pass in ["cold", "hot"] {
+        for (name, want_digest) in &direct {
+            let served = client
+                .compile(CompileSpec {
+                    kernel: Some((*name).to_string()),
+                    ..CompileSpec::default()
+                })
+                .unwrap_or_else(|e| panic!("{name} ({pass}): serve failed: {e}"));
+            assert_eq!(
+                &served.digest, want_digest,
+                "{name}: {pass} served digest diverges from the direct run"
+            );
+            assert!(served.legal, "{name}: {pass} served result illegal");
+        }
+    }
+    let stats = client.stats().expect("serve stats");
+    assert!(
+        stats.memo_hits > 0,
+        "hot pass must hit the shared cache: {stats:?}"
+    );
+    client.shutdown().expect("serve shutdown");
+    daemon.join().expect("serve daemon thread");
+}
+
+/// Hammering one shared, sharded memo from many OS threads at once must
+/// not change a single output bit: every concurrent run of a kernel must
+/// equal the sequential reference run of that kernel.
+#[test]
+fn shared_memo_is_deterministic_under_concurrent_hammering() {
+    use hca_repro::hca::{run_hca_shared, Memo};
+    use hca_repro::kernels;
+    use std::sync::Arc;
+
+    let _g = OVERRIDE_LOCK.lock().unwrap();
+    let fabric = DspFabric::standard(8, 8, 8);
+    let config = HcaConfig::default();
+    let obs = hca_obs::Obs::disabled();
+
+    // A near-duplicate mix: repeats guarantee cross-thread cache traffic.
+    let mix: Vec<(String, hca_repro::ddg::Ddg)> = kernels::table1_kernels()
+        .into_iter()
+        .map(|k| (k.name.to_string(), k.ddg))
+        .chain([
+            ("biquad".to_string(), kernels::dspstone::biquad()),
+            ("fir8".to_string(), kernels::dspstone::fir(8)),
+        ])
+        .collect();
+
+    // Sequential reference, its own private cache.
+    let reference: Vec<HcaResult> = {
+        let memo = Memo::new(Memo::DEFAULT_BUDGET);
+        mix.iter()
+            .map(|(name, ddg)| {
+                run_hca_shared(ddg, &fabric, &config, &obs, &memo)
+                    .unwrap_or_else(|e| panic!("{name}: {e}"))
+            })
+            .collect()
+    };
+
+    // 8 threads × the whole mix, all against ONE shared cache.
+    let shared = Arc::new(Memo::new(Memo::DEFAULT_BUDGET));
+    let mix = Arc::new(mix);
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let shared = Arc::clone(&shared);
+            let mix = Arc::clone(&mix);
+            let fabric = fabric.clone();
+            let config = config.clone();
+            std::thread::spawn(move || -> Vec<HcaResult> {
+                let obs = hca_obs::Obs::disabled();
+                mix.iter()
+                    // Stagger starting points so threads collide on
+                    // *different* kernels at any instant.
+                    .cycle()
+                    .skip(t % mix.len())
+                    .take(mix.len())
+                    .map(|(name, ddg)| {
+                        run_hca_shared(ddg, &fabric, &config, &obs, &shared)
+                            .unwrap_or_else(|e| panic!("thread {t} {name}: {e}"))
+                    })
+                    .collect()
+            })
+        })
+        .collect();
+
+    for (t, h) in handles.into_iter().enumerate() {
+        let results = h.join().expect("hammer thread");
+        for (i, res) in results.into_iter().enumerate() {
+            let slot = (t + i) % mix.len();
+            let (name, _) = &mix[slot];
+            let want = &reference[slot];
+            assert_eq!(
+                res.placement, want.placement,
+                "thread {t} {name}: placement diverges from sequential"
+            );
+            assert_eq!(res.mii, want.mii, "thread {t} {name}: MII diverges");
+            assert_eq!(res.stats, want.stats, "thread {t} {name}: stats diverge");
+            assert_eq!(
+                res.final_program.placement, want.final_program.placement,
+                "thread {t} {name}: final program diverges"
+            );
+        }
+    }
+    assert!(
+        shared.hits() > 0,
+        "concurrent hammering must produce cache hits"
+    );
+}

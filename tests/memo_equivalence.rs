@@ -103,3 +103,64 @@ fn memo_is_transparent_under_parallel_table1() {
     }
     hca_par::set_thread_override(None);
 }
+
+/// Byte-budget eviction must be as invisible as the cache itself: a run
+/// whose cache is squeezed hard enough to evict mid-run must still
+/// reproduce the uncached run bit-for-bit — eviction may only ever cost
+/// time, never change an answer.
+#[test]
+fn eviction_under_a_tiny_budget_never_changes_results() {
+    use hca_repro::hca::{run_hca_shared, Memo};
+    use hca_repro::kernels;
+
+    let _g = OVERRIDE_LOCK.lock().unwrap();
+    hca_par::set_thread_override(Some(1));
+    let fabric = DspFabric::standard(8, 8, 8);
+    let config = HcaConfig::default();
+    let obs = hca_obs::Obs::disabled();
+
+    // A workload big enough to fill a cache: the Table-1 kernels plus a
+    // synthetic DAG, run back-to-back against one shared memo.
+    let mut mix: Vec<(String, hca_repro::ddg::Ddg)> = kernels::table1_kernels()
+        .into_iter()
+        .map(|k| (k.name.to_string(), k.ddg))
+        .collect();
+    for (n, ddg) in kernels::synthetic::scaling_family(&[128], 0xB5E7) {
+        mix.push((format!("synthetic{n}"), ddg));
+    }
+
+    // Pass 1: unbounded cache measures the workload's natural footprint.
+    let roomy = Memo::new(Memo::DEFAULT_BUDGET);
+    let reference: Vec<HcaResult> = mix
+        .iter()
+        .map(|(name, ddg)| {
+            run_hca_shared(ddg, &fabric, &config, &obs, &roomy)
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+        })
+        .collect();
+    let footprint = roomy.approx_bytes();
+    assert!(footprint > 0, "workload must populate the cache");
+
+    // Pass 2: a quarter of the footprint forces eviction churn mid-run.
+    let tiny = Memo::new(footprint / 4);
+    for ((name, ddg), want) in mix.iter().zip(&reference) {
+        let got = run_hca_shared(ddg, &fabric, &config, &obs, &tiny)
+            .unwrap_or_else(|e| panic!("{name} (tiny budget): {e}"));
+        assert_equivalent(&format!("{name} under eviction"), &got, want);
+    }
+    assert!(
+        tiny.approx_bytes() <= tiny.budget(),
+        "cache must respect its byte budget: {} > {}",
+        tiny.approx_bytes(),
+        tiny.budget()
+    );
+    assert!(
+        tiny.evictions() > 0 || tiny.insertions() < roomy.insertions(),
+        "a quarter-footprint budget must visibly constrain the cache \
+         (evictions {} / insertions {} vs roomy {})",
+        tiny.evictions(),
+        tiny.insertions(),
+        roomy.insertions()
+    );
+    hca_par::set_thread_override(None);
+}
