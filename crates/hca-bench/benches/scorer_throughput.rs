@@ -1,0 +1,184 @@
+//! Criterion bench behind the lane-batched scoring kernel: raw candidate
+//! scoring throughput (ns/candidate) on a fixed expansion snapshot of the
+//! 512-node synthetic DAG, scalar `score_if_assignable` loop vs the batched
+//! `score_candidates_batched` kernel. The snapshot is deterministic — half
+//! the nodes greedily assigned, the other half's candidate views frozen —
+//! so the two paths score the exact same (state, node, candidate) set and
+//! the ratio isolates the kernel, not the workload.
+//!
+//! Besides the criterion samples, the derived ns/candidate figures and the
+//! lane coverage land in `target/experiments/BENCH_scorer_throughput.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hca_arch::ResourceTable;
+use hca_ddg::DdgAnalysis;
+use hca_pg::{ArchConstraints, Pg, PgNodeId};
+use hca_see::{
+    node_view, score_candidates_batched, score_if_assignable, CandList, CostWeights, LaneStats,
+    NodeView, PartialState, SeeContext,
+};
+use std::time::Instant;
+
+/// Build the frozen expansion snapshot: a half-assigned 512-node state and
+/// the candidate views of every remaining node. Assignments alternate over
+/// the node order so an unassigned node typically sees *both* assigned
+/// producers and assigned consumers — the mid-search shape whose consumer
+/// terms dominate scoring — rather than the consumer-free fringe a
+/// prefix-assigned state would expose.
+fn snapshot(ctx: &SeeContext<'_>) -> (PartialState, Vec<(hca_ddg::NodeId, NodeView)>) {
+    let order: Vec<_> = ctx.ddg.node_ids().collect();
+    let mut st = PartialState::initial(ctx, &order);
+    for &n in order.iter().step_by(2) {
+        let view = node_view(ctx, &st, n);
+        let mut best: Option<(PgNodeId, f64)> = None;
+        for c in view.candidates() {
+            if let Some(cost) = score_if_assignable(ctx, &st, &view, n, c) {
+                if best.is_none_or(|(_, b)| cost < b) {
+                    best = Some((c, cost));
+                }
+            }
+        }
+        if let Some((c, _)) = best {
+            st.apply_assign(ctx, n, c);
+        }
+    }
+    let views = order
+        .iter()
+        .skip(1)
+        .step_by(2)
+        .map(|&n| (n, node_view(ctx, &st, n)))
+        .collect();
+    (st, views)
+}
+
+/// One full pass of the scalar reference over the snapshot.
+fn scalar_pass(
+    ctx: &SeeContext<'_>,
+    st: &PartialState,
+    views: &[(hca_ddg::NodeId, NodeView)],
+) -> usize {
+    let mut pushed = 0;
+    let mut cands = CandList::new();
+    for (n, view) in views {
+        cands.clear();
+        for c in view.candidates() {
+            if let Some(cost) = score_if_assignable(ctx, st, view, *n, c) {
+                cands.push((c, cost));
+            }
+        }
+        pushed += cands.len();
+    }
+    pushed
+}
+
+/// One full pass of the batched kernel over the snapshot.
+fn batched_pass(
+    ctx: &SeeContext<'_>,
+    st: &PartialState,
+    views: &[(hca_ddg::NodeId, NodeView)],
+    stats: &mut LaneStats,
+) -> usize {
+    let mut pushed = 0;
+    let mut cands = CandList::new();
+    for (n, view) in views {
+        cands.clear();
+        score_candidates_batched(ctx, st, view, *n, &mut cands, stats);
+        pushed += cands.len();
+    }
+    pushed
+}
+
+fn bench_scorer_throughput(c: &mut Criterion) {
+    let (_, ddg) = hca_kernels::synthetic::scaling_family(&[512], 0xB5E7)
+        .pop()
+        .expect("scaling family produces the 512-node case");
+    let analysis = DdgAnalysis::compute(&ddg).expect("synthetic DAG analysable");
+    // Level-0 shape of the paper's 64-CN machine: 8 clusters of 8 CNs each.
+    let pg = Pg::complete(8, ResourceTable::of_cns(8));
+    let ctx = SeeContext {
+        ddg: &ddg,
+        analysis: &analysis,
+        pg: &pg,
+        constraints: ArchConstraints {
+            max_in_neighbors: 4,
+            max_out_neighbors: None,
+            out_node_max_in: 1,
+            copy_latency: 1,
+        },
+        weights: CostWeights::default(),
+        issue_cap: None,
+        statics: hca_see::statics::PgStatics::build(&pg),
+    };
+    let (st, views) = snapshot(&ctx);
+    let total_cands: usize = views.iter().map(|(_, v)| v.candidates().count()).sum();
+    assert!(total_cands > 0, "snapshot must expose candidates");
+
+    // Derived ns/candidate figures from a fixed manual loop (criterion's
+    // samples track the trend; these go to the experiment dump).
+    const PASSES: u32 = 200;
+    let t0 = Instant::now();
+    let mut scalar_pushed = 0;
+    for _ in 0..PASSES {
+        scalar_pushed = scalar_pass(&ctx, &st, &views);
+    }
+    let scalar_ns = t0.elapsed().as_nanos() as f64 / f64::from(PASSES) / total_cands as f64;
+    let mut stats = LaneStats::default();
+    let t0 = Instant::now();
+    let mut batched_pushed = 0;
+    for _ in 0..PASSES {
+        stats = LaneStats::default();
+        batched_pushed = batched_pass(&ctx, &st, &views, &mut stats);
+    }
+    let batched_ns = t0.elapsed().as_nanos() as f64 / f64::from(PASSES) / total_cands as f64;
+    assert_eq!(
+        scalar_pushed, batched_pushed,
+        "both paths must accept the same candidate set"
+    );
+    let coverage =
+        stats.lanes_scored as f64 * 100.0 / (stats.lanes_scored + stats.scalar_tail).max(1) as f64;
+    println!(
+        "scorer_throughput: {total_cands} candidates/pass, scalar {scalar_ns:.1} ns/cand, \
+         batched {batched_ns:.1} ns/cand ({:.2}x), lane coverage {coverage:.0}%",
+        scalar_ns / batched_ns.max(1e-9),
+    );
+    #[derive(serde::Serialize)]
+    struct Report {
+        candidates_per_pass: usize,
+        scalar_ns_per_candidate: f64,
+        batched_ns_per_candidate: f64,
+        speedup: f64,
+        lanes_scored: usize,
+        lane_batches: usize,
+        scalar_tail: usize,
+        lane_coverage_pct: f64,
+    }
+    hca_bench::dump_bench_json(
+        "scorer_throughput",
+        &Report {
+            candidates_per_pass: total_cands,
+            scalar_ns_per_candidate: scalar_ns,
+            batched_ns_per_candidate: batched_ns,
+            speedup: scalar_ns / batched_ns.max(1e-9),
+            lanes_scored: stats.lanes_scored,
+            lane_batches: stats.lane_batches,
+            scalar_tail: stats.scalar_tail,
+            lane_coverage_pct: coverage,
+        },
+    );
+
+    let mut group = c.benchmark_group("scorer_throughput");
+    group.sample_size(20);
+    group.bench_function("scalar", |b| {
+        b.iter(|| scalar_pass(&ctx, std::hint::black_box(&st), &views))
+    });
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            let mut stats = LaneStats::default();
+            batched_pass(&ctx, std::hint::black_box(&st), &views, &mut stats)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scorer_throughput);
+criterion_main!(benches);

@@ -34,6 +34,12 @@ pub struct SeeConfig {
     /// scores). Heuristic — disable via this flag or the `HCA_NO_DOMINANCE`
     /// environment variable to compare outcomes.
     pub dominance: bool,
+    /// Score candidates through the batched lane kernel
+    /// ([`crate::assignable::score_candidates_batched`]) instead of one
+    /// scalar trial per candidate. Output is bit-identical either way; the
+    /// flag (or the `HCA_NO_BATCH` environment variable) exists so a
+    /// suspected batching regression can be bisected in the field.
+    pub batched_scoring: bool,
 }
 
 impl Default for SeeConfig {
@@ -48,6 +54,7 @@ impl Default for SeeConfig {
             max_route_hops: 3,
             issue_cap: None,
             dominance: true,
+            batched_scoring: true,
         }
     }
 }
@@ -209,6 +216,18 @@ pub struct SeeStats {
     /// High-water heap footprint of the state arena (retired `PartialState`
     /// buffers awaiting reuse by survivor materialisation).
     pub state_arena_bytes: usize,
+    /// Candidates scored through lane batches of the batched scoring
+    /// kernel. Zero when batching is off (`SeeConfig::batched_scoring` /
+    /// `HCA_NO_BATCH`).
+    pub lanes_scored: usize,
+    /// Lane batches flushed by the batched scoring kernel (each scores up
+    /// to [`crate::assignable::LANES`] candidates in one pass; sub-width
+    /// remainders flush as one partial batch at their real width).
+    pub lane_batches: usize,
+    /// Candidates scored by the scalar reference path while batching was
+    /// on: views the lane fold cannot express, plus expansions too small
+    /// to repay batch setup.
+    pub scalar_tail: usize,
 }
 
 impl SeeStats {
@@ -348,9 +367,10 @@ impl<'a> See<'a> {
         stats.frontier_deduped +=
             crate::frontier::content_merge(&mut distinct, &mut slots, &mut freed);
         pool.put_all(&mut freed);
-        // Read the escape hatch once per run: a mid-run environment change
+        // Read the escape hatches once per run: a mid-run environment change
         // must not make one search internally inconsistent.
         let dominance_on = self.config.dominance && std::env::var_os("HCA_NO_DOMINANCE").is_none();
+        let batched_on = self.config.batched_scoring && std::env::var_os("HCA_NO_BATCH").is_none();
         let trace_on = self.tracer.is_enabled();
 
         for (step_idx, &n) in (0u32..).zip(order.nodes()) {
@@ -376,48 +396,79 @@ impl<'a> See<'a> {
             // Distinct states are independent; each hca-par worker owns a
             // contiguous chunk and results come back in input order, so the
             // merge below is scheduling-independent.
-            let scored: Vec<(CandList, CandidatePruning)> =
+            let scored: Vec<(CandList, CandidatePruning, crate::filters::LaneStats)> =
                 hca_par::par_map_mut(&mut distinct, |st| {
                     // Operand/result placements are candidate-independent:
                     // read them once per state, not once per cluster probe.
                     // The view's bitmask AND already folded every static
                     // screen (executability, producer/consumer potential,
-                    // output fan-in), so the loop below touches only the
+                    // output fan-in), so the scoring below touches only the
                     // clusters that survive it — in the same ascending id
                     // order the full probe scanned — and re-checks just the
                     // port/budget conditions that depend on mutable state.
                     let view = crate::assignable::node_view(&self.ctx, st, n);
                     let mut cands: CandList = CandList::new();
-                    for c in view.candidates() {
-                        // Mutation-free trial: one pass re-checks the
-                        // dynamic screens and replays apply's aggregate
-                        // arithmetic against locals, bit-exact with the
-                        // journalled apply-read-undo path (asserted below).
-                        let scored =
-                            crate::assignable::score_if_assignable(&self.ctx, st, &view, n, c);
-                        #[cfg(debug_assertions)]
-                        {
-                            debug_assert_eq!(
-                                scored.is_some(),
-                                crate::assignable::assignable_dynamic(&self.ctx, st, &view, n, c),
-                                "fused screen disagrees with assignable_dynamic for {n:?} @ {c:?}"
-                            );
-                            if let Some(cost) = scored {
-                                let undo = st.apply_assign_logged(&self.ctx, n, c);
+                    let mut lane_stats = crate::filters::LaneStats::default();
+                    if batched_on {
+                        // Batched lane kernel: gather the surviving
+                        // candidates into contiguous lane buffers, score
+                        // LANES per pass — bit-identical to the scalar
+                        // trials (asserted per candidate in debug builds).
+                        crate::assignable::score_candidates_batched(
+                            &self.ctx,
+                            st,
+                            &view,
+                            n,
+                            &mut cands,
+                            &mut lane_stats,
+                        );
+                    } else {
+                        for c in view.candidates() {
+                            // Mutation-free trial: one pass re-checks the
+                            // dynamic screens and replays apply's aggregate
+                            // arithmetic against locals, bit-exact with the
+                            // journalled apply-read-undo path (asserted
+                            // below).
+                            let scored =
+                                crate::assignable::score_if_assignable(&self.ctx, st, &view, n, c);
+                            #[cfg(debug_assertions)]
+                            {
                                 debug_assert_eq!(
-                                    cost.to_bits(),
-                                    st.cost.to_bits(),
-                                    "score_if_assignable diverged from apply for {n:?} @ {c:?}"
+                                    scored.is_some(),
+                                    crate::assignable::assignable_dynamic(
+                                        &self.ctx,
+                                        st,
+                                        &view,
+                                        n,
+                                        c
+                                    ),
+                                    "fused screen disagrees with assignable_dynamic for {n:?} @ {c:?}"
                                 );
-                                st.undo_assign(&self.ctx, undo);
+                                if let Some(cost) = scored {
+                                    let undo = st.apply_assign_logged(&self.ctx, n, c);
+                                    debug_assert_eq!(
+                                        cost.to_bits(),
+                                        st.cost.to_bits(),
+                                        "score_if_assignable diverged from apply for {n:?} @ {c:?}"
+                                    );
+                                    st.undo_assign(&self.ctx, undo);
+                                }
                             }
+                            let Some(cost) = scored else { continue };
+                            cands.push((c, cost));
                         }
-                        let Some(cost) = scored else { continue };
-                        cands.push((c, cost));
                     }
                     let pruning = cand_filter.apply(&mut cands);
-                    (cands, pruning)
+                    (cands, pruning, lane_stats)
                 });
+            // Lane counters accrue once per *distinct* state (the lane work
+            // ran once per distinct state too); `par_map_mut` returns in
+            // input order, so the sums are thread-count invariant.
+            for (_, _, ls) in &scored {
+                stats.lanes_scored += ls.lanes_scored;
+                stats.lane_batches += ls.lane_batches;
+                stats.scalar_tail += ls.scalar_tail;
+            }
 
             // Merge deterministically as (beam slot, cluster, cost) tuples,
             // in (beam order, per-state candidate order) — the exact
@@ -426,7 +477,7 @@ impl<'a> See<'a> {
             // on behalf of each beam position it stands in for.
             let mut merged: Vec<(usize, PgNodeId, f64)> = Vec::new();
             for (si, &di) in slots.iter().enumerate() {
-                let (cands, pruning) = &scored[di];
+                let (cands, pruning, _) = &scored[di];
                 stats.cand_rejected_margin += pruning.by_margin;
                 stats.cand_rejected_branch += pruning.by_branch;
                 merged.extend(cands.iter().map(|&(c, cost)| (si, c, cost)));

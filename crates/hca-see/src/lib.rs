@@ -37,7 +37,9 @@ pub mod route_table;
 pub mod state;
 pub mod statics;
 
+pub use assignable::{node_view, score_candidates_batched, score_if_assignable, NodeView, LANES};
 pub use cost::CostWeights;
 pub use engine::{See, SeeConfig, SeeError, SeeOutcome, SeeStats, STEP_SAMPLE_CAP};
+pub use filters::{CandList, LaneStats};
 pub use route_table::RouteTable;
 pub use state::{PartialState, SeeContext};
