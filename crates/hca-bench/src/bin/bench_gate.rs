@@ -1,8 +1,8 @@
 //! **Bench regression gate** — diffs a fresh run of the fixed gate workload
-//! (full HCA over the four Table-1 kernels plus a 512-node synthetic
-//! scaling case) against the checked-in `BENCH_baseline.json` and exits
-//! non-zero when any case regresses by more than the tolerance (default 25%
-//! wall-clock).
+//! (full HCA over the four Table-1 kernels, a 512-node synthetic scaling
+//! case, and `+race` portfolio variants of the paper kernels) against the
+//! checked-in `BENCH_baseline.json` and exits non-zero when any case
+//! regresses by more than the tolerance (default 25% wall-clock).
 //!
 //! Usage:
 //!
@@ -24,7 +24,7 @@
 //! this job as non-blocking and the baseline documents the reference
 //! machine's trajectory rather than a portable truth.
 
-use hca_core::{run_hca, run_hca_obs, HcaConfig};
+use hca_core::{run_hca, run_hca_obs, HcaConfig, PortfolioConfig};
 use hca_obs::Obs;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -77,6 +77,16 @@ const HISTORY_COUNTERS: &[&str] = &[
     "driver.memo_bytes",
     "driver.memo_entries",
     "driver.fallbacks",
+    "portfolio.bounds_computed",
+    "portfolio.bound_exits",
+    "portfolio.exact_runs",
+    "portfolio.exact_wins",
+    "portfolio.exact_proofs",
+    "portfolio.exact_timeouts",
+    "portfolio.gap_known",
+    "portfolio.gap_sum",
+    "portfolio.guard_runs",
+    "portfolio.guard_kept_beam",
 ];
 
 /// One appended line of `BENCH_history.jsonl` — the bench trajectory.
@@ -123,15 +133,25 @@ fn median(samples: &[f64]) -> f64 {
 /// best-of-3 back-to-back runs by default, or the median of `interleave`
 /// rounds that alternate over the cases. Beyond the four paper kernels, a
 /// seeded 512-node synthetic DAG stresses the sub-problem memoization and
-/// frontier caches at a size where the Table-1 loops barely exercise them.
+/// frontier caches at a size where the Table-1 loops barely exercise them,
+/// and `+race` variants of the paper kernels time the exact/beam portfolio
+/// (and feed its `portfolio.*` counters into the history trajectory).
 fn measure(interleave: Option<usize>) -> Vec<GateCase> {
     let fabric = hca_bench::paper_fabric();
-    let mut workload: Vec<(String, hca_ddg::Ddg)> = hca_kernels::table1_kernels()
+    let base = HcaConfig::default();
+    let race = HcaConfig {
+        portfolio: PortfolioConfig::race(),
+        ..HcaConfig::default()
+    };
+    let mut workload: Vec<(String, hca_ddg::Ddg, HcaConfig)> = hca_kernels::table1_kernels()
         .into_iter()
-        .map(|k| (k.name.to_string(), k.ddg))
+        .map(|k| (k.name.to_string(), k.ddg, base))
         .collect();
     for (n, ddg) in hca_kernels::synthetic::scaling_family(&[512], 0xB5E7) {
-        workload.push((format!("synthetic{n}"), ddg));
+        workload.push((format!("synthetic{n}"), ddg, base));
+    }
+    for k in hca_kernels::table1_kernels() {
+        workload.push((format!("{}+race", k.name), k.ddg, race));
     }
     let mut samples: Vec<Vec<f64>> = vec![Vec::new(); workload.len()];
     match interleave {
@@ -139,9 +159,9 @@ fn measure(interleave: Option<usize>) -> Vec<GateCase> {
             // Round-robin over the cases so slow host drift spreads evenly
             // instead of biasing whichever case ran last.
             for _ in 0..rounds.max(1) {
-                for (i, (name, ddg)) in workload.iter().enumerate() {
+                for (i, (name, ddg, config)) in workload.iter().enumerate() {
                     let t0 = Instant::now();
-                    let res = run_hca(ddg, &fabric, &HcaConfig::default());
+                    let res = run_hca(ddg, &fabric, config);
                     let ms = t0.elapsed().as_secs_f64() * 1e3;
                     assert!(res.is_ok(), "{name}: HCA failed in the gate workload");
                     samples[i].push(ms);
@@ -149,10 +169,10 @@ fn measure(interleave: Option<usize>) -> Vec<GateCase> {
             }
         }
         None => {
-            for (i, (name, ddg)) in workload.iter().enumerate() {
+            for (i, (name, ddg, config)) in workload.iter().enumerate() {
                 for _ in 0..3 {
                     let t0 = Instant::now();
-                    let res = run_hca(ddg, &fabric, &HcaConfig::default());
+                    let res = run_hca(ddg, &fabric, config);
                     let ms = t0.elapsed().as_secs_f64() * 1e3;
                     assert!(res.is_ok(), "{name}: HCA failed in the gate workload");
                     samples[i].push(ms);
@@ -161,11 +181,11 @@ fn measure(interleave: Option<usize>) -> Vec<GateCase> {
         }
     }
     let mut cases = Vec::new();
-    for ((name, ddg), samples) in workload.iter().zip(samples) {
+    for ((name, ddg, config), samples) in workload.iter().zip(samples) {
         // One extra observed run (outside the timing loop, so the observer
         // cannot skew `millis`) supplies the history counters.
         let obs = Obs::enabled();
-        let res = run_hca_obs(ddg, &fabric, &HcaConfig::default(), &obs);
+        let res = run_hca_obs(ddg, &fabric, config, &obs);
         assert!(res.is_ok(), "{name}: observed HCA run failed");
         let metrics = obs.finish().unwrap_or_default();
         let counters = HISTORY_COUNTERS

@@ -104,17 +104,22 @@ pub(crate) fn cmd_clusterize(opts: &Options) -> Result<(), String> {
 }
 
 /// Reproduce the paper's Table 1: run all four multimedia loops through the
-/// best-of-portfolio search and print the markdown table. With
-/// `--metrics-out` the rows (each carrying its run's [`RunMetrics`]) are
-/// written as one JSON array; `--trace-out` writes one trace per kernel,
-/// tagged with the kernel name.
+/// best-of-portfolio search and print the markdown table. A non-default
+/// `--solver` replaces the config portfolio with one run under that
+/// sub-problem solver (exact-small or race). With `--metrics-out` the rows
+/// (each carrying its run's [`RunMetrics`]) are written as one JSON array;
+/// `--trace-out` writes one trace per kernel, tagged with the kernel name.
 pub(crate) fn cmd_table1(opts: &Options) -> Result<(), String> {
     let fabric = opts.fabric();
     let mut rows = Vec::new();
     for kernel in hca_kernels::table1_kernels() {
         let obs = opts.kernel_obs(kernel.name)?;
-        let res = hca_core::run_hca_portfolio_obs(&kernel.ddg, &fabric, &obs)
-            .map_err(|e| format!("{}: {e}", kernel.name))?;
+        let res = if opts.solver == hca_core::PortfolioMode::BeamOnly {
+            hca_core::run_hca_portfolio_obs(&kernel.ddg, &fabric, &obs)
+        } else {
+            hca_core::run_hca_obs(&kernel.ddg, &fabric, &opts.hca_config(), &obs)
+        }
+        .map_err(|e| format!("{}: {e}", kernel.name))?;
         obs.finish();
         rows.push(Table1Row::from_result(kernel.name, &kernel.ddg, &res));
     }
@@ -242,7 +247,7 @@ pub(crate) fn cmd_sweep(opts: &Options) -> Result<(), String> {
                     .ok()
                     .map(|r| (r.mii.final_mii, r.is_legal()))
             } else {
-                hca_core::run_hca(&kernel.ddg, &fabric, &hca_core::HcaConfig::default())
+                hca_core::run_hca(&kernel.ddg, &fabric, &opts.hca_config())
                     .ok()
                     .map(|r| (r.mii.final_mii, r.is_legal()))
             };
@@ -427,7 +432,7 @@ pub(crate) fn cmd_serve(opts: &Options) -> Result<(), String> {
         bind,
         snapshot: opts.snapshot.as_ref().map(std::path::PathBuf::from),
         memo_budget: opts.memo_budget.unwrap_or(hca_core::Memo::DEFAULT_BUDGET),
-        hca: hca_core::HcaConfig::default(),
+        hca: opts.hca_config(),
     };
     let server = Server::bind(cfg).map_err(|e| format!("serve: {e}"))?;
     // The address goes to stdout (and is flushed) so scripts driving

@@ -4,8 +4,7 @@
 //! dumps to phases and counters.
 
 use crate::Options;
-use hca_core::HcaConfig;
-use hca_obs::trace::{self, kind, FALLBACK_TIER};
+use hca_obs::trace::{self, kind, EXACT_TIER, FALLBACK_TIER};
 use hca_obs::{Obs, SearchTracer, TraceRecord};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,14 +38,8 @@ pub(crate) fn cmd_explain(opts: &Options) -> Result<(), String> {
             None => SearchTracer::enabled(),
         };
         let fabric = opts.fabric();
-        hca_core::run_hca_traced(
-            &ddg,
-            &fabric,
-            &HcaConfig::default(),
-            &Obs::disabled(),
-            &tracer,
-        )
-        .map_err(|e| e.to_string())?;
+        hca_core::run_hca_traced(&ddg, &fabric, &opts.hca_config(), &Obs::disabled(), &tracer)
+            .map_err(|e| e.to_string())?;
         tracer.flush().map_err(|e| e.to_string())?;
         if let Some(path) = &opts.trace_out {
             eprintln!("(raw search trace written to {path})");
@@ -190,6 +183,37 @@ pub(crate) fn explain_report(title: &str, records: &[TraceRecord]) -> String {
         );
     }
 
+    // Portfolio exact backend: every EXACT_TIER tier record is one
+    // branch-and-bound run, `ok` marks the ones that displaced the beam
+    // winner and `why` records how the run ended.
+    let exact: Vec<&(u32, bool, u32, String)> = subs
+        .values()
+        .flat_map(|s| s.tiers.iter())
+        .filter(|t| t.0 == EXACT_TIER)
+        .collect();
+    if !exact.is_empty() {
+        let wins = exact.iter().filter(|t| t.1).count();
+        let mut ends: BTreeMap<&str, u64> = BTreeMap::new();
+        for t in &exact {
+            *ends.entry(t.3.as_str()).or_default() += 1;
+        }
+        let _ = writeln!(
+            out,
+            "\nportfolio exact backend: {} run(s), {wins} displaced the beam winner",
+            exact.len()
+        );
+        for (why, n) in &ends {
+            let label = match *why {
+                "proven" => "proven optimal (lower bound hit)",
+                "exhausted" => "search space exhausted",
+                "deadline" => "deadline expired",
+                "budget" => "node budget exhausted",
+                other => other,
+            };
+            let _ = writeln!(out, "  {label:<34} {n}");
+        }
+    }
+
     // Which constraint bound each solved sub-problem's MII estimate.
     let mut binders: BTreeMap<&str, u64> = BTreeMap::new();
     for s in subs.values() {
@@ -218,6 +242,8 @@ pub(crate) fn explain_report(title: &str, records: &[TraceRecord]) -> String {
             Some(r) => {
                 let tier = if r.tier == FALLBACK_TIER {
                     "fallback".to_string()
+                } else if r.tier == EXACT_TIER {
+                    "exact".to_string()
                 } else {
                     format!("tier {}", r.tier)
                 };

@@ -19,7 +19,7 @@
 //! ```
 
 use hca_arch::DspFabric;
-use hca_core::{run_hca_obs, run_hca_portfolio_obs, HcaConfig, HcaResult};
+use hca_core::{run_hca_obs, run_hca_portfolio_obs, HcaConfig, HcaResult, PortfolioMode};
 use hca_ddg::{analysis, Ddg};
 use hca_obs::{ChromeTraceSink, JsonlSink, Obs, StderrSink};
 use std::process::ExitCode;
@@ -143,6 +143,10 @@ options:
   --machine N,M,K    MUX capacities of the 64-CN machine (default 8,8,8),
                      or a full hierarchy spec like 2x4x4x4@8,8,8,8
   --portfolio        run the config portfolio, keep the best result
+  --solver MODE      sub-problem solver: beam-only (default), exact-small
+                     (deterministic exact backend on small sub-problems) or
+                     race (exact-small plus a wall-clock deadline); the
+                     result is never worse than beam-only on MII
   --sms              use Swing Modulo Scheduling instead of iterative
   --trip T           iterations to simulate (default 16)
   --unroll F         unroll the loop body F times before everything else
@@ -188,6 +192,7 @@ pub(crate) struct Options {
     pub machine: (usize, usize, usize),
     pub machine_spec: Option<String>,
     pub portfolio: bool,
+    pub solver: PortfolioMode,
     pub sms: bool,
     pub trip: u64,
     pub unroll: u32,
@@ -217,6 +222,7 @@ impl Options {
             machine: (8, 8, 8),
             machine_spec: None,
             portfolio: false,
+            solver: PortfolioMode::BeamOnly,
             sms: false,
             trip: 16,
             unroll: 1,
@@ -270,6 +276,21 @@ impl Options {
                     }
                 }
                 "--portfolio" => o.portfolio = true,
+                "--solver" => {
+                    let v = it
+                        .next()
+                        .ok_or("--solver needs beam-only|exact-small|race")?;
+                    o.solver = match v.as_str() {
+                        "beam-only" => PortfolioMode::BeamOnly,
+                        "exact-small" => PortfolioMode::ExactSmall,
+                        "race" => PortfolioMode::Race,
+                        other => {
+                            return Err(format!(
+                                "bad --solver value `{other}` (want beam-only, exact-small or race)"
+                            ))
+                        }
+                    };
+                }
                 "--sms" => o.sms = true,
                 "--trace" => o.trace = true,
                 "--metrics-out" => {
@@ -468,6 +489,20 @@ impl Options {
         Ok(res)
     }
 
+    /// The [`HcaConfig`] the flags ask for: defaults plus the `--solver`
+    /// portfolio mode (with its mode-specific deadline/budget defaults).
+    pub fn hca_config(&self) -> HcaConfig {
+        let portfolio = match self.solver {
+            PortfolioMode::BeamOnly => hca_core::PortfolioConfig::default(),
+            PortfolioMode::ExactSmall => hca_core::PortfolioConfig::exact_small(),
+            PortfolioMode::Race => hca_core::PortfolioConfig::race(),
+        };
+        HcaConfig {
+            portfolio,
+            ..HcaConfig::default()
+        }
+    }
+
     /// Run HCA under an externally managed observer (for commands that add
     /// their own spans — scheduling, simulation — before flushing).
     pub fn run_with(&self, ddg: &Ddg, obs: &Obs) -> Result<HcaResult, String> {
@@ -475,7 +510,7 @@ impl Options {
         if self.portfolio {
             run_hca_portfolio_obs(ddg, &fabric, obs).map_err(|e| e.to_string())
         } else {
-            run_hca_obs(ddg, &fabric, &HcaConfig::default(), obs).map_err(|e| e.to_string())
+            run_hca_obs(ddg, &fabric, &self.hca_config(), obs).map_err(|e| e.to_string())
         }
     }
 }

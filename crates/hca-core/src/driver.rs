@@ -15,9 +15,9 @@ use crate::problem::Subproblem;
 use hca_arch::{CnId, DspFabric, GroupTopology, Topology};
 use hca_ddg::{analysis::DdgError, Ddg, DdgAnalysis, NodeId};
 use hca_mapper::{map_level_obs, MapError, MapOptions, MapperOutput};
-use hca_obs::trace::{kind, FALLBACK_TIER};
+use hca_obs::trace::{kind, EXACT_TIER, FALLBACK_TIER};
 use hca_obs::{Obs, RunMetrics, SearchTracer, TraceRecord};
-use hca_see::{See, SeeConfig, SeeError};
+use hca_see::{mii_lower_bound, solution_score, ExactConfig, See, SeeConfig, SeeError};
 use rustc_hash::FxHashMap;
 use std::fmt;
 
@@ -54,6 +54,80 @@ impl ValidationLevel {
     }
 }
 
+/// Which solver backends the driver runs per sub-problem.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PortfolioMode {
+    /// The historical behaviour: the beam escalation ladder alone. No
+    /// bounds are computed, no exact search runs — bit-identical to the
+    /// pre-portfolio driver.
+    #[default]
+    BeamOnly,
+    /// Beam plus the exact branch-and-bound on sub-problems of at most
+    /// [`PortfolioConfig::exact_max_nodes`] working-set nodes, cut only by
+    /// the deterministic node budget (any configured deadline is ignored),
+    /// so runs are reproducible. Admissible MII floors are shared with the
+    /// beam for the proven-optimal tier skip.
+    ExactSmall,
+    /// [`ExactSmall`](PortfolioMode::ExactSmall) with the wall-clock
+    /// deadline ([`PortfolioConfig::exact_deadline_ms`]) armed as a
+    /// cooperative cancellation safety net: the exact side races the clock
+    /// and concedes to the beam incumbent when it fires. Latency-bounded,
+    /// at the price of run-to-run determinism of the *statistics* (the
+    /// kept result is still always legal and never worse on MII).
+    Race,
+}
+
+/// Per-sub-problem exact/beam portfolio knobs (see [`PortfolioMode`]).
+///
+/// Whatever the mode, the beam runs first and the exact backend only
+/// replaces its result when strictly better on the shared solution score
+/// (`16·MII + copies`), not worse on MII, mappable, and passing
+/// [`hca_pg::ArchConstraints::check`] — so the portfolio's MII is never
+/// worse than beam-alone, and bit-identical to it whenever the beam wins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PortfolioConfig {
+    /// Backend selection policy.
+    pub mode: PortfolioMode,
+    /// Largest working set (in nodes) the exact backend attempts; beyond
+    /// it the search space is hopeless and only the beam runs.
+    pub exact_max_nodes: usize,
+    /// Deterministic branch-node budget of one exact run (the primary cut;
+    /// machine-independent).
+    pub exact_node_budget: u64,
+    /// Wall-clock deadline in milliseconds per exact run, armed only under
+    /// [`PortfolioMode::Race`]. `0` disarms it even there.
+    pub exact_deadline_ms: u64,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig {
+            mode: PortfolioMode::BeamOnly,
+            exact_max_nodes: 12,
+            exact_node_budget: 200_000,
+            exact_deadline_ms: 50,
+        }
+    }
+}
+
+impl PortfolioConfig {
+    /// Deterministic exact/beam portfolio ([`PortfolioMode::ExactSmall`]).
+    pub fn exact_small() -> Self {
+        PortfolioConfig {
+            mode: PortfolioMode::ExactSmall,
+            ..PortfolioConfig::default()
+        }
+    }
+
+    /// Deadline-raced portfolio ([`PortfolioMode::Race`]).
+    pub fn race() -> Self {
+        PortfolioConfig {
+            mode: PortfolioMode::Race,
+            ..PortfolioConfig::default()
+        }
+    }
+}
+
 /// HCA tunables.
 #[derive(Clone, Copy, Debug)]
 pub struct HcaConfig {
@@ -80,6 +154,10 @@ pub struct HcaConfig {
     ///
     /// [`memo`]: HcaConfig::memo
     pub memo_budget: usize,
+    /// Exact/beam portfolio policy (see [`PortfolioConfig`]). The default
+    /// [`PortfolioMode::BeamOnly`] leaves the driver bit-identical to its
+    /// pre-portfolio behaviour.
+    pub portfolio: PortfolioConfig,
 }
 
 impl Default for HcaConfig {
@@ -90,6 +168,7 @@ impl Default for HcaConfig {
             validation: ValidationLevel::Report,
             memo: true,
             memo_budget: crate::memo::Memo::DEFAULT_BUDGET,
+            portfolio: PortfolioConfig::default(),
         }
     }
 }
@@ -198,6 +277,11 @@ pub struct HcaStats {
     pub forwards: usize,
     /// Configured wires in the final topology.
     pub wires: usize,
+    /// Sub-problems where the portfolio's exact backend displaced the beam
+    /// result. Zero on every beam-only run; the driver uses it to decide
+    /// whether the global never-worse guard needs a beam-alone re-run.
+    #[serde(default)]
+    pub exact_wins: usize,
 }
 
 /// Result of a full HCA run.
@@ -363,6 +447,7 @@ fn merge_stats(into: &mut HcaStats, from: &HcaStats) {
     into.routed_nodes += from.routed_nodes;
     into.forwards += from.forwards;
     into.wires += from.wires;
+    into.exact_wins += from.exact_wins;
 }
 
 /// [`run_hca`] with explicit observability: phase spans (decomposition,
@@ -423,7 +508,59 @@ pub fn run_hca_shared(
 /// [`run_hca_obs`] with an optional externally owned sub-problem cache, so
 /// a portfolio run can share one [`crate::memo::Memo`] across variants.
 /// With `None` (and [`HcaConfig::memo`] on) the run owns a private cache.
+///
+/// When the exact backend displaced the beam result in at least one
+/// sub-problem, the *global* never-worse-than-beam guarantee does not
+/// follow from the per-sub-problem acceptance rule alone: a locally better
+/// level result (same estimated MII, fewer copies) can steer the greedy
+/// recursion into a worse final MII downstream. So this wrapper re-runs
+/// the driver beam-only whenever `stats.exact_wins > 0` and keeps the
+/// result with the lower final MII (the exact-assisted one on ties). The
+/// extra run costs nothing in the common case — with zero exact wins the
+/// two runs are bit-identical and the guard never fires.
 fn run_hca_inner(
+    ddg: &Ddg,
+    fabric: &DspFabric,
+    config: &HcaConfig,
+    obs: &Obs,
+    shared_memo: Option<&crate::memo::Memo>,
+    tracer: &SearchTracer,
+) -> Result<HcaResult, HcaError> {
+    let res = run_hca_once(ddg, fabric, config, obs, shared_memo, tracer)?;
+    if config.portfolio.mode == PortfolioMode::BeamOnly || res.stats.exact_wins == 0 {
+        return Ok(res);
+    }
+    obs.counter_add("portfolio.guard_runs", 1);
+    let beam_cfg = HcaConfig {
+        portfolio: PortfolioConfig {
+            mode: PortfolioMode::BeamOnly,
+            ..config.portfolio
+        },
+        ..*config
+    };
+    // The guard run is untraced: a search trace describes one solve, and
+    // the exact-assisted run above is the one being explained.
+    let beam = run_hca_once(
+        ddg,
+        fabric,
+        &beam_cfg,
+        obs,
+        shared_memo,
+        &SearchTracer::disabled(),
+    )?;
+    let beam_better = beam.mii.final_mii < res.mii.final_mii && beam.is_legal();
+    let mut kept = if beam_better || (!res.is_legal() && beam.is_legal()) {
+        obs.counter_add("portfolio.guard_kept_beam", 1);
+        beam
+    } else {
+        res
+    };
+    // Re-snapshot so the kept result's metrics cover the guard run too.
+    kept.metrics = obs.snapshot();
+    Ok(kept)
+}
+
+fn run_hca_once(
     ddg: &Ddg,
     fabric: &DspFabric,
     config: &HcaConfig,
@@ -663,7 +800,18 @@ fn solve_subproblem(cx: &SolveCtx<'_>, sp: &Subproblem) -> Result<SubResult, Hca
     // (different priority orders, wider beams, and finally a pure
     // copy-minimising objective) — empirically, distinct sub-problems
     // fall to distinct strategies, so breadth beats depth here.
-    let base = config.see;
+    // Bound sharing (portfolio modes only): admissible MII floors computed
+    // once, before any search, feed both backends — the beam's
+    // proven-optimal tier skip below and the exact search's pruning cutoff.
+    // BeamOnly skips even the computation so the historical mode stays
+    // literally untouched.
+    let bound: Option<u32> = (config.portfolio.mode != PortfolioMode::BeamOnly).then(|| {
+        let lb = mii_lower_bound(ddg, analysis, &pg, &constraints, Some(&sp.working_set));
+        obs.counter_add("portfolio.bounds_computed", 1);
+        lb.overall()
+    });
+    let mut base = config.see;
+    base.mii_bound = bound.or(base.mii_bound);
     let cap = config.issue_cap_slack;
     let tiers: [SeeConfig; 5] = [
         SeeConfig {
@@ -710,6 +858,10 @@ fn solve_subproblem(cx: &SolveCtx<'_>, sp: &Subproblem) -> Result<SubResult, Hca
     // (sub-problems are tiny) and which strategy wins varies per
     // sub-problem.
     let mut winner_tier: u32 = FALLBACK_TIER;
+    // Set when a tier winner provably reached the global score minimum
+    // (bound sharing): the remaining tiers — and the exact backend — have
+    // nothing left to win.
+    let mut bound_exit = false;
     let see_span = obs.span("see", level_phase(d));
     for (tier, see_cfg) in tiers.into_iter().enumerate() {
         let tier_t0 = trace_on.then(std::time::Instant::now);
@@ -803,6 +955,20 @@ fn solve_subproblem(cx: &SolveCtx<'_>, sp: &Subproblem) -> Result<SubResult, Hca
                     winner_tier = tier as u32;
                     solved = Some((outcome, mapped));
                 }
+                // Proven-optimal early exit: with zero copies at the
+                // admissible floor the winner's score `16·MII + copies`
+                // sits at its global minimum, and the tier loop keeps the
+                // *earliest* tier on score ties — so no later tier can
+                // change the outcome. Skipping them is output-preserving,
+                // and the floor is also an absolute optimality proof.
+                if let (Some(b), Some((best, _))) = (bound, &solved) {
+                    if best.est_mii <= b && best.assigned.total_copies() == 0 {
+                        obs.counter_add("portfolio.bound_exits", 1);
+                        obs.counter_add("portfolio.gap_known", 1);
+                        bound_exit = true;
+                        break;
+                    }
+                }
             }
             Err(source) => {
                 if trace_on {
@@ -893,6 +1059,133 @@ fn solve_subproblem(cx: &SolveCtx<'_>, sp: &Subproblem) -> Result<SubResult, Hca
             }
         }
         drop(fallback_span);
+    }
+
+    // Exact backend: on small sub-problems, race the branch-and-bound
+    // against the beam incumbent. Seeded with the beam's score it only ever
+    // returns strictly better solutions; acceptance additionally requires a
+    // no-worse MII, a successful Mapper run and a from-scratch
+    // `ArchConstraints::check` pass — so the portfolio result is never
+    // worse than beam-alone on MII and bit-identical to it whenever the
+    // beam side wins. A bound-exited winner already sits at the global
+    // score minimum, so the exact run is skipped as pointless.
+    let beam_key = solved.as_ref().map(|(o, _)| {
+        (
+            solution_score(o.est_mii, o.assigned.total_copies() as u32),
+            o.est_mii,
+        )
+    });
+    let pf = &config.portfolio;
+    if let Some((beam_score, beam_mii)) = beam_key {
+        if pf.mode != PortfolioMode::BeamOnly
+            && !bound_exit
+            && !sp.working_set.is_empty()
+            && sp.working_set.len() <= pf.exact_max_nodes
+        {
+            obs.counter_add("portfolio.exact_runs", 1);
+            let cancel = if pf.mode == PortfolioMode::Race && pf.exact_deadline_ms > 0 {
+                hca_par::CancelToken::with_deadline(std::time::Duration::from_millis(
+                    pf.exact_deadline_ms,
+                ))
+            } else {
+                hca_par::CancelToken::new()
+            };
+            let exact_t0 = trace_on.then(std::time::Instant::now);
+            let exact_span = obs.span("see", "exact");
+            let exact_see = See::new(ddg, analysis, &pg, constraints, SeeConfig::exhaustive());
+            let run = exact_see.run_exact(
+                Some(&sp.working_set),
+                &ExactConfig {
+                    node_budget: pf.exact_node_budget,
+                    cancel,
+                    incumbent_score: Some(beam_score),
+                    floor: bound.unwrap_or(1),
+                    ..ExactConfig::default()
+                },
+            );
+            drop(exact_span);
+            if let Ok(ex) = run {
+                res.stats.see_states += usize::try_from(ex.nodes_visited).unwrap_or(usize::MAX);
+                if ex.cancelled {
+                    obs.counter_add("portfolio.exact_timeouts", 1);
+                }
+                if ex.mii_proven {
+                    obs.counter_add("portfolio.exact_proofs", 1);
+                }
+                // Optimality-gap accounting: when the exact side settles
+                // the optimum — floor hit (absolute) or full enumeration
+                // (optimal among direct assignments) — record how far
+                // beam-alone landed from it.
+                let proven_opt = if ex.mii_proven {
+                    ex.outcome.as_ref().map(|o| o.est_mii)
+                } else if ex.exhausted {
+                    Some(
+                        ex.outcome
+                            .as_ref()
+                            .map_or(beam_mii, |o| o.est_mii.min(beam_mii)),
+                    )
+                } else {
+                    None
+                };
+                if let Some(opt) = proven_opt {
+                    obs.counter_add("portfolio.gap_known", 1);
+                    obs.counter_add("portfolio.gap_sum", u64::from(beam_mii.saturating_sub(opt)));
+                }
+                let mut accepted = false;
+                if let (Some(out), Some(ex_score)) = (ex.outcome, ex.score) {
+                    // The legality gate applies to exact outputs exactly as
+                    // Strict applies to beam outputs — whatever the run's
+                    // validation level, an illegal exact solution never
+                    // displaces a legal beam one.
+                    if ex_score < beam_score
+                        && out.est_mii <= beam_mii
+                        && constraints.check(&out.assigned).is_ok()
+                    {
+                        if let Ok(mapped) = map_level_obs(&out.assigned, spec, opts, obs) {
+                            obs.counter_add("portfolio.exact_wins", 1);
+                            res.stats.exact_wins += 1;
+                            record_see_stats(obs, &out.stats);
+                            winner_tier = EXACT_TIER;
+                            accepted = true;
+                            solved = Some((out, mapped));
+                        }
+                    }
+                }
+                if trace_on {
+                    let ns = exact_t0.map_or(0, |t| {
+                        u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                    });
+                    let why = if ex.mii_proven {
+                        "proven"
+                    } else if ex.exhausted {
+                        "exhausted"
+                    } else if ex.cancelled {
+                        "deadline"
+                    } else {
+                        "budget"
+                    };
+                    let (est, copies) = solved
+                        .as_ref()
+                        .filter(|_| accepted)
+                        .map_or((0, 0), |(o, _)| {
+                            (o.est_mii, o.assigned.total_copies() as u32)
+                        });
+                    tracer.record(|| TraceRecord {
+                        kind: kind::TIER.to_string(),
+                        problem: sp.id(),
+                        depth: d as u32,
+                        tier: EXACT_TIER,
+                        ok: accepted,
+                        ns,
+                        est_mii: est,
+                        mii_rec: analysis.mii_rec,
+                        copies,
+                        why: why.to_string(),
+                        ..TraceRecord::default()
+                    });
+                }
+            }
+        }
     }
 
     if let Some((outcome, _)) = &solved {
@@ -1225,6 +1518,60 @@ mod tests {
         // The report is vacuously empty — Off means "trust me".
         assert!(res.coherency.violations.is_empty());
         assert!(res.coherency.topology_errors.is_empty());
+    }
+
+    #[test]
+    fn portfolio_exact_small_never_worse_and_deterministic() {
+        let ddg = small_kernel();
+        let fabric = DspFabric::two_level(4, 4, 4);
+        let beam = run_hca(&ddg, &fabric, &HcaConfig::strict()).unwrap();
+        let cfg = HcaConfig {
+            portfolio: PortfolioConfig::exact_small(),
+            ..HcaConfig::strict()
+        };
+        let a = run_hca(&ddg, &fabric, &cfg).unwrap();
+        let b = run_hca(&ddg, &fabric, &cfg).unwrap();
+        assert!(a.is_legal(), "{:?}", a.coherency);
+        assert!(
+            a.mii.final_mii <= beam.mii.final_mii,
+            "portfolio MII {} worse than beam-alone {}",
+            a.mii.final_mii,
+            beam.mii.final_mii
+        );
+        // ExactSmall never arms the deadline: bit-identical replays.
+        assert_eq!(a.placement, b.placement);
+        assert_eq!(a.mii, b.mii);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn portfolio_counters_reach_the_observer() {
+        let ddg = small_kernel();
+        let fabric = DspFabric::standard(8, 8, 8);
+        let cfg = HcaConfig {
+            portfolio: PortfolioConfig::race(),
+            ..HcaConfig::strict()
+        };
+        let obs = Obs::enabled();
+        let res = run_hca_obs(&ddg, &fabric, &cfg, &obs).unwrap();
+        let m = res.metrics.expect("enabled observer snapshots metrics");
+        assert!(m.counter("portfolio.bounds_computed").unwrap_or(0) > 0);
+        // Every small sub-problem either bound-exits the tier ladder or
+        // reaches the exact backend.
+        let engaged = m.counter("portfolio.exact_runs").unwrap_or(0)
+            + m.counter("portfolio.bound_exits").unwrap_or(0);
+        assert!(engaged > 0, "portfolio never engaged: {:?}", m.counters);
+    }
+
+    #[test]
+    fn beam_only_computes_no_bounds() {
+        let ddg = small_kernel();
+        let fabric = DspFabric::standard(8, 8, 8);
+        let obs = Obs::enabled();
+        let res = run_hca_obs(&ddg, &fabric, &HcaConfig::strict(), &obs).unwrap();
+        let m = res.metrics.expect("enabled observer snapshots metrics");
+        assert_eq!(m.counter("portfolio.bounds_computed"), None);
+        assert_eq!(m.counter("portfolio.exact_runs"), None);
     }
 
     #[test]

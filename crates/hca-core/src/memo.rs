@@ -20,11 +20,17 @@
 //!   constraints are pure functions of (fabric, depth, ILI), so with the
 //!   fabric in the key one [`Memo`] may outlive any single run and serve
 //!   requests against *different* machines;
-//! * the full solving context — every [`SeeConfig`](hca_see::SeeConfig)
-//!   field (the escalation tiers are pure functions of it), the issue-cap
-//!   slack, validation level, the unified-machine theoretical MII,
-//!   `MIIRec`, the *effective* dominance flag (config AND environment), and
-//!   the hierarchy depth;
+//! * the full solving context — every result-affecting
+//!   [`SeeConfig`](hca_see::SeeConfig) field (the escalation tiers are pure
+//!   functions of it; result-transparent fields like `batched_scoring`,
+//!   `scalar_cutoff`, `lane_width` and `mii_bound` are deliberately
+//!   exempt — they are pinned bit-identical by the determinism suite), the
+//!   issue-cap slack, validation level, the full
+//!   [`PortfolioConfig`](crate::PortfolioConfig) (mode, exact size/budget
+//!   caps and the deadline — a deadline-raced entry must never answer a
+//!   deterministic run), the unified-machine theoretical MII, `MIIRec`,
+//!   the *effective* dominance flag (config AND environment), and the
+//!   hierarchy depth;
 //! * the working set in canonical numbering (nodes renumbered by sorted
 //!   `NodeId` rank; externals by first appearance), including the *given*
 //!   working-set order, per-node opcodes, and full pred/succ edge lists in
@@ -114,7 +120,7 @@ const NUM_SHARDS: usize = 16;
 /// value layout changes: [`Memo::load`] rejects (discards) any snapshot
 /// whose version differs, because keys from an older encoding could alias
 /// current ones and rehydrate stale results.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Sentinel for "no LRU neighbour".
 const NIL: usize = usize::MAX;
@@ -541,6 +547,14 @@ pub(crate) fn canonicalise(
         u64::from(s.dominance && std::env::var_os("HCA_NO_DOMINANCE").is_none()),
         config.issue_cap_slack.map_or(u64::MAX, u64::from),
         config.validation as u64,
+        // Portfolio context: the exact backend can change a cached subtree
+        // (placements, stats), and a Race entry is deadline-dependent —
+        // the shared `hca serve` cache must never cross-contaminate
+        // solver configurations.
+        config.portfolio.mode as u64,
+        config.portfolio.exact_max_nodes as u64,
+        config.portfolio.exact_node_budget,
+        config.portfolio.exact_deadline_ms,
         u64::from(theo_mii),
         u64::from(analysis.mii_rec),
         sp.depth() as u64,

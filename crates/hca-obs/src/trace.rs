@@ -46,6 +46,10 @@ pub mod kind {
 /// deterministic fallback produced the sub-problem's outcome.
 pub const FALLBACK_TIER: u32 = 99;
 
+/// The pseudo-tier used when the portfolio's exact branch-and-bound backend
+/// beat every beam tier and produced the sub-problem's outcome.
+pub const EXACT_TIER: u32 = 98;
+
 /// One line of the search trace. A flat record: `kind` says which fields
 /// are meaningful (see [`kind`]); the rest default to zero/empty so the
 /// schema can grow without breaking old traces.

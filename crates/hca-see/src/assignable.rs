@@ -638,8 +638,10 @@ pub const LANES: usize = 4;
 
 /// Candidate-count cutoff below which an expansion skips the batched
 /// kernel entirely: with this few survivors of the static mask, the
-/// per-node batch setup costs more than the lane fold saves.
-const SCALAR_CUTOFF: usize = 3;
+/// per-node batch setup costs more than the lane fold saves. The built-in
+/// default — override per run via [`crate::SeeConfig::scalar_cutoff`] or
+/// the `HCA_SCALAR_CUTOFF` environment variable.
+pub const SCALAR_CUTOFF: usize = 3;
 
 /// Consumer-side terms of one `(state, node)` expansion, computed **once**
 /// and shared by every candidate of the batch. The value each term would
@@ -1048,6 +1050,20 @@ impl NodeBatch<'_> {
             });
         crate::cost::objective_from_lanes(ctx, &parts)
     }
+
+    /// [`flush`](NodeBatch::flush) at a width chosen at runtime: dispatch
+    /// to the monomorphised fold of that width. Each lane's bits are
+    /// width-independent, so any width yields the same per-candidate
+    /// scores.
+    fn flush_dyn(&self, ctx: &SeeContext<'_>, buf: &LaneBuf, w: usize) -> SmallVec<[f64; LANES]> {
+        match w {
+            1 => self.flush::<1>(ctx, buf).into_iter().collect(),
+            2 => self.flush::<2>(ctx, buf).into_iter().collect(),
+            3 => self.flush::<3>(ctx, buf).into_iter().collect(),
+            4 => self.flush::<4>(ctx, buf).into_iter().collect(),
+            _ => unreachable!("widen this match alongside LANES"),
+        }
+    }
 }
 
 /// Batched sibling of [`score_if_assignable`]: score **every** surviving
@@ -1083,6 +1099,28 @@ pub fn score_candidates_batched(
     cands: &mut CandList,
     stats: &mut LaneStats,
 ) {
+    score_candidates_batched_tuned(ctx, st, view, n, cands, stats, SCALAR_CUTOFF, LANES);
+}
+
+/// [`score_candidates_batched`] with the batch-entry cutoff and flush width
+/// chosen at runtime. Both knobs are **result-transparent** — every lane
+/// score is bit-identical to the scalar trial regardless of where batches
+/// are cut — so they may vary freely between runs (ROADMAP item 4's
+/// re-measurement) without invalidating memoised results. `lane_width` is
+/// clamped to `1..=LANES` ([`LANES`] is the buffer's compile-time
+/// capacity).
+#[allow(clippy::too_many_arguments)]
+pub fn score_candidates_batched_tuned(
+    ctx: &SeeContext<'_>,
+    st: &PartialState,
+    view: &NodeView,
+    n: NodeId,
+    cands: &mut CandList,
+    stats: &mut LaneStats,
+    scalar_cutoff: usize,
+    lane_width: usize,
+) {
+    let lane_width = lane_width.clamp(1, LANES);
     // Expansions whose static mask leaves almost nothing to score cannot
     // amortise the batch setup (per-node hoists + gather bookkeeping), so
     // they take the scalar path wholesale. One popcount over the mask
@@ -1091,7 +1129,7 @@ pub fn score_candidates_batched(
     let fast = view.fast.as_ref().filter(|_| {
         view.consumers.len() <= 32
             && view.producers.len() <= 32
-            && cand_count as usize > SCALAR_CUTOFF
+            && cand_count as usize > scalar_cutoff
     });
     let Some(f) = fast else {
         // No uniform producer shape (or a `created`/`pcreated` mask would
@@ -1129,8 +1167,8 @@ pub fn score_candidates_batched(
                 );
             }
             Gathered::Lane => {
-                if buf.len == LANES {
-                    let costs = batch.flush::<LANES>(ctx, &buf);
+                if buf.len == lane_width {
+                    let costs = batch.flush_dyn(ctx, &buf, lane_width);
                     for (l, &cost) in costs.iter().enumerate() {
                         #[cfg(debug_assertions)]
                         {
@@ -1144,26 +1182,21 @@ pub fn score_candidates_batched(
                         }
                         cands.push((buf.c[l], cost));
                     }
-                    stats.lanes_scored += LANES;
+                    stats.lanes_scored += lane_width;
                     stats.lane_batches += 1;
                     buf.len = 0;
                 }
             }
         }
     }
-    // Partial-batch flush: fewer than `LANES` gathered candidates left.
-    // Monomorphising the fold at the remainder's real width scores them in
-    // one pass without rescoring scalarly (which would double-pay the
-    // gather) and without paying for empty lanes.
+    // Partial-batch flush: fewer than `lane_width` gathered candidates
+    // left. Monomorphising the fold at the remainder's real width scores
+    // them in one pass without rescoring scalarly (which would double-pay
+    // the gather) and without paying for empty lanes.
     if buf.len > 0 {
         let k = buf.len;
-        debug_assert!(k < LANES, "full batches flush inside the gather loop");
-        let costs: SmallVec<[f64; LANES]> = match k {
-            1 => batch.flush::<1>(ctx, &buf).into_iter().collect(),
-            2 => batch.flush::<2>(ctx, &buf).into_iter().collect(),
-            3 => batch.flush::<3>(ctx, &buf).into_iter().collect(),
-            _ => unreachable!("widen this match alongside LANES"),
-        };
+        debug_assert!(k < lane_width, "full batches flush inside the gather loop");
+        let costs = batch.flush_dyn(ctx, &buf, k);
         for (l, &cost) in costs.iter().enumerate() {
             #[cfg(debug_assertions)]
             {

@@ -1,0 +1,279 @@
+//! Admissible lower bounds on the MII of one sub-problem.
+//!
+//! Computed *before* any search, these floors are shared between the two
+//! portfolio backends (bound sharing):
+//!
+//! - the beam driver stops escalating tiers the moment a tier's winner
+//!   matches the floor with zero copies (the score `16·MII + copies` is
+//!   then at its global minimum, so no later tier can beat it — skipping
+//!   the remaining tiers is provably output-preserving);
+//! - the exact branch-and-bound uses the floor both to prune partial
+//!   assignments and to stop the instant an incumbent reaches it
+//!   (an absolute optimality proof).
+//!
+//! Every bound here is **admissible**: no legal complete assignment of the
+//! working set onto the Pattern Graph can achieve a smaller estimated MII.
+//! The argument for each floor is given at its computation site; all of
+//! them rest on the fact that [`crate::state::PartialState`] only ever
+//! *grows* its load and arc-pressure aggregates as nodes are placed.
+
+use hca_ddg::{Ddg, DdgAnalysis, NodeId, Opcode, ResourceClass};
+use hca_pg::{ArchConstraints, Pg, PgNodeKind};
+use rustc_hash::FxHashSet;
+
+/// The three admissible MII floors of one sub-problem, kept separate so
+/// observability can attribute which floor was binding.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MiiLowerBound {
+    /// Critical-cycle (recurrence) floor: `RecMII` from the DDG analysis.
+    /// Placement cannot shorten a dependence cycle, so no assignment beats
+    /// it.
+    pub rec: u32,
+    /// Issue-slot / resource floor: working-set ops divided by the total
+    /// slots of the matching class across all clusters. `u32::MAX` when a
+    /// required resource class has no slots anywhere (every complete
+    /// assignment poisons its MII).
+    pub issue: u32,
+    /// Arc-capacity floor from glue-wire fan-in: values that must ride one
+    /// output wire divided by its unary fan-in (`outNode_MaxIn`), and
+    /// input-wire values spread over every cluster.
+    pub arc: u32,
+}
+
+impl MiiLowerBound {
+    /// The combined floor: the largest individual floor, and at least 1
+    /// (matching [`crate::state::PartialState::estimated_mii`]'s clamp).
+    #[inline]
+    pub fn overall(&self) -> u32 {
+        self.rec.max(self.issue).max(self.arc).max(1)
+    }
+}
+
+/// `ceil(num / den)`, saturating to `u32::MAX` when `den == 0` (the class
+/// is required but no cluster provides it).
+fn ceil_div_or_poison(num: u32, den: u32) -> u32 {
+    if num == 0 {
+        0
+    } else if den == 0 {
+        u32::MAX
+    } else {
+        num.div_ceil(den)
+    }
+}
+
+/// Compute the admissible MII floors for assigning `working_set` (the whole
+/// DDG when `None`) onto `pg` under `constraints`.
+///
+/// Runs in `O(|ws| + |pg| + Σ wire values)` — cheap enough to precede every
+/// sub-problem search.
+pub fn mii_lower_bound(
+    ddg: &Ddg,
+    analysis: &DdgAnalysis,
+    pg: &Pg,
+    constraints: &ArchConstraints,
+    working_set: Option<&[NodeId]>,
+) -> MiiLowerBound {
+    let ws: Vec<NodeId> = match working_set {
+        Some(ws) => ws.to_vec(),
+        None => ddg.node_ids().collect(),
+    };
+    let ws_set: FxHashSet<NodeId> = ws.iter().copied().collect();
+
+    // --- issue / resource floor -------------------------------------------
+    // Every placement charges one issue slot on its cluster plus one slot of
+    // its resource class; receives only ever *add* load on top. If each
+    // cluster c keeps ceil(load_c / slots_c) <= k then Σ load <= k·Σ slots,
+    // so k >= ceil(Σ load / Σ slots): dividing the class totals by the
+    // fleet-wide slot totals is an admissible floor on max_c ceil(·).
+    let (mut issue_slots, mut alu_slots, mut ag_slots) = (0u32, 0u32, 0u32);
+    for c in pg.cluster_ids() {
+        let rt = pg.node(c).rt;
+        issue_slots += rt.issue;
+        alu_slots += rt.alu;
+        ag_slots += rt.addr_gen;
+    }
+    let (mut alu_ops, mut ag_ops) = (0u32, 0u32);
+    for &n in &ws {
+        match ddg.node(n).op.resource_class() {
+            ResourceClass::Alu => alu_ops += 1,
+            ResourceClass::AddrGen => ag_ops += 1,
+            ResourceClass::Receive => {}
+        }
+    }
+    let issue = ceil_div_or_poison(ws.len() as u32, issue_slots)
+        .max(ceil_div_or_poison(ag_ops, ag_slots))
+        .max(if alu_slots == 0 {
+            // ALU ops on a 0-ALU cluster are rejected by executability, not
+            // by MII poisoning — no sound MII conclusion, so no floor.
+            0
+        } else {
+            ceil_div_or_poison(alu_ops, alu_slots)
+        });
+
+    // --- arc-capacity floor -----------------------------------------------
+    // Output wires: every value on the wire that is produced in the working
+    // set (or pass-through from an input wire) must reach the output node on
+    // some feeder arc, and the wire accepts at most `out_node_max_in`
+    // distinct feeders — so one feeder arc carries at least ceil(k / fan_in)
+    // values. (Constants never travel: the configuration loader replicates
+    // them, so they are excluded.)
+    let mut arc = 0u32;
+    let fan_in = constraints.out_node_max_in;
+    for o in pg.output_ids() {
+        if let PgNodeKind::Output { values, .. } = &pg.node(o).kind {
+            let mut forced: FxHashSet<NodeId> = FxHashSet::default();
+            for &v in values {
+                if ddg.node(v).op == Opcode::Const {
+                    continue;
+                }
+                if ws_set.contains(&v) || pg.input_carrying(v).is_some() {
+                    forced.insert(v);
+                }
+            }
+            arc = arc.max(ceil_div_or_poison(forced.len() as u32, fan_in));
+        }
+    }
+    // Input wires: each externally produced value that the working set
+    // consumes must leave its input node on at least one arc; the arcs out
+    // of one input node go to at most `num_clusters` distinct clusters, so
+    // some arc carries at least ceil(k / num_clusters) values. (Dividing by
+    // *all* clusters, reachable or not, only weakens the floor — still
+    // admissible.)
+    let num_clusters = pg.cluster_ids().count() as u32;
+    for inp in pg.input_ids() {
+        if let PgNodeKind::Input { values, .. } = &pg.node(inp).kind {
+            let consumed = values
+                .iter()
+                .filter(|&&v| {
+                    !ws_set.contains(&v)
+                        && ddg.node(v).op != Opcode::Const
+                        && ddg.succs(v).any(|d| ws_set.contains(&d))
+                })
+                .count() as u32;
+            arc = arc.max(ceil_div_or_poison(consumed, num_clusters));
+        }
+    }
+
+    MiiLowerBound {
+        rec: analysis.mii_rec,
+        issue,
+        arc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hca_arch::ResourceTable;
+    use hca_ddg::{DdgBuilder, LatencyModel};
+    use hca_pg::{Ili, IliWire};
+
+    fn constraints(out_max_in: u32) -> ArchConstraints {
+        ArchConstraints {
+            max_in_neighbors: 4,
+            max_out_neighbors: None,
+            out_node_max_in: out_max_in,
+            copy_latency: 1,
+        }
+    }
+
+    #[test]
+    fn issue_floor_counts_slots_across_clusters() {
+        // 6 ALU ops on 2 single-issue clusters: at least 3 cycles.
+        let mut b = DdgBuilder::new(LatencyModel::unit());
+        for _ in 0..6 {
+            b.node(Opcode::Add);
+        }
+        let ddg = b.finish();
+        let an = DdgAnalysis::compute(&ddg).unwrap();
+        let pg = Pg::complete(2, ResourceTable::of_cns(1));
+        let lb = mii_lower_bound(&ddg, &an, &pg, &constraints(1), None);
+        assert_eq!(lb.issue, 3);
+        assert_eq!(lb.overall(), 3);
+    }
+
+    #[test]
+    fn addr_gen_floor_poisons_without_ag_slots() {
+        let mut b = DdgBuilder::new(LatencyModel::unit());
+        b.node(Opcode::Load);
+        let ddg = b.finish();
+        let an = DdgAnalysis::compute(&ddg).unwrap();
+        let pg = Pg::complete(
+            2,
+            ResourceTable {
+                issue: 1,
+                alu: 1,
+                addr_gen: 0,
+            },
+        );
+        let lb = mii_lower_bound(&ddg, &an, &pg, &constraints(1), None);
+        assert_eq!(lb.issue, u32::MAX);
+    }
+
+    #[test]
+    fn rec_floor_is_the_analysis_recurrence_mii() {
+        let mut b = DdgBuilder::new(LatencyModel::unit());
+        let a = b.node(Opcode::Add);
+        let m = b.node(Opcode::Mul);
+        b.flow(a, m);
+        b.carried(m, a, 1);
+        let ddg = b.finish();
+        let an = DdgAnalysis::compute(&ddg).unwrap();
+        let pg = Pg::complete(4, ResourceTable::of_cns(2));
+        let lb = mii_lower_bound(&ddg, &an, &pg, &constraints(1), None);
+        assert_eq!(lb.rec, an.mii_rec);
+        assert!(lb.overall() >= an.mii_rec.max(1));
+    }
+
+    #[test]
+    fn output_wire_fan_in_floors_the_arc_pressure() {
+        // Three working-set values forced onto one unary-fan-in output
+        // wire: some feeder arc carries all three.
+        let mut b = DdgBuilder::new(LatencyModel::unit());
+        let n0 = b.node(Opcode::Add);
+        let n1 = b.node(Opcode::Add);
+        let n2 = b.node(Opcode::Add);
+        let ddg = b.finish();
+        let an = DdgAnalysis::compute(&ddg).unwrap();
+        let mut pg = Pg::complete(4, ResourceTable::of_cns(2));
+        pg.attach_ili(&Ili {
+            inputs: vec![],
+            outputs: vec![IliWire {
+                values: vec![n0, n1, n2],
+            }],
+        });
+        let lb = mii_lower_bound(&ddg, &an, &pg, &constraints(1), None);
+        assert_eq!(lb.arc, 3);
+        let lb2 = mii_lower_bound(&ddg, &an, &pg, &constraints(3), None);
+        assert_eq!(lb2.arc, 1);
+    }
+
+    #[test]
+    fn bounds_never_exceed_a_real_outcome() {
+        // The floor must be admissible: run the beam on a small kernel and
+        // check floor <= achieved MII.
+        let mut b = DdgBuilder::new(LatencyModel::unit());
+        let l0 = b.node(Opcode::Load);
+        let l1 = b.node(Opcode::Load);
+        let m = b.node(Opcode::Mul);
+        let a = b.node(Opcode::Add);
+        let s = b.node(Opcode::Store);
+        b.flow(l0, m);
+        b.flow(l1, m);
+        b.flow(m, a);
+        b.flow(a, s);
+        let ddg = b.finish();
+        let an = DdgAnalysis::compute(&ddg).unwrap();
+        let pg = Pg::complete(2, ResourceTable::of_cns(1));
+        let cons = constraints(1);
+        let lb = mii_lower_bound(&ddg, &an, &pg, &cons, None);
+        let see = crate::See::new(&ddg, &an, &pg, cons, crate::SeeConfig::default());
+        let out = see.run(None).expect("beam finds an assignment");
+        assert!(
+            lb.overall() <= out.est_mii,
+            "floor {} exceeds achieved MII {}",
+            lb.overall(),
+            out.est_mii
+        );
+    }
+}

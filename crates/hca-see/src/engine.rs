@@ -40,6 +40,22 @@ pub struct SeeConfig {
     /// flag (or the `HCA_NO_BATCH` environment variable) exists so a
     /// suspected batching regression can be bisected in the field.
     pub batched_scoring: bool,
+    /// Candidate-count cutoff below which an expansion skips the batched
+    /// kernel (`None` = built-in default). Result-transparent; overridable
+    /// per process via `HCA_SCALAR_CUTOFF` so ROADMAP item 4's
+    /// re-measurement needs no rebuild.
+    pub scalar_cutoff: Option<usize>,
+    /// Lane-batch flush width, clamped to `1..=LANES` (`None` = the full
+    /// [`crate::assignable::LANES`]). Result-transparent; overridable per
+    /// process via `HCA_LANES`.
+    pub lane_width: Option<usize>,
+    /// Admissible MII floor shared by the portfolio driver
+    /// ([`crate::bounds::mii_lower_bound`]). Purely observational inside
+    /// the beam: when the winning state's MII reaches the floor with zero
+    /// copies the run reports [`SeeStats::bound_exit`], and the *driver*
+    /// skips the remaining escalation tiers (provably output-preserving —
+    /// the score `16·MII + copies` is already at its global minimum).
+    pub mii_bound: Option<u32>,
 }
 
 impl Default for SeeConfig {
@@ -55,6 +71,24 @@ impl Default for SeeConfig {
             issue_cap: None,
             dominance: true,
             batched_scoring: true,
+            scalar_cutoff: None,
+            lane_width: None,
+            mii_bound: None,
+        }
+    }
+}
+
+impl SeeConfig {
+    /// Configuration for the exact backend's pass-through planner: no
+    /// candidate-margin or branch-factor truncation and an effectively
+    /// unbounded frontier, so [`See::run_exact`]'s root enumeration is
+    /// complete. Never use for beam runs — the frontier would explode.
+    pub fn exhaustive() -> Self {
+        SeeConfig {
+            beam_width: usize::MAX / 2,
+            branch_factor: usize::MAX / 2,
+            candidate_margin: f64::INFINITY,
+            ..SeeConfig::default()
         }
     }
 }
@@ -99,7 +133,7 @@ impl std::error::Error for SeeError {}
 /// high-water footprint (reported as `see.state_arena_bytes`) is
 /// deterministic and thread-count invariant.
 #[derive(Default)]
-struct StatePool {
+pub(crate) struct StatePool {
     free: Vec<PartialState>,
     /// `approx_bytes` of each pooled state, parallel to `free`.
     sizes: Vec<usize>,
@@ -228,6 +262,11 @@ pub struct SeeStats {
     /// on: views the lane fold cannot express, plus expansions too small
     /// to repay batch setup.
     pub scalar_tail: usize,
+    /// The winning state's MII matched the shared admissible floor
+    /// ([`SeeConfig::mii_bound`]) with zero copies: the result is provably
+    /// optimal and the portfolio driver may skip every remaining
+    /// escalation tier. Always `false` without a bound (beam-only mode).
+    pub bound_exit: bool,
 }
 
 impl SeeStats {
@@ -266,11 +305,11 @@ pub struct SeeOutcome {
 
 /// The Space Exploration Engine.
 pub struct See<'a> {
-    ctx: SeeContext<'a>,
-    config: SeeConfig,
+    pub(crate) ctx: SeeContext<'a>,
+    pub(crate) config: SeeConfig,
     /// Static all-pairs reachability of `ctx.pg`, shared by every routing
     /// query of the run (also owns the run's routing counters).
-    rt: RouteTable,
+    pub(crate) rt: RouteTable,
     /// Search-trace recorder; disabled by default (one branch per step).
     tracer: hca_obs::SearchTracer,
 }
@@ -371,6 +410,21 @@ impl<'a> See<'a> {
         // must not make one search internally inconsistent.
         let dominance_on = self.config.dominance && std::env::var_os("HCA_NO_DOMINANCE").is_none();
         let batched_on = self.config.batched_scoring && std::env::var_os("HCA_NO_BATCH").is_none();
+        // Lane-kernel tuning knobs (result-transparent): environment beats
+        // config beats built-in defaults; read once so a mid-run change
+        // cannot make one search internally inconsistent.
+        let env_usize = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+        };
+        let scalar_cutoff = env_usize("HCA_SCALAR_CUTOFF")
+            .or(self.config.scalar_cutoff)
+            .unwrap_or(crate::assignable::SCALAR_CUTOFF);
+        let lane_width = env_usize("HCA_LANES")
+            .or(self.config.lane_width)
+            .unwrap_or(crate::assignable::LANES)
+            .clamp(1, crate::assignable::LANES);
         let trace_on = self.tracer.is_enabled();
 
         for (step_idx, &n) in (0u32..).zip(order.nodes()) {
@@ -414,13 +468,15 @@ impl<'a> See<'a> {
                         // candidates into contiguous lane buffers, score
                         // LANES per pass — bit-identical to the scalar
                         // trials (asserted per candidate in debug builds).
-                        crate::assignable::score_candidates_batched(
+                        crate::assignable::score_candidates_batched_tuned(
                             &self.ctx,
                             st,
                             &view,
                             n,
                             &mut cands,
                             &mut lane_stats,
+                            scalar_cutoff,
+                            lane_width,
                         );
                     } else {
                         for c in view.candidates() {
@@ -678,6 +734,13 @@ impl<'a> See<'a> {
         let cost = best.cost;
         let est_mii = best.estimated_mii(&self.ctx);
         let (mii_issue, mii_arc) = (best.mii_issue, best.mii_arc);
+        // Proven-bound early exit (bound sharing): MII at the admissible
+        // floor with zero copies means the solution score is at its global
+        // minimum — report the cut so the portfolio driver can skip the
+        // remaining escalation tiers without changing any output.
+        if let Some(bound) = self.config.mii_bound {
+            stats.bound_exit = est_mii <= bound && best.total_copies == 0;
+        }
         Ok(SeeOutcome {
             assigned: best.into_assigned(self.ctx.pg),
             cost,
@@ -1046,7 +1109,7 @@ impl<'a> See<'a> {
     /// must receive it and re-emit it — a `Route` op costing one issue slot
     /// plus the receive. Pick the cheapest admissible forwarding cluster per
     /// frontier state; states with no admissible cluster are dropped.
-    fn resolve_forwards(
+    pub(crate) fn resolve_forwards(
         &self,
         mut frontier: Vec<PartialState>,
         pool: &mut StatePool,

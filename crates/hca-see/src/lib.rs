@@ -27,8 +27,10 @@
 #![forbid(unsafe_code)]
 
 pub mod assignable;
+pub mod bounds;
 pub mod cost;
 pub mod engine;
+pub mod exact;
 pub mod filters;
 mod frontier;
 pub mod neighbors;
@@ -37,9 +39,14 @@ pub mod route_table;
 pub mod state;
 pub mod statics;
 
-pub use assignable::{node_view, score_candidates_batched, score_if_assignable, NodeView, LANES};
+pub use assignable::{
+    node_view, score_candidates_batched, score_candidates_batched_tuned, score_if_assignable,
+    NodeView, LANES, SCALAR_CUTOFF,
+};
+pub use bounds::{mii_lower_bound, MiiLowerBound};
 pub use cost::CostWeights;
 pub use engine::{See, SeeConfig, SeeError, SeeOutcome, SeeStats, STEP_SAMPLE_CAP};
+pub use exact::{solution_score, ExactConfig, ExactOutcome};
 pub use filters::{CandList, LaneStats};
 pub use route_table::RouteTable;
 pub use state::{PartialState, SeeContext};

@@ -134,6 +134,53 @@ fn dominance_pruning_preserves_table1_results() {
     }
 }
 
+/// The lane-tuning knobs (`SeeConfig::scalar_cutoff` / `lane_width`, the
+/// in-process forms of `HCA_SCALAR_CUTOFF` / `HCA_LANES`) only shift work
+/// between the batched and scalar scorers — both produce bit-identical
+/// scores, so any setting must reproduce the default run exactly. This is
+/// also what justifies leaving both fields out of the memo cache key.
+#[test]
+fn lane_tuning_knobs_are_result_transparent() {
+    let _g = OVERRIDE_LOCK.lock().unwrap();
+    let fabric = DspFabric::standard(8, 8, 8);
+    for kernel in hca_repro::kernels::table1_kernels() {
+        let baseline = run_hca(&kernel.ddg, &fabric, &HcaConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+        for (cutoff, lanes) in [
+            (Some(0), None),
+            (Some(64), None),
+            (None, Some(1)),
+            (Some(1), Some(2)),
+        ] {
+            let config = HcaConfig {
+                see: SeeConfig {
+                    scalar_cutoff: cutoff,
+                    lane_width: lanes,
+                    ..SeeConfig::default()
+                },
+                ..HcaConfig::default()
+            };
+            let tuned = run_hca(&kernel.ddg, &fabric, &config)
+                .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+            assert_eq!(
+                baseline.mii, tuned.mii,
+                "{}: MII diverges under cutoff {cutoff:?} lanes {lanes:?}",
+                kernel.name
+            );
+            assert_eq!(
+                baseline.placement, tuned.placement,
+                "{}: placement diverges under cutoff {cutoff:?} lanes {lanes:?}",
+                kernel.name
+            );
+            assert_eq!(
+                baseline.final_program.placement, tuned.final_program.placement,
+                "{}: final program diverges under cutoff {cutoff:?} lanes {lanes:?}",
+                kernel.name
+            );
+        }
+    }
+}
+
 /// The batched scoring kernel is a pure throughput change: with batching on
 /// vs. off, every Table-1 kernel must reach the identical final MII,
 /// placement, program and run statistics — and at the SEE level the final
